@@ -1,0 +1,20 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the measured quantity is the simulated system's *virtual-time*
+behaviour, which is deterministic, so statistical repetition would only
+re-measure the host machine.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def show(result) -> None:
+    print()
+    print(result.render())

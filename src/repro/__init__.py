@@ -1,0 +1,61 @@
+"""Typhoon: an SDN-enhanced real-time stream processing framework.
+
+A from-scratch Python reproduction of "Typhoon: An SDN Enhanced
+Real-Time Big Data Streaming Framework" (CoNEXT 2017), including the
+Storm-like baseline it is evaluated against, the SDN substrate
+(software switches + OpenFlow-style controller), the coordination layer,
+and the paper's SDN control-plane applications.
+
+Quickstart::
+
+    from repro import Engine, TyphoonCluster, TopologyBuilder
+
+    engine = Engine()
+    typhoon = TyphoonCluster(engine, num_hosts=3)
+    builder = TopologyBuilder("my-app")
+    ...
+    typhoon.submit(builder.build())
+    engine.run(until=60)
+"""
+
+from .core import TyphoonCluster
+from .core.apps import (
+    AutoScaler,
+    FaultDetector,
+    LiveDebugger,
+    ScalingPolicy,
+    SdnLoadBalancer,
+)
+from .sim import DEFAULT_COSTS, CostModel, Engine
+from .streaming import (
+    Bolt,
+    Grouping,
+    LogicalTopology,
+    Spout,
+    StormCluster,
+    StreamTuple,
+    TopologyBuilder,
+    TopologyConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_COSTS",
+    "AutoScaler",
+    "Bolt",
+    "CostModel",
+    "Engine",
+    "FaultDetector",
+    "Grouping",
+    "LiveDebugger",
+    "LogicalTopology",
+    "ScalingPolicy",
+    "SdnLoadBalancer",
+    "Spout",
+    "StormCluster",
+    "StreamTuple",
+    "TopologyBuilder",
+    "TopologyConfig",
+    "TyphoonCluster",
+]

@@ -1,0 +1,30 @@
+"""Benchmark harness and experiment implementations for §6."""
+
+from .figures import (
+    fig8a_forwarding,
+    fig8b_forwarding_ack,
+    fig8cd_latency,
+    fig9_broadcast,
+    fig10_fault,
+    fig11_autoscale,
+    fig12_debug,
+    fig14_reconfig,
+    table5_debugger,
+)
+from .harness import ExperimentResult, Series, format_series, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "fig10_fault",
+    "fig11_autoscale",
+    "fig12_debug",
+    "fig14_reconfig",
+    "fig8a_forwarding",
+    "fig8b_forwarding_ack",
+    "fig8cd_latency",
+    "fig9_broadcast",
+    "format_series",
+    "format_table",
+    "table5_debugger",
+]

@@ -1,0 +1,124 @@
+"""Command-line interface (the CLI box in Figs. 1 and 3).
+
+Usage::
+
+    python -m repro list-experiments
+    python -m repro experiment fig9 [--seed N]
+    python -m repro wordcount [--rate R] [--duration S] [--hosts H]
+                              [--system typhoon|storm]
+
+``experiment`` regenerates one of the paper's figures/tables and prints
+the same rows/series the benchmark harness reports; ``wordcount`` runs
+the Fig. 2 pipeline end to end and prints a topology summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import bench
+from .core import TyphoonCluster
+from .sim import Engine
+from .streaming import StormCluster, TopologyConfig
+from .workloads import word_count_topology
+
+#: Experiment registry: name -> zero/one-arg callable returning a result.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig8a": bench.fig8a_forwarding,
+    "fig8b": bench.fig8b_forwarding_ack,
+    "fig8c": lambda seed=0: bench.fig8cd_latency(True, seed),
+    "fig8d": lambda seed=0: bench.fig8cd_latency(False, seed),
+    "fig9": bench.fig9_broadcast,
+    "fig10-storm": lambda seed=0: bench.fig10_fault("storm", seed),
+    "fig10-typhoon": lambda seed=0: bench.fig10_fault("typhoon", seed),
+    "fig11-storm": lambda seed=0: bench.fig11_autoscale("storm", seed),
+    "fig11-typhoon": lambda seed=0: bench.fig11_autoscale("typhoon", seed),
+    "fig12-storm": lambda seed=0: bench.fig12_debug("storm", seed),
+    "fig12-typhoon": lambda seed=0: bench.fig12_debug("typhoon", seed),
+    "fig14": bench.fig14_reconfig,
+    "table5": lambda seed=0: bench.table5_debugger(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Typhoon (CoNEXT'17) reproduction command line",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-experiments",
+                        help="list reproducible figures/tables")
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one evaluation figure/table")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--seed", type=int, default=0)
+
+    wordcount = commands.add_parser(
+        "wordcount", help="run the word-count pipeline end to end")
+    wordcount.add_argument("--system", choices=("typhoon", "storm"),
+                           default="typhoon")
+    wordcount.add_argument("--rate", type=float, default=5000.0,
+                           help="sentences/second")
+    wordcount.add_argument("--duration", type=float, default=30.0,
+                           help="virtual seconds to run")
+    wordcount.add_argument("--hosts", type=int, default=3)
+    wordcount.add_argument("--splits", type=int, default=2)
+    wordcount.add_argument("--counts", type=int, default=4)
+    wordcount.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def cmd_list_experiments(out=sys.stdout) -> int:
+    for name in sorted(EXPERIMENTS):
+        out.write("%s\n" % name)
+    return 0
+
+
+def cmd_experiment(name: str, seed: int, out=sys.stdout) -> int:
+    runner = EXPERIMENTS[name]
+    try:
+        result = runner(seed)
+    except TypeError:
+        result = runner()
+    out.write(result.render())
+    out.write("\n")
+    return 0
+
+
+def cmd_wordcount(system: str, rate: float, duration: float, hosts: int,
+                  splits: int, counts: int, seed: int,
+                  out=sys.stdout) -> int:
+    engine = Engine()
+    cluster_class = TyphoonCluster if system == "typhoon" else StormCluster
+    cluster = cluster_class(engine, num_hosts=hosts, seed=seed)
+    config = TopologyConfig(batch_size=100, max_spout_rate=rate)
+    physical = cluster.submit(word_count_topology(
+        "wc", config, splits=splits, counts=counts))
+    engine.run(until=duration)
+    out.write("system: %s\n" % system)
+    out.write("workers: %d across %s\n"
+              % (len(physical.assignments), ", ".join(physical.hosts())))
+    for component in ("source", "split", "count"):
+        executors = cluster.executors_for("wc", component)
+        total = sum(e.stats.processed if component != "source"
+                    else e.stats.emitted for e in executors)
+        out.write("%-8s workers=%d tuples=%d\n"
+                  % (component, len(executors), total))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-experiments":
+        return cmd_list_experiments(out)
+    if args.command == "experiment":
+        return cmd_experiment(args.name, args.seed, out)
+    if args.command == "wordcount":
+        return cmd_wordcount(args.system, args.rate, args.duration,
+                             args.hosts, args.splits, args.counts,
+                             args.seed, out)
+    return 2

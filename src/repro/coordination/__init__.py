@@ -1,0 +1,24 @@
+"""Central coordination: ZooKeeper-like store and Typhoon state schema."""
+
+from .schema import AGENTS, TOPOLOGIES, WORKER_BEATS, GlobalState
+from .store import (
+    BadVersionError,
+    CoordinationError,
+    Coordinator,
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+)
+
+__all__ = [
+    "AGENTS",
+    "TOPOLOGIES",
+    "WORKER_BEATS",
+    "BadVersionError",
+    "CoordinationError",
+    "Coordinator",
+    "GlobalState",
+    "NoNodeError",
+    "NodeExistsError",
+    "NotEmptyError",
+]

@@ -1,0 +1,120 @@
+"""Coordinator path schema for Typhoon's global states (Table 1).
+
+Three state families live in the coordinator:
+
+* **logical topologies** — topology ID, reconfiguration options,
+  inter-node connectivity, node parallelism, per-node routing info;
+  written by the streaming manager (and the SDN controller for
+  SDN-initiated reconfigurations), read by both;
+* **physical topologies** — per-worker assignment info (worker ID,
+  hostname, SDN switch port, binary location); written by the streaming
+  manager, read by the SDN controller, worker agents and workers;
+* **worker agents** — hostname plus used/available switch ports; written
+  by the agents, read by the streaming manager and SDN controller.
+
+The payloads themselves are the dataclasses in
+:mod:`repro.streaming.topology` / :mod:`repro.streaming.physical`
+(our stand-in for Storm's Thrift objects).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .store import Coordinator, NoNodeError
+
+TOPOLOGIES = "/typhoon/topologies"
+AGENTS = "/typhoon/agents"
+WORKER_BEATS = "/typhoon/workerbeats"
+METRICS = "/typhoon/metrics"
+
+
+def topology_root(topology_id: str) -> str:
+    return "%s/%s" % (TOPOLOGIES, topology_id)
+
+
+def logical_path(topology_id: str) -> str:
+    return "%s/logical" % topology_root(topology_id)
+
+
+def physical_path(topology_id: str) -> str:
+    return "%s/physical" % topology_root(topology_id)
+
+
+def agent_path(hostname: str) -> str:
+    return "%s/%s" % (AGENTS, hostname)
+
+
+def worker_beat_path(topology_id: str, worker_id: int) -> str:
+    return "%s/%s/%d" % (WORKER_BEATS, topology_id, worker_id)
+
+
+class GlobalState:
+    """Typed access to Table 1 states on top of a :class:`Coordinator`."""
+
+    def __init__(self, coordinator: Coordinator):
+        self.coordinator = coordinator
+
+    # -- topologies ----------------------------------------------------------
+
+    def list_topologies(self) -> List[str]:
+        try:
+            return self.coordinator.children(TOPOLOGIES)
+        except NoNodeError:
+            return []
+
+    def write_logical(self, topology_id: str, logical: Any) -> None:
+        self.coordinator.ensure(logical_path(topology_id), logical)
+
+    def read_logical(self, topology_id: str) -> Any:
+        return self.coordinator.get_data(logical_path(topology_id))
+
+    def write_physical(self, topology_id: str, physical: Any) -> None:
+        self.coordinator.ensure(physical_path(topology_id), physical)
+
+    def read_physical(self, topology_id: str) -> Any:
+        return self.coordinator.get_data(physical_path(topology_id))
+
+    def remove_topology(self, topology_id: str) -> None:
+        root = topology_root(topology_id)
+        if self.coordinator.exists(root):
+            self.coordinator.delete(root, recursive=True)
+
+    def watch_physical(self, topology_id: str, callback) -> None:
+        self.coordinator.watch_data(physical_path(topology_id), callback)
+
+    def watch_logical(self, topology_id: str, callback) -> None:
+        self.coordinator.watch_data(logical_path(topology_id), callback)
+
+    # -- agents -----------------------------------------------------------------
+
+    def register_agent(self, hostname: str, info: Any) -> None:
+        self.coordinator.ensure(agent_path(hostname), info)
+
+    def agent_info(self, hostname: str) -> Any:
+        return self.coordinator.get_data(agent_path(hostname))
+
+    def list_agents(self) -> List[str]:
+        try:
+            return self.coordinator.children(AGENTS)
+        except NoNodeError:
+            return []
+
+    # -- worker heartbeats ---------------------------------------------------------
+
+    def write_beat(self, topology_id: str, worker_id: int, beat: Any) -> None:
+        path = worker_beat_path(topology_id, worker_id)
+        if self.coordinator.exists(path):
+            self.coordinator.set(path, beat)
+        else:
+            self.coordinator.create(path, beat, make_parents=True)
+
+    def read_beat(self, topology_id: str, worker_id: int) -> Any:
+        return self.coordinator.get_data(
+            worker_beat_path(topology_id, worker_id)
+        )
+
+    def clear_beat(self, topology_id: str, worker_id: int) -> None:
+        path = worker_beat_path(topology_id, worker_id)
+        if self.coordinator.exists(path):
+            self.coordinator.delete(path)

@@ -1,0 +1,243 @@
+"""Central coordinator: a ZooKeeper-like hierarchical store.
+
+Typhoon coordinates the streaming manager, worker agents, workers and the
+SDN controller through global state kept in a central coordinator
+(Table 1). This module reproduces the ZooKeeper primitives that design
+relies on:
+
+* a tree of *znodes* addressed by slash paths, each holding a Python
+  object (the Thrift-object stand-in) and a version counter,
+* compare-and-set writes (``expected_version``),
+* *ephemeral* nodes bound to a session, removed when the session expires
+  (how worker liveness/heartbeats surface),
+* persistent data and child watches, delivered after the coordinator
+  round-trip latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim.costs import CostModel
+from ..sim.engine import Engine
+
+
+class CoordinationError(Exception):
+    """Base class for coordinator errors."""
+
+
+class NoNodeError(CoordinationError):
+    pass
+
+
+class NodeExistsError(CoordinationError):
+    pass
+
+
+class BadVersionError(CoordinationError):
+    pass
+
+
+class NotEmptyError(CoordinationError):
+    pass
+
+
+#: Data-watch callbacks receive ``(path, data, version)``; ``data`` is
+#: ``None`` when the node was deleted.
+DataWatch = Callable[[str, Any, Optional[int]], None]
+
+#: Child-watch callbacks receive ``(path, sorted_child_names)``.
+ChildWatch = Callable[[str, List[str]], None]
+
+
+def _validate_path(path: str) -> str:
+    if not path.startswith("/") or (path != "/" and path.endswith("/")):
+        raise ValueError("bad znode path: %r" % path)
+    return path
+
+
+def _parent(path: str) -> str:
+    if path == "/":
+        raise ValueError("root has no parent")
+    head, _sep, _tail = path.rpartition("/")
+    return head or "/"
+
+
+class _Znode:
+    __slots__ = ("data", "version", "ephemeral_owner", "children")
+
+    def __init__(self, data: Any, ephemeral_owner: Optional[str]):
+        self.data = data
+        self.version = 0
+        self.ephemeral_owner = ephemeral_owner
+        self.children: Dict[str, None] = {}
+
+
+class Coordinator:
+    """The central coordination store."""
+
+    def __init__(self, engine: Engine, costs: CostModel):
+        self.engine = engine
+        self.costs = costs
+        self._nodes: Dict[str, _Znode] = {"/": _Znode(None, None)}
+        self._sessions: Dict[str, List[str]] = {}
+        self._data_watches: Dict[str, List[DataWatch]] = {}
+        self._child_watches: Dict[str, List[ChildWatch]] = {}
+        self.write_count = 0
+        self.read_count = 0
+
+    # -- basic operations ---------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return _validate_path(path) in self._nodes
+
+    def create(self, path: str, data: Any = None,
+               ephemeral_owner: Optional[str] = None,
+               make_parents: bool = False) -> None:
+        _validate_path(path)
+        if path in self._nodes:
+            raise NodeExistsError(path)
+        parent = _parent(path)
+        if parent not in self._nodes:
+            if not make_parents:
+                raise NoNodeError(parent)
+            self.create(parent, None, make_parents=True)
+        if ephemeral_owner is not None:
+            if ephemeral_owner not in self._sessions:
+                raise CoordinationError("unknown session %r" % ephemeral_owner)
+            self._sessions[ephemeral_owner].append(path)
+        self.write_count += 1
+        self._nodes[path] = _Znode(data, ephemeral_owner)
+        name = path.rsplit("/", 1)[1]
+        self._nodes[parent].children[name] = None
+        self._fire_data(path)
+        self._fire_children(parent)
+
+    def set(self, path: str, data: Any, expected_version: int = -1) -> int:
+        node = self._nodes.get(_validate_path(path))
+        if node is None:
+            raise NoNodeError(path)
+        if expected_version != -1 and node.version != expected_version:
+            raise BadVersionError(
+                "%s: expected v%d, found v%d" % (path, expected_version,
+                                                 node.version)
+            )
+        self.write_count += 1
+        node.data = data
+        node.version += 1
+        self._fire_data(path)
+        return node.version
+
+    def ensure(self, path: str, data: Any = None) -> None:
+        """Create ``path`` (with parents) if missing, else overwrite data."""
+        if self.exists(path):
+            self.set(path, data)
+        else:
+            self.create(path, data, make_parents=True)
+
+    def get(self, path: str) -> Tuple[Any, int]:
+        node = self._nodes.get(_validate_path(path))
+        if node is None:
+            raise NoNodeError(path)
+        self.read_count += 1
+        return node.data, node.version
+
+    def get_data(self, path: str, default: Any = None) -> Any:
+        try:
+            data, _version = self.get(path)
+        except NoNodeError:
+            return default
+        return data
+
+    def children(self, path: str) -> List[str]:
+        node = self._nodes.get(_validate_path(path))
+        if node is None:
+            raise NoNodeError(path)
+        self.read_count += 1
+        return sorted(node.children)
+
+    def delete(self, path: str, recursive: bool = False) -> None:
+        node = self._nodes.get(_validate_path(path))
+        if node is None:
+            raise NoNodeError(path)
+        if node.children:
+            if not recursive:
+                raise NotEmptyError(path)
+            for child in sorted(node.children):
+                self.delete("%s/%s" % (path.rstrip("/"), child) if path != "/"
+                            else "/" + child, recursive=True)
+        self.write_count += 1
+        del self._nodes[path]
+        if node.ephemeral_owner is not None:
+            owned = self._sessions.get(node.ephemeral_owner)
+            if owned and path in owned:
+                owned.remove(path)
+        parent = _parent(path)
+        parent_node = self._nodes.get(parent)
+        if parent_node is not None:
+            parent_node.children.pop(path.rsplit("/", 1)[1], None)
+            self._fire_children(parent)
+        self._fire_data(path, deleted=True)
+
+    # -- sessions / ephemerals ------------------------------------------------
+
+    def start_session(self, owner: str) -> None:
+        if owner in self._sessions:
+            raise CoordinationError("session %r already active" % owner)
+        self._sessions[owner] = []
+
+    def session_active(self, owner: str) -> bool:
+        return owner in self._sessions
+
+    def expire_session(self, owner: str) -> None:
+        """Drop a session and delete its ephemeral nodes (worker death)."""
+        paths = self._sessions.pop(owner, [])
+        for path in list(paths):
+            if path in self._nodes:
+                self.delete(path, recursive=True)
+
+    # -- watches ------------------------------------------------------------------
+
+    def watch_data(self, path: str, callback: DataWatch) -> Callable[[], None]:
+        """Register a persistent data watch; returns an unsubscribe."""
+        watchers = self._data_watches.setdefault(_validate_path(path), [])
+        watchers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in watchers:
+                watchers.remove(callback)
+
+        return unsubscribe
+
+    def watch_children(self, path: str, callback: ChildWatch) -> Callable[[], None]:
+        watchers = self._child_watches.setdefault(_validate_path(path), [])
+        watchers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in watchers:
+                watchers.remove(callback)
+
+        return unsubscribe
+
+    def _fire_data(self, path: str, deleted: bool = False) -> None:
+        watchers = self._data_watches.get(path)
+        if not watchers:
+            return
+        if deleted:
+            data, version = None, None
+        else:
+            node = self._nodes[path]
+            data, version = node.data, node.version
+        for callback in list(watchers):
+            self.engine.schedule(self.costs.coordinator_op_latency,
+                                 callback, path, data, version)
+
+    def _fire_children(self, path: str) -> None:
+        watchers = self._child_watches.get(path)
+        if not watchers:
+            return
+        node = self._nodes.get(path)
+        names = sorted(node.children) if node is not None else []
+        for callback in list(watchers):
+            self.engine.schedule(self.costs.coordinator_op_latency,
+                                 callback, path, names)

@@ -1,0 +1,56 @@
+"""Typhoon core: the paper's contribution, built on the substrates."""
+
+from . import control
+from .control import (
+    ACTIVATE,
+    BATCH_SIZE,
+    DEACTIVATE,
+    INPUT_RATE,
+    METRIC_REQ,
+    METRIC_RESP,
+    ROUTING,
+    SIGNAL,
+    ControlTuple,
+    RoutingUpdate,
+)
+from .controller import TyphoonControllerApp
+from .framework_layer import handle_control_tuple
+from .io_layer import HostFabric, TyphoonFabric, TyphoonTransport
+from .packets import Fragment, PacketError, Reassembler, pack_tuples, unpack_payload
+from .rest import RestApi
+from .runtime import TyphoonCluster, TyphoonManager
+from .scheduler import TyphoonScheduler, topological_order
+from .topology_manager import DynamicTopologyManager
+from .update import ReconfigurationError, predecessor_routing_updates
+
+__all__ = [
+    "ACTIVATE",
+    "BATCH_SIZE",
+    "DEACTIVATE",
+    "INPUT_RATE",
+    "METRIC_REQ",
+    "METRIC_RESP",
+    "ROUTING",
+    "SIGNAL",
+    "ControlTuple",
+    "DynamicTopologyManager",
+    "Fragment",
+    "HostFabric",
+    "PacketError",
+    "Reassembler",
+    "ReconfigurationError",
+    "RestApi",
+    "RoutingUpdate",
+    "TyphoonCluster",
+    "TyphoonControllerApp",
+    "TyphoonFabric",
+    "TyphoonManager",
+    "TyphoonScheduler",
+    "TyphoonTransport",
+    "control",
+    "handle_control_tuple",
+    "pack_tuples",
+    "predecessor_routing_updates",
+    "topological_order",
+    "unpack_payload",
+]

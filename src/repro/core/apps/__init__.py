@@ -1,0 +1,29 @@
+"""SDN control plane applications (§4): fault detector, live debugger,
+SDN load balancer and auto-scaler."""
+
+from .auto_scaler import AutoScaler, ScalingPolicy
+from .fault_detector import FaultDetector
+from .live_debugger import (
+    DEBUG_COMPONENT,
+    STORM_DEBUGGER_CAPABILITIES,
+    TYPHOON_DEBUGGER_CAPABILITIES,
+    CollectingDebugBolt,
+    LiveDebugger,
+)
+from .load_balancer import SdnLoadBalancer
+from .stats_monitor import EdgeStats, StatsMonitor, WorkerView
+
+__all__ = [
+    "DEBUG_COMPONENT",
+    "STORM_DEBUGGER_CAPABILITIES",
+    "TYPHOON_DEBUGGER_CAPABILITIES",
+    "AutoScaler",
+    "CollectingDebugBolt",
+    "FaultDetector",
+    "LiveDebugger",
+    "ScalingPolicy",
+    "EdgeStats",
+    "StatsMonitor",
+    "WorkerView",
+    "SdnLoadBalancer",
+]

@@ -1,0 +1,138 @@
+"""Auto-scaler SDN control plane application (§4, Fig. 11).
+
+Network-level statistics alone cannot tell whether a worker is
+overloaded, so the auto-scaler polls **application-layer metrics** —
+tuple queue level and queue memory — from workers via METRIC_REQ control
+tuples, and initiates scale up/down through the dynamic topology manager
+when the metrics cross the configured thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ...sdn.controller import ControllerApp
+from ...sim.engine import Interrupt
+from ...streaming.acker import ACKER_COMPONENT
+
+
+@dataclass
+class ScalingPolicy:
+    """Thresholds and bounds for one monitored component."""
+
+    high_queue_depth: int = 200        # deliveries queued -> overloaded
+    low_queue_depth: int = 5           # sustained idle -> scale down
+    high_queue_bytes: int = 16 * 1024 * 1024
+    min_parallelism: int = 1
+    max_parallelism: int = 8
+    cooldown: float = 30.0             # settle time between actions
+    low_intervals_required: int = 3    # consecutive quiet polls to shrink
+
+
+class AutoScaler(ControllerApp):
+    """Scales component parallelism from worker queue metrics."""
+
+    name = "auto-scaler"
+
+    def __init__(self, cluster, topology_id: str,
+                 components: Optional[Sequence[str]] = None,
+                 policy: Optional[ScalingPolicy] = None,
+                 poll_interval: float = 5.0):
+        super().__init__()
+        self.cluster = cluster
+        self.topology_id = topology_id
+        self.components = list(components) if components else None
+        self.policy = policy or ScalingPolicy()
+        self.poll_interval = poll_interval
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.last_action_time: Dict[str, float] = {}
+        self._low_streak: Dict[str, int] = {}
+        self._task = None
+
+    def on_start(self) -> None:
+        engine = self.controller.engine
+        self._task = engine.process(self._poll_loop(), name="auto-scaler")
+
+    def on_stop(self) -> None:
+        if self._task is not None:
+            self._task.interrupt("stop")
+
+    # -- polling loop -----------------------------------------------------------
+
+    def _monitored_components(self, record) -> Sequence[str]:
+        if self.components is not None:
+            return [c for c in self.components if c in record.logical.nodes]
+        return [name for name, node in record.logical.nodes.items()
+                if node.kind == "bolt" and name != ACKER_COMPONENT]
+
+    def _poll_loop(self):
+        engine = self.controller.engine
+        while True:
+            try:
+                yield self.poll_interval
+            except Interrupt:
+                return
+            record = self.cluster.manager.topologies.get(self.topology_id)
+            if record is None:
+                continue
+            for component in self._monitored_components(record):
+                worker_ids = record.physical.worker_ids_for(component)
+                if not worker_ids:
+                    continue
+                gate = self.cluster.app.query_metrics(
+                    self.topology_id, worker_ids, timeout=1.0)
+                try:
+                    replies = yield gate
+                except Interrupt:
+                    return
+                replies = dict(replies)
+                # An overloaded worker cannot answer a METRIC_REQ promptly
+                # (the control tuple queues behind its backlog), so fall
+                # back to the last heartbeat snapshot in the coordinator —
+                # the paper's "retrieved from ZooKeeper or workers".
+                for worker_id in worker_ids:
+                    if worker_id in replies:
+                        continue
+                    beat = self.cluster.state.read_beat(self.topology_id,
+                                                        worker_id)
+                    if beat and "stats" in beat:
+                        replies[worker_id] = beat["stats"]
+                if replies:
+                    self._evaluate(record, component, replies)
+
+    # -- decisions ------------------------------------------------------------------
+
+    def _evaluate(self, record, component: str,
+                  replies: Dict[int, dict]) -> None:
+        engine = self.controller.engine
+        policy = self.policy
+        last = self.last_action_time.get(component, -policy.cooldown)
+        if engine.now - last < policy.cooldown:
+            return
+        depths = [stats.get("queue_depth", 0) for stats in replies.values()]
+        byte_sizes = [stats.get("queue_bytes", 0) for stats in replies.values()]
+        parallelism = record.logical.node(component).parallelism
+        overloaded = (max(depths) >= policy.high_queue_depth
+                      or max(byte_sizes) >= policy.high_queue_bytes)
+        quiet = max(depths) <= policy.low_queue_depth
+
+        if overloaded and parallelism < policy.max_parallelism:
+            self._low_streak[component] = 0
+            self.scale_ups += 1
+            self.last_action_time[component] = engine.now
+            self.cluster.topology_manager.set_parallelism(
+                self.topology_id, component, parallelism + 1)
+            return
+        if quiet and parallelism > policy.min_parallelism:
+            streak = self._low_streak.get(component, 0) + 1
+            self._low_streak[component] = streak
+            if streak >= policy.low_intervals_required:
+                self._low_streak[component] = 0
+                self.scale_downs += 1
+                self.last_action_time[component] = engine.now
+                self.cluster.topology_manager.set_parallelism(
+                    self.topology_id, component, parallelism - 1)
+        else:
+            self._low_streak[component] = 0

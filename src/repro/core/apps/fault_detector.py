@@ -1,0 +1,109 @@
+"""Fault detector SDN control plane application (§4, Fig. 10).
+
+Traditional frameworks detect a dead worker from missed heartbeats —
+30 seconds by default — during which upstream workers keep routing
+tuples into a black hole. The Typhoon fault detector instead reacts to
+the switch's *unexpected port removal* event (a dead worker's port
+disappears within milliseconds) and immediately repoints the affected
+predecessors' routing state to the surviving workers of the same
+component, well before any heartbeat timeout or rescheduling completes.
+
+When the worker comes back (its port reappears and survives a probation
+window), routing is restored to the full worker set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...sdn.controller import ControllerApp
+from ..update import predecessor_routing_updates
+
+
+class FaultDetector(ControllerApp):
+    """Redirects traffic around dead workers on port-removal events."""
+
+    name = "fault-detector"
+
+    def __init__(self, cluster, restore_probation: float = 0.0):
+        super().__init__()
+        self.cluster = cluster
+        self.restore_probation = restore_probation
+        #: worker_id -> (topology_id, component) currently redirected-around
+        self.redirected: Dict[int, Tuple[str, str]] = {}
+        self.detections = 0
+        self.restores = 0
+        self.detection_times: List[float] = []
+
+    def on_start(self) -> None:
+        app = self.cluster.app
+        app.port_delete_listeners.append(self._on_port_delete)
+        app.port_add_listeners.append(self._on_port_add)
+
+    # -- failure path ---------------------------------------------------------
+
+    def _on_port_delete(self, dpid: str, worker_id: int) -> None:
+        app = self.cluster.app
+        if worker_id in app.expected_removals:
+            return  # planned removal (stable topology update)
+        located = self._locate(worker_id)
+        if located is None:
+            return
+        topology_id, component = located
+        record = self.cluster.manager.topologies.get(topology_id)
+        if record is None:
+            return
+        survivors = [
+            wid for wid in record.physical.worker_ids_for(component)
+            if wid != worker_id and wid in app.worker_host
+        ]
+        if not survivors:
+            return  # nothing to redirect to; heartbeat recovery must act
+        self.detections += 1
+        self.detection_times.append(self.controller.engine.now)
+        self.redirected[worker_id] = (topology_id, component)
+        updates = predecessor_routing_updates(
+            record.logical, record.physical, component, survivors)
+        for pred_id in sorted(updates):
+            if pred_id == worker_id:
+                continue
+            app.update_routing(topology_id, pred_id, updates[pred_id])
+
+    # -- recovery path -----------------------------------------------------------
+
+    def _on_port_add(self, dpid: str, worker_id: int) -> None:
+        if worker_id not in self.redirected:
+            return
+        if self.restore_probation > 0:
+            self.controller.engine.schedule(
+                self.restore_probation, self._maybe_restore, worker_id)
+        else:
+            self._maybe_restore(worker_id)
+
+    def _maybe_restore(self, worker_id: int) -> None:
+        app = self.cluster.app
+        if worker_id not in app.worker_host:
+            return  # died again during probation
+        located = self.redirected.pop(worker_id, None)
+        if located is None:
+            return
+        topology_id, component = located
+        record = self.cluster.manager.topologies.get(topology_id)
+        if record is None:
+            return
+        alive = [wid for wid in record.physical.worker_ids_for(component)
+                 if wid in app.worker_host]
+        self.restores += 1
+        updates = predecessor_routing_updates(
+            record.logical, record.physical, component, alive)
+        for pred_id in sorted(updates):
+            app.update_routing(topology_id, pred_id, updates[pred_id])
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _locate(self, worker_id: int) -> Optional[Tuple[str, str]]:
+        for topology_id, record in self.cluster.manager.topologies.items():
+            assignment = record.physical.assignments.get(worker_id)
+            if assignment is not None:
+                return topology_id, assignment.component
+        return None

@@ -1,0 +1,209 @@
+"""Live debugger SDN control plane application (§4, Fig. 12, Table 5).
+
+Inspecting a live pipeline in a traditional framework means
+pre-provisioned debug workers receiving application-level tuple copies —
+extra serializations that visibly depress throughput. Typhoon instead
+**dynamically deploys** a debug worker next to the tapped component and
+installs packet-mirroring flow rules: the switch duplicates matched
+frames to the debug port at the network layer, so the source worker does
+no additional work.
+
+Per-worker granularity, on-demand provisioning, no multiple
+serialization — the Table 5 capability matrix is generated from the
+capability flags this class (and the Storm tap helper) declare.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...sdn.controller import ControllerApp
+from ...sdn.flow import Match
+from ...streaming.physical import WorkerAssignment
+from ...streaming.topology import BOLT, Bolt, LogicalNode
+from ...streaming.tuples import StreamTuple
+from .. import rules as rule_templates
+from ..update import wait_for_ports
+
+DEBUG_COMPONENT = "__debug__"
+
+#: Capability flags used to render Table 5.
+TYPHOON_DEBUGGER_CAPABILITIES = {
+    "granularity": "per-worker",
+    "resources": "memory allocated on demand",
+    "dynamic_provisioning": True,
+    "multiple_serialization": False,
+}
+
+STORM_DEBUGGER_CAPABILITIES = {
+    "granularity": "entire topology or a set of workers",
+    "resources": "pre-provisioned memory and TCP connections",
+    "dynamic_provisioning": False,
+    "multiple_serialization": True,
+}
+
+
+class CollectingDebugBolt(Bolt):
+    """Default debug worker: counts and retains a window of tuples.
+
+    Custom filtering logic / display formats are supplied by passing a
+    different factory to :meth:`LiveDebugger.attach`.
+    """
+
+    def __init__(self, keep_last: int = 100,
+                 predicate: Optional[Callable[[StreamTuple], bool]] = None):
+        self.keep_last = keep_last
+        self.predicate = predicate
+        self.seen = 0
+        self.matched = 0
+        self.window: List[Tuple] = []
+
+    def execute(self, stream_tuple: StreamTuple, collector) -> None:
+        self.seen += 1
+        if self.predicate is not None and not self.predicate(stream_tuple):
+            return
+        self.matched += 1
+        self.window.append(stream_tuple.values)
+        if len(self.window) > self.keep_last:
+            self.window.pop(0)
+
+
+class _Tap:
+    def __init__(self, topology_id: str, component: str, worker_id: int):
+        self.topology_id = topology_id
+        self.component = component
+        self.debug_worker_id = worker_id
+        #: (dpid, match, priority) of installed mirror rules
+        self.mirror_rules: List[Tuple[str, Match, int]] = []
+
+
+class LiveDebugger(ControllerApp):
+    """Deploys debug workers and network-level mirror rules on demand."""
+
+    name = "live-debugger"
+
+    #: Mirror rules sit above the base unicast rules they shadow.
+    MIRROR_PRIORITY_BOOST = 50
+
+    def __init__(self, cluster):
+        super().__init__()
+        self.cluster = cluster
+        self.taps: Dict[Tuple[str, str], _Tap] = {}
+        self.attaches = 0
+        self.detaches = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def tap(self, topology_id: str, component: str,
+            debug_factory: Optional[Callable] = None):
+        """Dynamically tap a component: returns a process whose value is
+        the debug worker's executor once mirroring is active."""
+        if (topology_id, component) in self.taps:
+            raise RuntimeError("component %r already tapped" % component)
+        return self.controller.engine.process(
+            self._tap(topology_id, component,
+                         debug_factory or CollectingDebugBolt),
+            name="debug-attach:%s" % component,
+        )
+
+    def untap(self, topology_id: str, component: str,
+              kill_worker: bool = True) -> None:
+        """Remove mirroring (and optionally the debug worker)."""
+        tap = self.taps.pop((topology_id, component), None)
+        if tap is None:
+            return
+        for dpid, match, priority in tap.mirror_rules:
+            self.controller.delete_flows(dpid, match, strict=True,
+                                         priority=priority)
+        self.detaches += 1
+        if kill_worker:
+            self._remove_debug_worker(topology_id, tap.debug_worker_id)
+
+    def debug_executor(self, topology_id: str, component: str):
+        tap = self.taps.get((topology_id, component))
+        if tap is None:
+            return None
+        return self.cluster.executor(tap.debug_worker_id)
+
+    # -- attach procedure ----------------------------------------------------------
+
+    def _tap(self, topology_id: str, component: str, factory):
+        cluster = self.cluster
+        record = cluster.manager.topologies[topology_id]
+        workers = record.physical.workers_for(component)
+        if not workers:
+            raise RuntimeError("component %r has no workers" % component)
+        # Debug node joins the logical topology so the worker factory can
+        # build it; it subscribes to nothing — mirroring happens in rules.
+        if DEBUG_COMPONENT not in record.logical.nodes:
+            record.logical = record.logical.clone()
+            record.logical.nodes[DEBUG_COMPONENT] = LogicalNode(
+                name=DEBUG_COMPONENT, kind=BOLT, factory=factory,
+                parallelism=1,
+            )
+        else:
+            record.logical = record.logical.with_factory(
+                DEBUG_COMPONENT, factory)
+        cluster.state.write_logical(topology_id, record.logical)
+
+        # Place the debug worker on the tapped component's host so the
+        # mirror is a pure local port copy.
+        host = workers[0].hostname
+        worker_id = cluster.manager.allocator.allocate()
+        assignment = WorkerAssignment(
+            worker_id=worker_id, component=DEBUG_COMPONENT,
+            task_index=0, hostname=host,
+        )
+        record.physical = record.physical.add_worker(assignment)
+        record.assignment_times[worker_id] = cluster.engine.now
+        cluster.state.write_physical(topology_id, record.physical)
+        cluster.manager.agent_for(host).launch(topology_id, assignment)
+        yield from wait_for_ports(cluster, [worker_id])
+
+        tap = _Tap(topology_id, component, worker_id)
+        self._install_mirrors(tap, record)
+        self.taps[(topology_id, component)] = tap
+        self.attaches += 1
+        yield cluster.costs.flow_install_latency + cluster.costs.openflow_rtt
+        return cluster.executor(worker_id)
+
+    def _install_mirrors(self, tap: _Tap, record) -> None:
+        """Shadow every egress rule of the tapped workers with a copy that
+        also outputs to the debug port."""
+        cluster = self.cluster
+        app = cluster.app
+        debug_loc = app._port_of(tap.debug_worker_id)
+        if debug_loc is None:
+            raise RuntimeError("debug worker has no port")
+        debug_dpid, debug_port = debug_loc
+        tapped_ids = set(record.physical.worker_ids_for(tap.component))
+        installed = app._installed.get(tap.topology_id, {})
+        for (dpid, match), (priority, actions) in sorted(
+                installed.items(), key=lambda kv: repr(kv[0])):
+            if dpid != debug_dpid:
+                continue
+            if match.dl_src is None:
+                continue
+            if match.dl_src.worker_id not in tapped_ids:
+                continue
+            mirror_match, mirror_actions = rule_templates.mirror_rule(
+                match, actions, debug_port)
+            mirror_priority = priority + self.MIRROR_PRIORITY_BOOST
+            self.controller.install_flow(dpid, mirror_match, mirror_actions,
+                                         priority=mirror_priority)
+            tap.mirror_rules.append((dpid, mirror_match, mirror_priority))
+
+    def _remove_debug_worker(self, topology_id: str, worker_id: int) -> None:
+        cluster = self.cluster
+        record = cluster.manager.topologies.get(topology_id)
+        if record is None:
+            return
+        assignment = record.physical.assignments.get(worker_id)
+        if assignment is None:
+            return
+        cluster.app.expected_removals.add(worker_id)
+        cluster.manager.agent_for(assignment.hostname).kill(worker_id)
+        record.physical = record.physical.remove_worker(worker_id)
+        record.assignment_times.pop(worker_id, None)
+        cluster.state.write_physical(topology_id, record.physical)
+        cluster.app.expected_removals.discard(worker_id)

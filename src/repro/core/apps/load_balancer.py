@@ -1,0 +1,194 @@
+"""SDN-level load balancer control plane application (§4).
+
+Round-robin shuffle routing is unfair when tuple sizes are skewed or the
+cluster is heterogeneous. This app offloads the routing decision itself
+to the network: senders address frames to a virtual *select address* and
+the switch rewrites the destination worker ID in a **weighted round
+robin** fashion using a select-type group. Weights are adjustable at
+runtime by the controller — manually, or automatically from cross-layer
+statistics (per-worker queue depths via METRIC_REQ plus switch port
+stats).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...sdn.controller import ControllerApp
+from ...sdn.flow import GroupAction, Match, Output, SetDlDst, SetTunnelDst
+from ...sdn.group import GROUP_SELECT, Bucket
+from ...sim.engine import Interrupt
+from ...net.addresses import TYPHOON_ETHERTYPE, WorkerAddress
+from ...streaming.topology import SDN_SELECT, Grouping
+from .. import rules as rule_templates
+from ..control import RoutingUpdate
+
+
+class SdnLoadBalancer(ControllerApp):
+    """Weighted-round-robin destination rewriting in the switches."""
+
+    name = "sdn-load-balancer"
+
+    def __init__(self, cluster):
+        super().__init__()
+        self.cluster = cluster
+        #: (topology, src, dst) -> {dpid: group_id}
+        self.groups: Dict[Tuple[str, str, str], Dict[str, int]] = {}
+        #: current weights per balanced edge
+        self.weights: Dict[Tuple[str, str, str], Dict[int, int]] = {}
+        self._next_group_id = 1
+        self.rebalances = 0
+        self._auto_task = None
+
+    # -- public API ---------------------------------------------------------
+
+    def enable(self, topology_id: str, src: str, dst: str,
+               weights: Optional[Dict[int, int]] = None) -> None:
+        """Offload routing on the src -> dst edge to the SDN layer."""
+        record = self.cluster.manager.topologies[topology_id]
+        edge = self._edge(record, src, dst)
+        dst_ids = record.physical.worker_ids_for(dst)
+        if not dst_ids:
+            raise RuntimeError("edge %s->%s has no destination workers"
+                               % (src, dst))
+        weights = dict(weights or {wid: 1 for wid in dst_ids})
+        key = (topology_id, src, dst)
+        self.weights[key] = weights
+        self.groups.setdefault(key, {})
+        self._install_groups(key, record, edge.stream, weights)
+        # Tell the source workers to stop routing and emit to the select
+        # address instead (ROUTING control tuple with SDN_SELECT policy).
+        for worker_id in record.physical.worker_ids_for(src):
+            self.cluster.app.update_routing(topology_id, worker_id, [
+                RoutingUpdate(
+                    dst_component=dst, stream=edge.stream,
+                    next_hops=dst_ids, grouping_kind=SDN_SELECT,
+                ),
+            ])
+
+    def set_weights(self, topology_id: str, src: str, dst: str,
+                    weights: Dict[int, int]) -> None:
+        """Adjust WRR weights at runtime."""
+        key = (topology_id, src, dst)
+        if key not in self.groups:
+            raise KeyError("edge not balanced: %s->%s" % (src, dst))
+        record = self.cluster.manager.topologies[topology_id]
+        edge = self._edge(record, src, dst)
+        self.weights[key] = dict(weights)
+        self._install_groups(key, record, edge.stream, weights, modify=True)
+        self.rebalances += 1
+
+    def disable(self, topology_id: str, src: str, dst: str,
+                grouping: Optional[Grouping] = None) -> None:
+        """Return the edge to worker-level routing."""
+        key = (topology_id, src, dst)
+        self.groups.pop(key, None)
+        self.weights.pop(key, None)
+        record = self.cluster.manager.topologies[topology_id]
+        edge = self._edge(record, src, dst)
+        restored = grouping or Grouping("shuffle")
+        for worker_id in record.physical.worker_ids_for(src):
+            self.cluster.app.update_routing(topology_id, worker_id, [
+                RoutingUpdate(
+                    dst_component=dst, stream=edge.stream,
+                    next_hops=record.physical.worker_ids_for(dst),
+                    grouping_kind=restored.kind,
+                    grouping_fields=tuple(restored.fields),
+                ),
+            ])
+
+    def auto_adjust(self, topology_id: str, src: str, dst: str,
+                    interval: float = 5.0) -> None:
+        """Periodically reweight inversely to each worker's queue depth
+        (application metric) — deeper queue, lower weight."""
+        key = (topology_id, src, dst)
+
+        def loop():
+            while True:
+                try:
+                    yield interval
+                except Interrupt:
+                    return
+                record = self.cluster.manager.topologies.get(topology_id)
+                if record is None or key not in self.groups:
+                    continue
+                dst_ids = record.physical.worker_ids_for(dst)
+                gate = self.cluster.app.query_metrics(topology_id, dst_ids,
+                                                      timeout=1.0)
+                try:
+                    replies = yield gate
+                except Interrupt:
+                    return
+                if not replies:
+                    continue
+                weights = {}
+                for wid in dst_ids:
+                    depth = replies.get(wid, {}).get("queue_depth", 0)
+                    weights[wid] = max(1, 100 // (1 + depth))
+                self.set_weights(topology_id, src, dst, weights)
+
+        self._auto_task = self.controller.engine.process(
+            loop(), name="lb-auto:%s->%s" % (src, dst))
+
+    def on_stop(self) -> None:
+        if self._auto_task is not None:
+            self._auto_task.interrupt("stop")
+
+    # -- group installation ------------------------------------------------------
+
+    def _edge(self, record, src: str, dst: str):
+        for edge in record.logical.edges:
+            if edge.src == src and edge.dst == dst:
+                return edge
+        raise KeyError("no edge %s->%s" % (src, dst))
+
+    def _install_groups(self, key, record, stream: int,
+                        weights: Dict[int, int], modify: bool = False) -> None:
+        """One select group per switch hosting a source worker, plus the
+        rule steering the edge's virtual address into it."""
+        topology_id, src, dst = key
+        app = self.cluster.app
+        app_id = record.physical.app_id
+        virtual = rule_templates.select_address(app_id, dst, stream)
+        src_hosts: Dict[str, List[int]] = {}
+        for worker in record.physical.workers_for(src):
+            loc = app._port_of(worker.worker_id)
+            if loc is None:
+                continue
+            dpid, port = loc
+            src_hosts.setdefault(dpid, []).append(port)
+
+        for dpid, src_ports in sorted(src_hosts.items()):
+            buckets = []
+            for dst_id in sorted(weights):
+                weight = weights[dst_id]
+                loc = app._port_of(dst_id)
+                if loc is None:
+                    continue
+                dst_dpid, dst_port = loc
+                rewritten = SetDlDst(WorkerAddress(app_id, dst_id))
+                if dst_dpid == dpid:
+                    actions = (rewritten, Output(dst_port))
+                else:
+                    tunnel = self.cluster.fabric.host(dpid).tunnel_port
+                    actions = (rewritten, SetTunnelDst(dst_dpid),
+                               Output(tunnel))
+                buckets.append(Bucket(actions, weight=weight))
+            if not buckets:
+                continue
+            group_id = self.groups[key].get(dpid)
+            is_new = group_id is None
+            if is_new:
+                group_id = self._next_group_id
+                self._next_group_id += 1
+                self.groups[key][dpid] = group_id
+            self.controller.install_group(
+                dpid, group_id, GROUP_SELECT, buckets,
+                modify=modify and not is_new)
+            if is_new:
+                for src_port in src_ports:
+                    match = Match(in_port=src_port, dl_dst=virtual,
+                                  ether_type=TYPHOON_ETHERTYPE)
+                    self.controller.install_flow(
+                        dpid, match, (GroupAction(group_id),),
+                        priority=rule_templates.PRIORITY_UNICAST + 20)

@@ -1,0 +1,190 @@
+"""Cross-layer statistics monitor (§4's enabling mechanism).
+
+The Typhoon controller can "exploit cross-layer information from the
+network (e.g., port/flow statistics and status events) and application
+(e.g., worker statistics) layers". This app materializes that: it
+periodically polls
+
+* **network-layer** flow statistics from every switch (per-rule packet
+  and byte counters, keyed back to logical edges via the Table-3 match
+  fields), and port statistics (tx/rx/drops per worker port), and
+* **application-layer** worker statistics via METRIC_REQ control tuples
+  (falling back to coordinator heartbeats for saturated workers),
+
+and exposes a merged per-edge / per-worker view other control-plane
+applications (or operators, via the report) can act on — the same
+information the auto-scaler and load balancer consume ad hoc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...sdn.controller import ControllerApp
+from ...sdn.openflow import FlowStatsReply, PortStatsReply
+from ...sim.engine import Interrupt
+
+
+@dataclass
+class EdgeStats:
+    """Network-layer view of one logical edge (src worker -> dst)."""
+
+    src_worker: int
+    dst_worker: Optional[int]    # None for broadcast rules
+    dpid: str
+    packets: int = 0
+    bytes: int = 0
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst_worker is None
+
+
+@dataclass
+class WorkerView:
+    """Merged cross-layer view of one worker."""
+
+    worker_id: int
+    dpid: str = ""
+    rx_packets: int = 0
+    tx_packets: int = 0
+    tx_dropped: int = 0
+    app_stats: Dict[str, int] = field(default_factory=dict)
+
+
+class StatsMonitor(ControllerApp):
+    """Periodic cross-layer statistics collection."""
+
+    name = "stats-monitor"
+
+    def __init__(self, cluster, topology_id: str, poll_interval: float = 5.0):
+        super().__init__()
+        self.cluster = cluster
+        self.topology_id = topology_id
+        self.poll_interval = poll_interval
+        self.edge_stats: Dict[Tuple[str, int, Optional[int]], EdgeStats] = {}
+        self.worker_views: Dict[int, WorkerView] = {}
+        self.polls = 0
+        self._task = None
+
+    def on_start(self) -> None:
+        self._task = self.controller.engine.process(
+            self._poll_loop(), name="stats-monitor")
+
+    def on_stop(self) -> None:
+        if self._task is not None:
+            self._task.interrupt("stop")
+
+    # -- polling ------------------------------------------------------------
+
+    def _poll_loop(self):
+        while True:
+            try:
+                yield self.poll_interval
+            except Interrupt:
+                return
+            record = self.cluster.manager.topologies.get(self.topology_id)
+            if record is None:
+                continue
+            self.polls += 1
+            # Network layer: flow + port stats from every switch.
+            for dpid in sorted(self.controller.switches):
+                flow_gate = self.controller.request_flow_stats(dpid)
+                port_gate = self.controller.request_port_stats(dpid)
+                try:
+                    flow_reply = yield flow_gate
+                    port_reply = yield port_gate
+                except Interrupt:
+                    return
+                self._absorb_flow_stats(dpid, flow_reply)
+                self._absorb_port_stats(dpid, port_reply)
+            # Application layer: worker statistics.
+            worker_ids = sorted(record.physical.assignments)
+            gate = self.cluster.app.query_metrics(self.topology_id,
+                                                  worker_ids, timeout=1.0)
+            try:
+                replies = yield gate
+            except Interrupt:
+                return
+            for worker_id in worker_ids:
+                stats = replies.get(worker_id)
+                if stats is None:
+                    beat = self.cluster.state.read_beat(self.topology_id,
+                                                        worker_id)
+                    stats = (beat or {}).get("stats")
+                if stats is not None:
+                    view = self.worker_views.setdefault(
+                        worker_id, WorkerView(worker_id))
+                    view.app_stats = dict(stats)
+
+    def _absorb_flow_stats(self, dpid: str, reply: FlowStatsReply) -> None:
+        for entry in reply.entries:
+            match = entry.match
+            if match.dl_src is None:
+                continue  # control rules etc.
+            src = match.dl_src.worker_id
+            dst: Optional[int]
+            if match.dl_dst is None or match.dl_dst.is_broadcast:
+                dst = None
+            elif match.dl_dst.is_controller:
+                continue
+            else:
+                dst = match.dl_dst.worker_id
+            key = (dpid, src, dst)
+            stats = self.edge_stats.setdefault(
+                key, EdgeStats(src_worker=src, dst_worker=dst, dpid=dpid))
+            stats.packets = entry.packets
+            stats.bytes = entry.bytes
+
+    def _absorb_port_stats(self, dpid: str, reply: PortStatsReply) -> None:
+        for entry in reply.entries:
+            if not entry.port_name.startswith("w"):
+                continue
+            try:
+                worker_id = int(entry.port_name[1:])
+            except ValueError:
+                continue
+            view = self.worker_views.setdefault(worker_id,
+                                                WorkerView(worker_id))
+            view.dpid = dpid
+            view.rx_packets = entry.rx_packets
+            view.tx_packets = entry.tx_packets
+            view.tx_dropped = entry.tx_dropped
+
+    # -- queries --------------------------------------------------------------
+
+    def edges_from(self, worker_id: int) -> List[EdgeStats]:
+        return sorted(
+            (s for s in self.edge_stats.values()
+             if s.src_worker == worker_id),
+            key=lambda s: (s.dpid, s.dst_worker if s.dst_worker is not None
+                           else -1),
+        )
+
+    def busiest_edges(self, top: int = 5) -> List[EdgeStats]:
+        return sorted(self.edge_stats.values(),
+                      key=lambda s: -s.bytes)[:top]
+
+    def worker(self, worker_id: int) -> Optional[WorkerView]:
+        return self.worker_views.get(worker_id)
+
+    def report(self) -> str:
+        """Operator-readable cross-layer summary."""
+        lines = ["cross-layer statistics for %r (poll #%d)"
+                 % (self.topology_id, self.polls)]
+        lines.append("-- workers --")
+        for worker_id in sorted(self.worker_views):
+            view = self.worker_views[worker_id]
+            lines.append(
+                "  w%-4d host=%-8s net rx=%d tx=%d drop=%d app %s"
+                % (worker_id, view.dpid, view.rx_packets, view.tx_packets,
+                   view.tx_dropped,
+                   {k: view.app_stats[k] for k in sorted(view.app_stats)}))
+        lines.append("-- busiest edges --")
+        for stats in self.busiest_edges():
+            dst = "broadcast" if stats.is_broadcast else "w%d" % stats.dst_worker
+            lines.append("  w%d -> %-10s on %-8s packets=%d bytes=%d"
+                         % (stats.src_worker, dst, stats.dpid,
+                            stats.packets, stats.bytes))
+        return "\n".join(lines)

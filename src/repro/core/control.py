@@ -1,0 +1,158 @@
+"""Control tuples (Table 2): the SDN controller's lever on workers.
+
+Control tuples share the data-tuple wire format but use the dedicated
+CONTROL stream id and carry re-configuration information in their
+payload. All types except METRIC_RESP flow controller -> worker (via
+PacketOut); METRIC_RESP flows worker -> controller (via PacketIn).
+
+| type              | effect                                            |
+|-------------------|---------------------------------------------------|
+| ROUTING           | replace per-edge routing state (Listing 1 state)  |
+| SIGNAL            | flush a stateful worker's in-memory cache         |
+| METRIC_REQ        | request the worker's internal statistics          |
+| METRIC_RESP       | the statistics reply                              |
+| INPUT_RATE        | set a spout's processing rate                     |
+| ACTIVATE          | unthrottle the first workers of a topology        |
+| DEACTIVATE        | throttle them                                     |
+| BATCH_SIZE        | adjust the I/O layer batch size                   |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..streaming.serialize import decode_tuple, encode_tuple
+from ..streaming.topology import Grouping
+from ..streaming.tuples import CONTROL_STREAM, StreamTuple
+
+ROUTING = "ROUTING"
+SIGNAL = "SIGNAL"
+METRIC_REQ = "METRIC_REQ"
+METRIC_RESP = "METRIC_RESP"
+INPUT_RATE = "INPUT_RATE"
+ACTIVATE = "ACTIVATE"
+DEACTIVATE = "DEACTIVATE"
+BATCH_SIZE = "BATCH_SIZE"
+
+CONTROL_TYPES = (ROUTING, SIGNAL, METRIC_REQ, METRIC_RESP, INPUT_RATE,
+                 ACTIVATE, DEACTIVATE, BATCH_SIZE)
+
+#: Source-worker id used by the controller in control tuples.
+CONTROLLER_WORKER_ID = -2
+
+
+@dataclass
+class RoutingUpdate:
+    """New routing state for one outgoing edge of a worker."""
+
+    dst_component: str
+    stream: int
+    next_hops: List[int]
+    grouping_kind: Optional[str] = None
+    grouping_fields: Tuple[int, ...] = ()
+
+    def to_wire(self) -> list:
+        return [self.dst_component, self.stream, list(self.next_hops),
+                self.grouping_kind or "", list(self.grouping_fields)]
+
+    @classmethod
+    def from_wire(cls, wire: Sequence[Any]) -> "RoutingUpdate":
+        dst, stream, hops, kind, fields = wire
+        return cls(dst_component=dst, stream=stream,
+                   next_hops=list(hops),
+                   grouping_kind=kind or None,
+                   grouping_fields=tuple(fields))
+
+    def grouping(self) -> Optional[Grouping]:
+        if self.grouping_kind is None:
+            return None
+        return Grouping(self.grouping_kind, tuple(self.grouping_fields))
+
+
+@dataclass
+class ControlTuple:
+    """A typed control message; (de)serialized through the tuple codec."""
+
+    ctype: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    request_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ctype not in CONTROL_TYPES:
+            raise ValueError("unknown control tuple type %r" % self.ctype)
+
+    # -- wire conversion ----------------------------------------------------
+
+    def to_stream_tuple(self,
+                        source_worker: int = CONTROLLER_WORKER_ID) -> StreamTuple:
+        return StreamTuple(
+            values=(self.ctype, self.request_id, self.payload),
+            stream=CONTROL_STREAM,
+            source_component="__controller__",
+            source_worker=source_worker,
+        )
+
+    @classmethod
+    def from_stream_tuple(cls, stream_tuple: StreamTuple) -> "ControlTuple":
+        if stream_tuple.stream != CONTROL_STREAM:
+            raise ValueError("not a control tuple: stream %d"
+                             % stream_tuple.stream)
+        ctype, request_id, payload = stream_tuple.values
+        return cls(ctype=ctype, payload=dict(payload), request_id=request_id)
+
+    def encode(self, source_worker: int = CONTROLLER_WORKER_ID) -> bytes:
+        return encode_tuple(self.to_stream_tuple(source_worker))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ControlTuple":
+        return cls.from_stream_tuple(decode_tuple(data))
+
+
+# -- constructors for each Table 2 type ------------------------------------------
+
+
+def routing_update(updates: Sequence[RoutingUpdate],
+                   request_id: int = 0) -> ControlTuple:
+    return ControlTuple(ROUTING, {
+        "updates": [u.to_wire() for u in updates],
+    }, request_id)
+
+
+def parse_routing(control: ControlTuple) -> List[RoutingUpdate]:
+    if control.ctype != ROUTING:
+        raise ValueError("not a ROUTING control tuple")
+    return [RoutingUpdate.from_wire(w) for w in control.payload["updates"]]
+
+
+def signal(kind: str = "flush", request_id: int = 0) -> ControlTuple:
+    return ControlTuple(SIGNAL, {"kind": kind}, request_id)
+
+
+def metric_request(request_id: int) -> ControlTuple:
+    return ControlTuple(METRIC_REQ, {}, request_id)
+
+
+def metric_response(request_id: int, worker_id: int,
+                    stats: Dict[str, int]) -> ControlTuple:
+    return ControlTuple(METRIC_RESP, {
+        "worker_id": worker_id, "stats": dict(stats),
+    }, request_id)
+
+
+def input_rate(rate: Optional[float], request_id: int = 0) -> ControlTuple:
+    return ControlTuple(INPUT_RATE, {
+        "rate": -1.0 if rate is None else float(rate),
+    }, request_id)
+
+
+def activate(request_id: int = 0) -> ControlTuple:
+    return ControlTuple(ACTIVATE, {}, request_id)
+
+
+def deactivate(request_id: int = 0) -> ControlTuple:
+    return ControlTuple(DEACTIVATE, {}, request_id)
+
+
+def batch_size(size: int, request_id: int = 0) -> ControlTuple:
+    return ControlTuple(BATCH_SIZE, {"size": int(size)}, request_id)

@@ -1,0 +1,374 @@
+"""The Typhoon SDN controller (§3.4).
+
+Implemented as the core control-plane application on the generic
+:class:`~repro.sdn.controller.SdnController`. Faithful to the paper, it
+is **stateless about stream applications**: logical and physical
+topologies are always read from the central coordinator (Table 1); the
+only local state is the data-plane view it learns from the switches
+themselves (which worker port lives where, via PortStatus events) and
+bookkeeping of the rules it has installed.
+
+Responsibilities:
+
+* generate and install the Table 3 flow rules for each managed topology
+  (data unicast local/remote, one-to-many broadcast, ack paths,
+  worker-to-controller);
+* inject control tuples into workers via PacketOut (Table 2);
+* collect application-layer worker statistics via METRIC_REQ/RESP
+  (PacketIn), exposing them to other control-plane apps — the
+  cross-layer information §4 builds on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..coordination.schema import GlobalState
+from ..net.addresses import CONTROLLER_ADDRESS, TYPHOON_ETHERTYPE, WorkerAddress
+from ..net.ethernet import DEFAULT_MTU, EthernetFrame
+from ..sdn.controller import ControllerApp
+from ..sdn.flow import Action, Match, OFPP_CONTROLLER, Output
+from ..sdn.openflow import PORT_ADD, PORT_DELETE, PacketIn, PacketOut, PortStatus
+from ..sim.engine import Event
+from ..streaming.acker import ACKER_COMPONENT
+from ..streaming.physical import PhysicalTopology
+from ..streaming.serialize import decode_tuple
+from ..streaming.topology import ALL, SDN_SELECT, LogicalTopology
+from ..streaming.tuples import CONTROL_STREAM
+from . import control as ct
+from . import rules as rule_templates
+from .io_layer import TyphoonFabric
+from .packets import Fragment, pack_tuples, unpack_payload
+
+#: (dpid, match) uniquely identifies an installed rule for diffing.
+_RuleKey = Tuple[str, Match]
+_RuleValue = Tuple[int, Tuple[Action, ...]]
+
+
+def _worker_of_port(port_name: str) -> Optional[int]:
+    if port_name.startswith("w") and port_name[1:].isdigit():
+        return int(port_name[1:])
+    return None
+
+
+class TyphoonControllerApp(ControllerApp):
+    """Core Typhoon logic on the SDN control plane."""
+
+    name = "typhoon-core"
+
+    def __init__(self, state: GlobalState, fabric: TyphoonFabric):
+        super().__init__()
+        self.state = state
+        self.fabric = fabric
+        self.port_map: Dict[Tuple[str, int], int] = {}
+        self.worker_host: Dict[int, str] = {}
+        self.managed: Set[str] = set()
+        self._installed: Dict[str, Dict[_RuleKey, _RuleValue]] = {}
+        self.expected_removals: Set[int] = set()
+        self.port_delete_listeners: List[Callable[[str, int], None]] = []
+        self.port_add_listeners: List[Callable[[str, int], None]] = []
+        self.latest_metrics: Dict[int, Dict[str, int]] = {}
+        self._pending_metrics: Dict[int, Tuple[Event, Dict[int, dict], Set[int]]] = {}
+        self._request_ids = itertools.count(1)
+        self.rules_installed = 0
+        self.rules_removed = 0
+        self.control_tuples_sent = 0
+        #: Spout workers that have been sent ACTIVATE (§3.2 step v gate:
+        #: sources stay throttled until the data plane is programmed).
+        self._spouts_activated: Set[int] = set()
+
+    # -- topology management -------------------------------------------------
+
+    def manage(self, topology_id: str) -> None:
+        """Start managing a topology's data-plane rules."""
+        self.managed.add(topology_id)
+        self._installed.setdefault(topology_id, {})
+        self.sync_topology(topology_id)
+
+    def unmanage(self, topology_id: str) -> None:
+        self.managed.discard(topology_id)
+        installed = self._installed.pop(topology_id, {})
+        for (dpid, match), (priority, _actions) in installed.items():
+            if self.controller and dpid in self.controller.switches:
+                self.controller.delete_flows(dpid, match, strict=True,
+                                             priority=priority)
+                self.rules_removed += 1
+
+    def sync_topology(self, topology_id: str) -> None:
+        """Reconcile installed rules with the coordinator's global state."""
+        if topology_id not in self.managed or self.controller is None:
+            return
+        logical = self.state.read_logical(topology_id)
+        physical = self.state.read_physical(topology_id)
+        if logical is None or physical is None:
+            return
+        desired = self._compute_rules(logical, physical)
+        installed = self._installed.setdefault(topology_id, {})
+        for key, value in desired.items():
+            if installed.get(key) == value:
+                continue
+            dpid, match = key
+            priority, actions = value
+            self.controller.install_flow(dpid, match, actions,
+                                         priority=priority)
+            installed[key] = value
+            self.rules_installed += 1
+        for key in [k for k in installed if k not in desired]:
+            dpid, match = key
+            priority, _actions = installed[key]
+            if dpid in self.controller.switches:
+                self.controller.delete_flows(dpid, match, strict=True,
+                                             priority=priority)
+                self.rules_removed += 1
+            del installed[key]
+        self._maybe_activate_spouts(topology_id, logical, physical)
+
+    def _maybe_activate_spouts(self, topology_id: str,
+                               logical: LogicalTopology,
+                               physical: PhysicalTopology) -> None:
+        """Unthrottle sources once the whole topology is wired up.
+
+        Typhoon workers deploy in a deactivated state; the controller
+        sends ACTIVATE control tuples (Table 2) once every worker's port
+        is attached and the Table 3 rules are installed — the paper's
+        step (v), "data tuple communication"."""
+        if any(wid not in self.worker_host for wid in physical.assignments):
+            return
+        spout_ids = [
+            wid for spout in logical.spouts()
+            for wid in physical.worker_ids_for(spout.name)
+        ]
+        delay = (self.controller.costs.flow_install_latency
+                 + self.controller.costs.openflow_rtt)
+        for worker_id in spout_ids:
+            if worker_id in self._spouts_activated:
+                continue
+            self._spouts_activated.add(worker_id)
+            self.controller.engine.schedule(
+                delay, self.send_control, topology_id, worker_id,
+                ct.activate())
+
+    # -- rule generation (Table 3) ----------------------------------------------
+
+    def _port_of(self, worker_id: int) -> Optional[Tuple[str, int]]:
+        dpid = self.worker_host.get(worker_id)
+        if dpid is None:
+            return None
+        port = self.port_map.get((dpid, worker_id))
+        if port is None:
+            return None
+        return dpid, port
+
+    def _compute_rules(self, logical: LogicalTopology,
+                       physical: PhysicalTopology) -> Dict[_RuleKey, _RuleValue]:
+        app_id = physical.app_id
+        desired: Dict[_RuleKey, _RuleValue] = {}
+
+        def add(dpid: str, match: Match, actions: Sequence[Action],
+                priority: int) -> None:
+            desired[(dpid, match)] = (priority, tuple(actions))
+
+        unicast_pairs: Set[Tuple[int, int]] = set()
+        broadcast_targets: Dict[str, Set[int]] = {}
+
+        for edge in logical.edges:
+            src_ids = physical.worker_ids_for(edge.src)
+            dst_ids = physical.worker_ids_for(edge.dst)
+            if edge.grouping.kind == ALL:
+                broadcast_targets.setdefault(edge.src, set()).update(dst_ids)
+            else:
+                # SDN_SELECT edges also get unicast rules: they serve as
+                # the fallback path until the load balancer app installs
+                # its select group.
+                for src_id in src_ids:
+                    for dst_id in dst_ids:
+                        unicast_pairs.add((src_id, dst_id))
+
+        if logical.config.acking and ACKER_COMPONENT in logical.nodes:
+            acker_ids = physical.worker_ids_for(ACKER_COMPONENT)
+            spout_ids = [
+                wid for spout in logical.spouts()
+                for wid in physical.worker_ids_for(spout.name)
+            ]
+            for assignment in physical.assignments.values():
+                if assignment.component == ACKER_COMPONENT:
+                    continue
+                for acker_id in acker_ids:
+                    unicast_pairs.add((assignment.worker_id, acker_id))
+            for acker_id in acker_ids:
+                for spout_id in spout_ids:
+                    unicast_pairs.add((acker_id, spout_id))
+
+        for src_id, dst_id in sorted(unicast_pairs):
+            src_loc = self._port_of(src_id)
+            dst_loc = self._port_of(dst_id)
+            if src_loc is None or dst_loc is None:
+                continue
+            src_dpid, src_port = src_loc
+            dst_dpid, dst_port = dst_loc
+            if src_dpid == dst_dpid:
+                match, actions = rule_templates.local_transfer(
+                    app_id, src_id, src_port, dst_id, dst_port)
+                add(src_dpid, match, actions, rule_templates.PRIORITY_UNICAST)
+            else:
+                tunnel_out = self.fabric.host(src_dpid).tunnel_port
+                match, actions = rule_templates.remote_transfer_sender(
+                    app_id, src_id, src_port, dst_id, dst_dpid, tunnel_out)
+                add(src_dpid, match, actions, rule_templates.PRIORITY_UNICAST)
+                tunnel_in = self.fabric.host(dst_dpid).tunnel_port
+                match, actions = rule_templates.remote_transfer_receiver(
+                    app_id, src_id, dst_id, tunnel_in, dst_port)
+                add(dst_dpid, match, actions, rule_templates.PRIORITY_UNICAST)
+
+        for src_component, targets in sorted(broadcast_targets.items()):
+            for src_id in physical.worker_ids_for(src_component):
+                src_loc = self._port_of(src_id)
+                if src_loc is None:
+                    continue
+                src_dpid, src_port = src_loc
+                local_ports: List[int] = []
+                remote_hosts: Set[str] = set()
+                remote_ports: Dict[str, List[int]] = {}
+                for dst_id in sorted(targets):
+                    dst_loc = self._port_of(dst_id)
+                    if dst_loc is None:
+                        continue
+                    dst_dpid, dst_port = dst_loc
+                    if dst_dpid == src_dpid:
+                        local_ports.append(dst_port)
+                    else:
+                        remote_hosts.add(dst_dpid)
+                        remote_ports.setdefault(dst_dpid, []).append(dst_port)
+                match, actions = rule_templates.one_to_many(
+                    src_port, local_ports, sorted(remote_hosts),
+                    self.fabric.host(src_dpid).tunnel_port)
+                add(src_dpid, match, actions, rule_templates.PRIORITY_BROADCAST)
+                for dst_dpid, ports in sorted(remote_ports.items()):
+                    match, actions = rule_templates.one_to_many_receiver(
+                        app_id, src_id, self.fabric.host(dst_dpid).tunnel_port,
+                        sorted(ports))
+                    add(dst_dpid, match, actions,
+                        rule_templates.PRIORITY_BROADCAST)
+        return desired
+
+    # -- data-plane discovery -----------------------------------------------------
+
+    def on_port_status(self, message: PortStatus) -> None:
+        worker_id = _worker_of_port(message.port_name)
+        if worker_id is None:
+            return
+        if message.reason == PORT_ADD:
+            self.port_map[(message.dpid, worker_id)] = message.port_no
+            self.worker_host[worker_id] = message.dpid
+            match, actions = rule_templates.worker_to_controller(message.port_no)
+            self.controller.install_flow(
+                message.dpid, match, actions,
+                priority=rule_templates.PRIORITY_CONTROL)
+            for topology_id in self._topologies_of(worker_id):
+                self.sync_topology(topology_id)
+            for listener in list(self.port_add_listeners):
+                listener(message.dpid, worker_id)
+        elif message.reason == PORT_DELETE:
+            self.port_map.pop((message.dpid, worker_id), None)
+            if self.worker_host.get(worker_id) == message.dpid:
+                del self.worker_host[worker_id]
+            # A restarted spout comes back deactivated and needs a fresh
+            # ACTIVATE once its port reappears.
+            self._spouts_activated.discard(worker_id)
+            for listener in list(self.port_delete_listeners):
+                listener(message.dpid, worker_id)
+
+    def _topologies_of(self, worker_id: int) -> List[str]:
+        out = []
+        for topology_id in sorted(self.managed):
+            physical = self.state.read_physical(topology_id)
+            if physical is not None and worker_id in physical.assignments:
+                out.append(topology_id)
+        return out
+
+    # -- control tuples (Table 2) ------------------------------------------------------
+
+    def send_control(self, topology_id: str, worker_id: int,
+                     message: ct.ControlTuple) -> bool:
+        """Inject one control tuple into a worker via PacketOut."""
+        physical = self.state.read_physical(topology_id)
+        if physical is None:
+            return False
+        location = self._port_of(worker_id)
+        if location is None:
+            return False
+        dpid, port = location
+        payloads, _ = pack_tuples([message.encode()], DEFAULT_MTU)
+        frame = EthernetFrame(
+            dst=WorkerAddress(physical.app_id, worker_id),
+            src=CONTROLLER_ADDRESS,
+            ethertype=TYPHOON_ETHERTYPE,
+            payload=payloads[0],
+        )
+        self.controller.packet_out(dpid, PacketOut(
+            frame=frame, actions=(Output(port),), in_port=OFPP_CONTROLLER,
+        ))
+        self.control_tuples_sent += 1
+        return True
+
+    def update_routing(self, topology_id: str, worker_id: int,
+                       updates: Sequence[ct.RoutingUpdate]) -> bool:
+        return self.send_control(topology_id, worker_id,
+                                 ct.routing_update(list(updates)))
+
+    def send_signal(self, topology_id: str, worker_id: int,
+                    kind: str = "flush") -> bool:
+        return self.send_control(topology_id, worker_id, ct.signal(kind))
+
+    def query_metrics(self, topology_id: str, worker_ids: Sequence[int],
+                      timeout: float = 1.0) -> Event:
+        """Request stats from workers; the event fires with
+        ``{worker_id: stats}`` once all reply or the timeout passes."""
+        request_id = next(self._request_ids)
+        gate = self.controller.engine.event()
+        expected = set(worker_ids)
+        collected: Dict[int, dict] = {}
+        self._pending_metrics[request_id] = (gate, collected, expected)
+        for worker_id in worker_ids:
+            self.send_control(topology_id, worker_id,
+                              ct.metric_request(request_id))
+        self.controller.engine.schedule(
+            timeout, self._finish_metrics, request_id)
+        return gate
+
+    def _finish_metrics(self, request_id: int) -> None:
+        pending = self._pending_metrics.pop(request_id, None)
+        if pending is None:
+            return
+        gate, collected, _expected = pending
+        if not gate.triggered:
+            gate.succeed(dict(collected))
+
+    # -- PacketIn: worker -> controller traffic ----------------------------------------
+
+    def on_packet_in(self, message: PacketIn) -> None:
+        if message.frame.ethertype != TYPHOON_ETHERTYPE:
+            return
+        decoded = unpack_payload(message.frame.payload)
+        if isinstance(decoded, Fragment):
+            return  # control tuples are small; fragments unexpected
+        for record in decoded:
+            stream_tuple = decode_tuple(record)
+            if stream_tuple.stream != CONTROL_STREAM:
+                continue
+            control = ct.ControlTuple.from_stream_tuple(stream_tuple)
+            if control.ctype != ct.METRIC_RESP:
+                continue
+            worker_id = control.payload["worker_id"]
+            stats = control.payload["stats"]
+            self.latest_metrics[worker_id] = stats
+            pending = self._pending_metrics.get(control.request_id)
+            if pending is None:
+                continue
+            gate, collected, expected = pending
+            collected[worker_id] = stats
+            if expected.issubset(collected):
+                del self._pending_metrics[control.request_id]
+                if not gate.triggered:
+                    gate.succeed(dict(collected))

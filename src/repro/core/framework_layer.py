@@ -1,0 +1,101 @@
+"""Typhoon framework layer: control-tuple handling inside workers (§3.3.2).
+
+The :class:`~repro.streaming.executor.WorkerExecutor` already implements
+routing, (de)serialization and tuple classification; this module supplies
+the Typhoon-specific piece — the handler invoked for tuples on the
+CONTROL stream. Depending on their role, control tuples are consumed
+here (ROUTING, METRIC_REQ, INPUT_RATE, ACTIVATE/DEACTIVATE, BATCH_SIZE)
+or passed up to the application layer (SIGNAL -> ``on_signal``).
+"""
+
+from __future__ import annotations
+
+
+from ..streaming.executor import WorkerExecutor
+from ..streaming.grouping import Router
+from ..streaming.tuples import StreamTuple, signal_tuple
+from . import control as ct
+from .io_layer import TyphoonTransport
+
+#: CPU charged for applying a worker-local reconfiguration.
+_RECONFIG_COST = 2e-6
+
+
+def _reset_rate_window(executor: WorkerExecutor) -> None:
+    """Restart rate-limit accounting from now (after rate changes or
+    re-activation, so paused time doesn't count as emission budget)."""
+    executor._rate_anchor = executor.engine.now
+    executor._emitted_since_anchor = 0
+
+
+def handle_control_tuple(executor: WorkerExecutor,
+                         stream_tuple: StreamTuple) -> float:
+    """Dispatch one control tuple; returns the virtual-time cost."""
+    message = ct.ControlTuple.from_stream_tuple(stream_tuple)
+    transport = executor.transport
+    if message.ctype == ct.ROUTING:
+        return _apply_routing(executor, message)
+    if message.ctype == ct.SIGNAL:
+        kind = message.payload.get("kind", "flush")
+        flush = signal_tuple(kind, source_worker=stream_tuple.source_worker)
+        return _RECONFIG_COST + executor._run_component(flush, signal=True)
+    if message.ctype == ct.METRIC_REQ:
+        response = ct.metric_response(
+            message.request_id, executor.worker_id, executor.stats_snapshot()
+        )
+        if isinstance(transport, TyphoonTransport):
+            return _RECONFIG_COST + transport.send_to_controller(
+                response.to_stream_tuple(executor.worker_id)
+            )
+        return _RECONFIG_COST
+    if message.ctype == ct.INPUT_RATE:
+        rate = message.payload.get("rate", -1.0)
+        executor.input_rate_limit = None if rate < 0 else rate
+        _reset_rate_window(executor)
+        return _RECONFIG_COST
+    if message.ctype == ct.ACTIVATE:
+        executor.active = True
+        _reset_rate_window(executor)
+        return _RECONFIG_COST
+    if message.ctype == ct.DEACTIVATE:
+        executor.active = False
+        return _RECONFIG_COST
+    if message.ctype == ct.BATCH_SIZE:
+        size = int(message.payload.get("size", executor.config.batch_size))
+        transport.set_batch_size(size)
+        executor._emit_batch = max(1, size)
+        return _RECONFIG_COST
+    # METRIC_RESP and unknown types are controller-bound; ignore.
+    return _RECONFIG_COST
+
+
+def _apply_routing(executor: WorkerExecutor, message: ct.ControlTuple) -> float:
+    """ROUTING: swap per-edge routing state without touching ongoing
+    computation (§3.3.2). New edges may appear (e.g. a dynamically added
+    downstream component); empty next-hop lists remove an edge."""
+    from ..streaming.topology import SDN_SELECT
+    from .rules import select_address
+
+    transport = executor.transport
+    for update in ct.parse_routing(message):
+        key = (update.dst_component, update.stream)
+        if not update.next_hops:
+            executor.routers.pop(key, None)
+            continue
+        router = executor.routers.get(key)
+        if router is None:
+            grouping = update.grouping()
+            if grouping is None:
+                continue  # cannot create an edge without a policy
+            executor.routers[key] = Router(grouping, update.next_hops,
+                                           stream=update.stream)
+        else:
+            router.update(next_hops=update.next_hops,
+                          grouping=update.grouping())
+        # SDN offload: derive the edge's virtual select address so the
+        # I/O layer can target the switch's select group.
+        if (update.grouping_kind == SDN_SELECT
+                and isinstance(transport, TyphoonTransport)):
+            transport.select_addresses[key] = select_address(
+                transport.app_id, update.dst_component, update.stream)
+    return _RECONFIG_COST

@@ -1,0 +1,288 @@
+"""The Typhoon I/O layer and data-plane fabric (§3.3.1, Fig. 7).
+
+Two halves:
+
+* :class:`HostFabric` / :class:`TyphoonFabric` — per-host software SDN
+  switches interconnected by a full mesh of host-level TCP tunnels, with
+  one designated *tunnelling port* per switch (Table 3's remote rows
+  select the peer via ``set_tun_dst``).
+* :class:`TyphoonTransport` — the per-worker custom transport library
+  that replaces worker-level TCP. The northbound side receives tuple
+  objects from the framework layer and serializes them **once**; the
+  southbound side multiplexes/segments them into custom Ethernet frames
+  (see :mod:`repro.core.packets`) and exchanges them with the host switch
+  through shared-memory rings, paying JNI/ring/packetization costs per
+  batch and per packet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..net.addresses import BROADCAST, CONTROLLER_ADDRESS, TYPHOON_ETHERTYPE, WorkerAddress
+from ..net.ethernet import DEFAULT_MTU, EthernetFrame
+from ..net.hosts import Cluster
+from ..net.tcp import TcpTunnel
+from ..sdn.switch import SoftwareSwitch, SwitchPort
+from ..sim.costs import CostModel
+from ..sim.engine import Engine
+from ..streaming.serialize import (
+    decode_tuple,
+    deserialize_cost,
+    encode_tuple,
+    serialize_cost,
+)
+from ..streaming.transport import Delivery, Transport
+from ..streaming.tuples import StreamTuple
+from .packets import Fragment, Reassembler, pack_tuples, unpack_payload
+
+
+class HostFabric:
+    """One host's data plane: its software switch plus tunnel endpoints."""
+
+    def __init__(self, engine: Engine, costs: CostModel, hostname: str):
+        self.engine = engine
+        self.costs = costs
+        self.hostname = hostname
+        self.switch = SoftwareSwitch(engine, costs, dpid=hostname)
+        self.tunnels: Dict[str, TcpTunnel] = {}
+        self.tunnel_drops = 0
+        self.tunnel_port = self.switch.add_port(
+            "tunnel", self._tunnel_sink, kind=SwitchPort.TUNNEL
+        )
+
+    def _tunnel_sink(self, frame: EthernetFrame, tun_dst: Optional[str]) -> None:
+        tunnel = self.tunnels.get(tun_dst) if tun_dst else None
+        if tunnel is None:
+            self.tunnel_drops += 1
+            return
+        tunnel.send_from(self.hostname, frame.pack())
+
+    def receive_from_tunnel(self, data: bytes) -> None:
+        self.switch.inject(self.tunnel_port, EthernetFrame.unpack(data))
+
+
+class TyphoonFabric:
+    """Cluster-wide data plane: one fabric per host, full tunnel mesh."""
+
+    def __init__(self, engine: Engine, costs: CostModel, cluster: Cluster):
+        self.engine = engine
+        self.costs = costs
+        self.hosts: Dict[str, HostFabric] = {
+            host.name: HostFabric(engine, costs, host.name) for host in cluster
+        }
+        names = sorted(self.hosts)
+        for i, name_a in enumerate(names):
+            for name_b in names[i + 1:]:
+                fabric_a = self.hosts[name_a]
+                fabric_b = self.hosts[name_b]
+                tunnel = TcpTunnel(
+                    engine, costs, name_a, name_b,
+                    deliver_to_a=fabric_a.receive_from_tunnel,
+                    deliver_to_b=fabric_b.receive_from_tunnel,
+                )
+                fabric_a.tunnels[name_b] = tunnel
+                fabric_b.tunnels[name_a] = tunnel
+
+    def host(self, hostname: str) -> HostFabric:
+        if hostname not in self.hosts:
+            raise KeyError("no fabric for host %r" % hostname)
+        return self.hosts[hostname]
+
+    def switches(self) -> List[SoftwareSwitch]:
+        return [fabric.switch for fabric in self.hosts.values()]
+
+
+#: Destination key on the outbound buffers: a concrete worker id or a
+#: special Ethernet address (broadcast, controller, select-group virtual).
+_DstKey = Union[int, WorkerAddress]
+
+
+class TyphoonTransport(Transport):
+    """Per-worker northbound + southbound transport libraries."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        costs: CostModel,
+        worker_id: int,
+        app_id: int,
+        host_fabric: HostFabric,
+        batch_size: int = 100,
+        mtu: int = DEFAULT_MTU,
+    ):
+        self.engine = engine
+        self.costs = costs
+        self.worker_id = worker_id
+        self.app_id = app_id
+        self.fabric = host_fabric
+        self.batch_size = max(1, batch_size)
+        self.mtu = mtu
+        self.address = WorkerAddress(app_id, worker_id)
+        self.port_no: Optional[int] = None
+        self.deliver: Optional[Callable[[Delivery], bool]] = None
+        self.select_addresses: Dict[Tuple[str, int], WorkerAddress] = {}
+        self._buffers: Dict[WorkerAddress, List[bytes]] = {}
+        self._frag_id = 0
+        self._rr_counter = 0
+        self._pending_recv_cost = 0.0
+        self._reassembler = Reassembler()
+        self.closed = False
+        self.tuples_sent = 0
+        self.serializations = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.dropped_after_close = 0
+
+    # -- attachment --------------------------------------------------------
+
+    @property
+    def switch(self) -> SoftwareSwitch:
+        return self.fabric.switch
+
+    def attach(self) -> int:
+        """Create this worker's switch port (PortStatus ADD fires to the
+        controller, which installs the Table 3 rules for it)."""
+        if self.port_no is not None:
+            raise RuntimeError("transport already attached")
+        self.port_no = self.switch.add_port(
+            "w%d" % self.worker_id, self._on_frame, kind=SwitchPort.WORKER
+        )
+        return self.port_no
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self.port_no is not None:
+            self.switch.remove_port(self.port_no)
+            self.port_no = None
+
+    # -- outbound (northbound -> southbound -> switch) -----------------------
+
+    def _dst_address(self, dst: _DstKey) -> WorkerAddress:
+        if isinstance(dst, WorkerAddress):
+            return dst
+        return WorkerAddress(self.app_id, dst)
+
+    def _enqueue(self, address: WorkerAddress, encoded: bytes) -> float:
+        buffer = self._buffers.setdefault(address, [])
+        buffer.append(encoded)
+        self.tuples_sent += 1
+        cost = self.costs.typhoon_enqueue_per_tuple
+        if len(buffer) >= self.batch_size:
+            cost += self._flush_address(address)
+        return cost
+
+    def send(self, stream_tuple: StreamTuple,
+             dst_worker_ids: Sequence[int]) -> float:
+        if self.closed or not dst_worker_ids:
+            return 0.0
+        encoded = encode_tuple(stream_tuple)
+        # Serialized once, no matter how many destinations.
+        cost = serialize_cost(self.costs, len(encoded))
+        self.serializations += 1
+        for dst in dst_worker_ids:
+            cost += self._enqueue(self._dst_address(dst), encoded)
+        return cost
+
+    def send_broadcast(self, stream_tuple: StreamTuple,
+                       dst_worker_ids: Sequence[int]) -> float:
+        """One packet with the broadcast destination; the switch replicates
+        to as many destinations as the one-to-many rule lists (§3.3.1)."""
+        if self.closed:
+            return 0.0
+        encoded = encode_tuple(stream_tuple)
+        cost = serialize_cost(self.costs, len(encoded))
+        self.serializations += 1
+        cost += self._enqueue(BROADCAST, encoded)
+        return cost
+
+    def send_offloaded(self, stream_tuple: StreamTuple, edge_key,
+                       dst_worker_ids: Sequence[int]) -> float:
+        """SDN load balancing: emit to the edge's virtual select address;
+        the switch's select group rewrites the destination (§4)."""
+        if self.closed:
+            return 0.0
+        address = self.select_addresses.get(edge_key)
+        if address is None:
+            if not dst_worker_ids:
+                return 0.0
+            index = self._rr_counter % len(dst_worker_ids)
+            self._rr_counter += 1
+            return self.send(stream_tuple, [dst_worker_ids[index]])
+        encoded = encode_tuple(stream_tuple)
+        cost = serialize_cost(self.costs, len(encoded))
+        self.serializations += 1
+        cost += self._enqueue(address, encoded)
+        return cost
+
+    def send_to_controller(self, stream_tuple: StreamTuple) -> float:
+        """Framework-layer reply path (METRIC_RESP): flushed immediately."""
+        if self.closed:
+            return 0.0
+        encoded = encode_tuple(stream_tuple)
+        cost = serialize_cost(self.costs, len(encoded))
+        self.serializations += 1
+        cost += self._enqueue(CONTROLLER_ADDRESS, encoded)
+        cost += self._flush_address(CONTROLLER_ADDRESS)
+        return cost
+
+    def flush(self) -> float:
+        cost = 0.0
+        for address in list(self._buffers):
+            cost += self._flush_address(address)
+        return cost
+
+    def _flush_address(self, address: WorkerAddress) -> float:
+        buffer = self._buffers.get(address)
+        if not buffer:
+            return 0.0
+        self._buffers[address] = []
+        if self.port_no is None or self.closed:
+            self.dropped_after_close += len(buffer)
+            return 0.0
+        payloads, self._frag_id = pack_tuples(buffer, self.mtu, self._frag_id)
+        # One JNI crossing per batch handed to the southbound library.
+        cost = self.costs.jni_call_overhead
+        for payload in payloads:
+            cost += (self.costs.packetize_per_packet
+                     + len(payload) * self.costs.packetize_per_byte
+                     + self.costs.ring_op_per_packet)
+            frame = EthernetFrame(dst=address, src=self.address,
+                                  ethertype=TYPHOON_ETHERTYPE, payload=payload)
+            self.frames_sent += 1
+            self.switch.inject(self.port_no, frame)
+        return cost
+
+    def set_batch_size(self, batch_size: int) -> None:
+        self.batch_size = max(1, int(batch_size))
+
+    # -- inbound (switch -> southbound -> northbound) ---------------------------
+
+    def _on_frame(self, frame: EthernetFrame, _tun_dst: Optional[str]) -> None:
+        if self.closed or self.deliver is None:
+            return
+        self.frames_received += 1
+        cost = (self.costs.ring_op_per_packet
+                + self.costs.depacketize_per_packet
+                + len(frame) * self.costs.depacketize_per_byte
+                + self.costs.jni_call_overhead)
+        decoded = unpack_payload(frame.payload)
+        records: List[bytes]
+        if isinstance(decoded, Fragment):
+            complete = self._reassembler.feed(frame.src.worker_id, decoded)
+            if complete is None:
+                # Partial tuple: bank the cost against the next delivery.
+                self._pending_recv_cost += cost
+                return
+            records = [complete]
+        else:
+            records = decoded
+        tuples = []
+        for data in records:
+            tuples.append(decode_tuple(data))
+            cost += deserialize_cost(self.costs, len(data))
+        cost += self._pending_recv_cost
+        self._pending_recv_cost = 0.0
+        self.deliver(Delivery(tuples=tuples, cost=cost))

@@ -1,0 +1,166 @@
+"""Typhoon packet format: tuples inside custom Ethernet frames (Fig. 5).
+
+The I/O layer's southbound side turns serialized tuples into frame
+payloads and back, implementing the three mechanisms §3.3.1 calls out:
+
+* **multiplexing** — multiple small tuples with the same source and
+  destination are packed into one packet to save on throughput;
+* **segmentation** — one large tuple is split across several packets and
+  reassembled at the receiver;
+* **batching** — callers hand over whole batches; per-batch overheads
+  (JNI crossing, ring operations) are charged once per flush.
+
+Payload layouts (all big-endian), following the Ethernet header:
+
+``MULTI``:    ``u8 kind=0 | u16 count | count * (u32 len | tuple bytes)``
+``FRAGMENT``: ``u8 kind=1 | u32 frag_id | u32 total_len | u32 offset |
+              chunk bytes``
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+KIND_MULTI = 0
+KIND_FRAGMENT = 1
+
+_MULTI_HEAD = struct.Struct("!BH")
+_RECORD_LEN = struct.Struct("!I")
+_FRAG_HEAD = struct.Struct("!BIII")
+
+
+class PacketError(ValueError):
+    """Raised for malformed Typhoon packet payloads."""
+
+
+@dataclass(frozen=True)
+class Fragment:
+    frag_id: int
+    total_len: int
+    offset: int
+    chunk: bytes
+
+    @property
+    def is_last(self) -> bool:
+        return self.offset + len(self.chunk) == self.total_len
+
+
+def pack_tuples(encoded_tuples: List[bytes], mtu: int,
+                next_frag_id: int = 0) -> Tuple[List[bytes], int]:
+    """Pack serialized tuples into frame payloads of at most ``mtu`` bytes.
+
+    Small tuples are multiplexed greedily; a tuple whose record would not
+    fit in an empty MULTI payload is segmented into FRAGMENT payloads.
+    Returns ``(payloads, next_frag_id)`` — the caller threads the fragment
+    id counter between calls.
+    """
+    if mtu <= _FRAG_HEAD.size + 1:
+        raise ValueError("mtu too small: %d" % mtu)
+    payloads: List[bytes] = []
+    current: List[bytes] = []
+    current_size = _MULTI_HEAD.size
+    max_record_budget = mtu - _MULTI_HEAD.size
+
+    def flush_multi() -> None:
+        nonlocal current, current_size
+        if not current:
+            return
+        head = _MULTI_HEAD.pack(KIND_MULTI, len(current))
+        payloads.append(head + b"".join(current))
+        current = []
+        current_size = _MULTI_HEAD.size
+
+    for data in encoded_tuples:
+        record_len = _RECORD_LEN.size + len(data)
+        if record_len > max_record_budget:
+            # Large tuple: segment it.
+            flush_multi()
+            chunk_budget = mtu - _FRAG_HEAD.size
+            offset = 0
+            while offset < len(data):
+                chunk = data[offset:offset + chunk_budget]
+                payloads.append(
+                    _FRAG_HEAD.pack(KIND_FRAGMENT, next_frag_id,
+                                    len(data), offset) + chunk
+                )
+                offset += len(chunk)
+            next_frag_id = (next_frag_id + 1) & 0xFFFFFFFF
+            continue
+        if current_size + record_len > mtu:
+            flush_multi()
+        current.append(_RECORD_LEN.pack(len(data)) + data)
+        current_size += record_len
+    flush_multi()
+    return payloads, next_frag_id
+
+
+def unpack_payload(payload: bytes) -> Union[List[bytes], Fragment]:
+    """Decode a frame payload: a list of tuple byte strings, or a Fragment."""
+    if not payload:
+        raise PacketError("empty payload")
+    kind = payload[0]
+    if kind == KIND_MULTI:
+        _kind, count = _MULTI_HEAD.unpack_from(payload, 0)
+        offset = _MULTI_HEAD.size
+        records: List[bytes] = []
+        for _ in range(count):
+            if offset + _RECORD_LEN.size > len(payload):
+                raise PacketError("truncated record length")
+            (length,) = _RECORD_LEN.unpack_from(payload, offset)
+            offset += _RECORD_LEN.size
+            if offset + length > len(payload):
+                raise PacketError("truncated record body")
+            records.append(payload[offset:offset + length])
+            offset += length
+        if offset != len(payload):
+            raise PacketError("%d trailing payload bytes" % (len(payload) - offset))
+        return records
+    if kind == KIND_FRAGMENT:
+        _kind, frag_id, total_len, frag_offset = _FRAG_HEAD.unpack_from(payload, 0)
+        chunk = payload[_FRAG_HEAD.size:]
+        if frag_offset + len(chunk) > total_len:
+            raise PacketError("fragment overruns total length")
+        return Fragment(frag_id, total_len, frag_offset, chunk)
+    raise PacketError("unknown packet kind 0x%02x" % kind)
+
+
+class Reassembler:
+    """Reassembles fragmented tuples, keyed by (source worker, frag id).
+
+    Fragments of one tuple arrive in order on a FIFO path, but fragments
+    of different tuples from different sources may interleave.
+    """
+
+    def __init__(self, max_pending: int = 1024):
+        self._pending: Dict[Tuple[int, int], bytearray] = {}
+        self.max_pending = max_pending
+        self.dropped = 0
+
+    def feed(self, src_worker: int, fragment: Fragment) -> Optional[bytes]:
+        """Absorb a fragment; returns the full tuple bytes when complete."""
+        key = (src_worker, fragment.frag_id)
+        buffer = self._pending.get(key)
+        if buffer is None:
+            if fragment.offset != 0:
+                self.dropped += 1  # lost head-of-tuple fragment
+                return None
+            if len(self._pending) >= self.max_pending:
+                self._pending.clear()  # defensive reset
+            buffer = bytearray()
+            self._pending[key] = buffer
+        if fragment.offset != len(buffer):
+            # Out-of-order / missing chunk: discard the partial tuple.
+            del self._pending[key]
+            self.dropped += 1
+            return None
+        buffer.extend(fragment.chunk)
+        if len(buffer) == fragment.total_len:
+            del self._pending[key]
+            return bytes(buffer)
+        return None
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

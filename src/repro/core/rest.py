@@ -1,0 +1,254 @@
+"""REST API for framework users (§5).
+
+"Some of these applications interact with framework users via REST APIs,
+so that the users can leverage a Typhoon-provided framework service
+(e.g., topology reconfiguration and debugging services)."
+
+This module provides that service surface as an in-process HTTP-style
+dispatcher (the simulation has no sockets): ``handle(method, path, body)``
+returns ``(status_code, json_like_dict)``. Routes:
+
+====== =============================================== ==================
+GET    /topologies                                      list topologies
+GET    /topologies/{id}                                 status + workers
+POST   /topologies/{id}/activate                        unthrottle spouts
+POST   /topologies/{id}/deactivate                      throttle spouts
+POST   /topologies/{id}/input-rate                      {"rate": R|null}
+POST   /topologies/{id}/batch-size                      {"size": N}
+POST   /topologies/{id}/components/{c}/parallelism      {"value": N}
+POST   /topologies/{id}/components/{c}/grouping         {"src","kind","fields"}
+POST   /topologies/{id}/components/{c}/debug            tap (live debugger)
+DELETE /topologies/{id}/components/{c}/debug            untap
+GET    /topologies/{id}/components/{c}/debug            captured window
+GET    /cluster                                         data-plane summary
+====== =============================================== ==================
+
+Computation-logic replacement needs code, which does not travel over
+REST: factories are pre-registered with :meth:`RestApi.register_factory`
+and referenced by name (mirroring the prototype, where binaries live in
+the coordinator and requests carry identifiers).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..streaming.topology import Grouping, TopologyError
+from .topology_manager import ReconfigurationError
+
+Response = Tuple[int, Dict[str, Any]]
+
+
+class RestApi:
+    """The user-facing service endpoint of a Typhoon cluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._factories: Dict[str, Callable] = {}
+        self._debugger = None
+        self.requests_served = 0
+        self._routes: List[Tuple[str, re.Pattern, Callable]] = [
+            ("GET", re.compile(r"^/topologies$"), self._list_topologies),
+            ("GET", re.compile(r"^/topologies/(?P<tid>[\w-]+)$"),
+             self._get_topology),
+            ("POST", re.compile(r"^/topologies/(?P<tid>[\w-]+)/activate$"),
+             self._activate),
+            ("POST", re.compile(r"^/topologies/(?P<tid>[\w-]+)/deactivate$"),
+             self._deactivate),
+            ("POST", re.compile(r"^/topologies/(?P<tid>[\w-]+)/input-rate$"),
+             self._input_rate),
+            ("POST", re.compile(r"^/topologies/(?P<tid>[\w-]+)/batch-size$"),
+             self._batch_size),
+            ("POST", re.compile(
+                r"^/topologies/(?P<tid>[\w-]+)/components/(?P<comp>[\w-]+)"
+                r"/parallelism$"), self._set_parallelism),
+            ("POST", re.compile(
+                r"^/topologies/(?P<tid>[\w-]+)/components/(?P<comp>[\w-]+)"
+                r"/logic$"), self._replace_logic),
+            ("POST", re.compile(
+                r"^/topologies/(?P<tid>[\w-]+)/components/(?P<comp>[\w-]+)"
+                r"/grouping$"), self._set_grouping),
+            ("POST", re.compile(
+                r"^/topologies/(?P<tid>[\w-]+)/components/(?P<comp>[\w-]+)"
+                r"/debug$"), self._tap),
+            ("DELETE", re.compile(
+                r"^/topologies/(?P<tid>[\w-]+)/components/(?P<comp>[\w-]+)"
+                r"/debug$"), self._untap),
+            ("GET", re.compile(
+                r"^/topologies/(?P<tid>[\w-]+)/components/(?P<comp>[\w-]+)"
+                r"/debug$"), self._debug_window),
+            ("GET", re.compile(r"^/cluster$"), self._cluster_summary),
+        ]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def register_factory(self, name: str, factory: Callable) -> None:
+        """Make a computation factory addressable by REST requests."""
+        self._factories[name] = factory
+
+    def attach_debugger(self, debugger) -> None:
+        """Wire the live-debugger control plane app into /debug routes."""
+        self._debugger = debugger
+
+    def handle(self, method: str, path: str,
+               body: Optional[Dict[str, Any]] = None) -> Response:
+        """Dispatch one request; returns (status, payload)."""
+        self.requests_served += 1
+        body = body or {}
+        for route_method, pattern, handler in self._routes:
+            if route_method != method:
+                continue
+            match = pattern.match(path)
+            if match is None:
+                continue
+            try:
+                return handler(body=body, **match.groupdict())
+            except KeyError as error:
+                return 404, {"error": "not found: %s" % error}
+            except (ReconfigurationError, TopologyError) as error:
+                return 409, {"error": str(error)}
+            except (TypeError, ValueError) as error:
+                return 400, {"error": str(error)}
+        return 404, {"error": "no route %s %s" % (method, path)}
+
+    def _record(self, tid: str):
+        record = self.cluster.manager.topologies.get(tid)
+        if record is None:
+            raise KeyError(tid)
+        return record
+
+    # -- handlers -------------------------------------------------------------
+
+    def _list_topologies(self, body) -> Response:
+        return 200, {"topologies": sorted(self.cluster.manager.topologies)}
+
+    def _get_topology(self, body, tid: str) -> Response:
+        record = self._record(tid)
+        workers = []
+        for assignment in sorted(record.physical.assignments.values(),
+                                 key=lambda a: a.worker_id):
+            executor = self.cluster.executor(assignment.worker_id)
+            workers.append({
+                "worker_id": assignment.worker_id,
+                "component": assignment.component,
+                "host": assignment.hostname,
+                "alive": executor is not None,
+                "processed": executor.stats.processed if executor else 0,
+            })
+        components = {
+            name: {"parallelism": node.parallelism,
+                   "kind": node.kind, "stateful": node.stateful}
+            for name, node in record.logical.nodes.items()
+        }
+        return 200, {
+            "id": tid,
+            "version": record.logical.version,
+            "components": components,
+            "workers": workers,
+        }
+
+    def _activate(self, body, tid: str) -> Response:
+        self._record(tid)
+        self.cluster.activate(tid)
+        return 202, {"status": "activating"}
+
+    def _deactivate(self, body, tid: str) -> Response:
+        self._record(tid)
+        self.cluster.deactivate(tid)
+        return 202, {"status": "deactivating"}
+
+    def _input_rate(self, body, tid: str) -> Response:
+        self._record(tid)
+        if "rate" not in body:
+            raise ValueError("body needs 'rate' (number or null)")
+        rate = body["rate"]
+        self.cluster.set_input_rate(tid, None if rate is None
+                                    else float(rate))
+        return 202, {"status": "rate update sent"}
+
+    def _batch_size(self, body, tid: str) -> Response:
+        self._record(tid)
+        size = int(body["size"])
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.cluster.set_batch_size(tid, size)
+        return 202, {"status": "batch size update sent"}
+
+    def _set_parallelism(self, body, tid: str, comp: str) -> Response:
+        self._record(tid).logical.node(comp)
+        value = int(body["value"])
+        self.cluster.set_parallelism(tid, comp, value)
+        return 202, {"status": "reconfiguration started",
+                     "component": comp, "parallelism": value}
+
+    def _replace_logic(self, body, tid: str, comp: str) -> Response:
+        self._record(tid).logical.node(comp)
+        factory_name = body.get("factory")
+        factory = self._factories.get(factory_name)
+        if factory is None:
+            raise ValueError("unknown factory %r (register it first)"
+                             % factory_name)
+        parallelism = body.get("parallelism")
+        self.cluster.replace_computation(tid, comp, factory, parallelism)
+        return 202, {"status": "logic replacement started",
+                     "component": comp, "factory": factory_name}
+
+    def _set_grouping(self, body, tid: str, comp: str) -> Response:
+        self._record(tid)
+        src = body["src"]
+        grouping = Grouping(body["kind"],
+                            tuple(body.get("fields", ())))
+        self.cluster.set_grouping(tid, src, comp, grouping)
+        return 202, {"status": "grouping change started",
+                     "edge": "%s->%s" % (src, comp)}
+
+    def _require_debugger(self):
+        if self._debugger is None:
+            raise ValueError("no live debugger attached to the REST API")
+        return self._debugger
+
+    def _tap(self, body, tid: str, comp: str) -> Response:
+        debugger = self._require_debugger()
+        self._record(tid).logical.node(comp)
+        debugger.tap(tid, comp)
+        return 202, {"status": "debug tap deploying", "component": comp}
+
+    def _untap(self, body, tid: str, comp: str) -> Response:
+        debugger = self._require_debugger()
+        debugger.untap(tid, comp)
+        return 200, {"status": "debug tap removed", "component": comp}
+
+    def _debug_window(self, body, tid: str, comp: str) -> Response:
+        debugger = self._require_debugger()
+        executor = debugger.debug_executor(tid, comp)
+        if executor is None:
+            raise KeyError("no active tap on %r" % comp)
+        bolt = executor.component
+        return 200, {
+            "component": comp,
+            "seen": getattr(bolt, "seen", None),
+            "matched": getattr(bolt, "matched", None),
+            "window": [list(values) for values in
+                       getattr(bolt, "window", [])],
+        }
+
+    def _cluster_summary(self, body) -> Response:
+        switches = {}
+        for fabric in self.cluster.fabric.hosts.values():
+            switch = fabric.switch
+            switches[switch.dpid] = {
+                "rules": len(switch.flows),
+                "ports": len(switch.ports),
+                "forwarded": switch.packets_forwarded,
+                "dropped": switch.packets_dropped,
+            }
+        return 200, {
+            "hosts": sorted(self.cluster.manager.agents),
+            "topologies": sorted(self.cluster.manager.topologies),
+            "switches": switches,
+            "controller": {
+                "apps": [app.name for app in self.cluster.sdn.apps],
+                "rules_installed": self.cluster.app.rules_installed,
+            },
+        }

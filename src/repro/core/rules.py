@@ -1,0 +1,129 @@
+"""Flow-rule templates for Typhoon data/control tuples (Table 3).
+
+Every row of Table 3 has a builder here; the Typhoon controller composes
+these into the per-topology rule set. Matches always pin the custom
+EtherType so unused IPv4 wildcards never enter rule processing (§3.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..net.addresses import (
+    BROADCAST,
+    CONTROLLER_ADDRESS,
+    TYPHOON_ETHERTYPE,
+    WorkerAddress,
+)
+from ..sdn.flow import (
+    OFPP_CONTROLLER,
+    Action,
+    Match,
+    Output,
+    SetTunnelDst,
+)
+
+#: Rule priorities: control > specific unicast > broadcast.
+PRIORITY_CONTROL = 300
+PRIORITY_UNICAST = 200
+PRIORITY_BROADCAST = 150
+
+
+def worker_address(app_id: int, worker_id: int) -> WorkerAddress:
+    """Worker id + application prefix -> Ethernet address (§3.3.1)."""
+    return WorkerAddress(app_id, worker_id)
+
+
+def local_transfer(app_id: int, src_worker: int, src_port: int,
+                   dst_worker: int, dst_port: int) -> Tuple[Match, Tuple[Action, ...]]:
+    """Table 3, "Local transfer"."""
+    match = Match(
+        in_port=src_port,
+        dl_src=worker_address(app_id, src_worker),
+        dl_dst=worker_address(app_id, dst_worker),
+        ether_type=TYPHOON_ETHERTYPE,
+    )
+    return match, (Output(dst_port),)
+
+
+def remote_transfer_sender(app_id: int, src_worker: int, src_port: int,
+                           dst_worker: int, peer_host: str,
+                           tunnel_port: int) -> Tuple[Match, Tuple[Action, ...]]:
+    """Table 3, "Remote transfer (sender)"."""
+    match = Match(
+        in_port=src_port,
+        dl_src=worker_address(app_id, src_worker),
+        dl_dst=worker_address(app_id, dst_worker),
+        ether_type=TYPHOON_ETHERTYPE,
+    )
+    return match, (SetTunnelDst(peer_host), Output(tunnel_port))
+
+
+def remote_transfer_receiver(app_id: int, src_worker: int, dst_worker: int,
+                             tunnel_port: int,
+                             dst_port: int) -> Tuple[Match, Tuple[Action, ...]]:
+    """Table 3, "Remote transfer (receiver)"."""
+    match = Match(
+        in_port=tunnel_port,
+        dl_src=worker_address(app_id, src_worker),
+        dl_dst=worker_address(app_id, dst_worker),
+    )
+    return match, (Output(dst_port),)
+
+
+def one_to_many(src_port: int, local_dst_ports: Sequence[int],
+                remote_hosts: Sequence[str],
+                tunnel_port: int) -> Tuple[Match, Tuple[Action, ...]]:
+    """Table 3, "One-to-many transfer": broadcast replication at the
+    switch — one serialized copy in, N identical frames out."""
+    match = Match(in_port=src_port, dl_dst=BROADCAST,
+                  ether_type=TYPHOON_ETHERTYPE)
+    actions: List[Action] = [Output(port) for port in local_dst_ports]
+    for host in remote_hosts:
+        actions.append(SetTunnelDst(host))
+        actions.append(Output(tunnel_port))
+    return match, tuple(actions)
+
+
+def one_to_many_receiver(app_id: int, src_worker: int, tunnel_port: int,
+                         local_dst_ports: Sequence[int],
+                         ) -> Tuple[Match, Tuple[Action, ...]]:
+    """Broadcast continuation on a remote host: fan out tunnel arrivals."""
+    match = Match(
+        in_port=tunnel_port,
+        dl_src=worker_address(app_id, src_worker),
+        dl_dst=BROADCAST,
+    )
+    return match, tuple(Output(port) for port in local_dst_ports)
+
+
+def worker_to_controller(src_port: int) -> Tuple[Match, Tuple[Action, ...]]:
+    """Table 3, "Worker to SDN controller" (METRIC_RESP path)."""
+    match = Match(in_port=src_port, dl_dst=CONTROLLER_ADDRESS,
+                  ether_type=TYPHOON_ETHERTYPE)
+    return match, (Output(OFPP_CONTROLLER),)
+
+
+def mirror_rule(base_match: Match, base_actions: Sequence[Action],
+                debug_port: int) -> Tuple[Match, Tuple[Action, ...]]:
+    """Live debugger (§4): duplicate matched frames to a debug worker at
+    the network layer — no extra serialization at the source."""
+    return base_match, tuple(base_actions) + (Output(debug_port),)
+
+
+#: Worker-id prefix for SDN-select virtual destinations (load balancer).
+_SELECT_PREFIX = 0xE0000000
+
+
+def select_address(app_id: int, dst_component: str,
+                   stream: int) -> WorkerAddress:
+    """Virtual destination address for an SDN-offloaded edge (§4).
+
+    The sender addresses frames here; the switch's select group rewrites
+    the destination to a real worker. Derived deterministically so worker
+    transports and the controller agree without extra coordination.
+    """
+    import zlib
+
+    digest = zlib.crc32(("%s:%d" % (dst_component, stream)).encode("utf-8"))
+    return WorkerAddress(app_id, _SELECT_PREFIX | (digest & 0x0FFFFFFF))

@@ -1,0 +1,99 @@
+"""Typhoon's custom topology scheduler (§5).
+
+Replaces the baseline round-robin scheduler: topologically neighbouring
+workers are packed onto the same compute host to minimize remote
+inter-worker communication (remote transfers pay tunnel latency and
+bandwidth). Components are laid out in topological order and sliced into
+contiguous host-sized blocks, so a pipeline stage and its successor
+usually share a host.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..net.hosts import Cluster
+from ..streaming.physical import PhysicalTopology, WorkerAssignment
+from ..streaming.scheduler import (
+    IScheduler,
+    SchedulingError,
+    WorkerIdAllocator,
+)
+from ..streaming.topology import LogicalTopology
+
+
+def topological_order(logical: LogicalTopology) -> List[str]:
+    """Kahn's algorithm with declaration order as the tie-break."""
+    names = list(logical.nodes)
+    indegree = {name: 0 for name in names}
+    for edge in logical.edges:
+        indegree[edge.dst] += 1
+    order: List[str] = []
+    ready = [name for name in names if indegree[name] == 0]
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for edge in logical.edges:
+            if edge.src != node:
+                continue
+            indegree[edge.dst] -= 1
+            if indegree[edge.dst] == 0 and edge.dst not in order:
+                if edge.dst not in ready:
+                    ready.append(edge.dst)
+    return order
+
+
+class TyphoonScheduler(IScheduler):
+    """Locality-aware block placement."""
+
+    def schedule(self, logical: LogicalTopology, cluster: Cluster,
+                 app_id: int, allocator: WorkerIdAllocator) -> PhysicalTopology:
+        hosts = [host.name for host in cluster]
+        if not hosts:
+            raise SchedulingError("no hosts available")
+        tasks: List[Tuple[str, int]] = []
+        for component in topological_order(logical):
+            node = logical.nodes[component]
+            for index in range(node.parallelism):
+                tasks.append((component, index))
+        capacity = max(1, math.ceil(len(tasks) / len(hosts)))
+        assignments: Dict[int, WorkerAssignment] = {}
+        for position, (component, task_index) in enumerate(tasks):
+            host = hosts[min(position // capacity, len(hosts) - 1)]
+            worker_id = allocator.allocate()
+            assignments[worker_id] = WorkerAssignment(
+                worker_id=worker_id,
+                component=component,
+                task_index=task_index,
+                hostname=host,
+            )
+        return PhysicalTopology(
+            topology_id=logical.topology_id,
+            app_id=app_id,
+            assignments=assignments,
+            edges=list(logical.edges),
+            binary_location="coordinator://%s/binary" % logical.topology_id,
+        )
+
+    def place_one(self, physical: PhysicalTopology, component: str,
+                  cluster: Cluster) -> str:
+        """Prefer hosts already running neighbours of ``component``."""
+        neighbours: Dict[str, int] = {}
+        neighbour_components = set()
+        for edge in physical.edges:
+            if edge.src == component:
+                neighbour_components.add(edge.dst)
+            if edge.dst == component:
+                neighbour_components.add(edge.src)
+        neighbour_components.add(component)
+        load: Dict[str, int] = {host.name: 0 for host in cluster}
+        for assignment in physical.assignments.values():
+            load[assignment.hostname] = load.get(assignment.hostname, 0) + 1
+            if assignment.component in neighbour_components:
+                neighbours[assignment.hostname] = (
+                    neighbours.get(assignment.hostname, 0) + 1
+                )
+        # Highest neighbour affinity wins; break ties on lowest load.
+        return max(sorted(load),
+                   key=lambda name: (neighbours.get(name, 0), -load[name]))

@@ -1,0 +1,131 @@
+"""The dynamic topology manager (Fig. 3, §3.2).
+
+The user-facing entry point for runtime reconfiguration of an active
+stream application:
+
+* **per-node parallelism** — change the number of concurrent workers;
+* **computation logic** — hot-swap a node's processing code;
+* **routing policy** — change grouping type or its parameters.
+
+Requests update the logical topology in the coordinator and drive the
+stable-update procedures of :mod:`repro.core.update` as engine
+processes. Requests against the same topology are serialized — two
+overlapping reconfigurations of one pipeline would race on routing
+state — while different topologies reconfigure concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..sim.engine import Process
+from ..streaming.topology import Grouping
+from . import update
+from .update import ReconfigurationError
+
+
+class DynamicTopologyManager:
+    """Schedules reconfiguration procedures against a TyphoonCluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._last: Dict[str, Process] = {}
+        self.completed_requests = 0
+
+    # -- public request API ---------------------------------------------------
+
+    def set_parallelism(self, topology_id: str, component: str,
+                        parallelism: int) -> Process:
+        """Scale a node up or down to ``parallelism`` workers."""
+        if parallelism < 1:
+            raise ReconfigurationError("parallelism must be >= 1")
+        record = self._record(topology_id)
+        current = record.logical.node(component).parallelism
+        if parallelism == current:
+            return self._enqueue(topology_id, self._noop())
+        if parallelism > current:
+            procedure = update.scale_up(self.cluster, topology_id, component,
+                                        parallelism)
+        else:
+            procedure = update.scale_down(self.cluster, topology_id,
+                                          component, parallelism)
+        return self._enqueue(topology_id, procedure)
+
+    def replace_computation(self, topology_id: str, component: str,
+                            factory: Callable,
+                            parallelism: Optional[int] = None) -> Process:
+        """Hot-swap the computation logic of a running node."""
+        self._record(topology_id).logical.node(component)  # validates
+        procedure = update.replace_computation(
+            self.cluster, topology_id, component, factory, parallelism)
+        return self._enqueue(topology_id, procedure)
+
+    def set_grouping(self, topology_id: str, src: str, dst: str,
+                     grouping: Grouping) -> Process:
+        """Change the routing policy on the src -> dst edge."""
+        procedure = update.change_grouping(self.cluster, topology_id, src,
+                                           dst, grouping)
+        return self._enqueue(topology_id, procedure)
+
+    def attach_component(self, topology_id: str, name: str, factory,
+                         subscribe_to: str, grouping: Grouping,
+                         parallelism: int = 1, stream: int = 0,
+                         stateful: bool = False) -> Process:
+        """Plug a new component into a running pipeline (interactive
+        data mining, dynamic instrumentation)."""
+        record = self._record(topology_id)
+        if name in record.logical.nodes:
+            raise ReconfigurationError("component %r already exists" % name)
+        if subscribe_to not in record.logical.nodes:
+            raise ReconfigurationError("no component %r to subscribe to"
+                                       % subscribe_to)
+        procedure = update.attach_component(
+            self.cluster, topology_id, name, factory, subscribe_to,
+            grouping, parallelism, stream, stateful)
+        return self._enqueue(topology_id, procedure)
+
+    def relocate_worker(self, topology_id: str, worker_id: int,
+                        new_host: str) -> Process:
+        """Pause-and-resume a worker onto another host (§8)."""
+        record = self._record(topology_id)
+        record.physical.worker(worker_id)  # validates existence
+        procedure = update.relocate_worker(self.cluster, topology_id,
+                                           worker_id, new_host)
+        return self._enqueue(topology_id, procedure)
+
+    def detach_component(self, topology_id: str, name: str) -> Process:
+        """Unplug a dynamically attached component without data loss."""
+        record = self._record(topology_id)
+        record.logical.node(name)  # validates existence
+        if record.logical.outgoing(name):
+            raise ReconfigurationError(
+                "cannot detach %r: downstream nodes depend on it" % name)
+        procedure = update.detach_component(self.cluster, topology_id, name)
+        return self._enqueue(topology_id, procedure)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _record(self, topology_id: str):
+        record = self.cluster.manager.topologies.get(topology_id)
+        if record is None:
+            raise ReconfigurationError("no active topology %r" % topology_id)
+        return record
+
+    def _noop(self):
+        return
+        yield  # pragma: no cover
+
+    def _enqueue(self, topology_id: str, procedure) -> Process:
+        previous = self._last.get(topology_id)
+
+        def serialized():
+            if previous is not None and previous.alive:
+                yield previous
+            result = yield from procedure
+            self.completed_requests += 1
+            return result
+
+        process = self.cluster.engine.process(
+            serialized(), name="reconfig:%s" % topology_id)
+        self._last[topology_id] = process
+        return process

@@ -1,0 +1,408 @@
+"""Stable topology update procedures (§3.5, Fig. 6).
+
+Reconfiguring a running pipeline must not lose tuples or corrupt stateful
+workers. The procedures below orchestrate the exact orderings the paper
+prescribes:
+
+* **add workers (stateless)** — launch first, let the controller install
+  flow rules (triggered by the new ports' PortStatus events), and only
+  then repoint predecessors' routing state via ROUTING control tuples;
+* **remove workers (stateless)** — repoint predecessors first so nothing
+  new reaches the victims, then drain-and-kill them; their rules are
+  cleaned up afterwards;
+* **stateful variants** — identical, plus SIGNAL control tuples injected
+  into the stateful workers to flush their in-memory caches (Listing 2)
+  after the first step and right before the final reconfiguration;
+* **computation-logic replacement** — launch replacements with the new
+  logic, cut routing over atomically, drain and retire the old workers
+  (the Fig. 14 experiment).
+
+Each procedure is a generator meant to run as an engine process; the
+:class:`~repro.core.topology_manager.DynamicTopologyManager` serializes
+them per topology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..streaming.physical import WorkerAssignment
+from ..streaming.topology import Grouping, LogicalTopology
+from .control import RoutingUpdate
+
+#: Settle time after pushing control tuples / flow mods, covering
+#: PacketOut delivery plus worker-side application of the update.
+_SETTLE = 0.05
+
+
+class ReconfigurationError(RuntimeError):
+    """Raised when a runtime reconfiguration cannot proceed."""
+
+
+def predecessor_routing_updates(
+    logical: LogicalTopology,
+    physical,
+    component: str,
+    next_hops: Sequence[int],
+) -> Dict[int, List[RoutingUpdate]]:
+    """ROUTING payloads for every worker feeding ``component``."""
+    updates: Dict[int, List[RoutingUpdate]] = {}
+    for edge in logical.incoming(component):
+        for worker_id in physical.worker_ids_for(edge.src):
+            updates.setdefault(worker_id, []).append(RoutingUpdate(
+                dst_component=component,
+                stream=edge.stream,
+                next_hops=list(next_hops),
+                grouping_kind=edge.grouping.kind,
+                grouping_fields=tuple(edge.grouping.fields),
+            ))
+    return updates
+
+
+def wait_for_ports(cluster, worker_ids: Sequence[int], timeout: float = 30.0):
+    """Poll until every worker's switch port is known to the controller."""
+    deadline = cluster.engine.now + timeout
+    remaining = set(worker_ids)
+    while remaining:
+        remaining = {wid for wid in remaining
+                     if wid not in cluster.app.worker_host}
+        if not remaining:
+            return
+        if cluster.engine.now >= deadline:
+            raise ReconfigurationError(
+                "workers %s never attached to the data plane"
+                % sorted(remaining)
+            )
+        yield 0.05
+
+
+def _push_routing(cluster, topology_id: str,
+                  updates: Dict[int, List[RoutingUpdate]]) -> None:
+    for worker_id in sorted(updates):
+        cluster.app.update_routing(topology_id, worker_id, updates[worker_id])
+
+
+def _signal_workers(cluster, topology_id: str,
+                    worker_ids: Sequence[int]) -> None:
+    for worker_id in worker_ids:
+        cluster.app.send_signal(topology_id, worker_id)
+
+
+def _launch_new_workers(cluster, record, component: str, count: int,
+                        task_index_base: int) -> List[int]:
+    """Allocate, place and launch ``count`` new workers of a component."""
+    physical = record.physical
+    new_ids: List[int] = []
+    for offset in range(count):
+        worker_id = cluster.manager.allocator.allocate()
+        host = cluster.manager.scheduler.place_one(
+            physical, component, cluster.cluster)
+        assignment = WorkerAssignment(
+            worker_id=worker_id,
+            component=component,
+            task_index=task_index_base + offset,
+            hostname=host,
+        )
+        physical = physical.add_worker(assignment)
+        new_ids.append(worker_id)
+        record.assignment_times[worker_id] = cluster.engine.now
+    record.physical = physical
+    cluster.state.write_physical(record.logical.topology_id, physical)
+    for worker_id in new_ids:
+        assignment = physical.worker(worker_id)
+        agent = cluster.manager.agent_for(assignment.hostname)
+        agent.launch(record.logical.topology_id, assignment)
+    return new_ids
+
+
+def _retire_workers(cluster, record, worker_ids: Sequence[int]):
+    """Drain-and-kill workers, then drop them from global state."""
+    topology_id = record.logical.topology_id
+    cluster.app.expected_removals.update(worker_ids)
+    for worker_id in worker_ids:
+        assignment = record.physical.worker(worker_id)
+        agent = cluster.manager.agent_for(assignment.hostname)
+        agent.kill(worker_id, drain=True)
+        record.assignment_times.pop(worker_id, None)
+    yield cluster.costs.worker_kill_latency + _SETTLE
+    physical = record.physical
+    for worker_id in worker_ids:
+        physical = physical.remove_worker(worker_id)
+    record.physical = physical
+    cluster.state.write_physical(topology_id, physical)
+    cluster.app.sync_topology(topology_id)
+    cluster.app.expected_removals.difference_update(worker_ids)
+
+
+# -- public procedures ---------------------------------------------------------
+
+
+def scale_up(cluster, topology_id: str, component: str, new_parallelism: int):
+    """Fig. 6(a)/(b) scale-up: launch → rules → (signal) → reroute."""
+    record = cluster.manager.topologies[topology_id]
+    node = record.logical.node(component)
+    add_count = new_parallelism - node.parallelism
+    if add_count <= 0:
+        raise ReconfigurationError("scale_up needs a larger parallelism")
+    old_ids = record.physical.worker_ids_for(component)
+    record.logical = record.logical.with_parallelism(component,
+                                                     new_parallelism)
+    cluster.state.write_logical(topology_id, record.logical)
+
+    new_ids = _launch_new_workers(cluster, record, component, add_count,
+                                  task_index_base=node.parallelism)
+    yield from wait_for_ports(cluster, new_ids)
+    # Let the controller's PortStatus-triggered sync install the rules.
+    yield cluster.costs.flow_install_latency + cluster.costs.openflow_rtt + _SETTLE
+
+    if node.stateful:
+        # Re-partitioning changes the key mapping: flush existing caches.
+        _signal_workers(cluster, topology_id, old_ids)
+        yield _SETTLE
+
+    updates = predecessor_routing_updates(
+        record.logical, record.physical, component, old_ids + new_ids)
+    _push_routing(cluster, topology_id, updates)
+    yield _SETTLE
+    return new_ids
+
+
+def scale_down(cluster, topology_id: str, component: str,
+               new_parallelism: int):
+    """Fig. 6(a)/(b) scale-down: reroute → (signal) → drain → remove."""
+    record = cluster.manager.topologies[topology_id]
+    node = record.logical.node(component)
+    remove_count = node.parallelism - new_parallelism
+    if remove_count <= 0 or new_parallelism < 1:
+        raise ReconfigurationError("scale_down needs a smaller, positive "
+                                   "parallelism")
+    workers = record.physical.workers_for(component)
+    victims = [a.worker_id for a in workers[-remove_count:]]
+    survivors = [a.worker_id for a in workers[:-remove_count]]
+    record.logical = record.logical.with_parallelism(component,
+                                                     new_parallelism)
+    cluster.state.write_logical(topology_id, record.logical)
+
+    updates = predecessor_routing_updates(
+        record.logical, record.physical, component, survivors)
+    _push_routing(cluster, topology_id, updates)
+    yield _SETTLE
+
+    if node.stateful:
+        # Flush the victims' caches right before removal.
+        _signal_workers(cluster, topology_id, victims)
+        yield _SETTLE
+
+    yield from _retire_workers(cluster, record, victims)
+    return victims
+
+
+def replace_computation(cluster, topology_id: str, component: str, factory,
+                        new_parallelism: Optional[int] = None):
+    """Swap a component's computation logic at runtime (Fig. 14)."""
+    record = cluster.manager.topologies[topology_id]
+    node = record.logical.node(component)
+    count = new_parallelism or node.parallelism
+    old_ids = record.physical.worker_ids_for(component)
+
+    logical = record.logical.with_factory(component, factory)
+    if count != node.parallelism:
+        logical = logical.with_parallelism(component, count)
+    record.logical = logical
+    cluster.state.write_logical(topology_id, logical)
+
+    max_index = max((a.task_index for a in
+                     record.physical.workers_for(component)), default=-1)
+    new_ids = _launch_new_workers(cluster, record, component, count,
+                                  task_index_base=max_index + 1)
+    yield from wait_for_ports(cluster, new_ids)
+    yield cluster.costs.flow_install_latency + cluster.costs.openflow_rtt + _SETTLE
+
+    if node.stateful:
+        _signal_workers(cluster, topology_id, old_ids)
+        yield _SETTLE
+
+    updates = predecessor_routing_updates(
+        record.logical, record.physical, component, new_ids)
+    _push_routing(cluster, topology_id, updates)
+    yield _SETTLE
+
+    yield from _retire_workers(cluster, record, old_ids)
+    return new_ids
+
+
+def attach_component(cluster, topology_id: str, name: str, factory,
+                     subscribe_to: str, grouping: Grouping,
+                     parallelism: int = 1, stream: int = 0,
+                     stateful: bool = False):
+    """Plug a brand-new component into a running pipeline (§1's
+    "interactive data mining": dynamically constructed queries attach to
+    existing streaming pipelines and detach when done).
+
+    The new node subscribes to ``subscribe_to`` via ``grouping``; the
+    procedure launches its workers, waits for data-plane wiring, then
+    adds the edge to the sources' routing state via ROUTING control
+    tuples. Tuples keep flowing to the pre-existing downstream nodes
+    untouched.
+    """
+    from ..streaming.topology import BOLT, Edge, LogicalNode
+
+    record = cluster.manager.topologies[topology_id]
+    if name in record.logical.nodes:
+        raise ReconfigurationError("component %r already exists" % name)
+    logical = record.logical.clone()
+    logical.nodes[name] = LogicalNode(name, BOLT, factory,
+                                      parallelism=parallelism,
+                                      stateful=stateful)
+    logical.edges.append(Edge(subscribe_to, name, grouping, stream))
+    logical.version += 1
+    logical._validate()
+    record.logical = logical
+    cluster.state.write_logical(topology_id, logical)
+    # Physical edges must match so the controller generates rules.
+    record.physical = record.physical.with_edges(list(logical.edges))
+    cluster.state.write_physical(topology_id, record.physical)
+
+    new_ids = _launch_new_workers(cluster, record, name, parallelism,
+                                  task_index_base=0)
+    yield from wait_for_ports(cluster, new_ids)
+    yield cluster.costs.flow_install_latency + cluster.costs.openflow_rtt + _SETTLE
+
+    for worker_id in record.physical.worker_ids_for(subscribe_to):
+        cluster.app.update_routing(topology_id, worker_id, [RoutingUpdate(
+            dst_component=name,
+            stream=stream,
+            next_hops=new_ids,
+            grouping_kind=grouping.kind,
+            grouping_fields=tuple(grouping.fields),
+        )])
+    yield _SETTLE
+    return new_ids
+
+
+def detach_component(cluster, topology_id: str, name: str):
+    """Unplug a dynamically attached component: sources stop routing to
+    it first, then its workers drain and retire."""
+    record = cluster.manager.topologies[topology_id]
+    node = record.logical.node(name)
+    if record.logical.outgoing(name):
+        raise ReconfigurationError(
+            "cannot detach %r: downstream nodes depend on it" % name)
+    incoming = record.logical.incoming(name)
+    worker_ids = record.physical.worker_ids_for(name)
+
+    # 1. Remove the edge from every source worker's routing state.
+    for edge in incoming:
+        for worker_id in record.physical.worker_ids_for(edge.src):
+            cluster.app.update_routing(topology_id, worker_id, [
+                RoutingUpdate(dst_component=name, stream=edge.stream,
+                              next_hops=[]),
+            ])
+    yield _SETTLE
+
+    if node.stateful:
+        _signal_workers(cluster, topology_id, worker_ids)
+        yield _SETTLE
+
+    # 2. Drop the node from the logical topology and global state.
+    logical = record.logical.clone()
+    logical.edges = [e for e in logical.edges if e.dst != name]
+    del logical.nodes[name]
+    logical.version += 1
+    record.logical = logical
+    cluster.state.write_logical(topology_id, logical)
+    record.physical = record.physical.with_edges(list(logical.edges))
+    cluster.state.write_physical(topology_id, record.physical)
+
+    # 3. Drain and retire the workers; rules are cleaned by the sync.
+    yield from _retire_workers(cluster, record, worker_ids)
+    return worker_ids
+
+
+def relocate_worker(cluster, topology_id: str, worker_id: int,
+                    new_host: str):
+    """Move a running worker to another host (§8, stateful worker
+    management): "pause-and-resume" the worker via control tuples while
+    its state remains in an external storage.
+
+    Procedure:
+
+    1. traffic to the worker is diverted to its siblings (ROUTING
+       control tuples to the predecessors) — for a singleton worker the
+       predecessors simply hold the edge until the replacement is up;
+    2. a SIGNAL lets a stateful worker flush/persist its in-memory cache
+       (per §8 the durable state lives in external storage);
+    3. the worker drains and exits on the old host;
+    4. a replacement with the *same worker id* launches on the new host,
+       attaches to that host's switch (rules re-sync on PortStatus), and
+       the predecessors' routing is restored.
+    """
+    record = cluster.manager.topologies[topology_id]
+    old = record.physical.worker(worker_id)
+    if old.hostname == new_host:
+        return worker_id
+    if new_host not in cluster.manager.agents:
+        raise ReconfigurationError("no agent on host %r" % new_host)
+    component = old.component
+    node = record.logical.node(component)
+    siblings = [wid for wid in record.physical.worker_ids_for(component)
+                if wid != worker_id]
+
+    cluster.app.expected_removals.add(worker_id)
+    # 1. Divert (or pause) traffic.
+    if siblings:
+        updates = predecessor_routing_updates(
+            record.logical, record.physical, component, siblings)
+        _push_routing(cluster, topology_id, updates)
+        yield _SETTLE
+    # 2. Persist state.
+    if node.stateful:
+        _signal_workers(cluster, topology_id, [worker_id])
+        yield _SETTLE
+    # 3. Drain and stop on the old host.
+    cluster.manager.agent_for(old.hostname).kill(worker_id, drain=True)
+    yield cluster.costs.worker_kill_latency + _SETTLE
+    # 4. Relaunch on the new host under the same worker id.
+    relocated = old.relocated(hostname=new_host, switch_port=None)
+    record.physical = record.physical.replace_worker(relocated)
+    record.assignment_times[worker_id] = cluster.engine.now
+    cluster.state.write_physical(topology_id, record.physical)
+    cluster.manager.agent_for(new_host).launch(topology_id, relocated)
+    yield from wait_for_ports(cluster, [worker_id])
+    yield cluster.costs.flow_install_latency + cluster.costs.openflow_rtt + _SETTLE
+    cluster.app.expected_removals.discard(worker_id)
+    # Restore the full routing set.
+    updates = predecessor_routing_updates(
+        record.logical, record.physical, component,
+        record.physical.worker_ids_for(component))
+    _push_routing(cluster, topology_id, updates)
+    yield _SETTLE
+    return worker_id
+
+
+def change_grouping(cluster, topology_id: str, src: str, dst: str,
+                    grouping: Grouping):
+    """Switch an edge's routing policy at runtime (e.g. key-based to
+    round robin), preserving stateful consistency with a flush."""
+    record = cluster.manager.topologies[topology_id]
+    record.logical = record.logical.with_grouping(src, dst, grouping)
+    cluster.state.write_logical(topology_id, record.logical)
+
+    if record.logical.node(dst).stateful:
+        _signal_workers(cluster, topology_id,
+                        record.physical.worker_ids_for(dst))
+        yield _SETTLE
+
+    stream = next(e.stream for e in record.logical.incoming(dst)
+                  if e.src == src)
+    next_hops = record.physical.worker_ids_for(dst)
+    for worker_id in record.physical.worker_ids_for(src):
+        cluster.app.update_routing(topology_id, worker_id, [RoutingUpdate(
+            dst_component=dst,
+            stream=stream,
+            next_hops=next_hops,
+            grouping_kind=grouping.kind,
+            grouping_fields=tuple(grouping.fields),
+        )])
+    yield _SETTLE
+    return next_hops

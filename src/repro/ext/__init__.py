@@ -1,0 +1,13 @@
+"""External-system substrates: Kafka-like broker, Redis-like KV store."""
+
+from .kafka import KafkaBroker, KafkaConsumer, KafkaProducer, Record
+from .redis import RedisClient, RedisStore
+
+__all__ = [
+    "KafkaBroker",
+    "KafkaConsumer",
+    "KafkaProducer",
+    "Record",
+    "RedisClient",
+    "RedisStore",
+]

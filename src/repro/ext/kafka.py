@@ -1,0 +1,167 @@
+"""Kafka-like partitioned log broker (Yahoo benchmark ingestion, Fig. 13).
+
+A minimal but structurally faithful broker: named topics split into
+partitions, append-only logs, offset-based consumption, and consumer
+groups with static partition assignment. Producers and consumers bill
+virtual-time costs through the ``drain_cost`` protocol so worker
+executors charge broker round-trips to the simulation clock.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..sim.engine import Engine
+
+#: Per-operation virtual-time costs (local broker, batched client).
+PRODUCE_COST = 1.0e-6
+FETCH_COST_PER_RECORD = 0.4e-6
+FETCH_COST_BASE = 3.0e-6
+
+
+@dataclass(frozen=True)
+class Record:
+    """One log record."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: Any
+    value: Any
+    timestamp: float
+
+
+class _Partition:
+    __slots__ = ("log",)
+
+    def __init__(self):
+        self.log: List[Record] = []
+
+
+class KafkaBroker:
+    """In-memory broker with per-topic partitions."""
+
+    def __init__(self, engine: Engine, num_partitions: int = 4):
+        self.engine = engine
+        self.default_partitions = num_partitions
+        self._topics: Dict[str, List[_Partition]] = {}
+        self.records_produced = 0
+
+    def create_topic(self, topic: str, partitions: Optional[int] = None) -> None:
+        if topic in self._topics:
+            raise ValueError("topic %r exists" % topic)
+        count = self.default_partitions if partitions is None else partitions
+        if count <= 0:
+            raise ValueError("partitions must be positive")
+        self._topics[topic] = [_Partition() for _ in range(count)]
+
+    def topics(self) -> List[str]:
+        return sorted(self._topics)
+
+    def partitions_of(self, topic: str) -> int:
+        return len(self._partitions(topic))
+
+    def _partitions(self, topic: str) -> List[_Partition]:
+        if topic not in self._topics:
+            raise KeyError("no topic %r" % topic)
+        return self._topics[topic]
+
+    def _partition_for(self, topic: str, key: Any) -> int:
+        partitions = self._partitions(topic)
+        if key is None:
+            return self.records_produced % len(partitions)
+        digest = zlib.crc32(repr(key).encode("utf-8"))
+        return digest % len(partitions)
+
+    def produce(self, topic: str, value: Any, key: Any = None) -> Record:
+        index = self._partition_for(topic, key)
+        partition = self._partitions(topic)[index]
+        record = Record(topic=topic, partition=index,
+                        offset=len(partition.log), key=key, value=value,
+                        timestamp=self.engine.now)
+        partition.log.append(record)
+        self.records_produced += 1
+        return record
+
+    def fetch(self, topic: str, partition: int, offset: int,
+              max_records: int) -> List[Record]:
+        log = self._partitions(topic)[partition].log
+        return log[offset:offset + max_records]
+
+    def end_offset(self, topic: str, partition: int) -> int:
+        return len(self._partitions(topic)[partition].log)
+
+    def lag(self, topic: str, offsets: Dict[int, int]) -> int:
+        """Total unconsumed records given per-partition offsets."""
+        return sum(self.end_offset(topic, p) - offsets.get(p, 0)
+                   for p in range(self.partitions_of(topic)))
+
+
+class KafkaProducer:
+    """Producer handle with cost billing."""
+
+    def __init__(self, broker: KafkaBroker):
+        self.broker = broker
+        self._accrued = 0.0
+        self.sent = 0
+
+    def send(self, topic: str, value: Any, key: Any = None) -> Record:
+        self._accrued += PRODUCE_COST
+        self.sent += 1
+        return self.broker.produce(topic, value, key=key)
+
+    def drain_cost(self) -> float:
+        cost, self._accrued = self._accrued, 0.0
+        return cost
+
+
+class KafkaConsumer:
+    """Offset-tracking consumer; group members split partitions statically.
+
+    ``member_index`` / ``group_size`` model a consumer group: member *i*
+    of *n* owns partitions ``p`` with ``p % n == i``.
+    """
+
+    def __init__(self, broker: KafkaBroker, topic: str,
+                 member_index: int = 0, group_size: int = 1):
+        if group_size < 1 or not 0 <= member_index < group_size:
+            raise ValueError("bad consumer-group coordinates")
+        self.broker = broker
+        self.topic = topic
+        self.partitions = [p for p in range(broker.partitions_of(topic))
+                           if p % group_size == member_index]
+        self.offsets: Dict[int, int] = {p: 0 for p in self.partitions}
+        self._accrued = 0.0
+        self._next_index = 0
+        self.consumed = 0
+
+    def poll(self, max_records: int = 100) -> List[Record]:
+        """Round-robin over owned partitions; advances offsets."""
+        if not self.partitions:
+            return []
+        self._accrued += FETCH_COST_BASE
+        out: List[Record] = []
+        for _ in range(len(self.partitions)):
+            partition = self.partitions[self._next_index % len(self.partitions)]
+            self._next_index += 1
+            budget = max_records - len(out)
+            if budget <= 0:
+                break
+            records = self.broker.fetch(self.topic, partition,
+                                        self.offsets[partition], budget)
+            if records:
+                self.offsets[partition] = records[-1].offset + 1
+                out.extend(records)
+        self._accrued += FETCH_COST_PER_RECORD * len(out)
+        self.consumed += len(out)
+        return out
+
+    def lag(self) -> int:
+        return sum(self.broker.end_offset(self.topic, p) - self.offsets[p]
+                   for p in self.partitions)
+
+    def drain_cost(self) -> float:
+        cost, self._accrued = self._accrued, 0.0
+        return cost

@@ -1,0 +1,119 @@
+"""Redis-like in-memory key-value store (Yahoo benchmark state, Fig. 13).
+
+Supports the operations the Yahoo streaming benchmark uses: plain
+GET/SET, hashes (HGET/HSET/HINCRBY) and a handful of conveniences. Every
+operation bills a virtual-time cost through the ``drain_cost`` protocol;
+a shared store can be fronted by per-worker :class:`RedisClient` handles
+so costs land on the calling worker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Per-operation virtual-time cost (local-network Redis round trip,
+#: pipelined client).
+OP_COST = 25.0e-6
+
+
+class RedisStore:
+    """The server-side state: strings and hashes."""
+
+    def __init__(self):
+        self._strings: Dict[str, Any] = {}
+        self._hashes: Dict[str, Dict[str, Any]] = {}
+        self.ops = 0
+
+    # -- strings -----------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        self.ops += 1
+        return self._strings.get(key)
+
+    def set(self, key: str, value: Any) -> None:
+        self.ops += 1
+        self._strings[key] = value
+
+    def delete(self, key: str) -> bool:
+        self.ops += 1
+        existed = key in self._strings or key in self._hashes
+        self._strings.pop(key, None)
+        self._hashes.pop(key, None)
+        return existed
+
+    def exists(self, key: str) -> bool:
+        self.ops += 1
+        return key in self._strings or key in self._hashes
+
+    # -- hashes --------------------------------------------------------------
+
+    def hget(self, key: str, field: str) -> Any:
+        self.ops += 1
+        return self._hashes.get(key, {}).get(field)
+
+    def hset(self, key: str, field: str, value: Any) -> None:
+        self.ops += 1
+        self._hashes.setdefault(key, {})[field] = value
+
+    def hincrby(self, key: str, field: str, amount: int = 1) -> int:
+        self.ops += 1
+        bucket = self._hashes.setdefault(key, {})
+        bucket[field] = int(bucket.get(field, 0)) + amount
+        return bucket[field]
+
+    def hgetall(self, key: str) -> Dict[str, Any]:
+        self.ops += 1
+        return dict(self._hashes.get(key, {}))
+
+    def keys(self, prefix: str = "") -> List[str]:
+        self.ops += 1
+        names = set(self._strings) | set(self._hashes)
+        return sorted(k for k in names if k.startswith(prefix))
+
+
+class RedisClient:
+    """Per-worker handle billing operation costs to its executor."""
+
+    def __init__(self, store: RedisStore, op_cost: float = OP_COST):
+        self.store = store
+        self.op_cost = op_cost
+        self._accrued = 0.0
+
+    def _bill(self) -> None:
+        self._accrued += self.op_cost
+
+    def get(self, key: str) -> Any:
+        self._bill()
+        return self.store.get(key)
+
+    def set(self, key: str, value: Any) -> None:
+        self._bill()
+        self.store.set(key, value)
+
+    def delete(self, key: str) -> bool:
+        self._bill()
+        return self.store.delete(key)
+
+    def exists(self, key: str) -> bool:
+        self._bill()
+        return self.store.exists(key)
+
+    def hget(self, key: str, field: str) -> Any:
+        self._bill()
+        return self.store.hget(key, field)
+
+    def hset(self, key: str, field: str, value: Any) -> None:
+        self._bill()
+        self.store.hset(key, field, value)
+
+    def hincrby(self, key: str, field: str, amount: int = 1) -> int:
+        self._bill()
+        return self.store.hincrby(key, field, amount)
+
+    def hgetall(self, key: str) -> Dict[str, Any]:
+        self._bill()
+        return self.store.hgetall(key)
+
+    def drain_cost(self) -> float:
+        cost, self._accrued = self._accrued, 0.0
+        return cost

@@ -1,0 +1,29 @@
+"""Network substrate: addressing, Ethernet framing, hosts, TCP channels."""
+
+from .addresses import (
+    BROADCAST,
+    CONTROLLER_ADDRESS,
+    MIRROR_ETHERTYPE,
+    TYPHOON_ETHERTYPE,
+    WorkerAddress,
+)
+from .ethernet import DEFAULT_MTU, HEADER_LEN, EthernetFrame, FrameError
+from .hosts import Cluster, Host
+from .tcp import ChannelClosed, TcpChannel, TcpTunnel
+
+__all__ = [
+    "BROADCAST",
+    "CONTROLLER_ADDRESS",
+    "DEFAULT_MTU",
+    "HEADER_LEN",
+    "MIRROR_ETHERTYPE",
+    "TYPHOON_ETHERTYPE",
+    "ChannelClosed",
+    "Cluster",
+    "EthernetFrame",
+    "FrameError",
+    "Host",
+    "TcpChannel",
+    "TcpTunnel",
+    "WorkerAddress",
+]

@@ -1,0 +1,67 @@
+"""Compute hosts and the cluster they form.
+
+A :class:`Host` is a named machine in the compute cluster. The simulation
+does not model per-core scheduling — worker compute costs are charged on
+the virtual clock directly — but hosts determine *locality*: whether a
+tuple transfer is loopback or must cross the LAN (and, for Typhoon,
+traverse a host-level TCP tunnel).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class Host:
+    """A named compute host."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("host name must be non-empty")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "Host(%r)" % self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Host) and other.name == self.name
+
+
+class Cluster:
+    """An ordered collection of hosts."""
+
+    def __init__(self, hosts: Optional[List[Host]] = None):
+        self._hosts: Dict[str, Host] = {}
+        for host in hosts or []:
+            self.add(host)
+
+    @classmethod
+    def of_size(cls, count: int, prefix: str = "host") -> "Cluster":
+        if count <= 0:
+            raise ValueError("cluster needs at least one host")
+        return cls([Host("%s-%d" % (prefix, i)) for i in range(count)])
+
+    def add(self, host: Host) -> Host:
+        if host.name in self._hosts:
+            raise ValueError("duplicate host name: %r" % host.name)
+        self._hosts[host.name] = host
+        return host
+
+    def get(self, name: str) -> Host:
+        return self._hosts[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._hosts
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __iter__(self) -> Iterator[Host]:
+        return iter(self._hosts.values())
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._hosts)

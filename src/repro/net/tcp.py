@@ -1,0 +1,128 @@
+"""TCP-like reliable channels.
+
+Two uses in this system, matching the paper:
+
+* the **Storm baseline** keeps one application-level TCP connection per
+  worker pair (the per-destination serialization + send cost on these
+  connections is what Typhoon eliminates for broadcast);
+* **Typhoon** keeps a fixed mesh of *host-level* TCP tunnels between
+  compute hosts; tunnels reliably carry custom Ethernet frames across the
+  physical network and hide the custom EtherType from it (§3.3.1).
+
+The channel is reliable and strictly FIFO: message ``i`` is always
+delivered before message ``i+1`` even when size-dependent transmission
+delays would reorder them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sim.costs import CostModel, transmission_delay
+from ..sim.engine import Engine
+
+
+class ChannelClosed(RuntimeError):
+    """Raised when sending on a closed channel."""
+
+
+class TcpChannel:
+    """A unidirectional reliable, ordered message channel.
+
+    ``send(data)`` schedules ``on_receive(data)`` on the destination after
+    propagation + transmission delay. CPU costs (syscalls, copies) are the
+    caller's responsibility — they differ between Storm and Typhoon and are
+    charged in the respective transport layers.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        costs: CostModel,
+        on_receive: Callable[[bytes], None],
+        remote: bool,
+        name: str = "",
+        extra_delay: float = 0.0,
+    ):
+        self.engine = engine
+        self.costs = costs
+        self.on_receive = on_receive
+        self.remote = remote
+        self.name = name
+        self.extra_delay = extra_delay
+        self.closed = False
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self._last_delivery = 0.0
+
+    def send(self, data: bytes) -> None:
+        if self.closed:
+            raise ChannelClosed("channel %s is closed" % self.name)
+        self.messages_sent += 1
+        self.bytes_sent += len(data)
+        delay = (transmission_delay(self.costs, len(data), self.remote)
+                 + self.extra_delay)
+        deliver_at = max(self.engine.now + delay, self._last_delivery)
+        self._last_delivery = deliver_at
+        self.engine.schedule(deliver_at - self.engine.now, self._deliver, data)
+
+    def _deliver(self, data: bytes) -> None:
+        if not self.closed:
+            self.on_receive(data)
+
+    def close(self) -> None:
+        """Close the channel; in-flight and future messages are dropped."""
+        self.closed = True
+
+
+class TcpTunnel:
+    """A bidirectional host-level tunnel: a pair of TCP channels.
+
+    Typhoon designates one switch port per peer host as the *tunnelling
+    port*; frames output there are carried to the peer host's switch.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        costs: CostModel,
+        host_a: str,
+        host_b: str,
+        deliver_to_a: Callable[[bytes], None],
+        deliver_to_b: Callable[[bytes], None],
+    ):
+        if host_a == host_b:
+            raise ValueError("tunnel endpoints must differ")
+        self.host_a = host_a
+        self.host_b = host_b
+        self._a_to_b = TcpChannel(
+            engine, costs, deliver_to_b, remote=True,
+            name="tunnel:%s->%s" % (host_a, host_b),
+        )
+        self._b_to_a = TcpChannel(
+            engine, costs, deliver_to_a, remote=True,
+            name="tunnel:%s->%s" % (host_b, host_a),
+        )
+
+    def send_from(self, host: str, data: bytes) -> None:
+        if host == self.host_a:
+            self._a_to_b.send(data)
+        elif host == self.host_b:
+            self._b_to_a.send(data)
+        else:
+            raise ValueError("host %r is not an endpoint of this tunnel" % host)
+
+    def channel_from(self, host: str) -> TcpChannel:
+        if host == self.host_a:
+            return self._a_to_b
+        if host == self.host_b:
+            return self._b_to_a
+        raise ValueError("host %r is not an endpoint of this tunnel" % host)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._a_to_b.bytes_sent + self._b_to_a.bytes_sent
+
+    def close(self) -> None:
+        self._a_to_b.close()
+        self._b_to_a.close()

@@ -1,0 +1,223 @@
+"""SDN controller runtime (the Floodlight stand-in).
+
+The controller owns control channels to every switch and hosts *control
+plane applications* (§4). Applications subscribe to switch events
+(PacketIn, PortStatus, FlowRemoved, stats replies) and send messages
+through the controller's helpers. All controller <-> switch traffic pays
+half an OpenFlow RTT each way.
+
+The Typhoon-specific logic (rule templates, control tuples, coordinator
+integration) lives in :mod:`repro.core.controller`; this module is the
+generic substrate any app runs on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.costs import CostModel
+from ..sim.engine import Engine, Event, Process
+from .flow import Action, Match
+from .group import Bucket
+from .openflow import (
+    ADD,
+    DELETE,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsReply,
+    FlowStatsRequest,
+    GroupMod,
+    Message,
+    PacketIn,
+    PacketOut,
+    PortStatsReply,
+    PortStatsRequest,
+    PortStatus,
+)
+from .switch import SoftwareSwitch
+
+
+class ControllerApp:
+    """Base class for SDN control plane applications.
+
+    Subclasses override the ``on_*`` hooks they care about. Hooks run
+    synchronously in event-arrival order; long-running work should be
+    spawned as a process via ``self.controller.engine.process``.
+    """
+
+    name = "app"
+
+    def __init__(self):
+        self.controller: Optional["SdnController"] = None
+
+    def attach(self, controller: "SdnController") -> None:
+        self.controller = controller
+        self.on_start()
+
+    # -- overridable hooks -------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the app is registered."""
+
+    def on_stop(self) -> None:
+        """Called when the controller shuts down."""
+
+    def on_switch_connected(self, switch: SoftwareSwitch) -> None:
+        pass
+
+    def on_packet_in(self, message: PacketIn) -> None:
+        pass
+
+    def on_port_status(self, message: PortStatus) -> None:
+        pass
+
+    def on_flow_removed(self, message: FlowRemoved) -> None:
+        pass
+
+    def on_flow_stats(self, message: FlowStatsReply) -> None:
+        pass
+
+    def on_port_stats(self, message: PortStatsReply) -> None:
+        pass
+
+
+class SdnController:
+    """Dispatches switch events to apps and sends control messages."""
+
+    def __init__(self, engine: Engine, costs: CostModel, name: str = "controller"):
+        self.engine = engine
+        self.costs = costs
+        self.name = name
+        self.switches: Dict[str, SoftwareSwitch] = {}
+        self.apps: List[ControllerApp] = []
+        self._tasks: List[Process] = []
+        self._pending_stats: Dict[Tuple[str, type], Deque[Event]] = {}
+        self.messages_sent = 0
+        self.events_received = 0
+
+    # -- topology ---------------------------------------------------------
+
+    def connect_switch(self, switch: SoftwareSwitch) -> None:
+        if switch.dpid in self.switches:
+            raise ValueError("switch %s already connected" % switch.dpid)
+        self.switches[switch.dpid] = switch
+        switch.connect_controller(self._receive)
+        for app in self.apps:
+            app.on_switch_connected(switch)
+
+    def register_app(self, app: ControllerApp) -> ControllerApp:
+        self.apps.append(app)
+        app.attach(self)
+        for switch in self.switches.values():
+            app.on_switch_connected(switch)
+        return app
+
+    def app(self, name: str) -> ControllerApp:
+        for candidate in self.apps:
+            if candidate.name == name:
+                return candidate
+        raise KeyError("no app named %r" % name)
+
+    # -- event dispatch ------------------------------------------------------
+
+    def _receive(self, message: Message) -> None:
+        self.events_received += 1
+        if isinstance(message, PacketIn):
+            for app in self.apps:
+                app.on_packet_in(message)
+        elif isinstance(message, PortStatus):
+            for app in self.apps:
+                app.on_port_status(message)
+        elif isinstance(message, FlowRemoved):
+            for app in self.apps:
+                app.on_flow_removed(message)
+        elif isinstance(message, FlowStatsReply):
+            self._resolve_stats(message.dpid, FlowStatsReply, message)
+            for app in self.apps:
+                app.on_flow_stats(message)
+        elif isinstance(message, PortStatsReply):
+            self._resolve_stats(message.dpid, PortStatsReply, message)
+            for app in self.apps:
+                app.on_port_stats(message)
+        else:
+            raise TypeError("controller cannot handle %r" % (message,))
+
+    def _resolve_stats(self, dpid: str, kind: type, message: Message) -> None:
+        queue = self._pending_stats.get((dpid, kind))
+        if queue:
+            gate = queue.popleft()
+            if not gate.triggered:
+                gate.succeed(message)
+
+    # -- outbound messaging --------------------------------------------------
+
+    def send(self, dpid: str, message: Message) -> None:
+        switch = self.switches.get(dpid)
+        if switch is None:
+            raise KeyError("no switch %r connected" % dpid)
+        self.messages_sent += 1
+        self.engine.schedule(
+            self.costs.openflow_rtt / 2, switch.handle_message, message
+        )
+
+    def install_flow(
+        self,
+        dpid: str,
+        match: Match,
+        actions: Sequence[Action],
+        priority: int = 100,
+        idle_timeout: Optional[float] = None,
+        cookie: int = 0,
+    ) -> None:
+        self.send(dpid, FlowMod(ADD, match, tuple(actions), priority,
+                                idle_timeout, cookie))
+
+    def delete_flows(self, dpid: str, match: Match, strict: bool = False,
+                     priority: int = 100) -> None:
+        command = "delete_strict" if strict else DELETE
+        self.send(dpid, FlowMod(command, match, priority=priority))
+
+    def install_group(self, dpid: str, group_id: int, group_type: str,
+                      buckets: Sequence[Bucket], modify: bool = False) -> None:
+        command = "modify" if modify else ADD
+        self.send(dpid, GroupMod(command, group_id, group_type, tuple(buckets)))
+
+    def packet_out(self, dpid: str, message: PacketOut) -> None:
+        self.send(dpid, message)
+
+    def request_flow_stats(self, dpid: str,
+                           match: Optional[Match] = None) -> Event:
+        """Send a FlowStatsRequest; the returned event fires with the reply."""
+        gate = self.engine.event()
+        self._pending_stats.setdefault((dpid, FlowStatsReply), deque()).append(gate)
+        self.send(dpid, FlowStatsRequest(match or Match()))
+        return gate
+
+    def request_port_stats(self, dpid: str,
+                           port_no: Optional[int] = None) -> Event:
+        gate = self.engine.event()
+        self._pending_stats.setdefault((dpid, PortStatsReply), deque()).append(gate)
+        self.send(dpid, PortStatsRequest(port_no))
+        return gate
+
+    # -- background tasks -------------------------------------------------------
+
+    def every(self, interval: float, callback: Callable[[], None],
+              name: str = "task") -> Process:
+        """Run ``callback`` every ``interval`` virtual seconds."""
+
+        def loop():
+            while True:
+                yield interval
+                callback()
+
+        task = self.engine.process(loop(), name="%s:%s" % (self.name, name))
+        self._tasks.append(task)
+        return task
+
+    def shutdown(self) -> None:
+        for task in self._tasks:
+            task.interrupt("controller shutdown")
+        for app in self.apps:
+            app.on_stop()

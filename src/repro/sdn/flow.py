@@ -1,0 +1,216 @@
+"""Flow matches, actions and flow tables (OpenFlow-style).
+
+The match fields are exactly those Typhoon's rules use (Table 3):
+``in_port``, ``dl_src``, ``dl_dst`` and ``ether_type``; any field may be
+wildcarded. Actions cover the paper's needs: output to ports, output to
+the controller, set-tunnel-destination (for remote transfers over host
+TCP tunnels), destination rewrite and group indirection (for the SDN
+load balancer's weighted round robin).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..net.addresses import WorkerAddress
+from ..net.ethernet import EthernetFrame
+
+#: Virtual port number addressing the controller (cf. OFPP_CONTROLLER).
+OFPP_CONTROLLER = 0xFFFFFFFD
+
+
+@dataclass(frozen=True)
+class Match:
+    """A wildcard-capable match over frame headers and ingress port."""
+
+    in_port: Optional[int] = None
+    dl_src: Optional[WorkerAddress] = None
+    dl_dst: Optional[WorkerAddress] = None
+    ether_type: Optional[int] = None
+
+    def matches(self, frame: EthernetFrame, in_port: int) -> bool:
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.dl_src is not None and frame.src != self.dl_src:
+            return False
+        if self.dl_dst is not None and frame.dst != self.dl_dst:
+            return False
+        if self.ether_type is not None and frame.ethertype != self.ether_type:
+            return False
+        return True
+
+    def covers(self, other: "Match") -> bool:
+        """True if every frame matched by ``other`` is matched by ``self``."""
+        for name in ("in_port", "dl_src", "dl_dst", "ether_type"):
+            mine = getattr(self, name)
+            theirs = getattr(other, name)
+            if mine is not None and mine != theirs:
+                return False
+        return True
+
+    def describe(self) -> str:
+        parts = []
+        if self.in_port is not None:
+            parts.append("in_port=%d" % self.in_port)
+        if self.dl_src is not None:
+            parts.append("dl_src=%s" % self.dl_src)
+        if self.dl_dst is not None:
+            parts.append("dl_dst=%s" % self.dl_dst)
+        if self.ether_type is not None:
+            parts.append("ether_type=0x%04x" % self.ether_type)
+        return ", ".join(parts) or "any"
+
+
+# -- actions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class for flow actions."""
+
+
+@dataclass(frozen=True)
+class Output(Action):
+    """Emit the frame on a switch port (or OFPP_CONTROLLER)."""
+
+    port: int
+
+
+@dataclass(frozen=True)
+class SetTunnelDst(Action):
+    """Select the peer host for a subsequent tunnel-port output."""
+
+    host: str
+
+
+@dataclass(frozen=True)
+class SetDlDst(Action):
+    """Rewrite the destination worker address (SDN load balancing, §4)."""
+
+    address: WorkerAddress
+
+
+@dataclass(frozen=True)
+class GroupAction(Action):
+    """Indirect through a group-table entry."""
+
+    group_id: int
+
+
+# -- flow entries ------------------------------------------------------------
+
+_entry_ids = itertools.count(1)
+
+
+@dataclass
+class FlowEntry:
+    """One rule: match + action list + priority + timeouts + counters."""
+
+    match: Match
+    actions: Tuple[Action, ...]
+    priority: int = 100
+    idle_timeout: Optional[float] = None
+    cookie: int = 0
+    entry_id: int = field(default_factory=lambda: next(_entry_ids))
+    packets: int = 0
+    bytes: int = 0
+    installed_at: float = 0.0
+    last_used: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.actions = tuple(self.actions)
+
+    def touch(self, now: float, nbytes: int) -> None:
+        self.packets += 1
+        self.bytes += nbytes
+        self.last_used = now
+
+    def idle_expired(self, now: float) -> bool:
+        if self.idle_timeout is None:
+            return False
+        reference = self.last_used if self.packets else self.installed_at
+        return now - reference >= self.idle_timeout
+
+    def describe(self) -> str:
+        return "[prio=%d] match(%s) -> %s" % (
+            self.priority, self.match.describe(),
+            ", ".join(type(a).__name__ for a in self.actions),
+        )
+
+
+class FlowTable:
+    """Priority-ordered flow rules with exact-overlap replacement.
+
+    Lookup returns the highest-priority matching entry; among equal
+    priorities the earliest-installed wins (deterministic). Adding an
+    entry whose match and priority equal an existing entry replaces it
+    (OpenFlow ADD semantics).
+    """
+
+    def __init__(self):
+        self._entries: List[FlowEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(list(self._entries))
+
+    def add(self, entry: FlowEntry, now: float = 0.0) -> FlowEntry:
+        entry.installed_at = now
+        entry.last_used = now
+        for i, existing in enumerate(self._entries):
+            if existing.match == entry.match and existing.priority == entry.priority:
+                self._entries[i] = entry
+                return entry
+        self._entries.append(entry)
+        # Keep sorted by (-priority, entry_id) so lookup is a linear scan
+        # over an already correctly ordered list.
+        self._entries.sort(key=lambda e: (-e.priority, e.entry_id))
+        return entry
+
+    def lookup(self, frame: EthernetFrame, in_port: int) -> Optional[FlowEntry]:
+        for entry in self._entries:
+            if entry.match.matches(frame, in_port):
+                return entry
+        return None
+
+    def remove(self, match: Match, strict: bool = False,
+               priority: Optional[int] = None) -> List[FlowEntry]:
+        """Delete entries; non-strict removes every entry *covered* by
+        match. Strict deletion also requires the priority to match when
+        one is given (OpenFlow delete_strict semantics)."""
+        if strict:
+            removed = [e for e in self._entries
+                       if e.match == match
+                       and (priority is None or e.priority == priority)]
+        else:
+            removed = [e for e in self._entries if match.covers(e.match)]
+        for entry in removed:
+            self._entries.remove(entry)
+        return removed
+
+    def remove_by_cookie(self, cookie: int) -> List[FlowEntry]:
+        removed = [e for e in self._entries if e.cookie == cookie]
+        for entry in removed:
+            self._entries.remove(entry)
+        return removed
+
+    def expire_idle(self, now: float) -> List[FlowEntry]:
+        expired = [e for e in self._entries if e.idle_expired(now)]
+        for entry in expired:
+            self._entries.remove(entry)
+        return expired
+
+    def referencing_port(self, port: int) -> List[FlowEntry]:
+        """Entries that match on or output to the given port."""
+        hits = []
+        for entry in self._entries:
+            if entry.match.in_port == port:
+                hits.append(entry)
+                continue
+            if any(isinstance(a, Output) and a.port == port for a in entry.actions):
+                hits.append(entry)
+        return hits

@@ -1,0 +1,98 @@
+"""Group tables: ``all`` and ``select`` groups.
+
+The Typhoon load balancer application (§4) offloads routing decisions to
+the network using *select*-type groups: the switch rewrites the frame's
+destination worker ID and forwards it in a weighted round-robin fashion
+among the buckets. ``all`` groups replicate the frame to every bucket.
+
+Bucket selection uses smooth weighted round robin, which is deterministic
+and spreads each weight evenly over time (the same scheme nginx uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .flow import Action
+
+GROUP_ALL = "all"
+GROUP_SELECT = "select"
+
+
+@dataclass
+class Bucket:
+    """One group bucket: an action list plus a select weight."""
+
+    actions: Tuple[Action, ...]
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        self.actions = tuple(self.actions)
+        if self.weight <= 0:
+            raise ValueError("bucket weight must be positive")
+
+
+class GroupEntry:
+    """A group-table entry."""
+
+    def __init__(self, group_id: int, group_type: str, buckets: Sequence[Bucket]):
+        if group_type not in (GROUP_ALL, GROUP_SELECT):
+            raise ValueError("unknown group type: %r" % group_type)
+        if not buckets:
+            raise ValueError("group needs at least one bucket")
+        self.group_id = group_id
+        self.group_type = group_type
+        self.buckets: List[Bucket] = list(buckets)
+        self.packets = 0
+        # smooth-WRR state
+        self._current: List[int] = [0] * len(self.buckets)
+
+    def set_buckets(self, buckets: Sequence[Bucket]) -> None:
+        if not buckets:
+            raise ValueError("group needs at least one bucket")
+        self.buckets = list(buckets)
+        self._current = [0] * len(self.buckets)
+
+    def select_buckets(self) -> List[Bucket]:
+        """Return the bucket(s) a frame should take through this group."""
+        self.packets += 1
+        if self.group_type == GROUP_ALL:
+            return list(self.buckets)
+        return [self._select_one()]
+
+    def _select_one(self) -> Bucket:
+        total = 0
+        best = 0
+        for i, bucket in enumerate(self.buckets):
+            self._current[i] += bucket.weight
+            total += bucket.weight
+            if self._current[i] > self._current[best]:
+                best = i
+        self._current[best] -= total
+        return self.buckets[best]
+
+
+class GroupTable:
+    """All group entries of one switch."""
+
+    def __init__(self):
+        self._groups: Dict[int, GroupEntry] = {}
+
+    def add(self, entry: GroupEntry) -> GroupEntry:
+        self._groups[entry.group_id] = entry
+        return entry
+
+    def get(self, group_id: int) -> GroupEntry:
+        if group_id not in self._groups:
+            raise KeyError("no such group: %d" % group_id)
+        return self._groups[group_id]
+
+    def remove(self, group_id: int) -> None:
+        self._groups.pop(group_id, None)
+
+    def __contains__(self, group_id: int) -> bool:
+        return group_id in self._groups
+
+    def __len__(self) -> int:
+        return len(self._groups)

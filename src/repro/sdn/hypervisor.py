@@ -1,0 +1,200 @@
+"""SDN network hypervisor: isolated virtual SDN slices (§8).
+
+The paper defends Typhoon's cross-layer design by pointing at "SDN
+network hypervisors" (FlowVisor, OpenVirteX): data-center tenants get
+fully isolated virtual SDN slices, so a tenant application like Typhoon
+can program *its own* slice without conflicting with other cross-layer
+applications. This module provides that layer:
+
+* a :class:`NetworkHypervisor` sits between the physical switches and
+  per-tenant :class:`SliceController` instances,
+* each slice owns a set of 16-bit application address prefixes (the
+  app-id space used in Typhoon worker addressing),
+* southbound messages (FlowMod/GroupMod/PacketOut) are validated against
+  the slice's address space — a rule that could capture or inject
+  another tenant's traffic raises :class:`SliceViolation`,
+* northbound events are demultiplexed: PacketIns go to the slice owning
+  the frame's address space; PortStatus/FlowRemoved go to every slice
+  (topology visibility is shared; traffic is isolated).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..net.addresses import WorkerAddress
+from ..sim.costs import CostModel
+from ..sim.engine import Engine
+from .controller import SdnController
+from .flow import Match, SetDlDst
+from .openflow import (
+    FlowMod,
+    FlowRemoved,
+    GroupMod,
+    Message,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+)
+from .switch import SoftwareSwitch
+
+
+class SliceViolation(Exception):
+    """A slice tried to touch traffic outside its address space."""
+
+
+class SliceController(SdnController):
+    """A tenant's view of the network: an SdnController whose southbound
+    messages are policed by the hypervisor."""
+
+    def __init__(self, engine: Engine, costs: CostModel, name: str,
+                 app_ids: Set[int], hypervisor: "NetworkHypervisor"):
+        super().__init__(engine, costs, name=name)
+        self.app_ids = set(app_ids)
+        self.hypervisor = hypervisor
+        self.violations = 0
+
+    # The hypervisor connects the switches; slices must not bypass it.
+    def send(self, dpid: str, message: Message) -> None:
+        if dpid not in self.switches:
+            raise KeyError("no switch %r visible to slice %s"
+                           % (dpid, self.name))
+        try:
+            self.hypervisor.validate(self, message)
+        except SliceViolation:
+            self.violations += 1
+            raise
+        self.messages_sent += 1
+        self.engine.schedule(
+            self.costs.openflow_rtt / 2,
+            self.hypervisor.forward, dpid, message,
+        )
+
+
+class NetworkHypervisor:
+    """FlowVisor-like slicing proxy."""
+
+    def __init__(self, engine: Engine, costs: CostModel):
+        self.engine = engine
+        self.costs = costs
+        self.switches: Dict[str, SoftwareSwitch] = {}
+        self.slices: Dict[str, SliceController] = {}
+        self._owned_apps: Set[int] = set()
+        self.events_demuxed = 0
+        self.messages_forwarded = 0
+
+    # -- topology --------------------------------------------------------
+
+    def connect_switch(self, switch: SoftwareSwitch) -> None:
+        if switch.dpid in self.switches:
+            raise ValueError("switch %s already connected" % switch.dpid)
+        self.switches[switch.dpid] = switch
+        switch.connect_controller(
+            lambda message, dpid=switch.dpid: self._on_event(dpid, message))
+        for slice_controller in self.slices.values():
+            self._expose_switch(slice_controller, switch)
+
+    def create_slice(self, name: str, app_ids: Set[int]) -> SliceController:
+        """Carve out a slice owning the given application prefixes."""
+        if name in self.slices:
+            raise ValueError("slice %r exists" % name)
+        overlap = self._owned_apps & set(app_ids)
+        if overlap:
+            raise ValueError("app ids %s already sliced" % sorted(overlap))
+        slice_controller = SliceController(self.engine, self.costs, name,
+                                           set(app_ids), self)
+        self._owned_apps |= set(app_ids)
+        self.slices[name] = slice_controller
+        for switch in self.switches.values():
+            self._expose_switch(slice_controller, switch)
+        return slice_controller
+
+    def _expose_switch(self, slice_controller: SliceController,
+                       switch: SoftwareSwitch) -> None:
+        # Register visibility without re-pointing the switch's control
+        # channel (the hypervisor keeps it).
+        slice_controller.switches[switch.dpid] = switch
+        for app in slice_controller.apps:
+            app.on_switch_connected(switch)
+
+    # -- southbound: validation + forwarding -------------------------------
+
+    def forward(self, dpid: str, message: Message) -> None:
+        self.messages_forwarded += 1
+        self.switches[dpid].handle_message(message)
+
+    def validate(self, slice_controller: SliceController,
+                 message: Message) -> None:
+        app_ids = slice_controller.app_ids
+        if isinstance(message, FlowMod):
+            self._validate_match(app_ids, message.match)
+            self._validate_actions(app_ids, message.actions)
+        elif isinstance(message, GroupMod):
+            for bucket in message.buckets:
+                self._validate_actions(app_ids, bucket.actions)
+        elif isinstance(message, PacketOut):
+            frame = message.frame
+            if not self._address_ok(app_ids, frame.dst):
+                raise SliceViolation(
+                    "PacketOut to foreign address %s" % frame.dst)
+            self._validate_actions(app_ids, message.actions)
+        # Stats requests are read-only: switch-wide stats are permitted
+        # (FlowVisor-style slicing of counters is out of scope).
+
+    def _address_ok(self, app_ids: Set[int],
+                    address: Optional[WorkerAddress]) -> bool:
+        if address is None:
+            return True
+        if address.is_broadcast or address.is_controller:
+            return True
+        return address.app_id in app_ids
+
+    def _validate_match(self, app_ids: Set[int], match: Match) -> None:
+        if not self._address_ok(app_ids, match.dl_src):
+            raise SliceViolation("match on foreign source %s" % match.dl_src)
+        if not self._address_ok(app_ids, match.dl_dst):
+            raise SliceViolation(
+                "match on foreign destination %s" % match.dl_dst)
+        src_anchored = (match.dl_src is not None
+                        and not match.dl_src.is_broadcast)
+        dst_anchored = (match.dl_dst is not None
+                        and not match.dl_dst.is_broadcast
+                        and not match.dl_dst.is_controller)
+        if not src_anchored and not dst_anchored:
+            # A rule pinned to neither endpoint could capture another
+            # tenant's traffic (e.g. match-all, or broadcast-only from a
+            # shared tunnel port).
+            if match.in_port is None:
+                raise SliceViolation(
+                    "match (%s) not anchored to the slice's address space"
+                    % match.describe())
+
+    def _validate_actions(self, app_ids: Set[int], actions) -> None:
+        for action in actions:
+            if isinstance(action, SetDlDst):
+                if not self._address_ok(app_ids, action.address):
+                    raise SliceViolation(
+                        "rewrite to foreign address %s" % action.address)
+
+    # -- northbound: event demultiplexing --------------------------------------
+
+    def _on_event(self, dpid: str, message: Message) -> None:
+        self.events_demuxed += 1
+        if isinstance(message, PacketIn):
+            owner = self._owner_of(message.frame.src)
+            if owner is None:
+                owner = self._owner_of(message.frame.dst)
+            if owner is not None:
+                owner._receive(message)
+            return
+        # Port/flow lifecycle events are shared visibility.
+        for slice_controller in self.slices.values():
+            slice_controller._receive(message)
+
+    def _owner_of(self, address: WorkerAddress) -> Optional[SliceController]:
+        if address.is_broadcast or address.is_controller:
+            return None
+        for slice_controller in self.slices.values():
+            if address.app_id in slice_controller.app_ids:
+                return slice_controller
+        return None

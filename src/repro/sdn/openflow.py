@@ -1,0 +1,163 @@
+"""OpenFlow-like control-protocol messages.
+
+The Typhoon controller drives everything through this message set (§3.4):
+``FlowMod`` programs tuple routing, ``PacketOut`` injects control tuples,
+``PacketIn`` carries worker statistics responses back, ``PortStatus``
+signals worker attach/detach (the fault detector's trigger), and the
+stats request/reply pairs expose the cross-layer network statistics the
+control-plane applications consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..net.ethernet import EthernetFrame
+from .flow import Action, Match
+from .group import Bucket
+
+#: Virtual output port: re-submit the frame to the flow table.
+OFPP_TABLE = 0xFFFFFFF9
+
+ADD = "add"
+MODIFY = "modify"
+DELETE = "delete"
+DELETE_STRICT = "delete_strict"
+
+PORT_ADD = "add"
+PORT_DELETE = "delete"
+
+REASON_PACKET_OUT = "packet_out"
+REASON_ACTION = "action"
+REASON_IDLE_TIMEOUT = "idle_timeout"
+REASON_DELETE = "delete"
+
+
+@dataclass
+class Message:
+    """Base class for controller <-> switch messages."""
+
+
+@dataclass
+class FlowMod(Message):
+    """Install / delete flow rules."""
+
+    command: str
+    match: Match
+    actions: Tuple[Action, ...] = ()
+    priority: int = 100
+    idle_timeout: Optional[float] = None
+    cookie: int = 0
+
+    def __post_init__(self) -> None:
+        self.actions = tuple(self.actions)
+        if self.command not in (ADD, MODIFY, DELETE, DELETE_STRICT):
+            raise ValueError("bad FlowMod command: %r" % self.command)
+
+
+@dataclass
+class GroupMod(Message):
+    """Install / modify / delete a group entry."""
+
+    command: str
+    group_id: int
+    group_type: str = "select"
+    buckets: Tuple[Bucket, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.buckets = tuple(self.buckets)
+        if self.command not in (ADD, MODIFY, DELETE):
+            raise ValueError("bad GroupMod command: %r" % self.command)
+
+
+@dataclass
+class PacketOut(Message):
+    """Inject a frame into the switch data plane.
+
+    ``in_port`` is the nominal ingress (OFPP_CONTROLLER for control
+    tuples); actions usually either output to explicit ports or re-submit
+    to the flow table via ``Output(OFPP_TABLE)``.
+    """
+
+    frame: EthernetFrame
+    actions: Tuple[Action, ...]
+    in_port: int
+
+    def __post_init__(self) -> None:
+        self.actions = tuple(self.actions)
+
+
+@dataclass
+class PacketIn(Message):
+    """Frame delivered to the controller (e.g. METRIC_RESP control tuples)."""
+
+    dpid: str
+    frame: EthernetFrame
+    in_port: int
+    reason: str = REASON_ACTION
+
+
+@dataclass
+class PortStatus(Message):
+    """Port added/removed. Unexpected removals signal worker death (§4)."""
+
+    dpid: str
+    port_no: int
+    port_name: str
+    reason: str
+
+
+@dataclass
+class FlowRemoved(Message):
+    """A rule expired (idle timeout) or was deleted."""
+
+    dpid: str
+    match: Match
+    cookie: int
+    reason: str
+    packets: int
+    bytes: int
+
+
+@dataclass
+class FlowStatsRequest(Message):
+    match: Match = field(default_factory=Match)
+
+
+@dataclass
+class FlowStatsEntry:
+    match: Match
+    priority: int
+    cookie: int
+    packets: int
+    bytes: int
+    actions: Tuple[Action, ...] = ()
+
+
+@dataclass
+class FlowStatsReply(Message):
+    dpid: str
+    entries: List[FlowStatsEntry]
+
+
+@dataclass
+class PortStatsRequest(Message):
+    port_no: Optional[int] = None
+
+
+@dataclass
+class PortStatsEntry:
+    port_no: int
+    port_name: str
+    rx_packets: int
+    tx_packets: int
+    rx_bytes: int
+    tx_bytes: int
+    tx_dropped: int
+
+
+@dataclass
+class PortStatsReply(Message):
+    dpid: str
+    entries: List[PortStatsEntry]

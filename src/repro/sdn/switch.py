@@ -1,0 +1,350 @@
+"""Host-based software SDN switch (the DPDK-OVS stand-in).
+
+Each compute host runs one :class:`SoftwareSwitch`. Workers attach to
+numbered ports (shared-memory ring buffers in the prototype); one or more
+*tunnel* ports lead to peer hosts over host-level TCP tunnels (§3.3.1).
+
+Forwarding is modelled as a single busy-server: every packet occupies the
+switch for ``lookup + per-output copy`` virtual time, so an overloaded
+switch builds backlog and eventually drops (the TX-queue overflow the
+paper discusses in §8). Per-packet cost is far below per-tuple
+serialization cost, which is exactly why network-level replication beats
+application-level broadcast (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..net.ethernet import EthernetFrame
+from ..sim.costs import CostModel
+from ..sim.engine import Engine
+from .flow import (
+    OFPP_CONTROLLER,
+    Action,
+    FlowEntry,
+    FlowTable,
+    GroupAction,
+    Match,
+    Output,
+    SetDlDst,
+    SetTunnelDst,
+)
+from .group import GroupEntry, GroupTable
+from .openflow import (
+    ADD,
+    DELETE,
+    DELETE_STRICT,
+    MODIFY,
+    OFPP_TABLE,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsEntry,
+    FlowStatsReply,
+    FlowStatsRequest,
+    GroupMod,
+    Message,
+    PacketIn,
+    PacketOut,
+    PortStatsEntry,
+    PortStatsReply,
+    PortStatsRequest,
+    PortStatus,
+    REASON_ACTION,
+    REASON_DELETE,
+    REASON_IDLE_TIMEOUT,
+    PORT_ADD,
+    PORT_DELETE,
+)
+
+#: A port sink receives ``(frame, tun_dst)``; tun_dst is only meaningful
+#: for tunnel ports and carries the peer host selected by SetTunnelDst.
+PortSink = Callable[[EthernetFrame, Optional[str]], None]
+
+
+class SwitchPort:
+    """One switch port and its traffic counters."""
+
+    WORKER = "worker"
+    TUNNEL = "tunnel"
+
+    def __init__(self, number: int, name: str, sink: PortSink, kind: str):
+        self.number = number
+        self.name = name
+        self.sink = sink
+        self.kind = kind
+        self.up = True
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.rx_bytes = 0
+        self.tx_bytes = 0
+        self.tx_dropped = 0
+
+    def stats_entry(self) -> PortStatsEntry:
+        return PortStatsEntry(
+            port_no=self.number,
+            port_name=self.name,
+            rx_packets=self.rx_packets,
+            tx_packets=self.tx_packets,
+            rx_bytes=self.rx_bytes,
+            tx_bytes=self.tx_bytes,
+            tx_dropped=self.tx_dropped,
+        )
+
+
+class SoftwareSwitch:
+    """Flow-rule driven frame forwarding on one host."""
+
+    #: Maximum forwarding backlog before packets are dropped (models
+    #: bounded TX/RX rings).
+    MAX_BACKLOG_SECONDS = 0.005
+
+    def __init__(self, engine: Engine, costs: CostModel, dpid: str,
+                 idle_sweep_interval: float = 1.0):
+        self.engine = engine
+        self.costs = costs
+        self.dpid = dpid
+        self.flows = FlowTable()
+        self.groups = GroupTable()
+        self.ports: Dict[int, SwitchPort] = {}
+        self._next_port = 1
+        self._busy_until = 0.0
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        self.table_misses = 0
+        #: Set by the controller when it connects; receives event Messages.
+        self._to_controller: Optional[Callable[[Message], None]] = None
+        self._sweep_interval = idle_sweep_interval
+        self._sweeper = engine.process(self._sweep_idle(), name="sweep:%s" % dpid)
+
+    # -- controller connectivity ------------------------------------------
+
+    def connect_controller(self, deliver: Callable[[Message], None]) -> None:
+        self._to_controller = deliver
+
+    def _notify_controller(self, message: Message, delay: float) -> None:
+        if self._to_controller is None:
+            return
+        self.engine.schedule(delay, self._to_controller, message)
+
+    # -- port management -----------------------------------------------------
+
+    def add_port(self, name: str, sink: PortSink,
+                 kind: str = SwitchPort.WORKER) -> int:
+        number = self._next_port
+        self._next_port += 1
+        self.ports[number] = SwitchPort(number, name, sink, kind)
+        self._notify_controller(
+            PortStatus(self.dpid, number, name, PORT_ADD),
+            self.costs.port_event_latency,
+        )
+        return number
+
+    def remove_port(self, number: int) -> None:
+        """Detach a port. The controller learns via PortStatus — this is
+        the signal the fault detector reacts to (§4)."""
+        port = self.ports.pop(number, None)
+        if port is None:
+            return
+        self._notify_controller(
+            PortStatus(self.dpid, number, port.name, PORT_DELETE),
+            self.costs.port_event_latency,
+        )
+
+    def port_by_name(self, name: str) -> Optional[SwitchPort]:
+        for port in self.ports.values():
+            if port.name == name:
+                return port
+        return None
+
+    # -- OpenFlow message handling -------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        """Apply a controller message (already delivered over the control
+        channel; FlowMods additionally pay the rule-installation latency)."""
+        if isinstance(message, FlowMod):
+            self.engine.schedule(
+                self.costs.flow_install_latency, self._apply_flow_mod, message
+            )
+        elif isinstance(message, GroupMod):
+            self.engine.schedule(
+                self.costs.flow_install_latency, self._apply_group_mod, message
+            )
+        elif isinstance(message, PacketOut):
+            self._apply_packet_out(message)
+        elif isinstance(message, FlowStatsRequest):
+            self._reply_flow_stats(message)
+        elif isinstance(message, PortStatsRequest):
+            self._reply_port_stats(message)
+        else:
+            raise TypeError("switch cannot handle %r" % (message,))
+
+    def _apply_flow_mod(self, mod: FlowMod) -> None:
+        if mod.command == ADD or mod.command == MODIFY:
+            entry = FlowEntry(
+                match=mod.match,
+                actions=mod.actions,
+                priority=mod.priority,
+                idle_timeout=mod.idle_timeout,
+                cookie=mod.cookie,
+            )
+            self.flows.add(entry, now=self.engine.now)
+        elif mod.command in (DELETE, DELETE_STRICT):
+            strict = mod.command == DELETE_STRICT
+            removed = self.flows.remove(mod.match, strict=strict,
+                                        priority=mod.priority if strict else None)
+            for entry in removed:
+                self._notify_controller(
+                    FlowRemoved(self.dpid, entry.match, entry.cookie,
+                                REASON_DELETE, entry.packets, entry.bytes),
+                    self.costs.openflow_rtt / 2,
+                )
+
+    def _apply_group_mod(self, mod: GroupMod) -> None:
+        if mod.command == ADD:
+            self.groups.add(GroupEntry(mod.group_id, mod.group_type,
+                                       list(mod.buckets)))
+        elif mod.command == MODIFY:
+            self.groups.get(mod.group_id).set_buckets(list(mod.buckets))
+        elif mod.command == DELETE:
+            self.groups.remove(mod.group_id)
+
+    def _apply_packet_out(self, message: PacketOut) -> None:
+        self._run_actions(message.frame, message.actions, message.in_port,
+                          tun_dst=None)
+
+    def _reply_flow_stats(self, request: FlowStatsRequest) -> None:
+        entries = [
+            FlowStatsEntry(e.match, e.priority, e.cookie, e.packets, e.bytes,
+                           e.actions)
+            for e in self.flows
+            if request.match.covers(e.match)
+        ]
+        self._notify_controller(
+            FlowStatsReply(self.dpid, entries), self.costs.openflow_rtt / 2
+        )
+
+    def _reply_port_stats(self, request: PortStatsRequest) -> None:
+        if request.port_no is None:
+            ports = list(self.ports.values())
+        else:
+            ports = [p for p in self.ports.values() if p.number == request.port_no]
+        self._notify_controller(
+            PortStatsReply(self.dpid, [p.stats_entry() for p in ports]),
+            self.costs.openflow_rtt / 2,
+        )
+
+    # -- data plane -------------------------------------------------------------
+
+    def inject(self, in_port: int, frame: EthernetFrame) -> bool:
+        """Receive a frame on ``in_port`` and forward it.
+
+        Returns False when the frame was dropped (backlog or table miss).
+        """
+        port = self.ports.get(in_port)
+        if port is not None:
+            port.rx_packets += 1
+            port.rx_bytes += len(frame)
+
+        backlog = self._busy_until - self.engine.now
+        if backlog > self.MAX_BACKLOG_SECONDS:
+            self.packets_dropped += 1
+            return False
+
+        entry = self.flows.lookup(frame, in_port)
+        if entry is None:
+            self.table_misses += 1
+            return False
+        entry.touch(self.engine.now, len(frame))
+
+        cost = self.costs.switch_lookup_per_packet
+        start = max(self.engine.now, self._busy_until)
+        finish = start + cost
+        self._busy_until = finish
+        self.packets_forwarded += 1
+        self._run_actions(frame, entry.actions, in_port, tun_dst=None,
+                          ready_at=finish)
+        return True
+
+    def _run_actions(
+        self,
+        frame: EthernetFrame,
+        actions,
+        in_port: int,
+        tun_dst: Optional[str],
+        ready_at: Optional[float] = None,
+    ) -> None:
+        """Execute an action list; copies pay per-output switch time."""
+        if ready_at is None:
+            ready_at = self.engine.now
+        current = frame
+        for action in actions:
+            if isinstance(action, SetTunnelDst):
+                tun_dst = action.host
+            elif isinstance(action, SetDlDst):
+                current = current.with_dst(action.address)
+            elif isinstance(action, GroupAction):
+                group = self.groups.get(action.group_id)
+                for bucket in group.select_buckets():
+                    self._run_actions(current, bucket.actions, in_port,
+                                      tun_dst, ready_at)
+            elif isinstance(action, Output):
+                ready_at = self._output(current, action.port, in_port,
+                                        tun_dst, ready_at)
+            else:
+                raise TypeError("unknown action %r" % (action,))
+
+    def _output(
+        self,
+        frame: EthernetFrame,
+        out_port: int,
+        in_port: int,
+        tun_dst: Optional[str],
+        ready_at: float,
+    ) -> float:
+        copy_cost = (
+            self.costs.switch_copy_per_output
+            + len(frame) * self.costs.switch_copy_per_byte
+        )
+        finish = max(ready_at, self._busy_until) + copy_cost
+        self._busy_until = finish
+
+        if out_port == OFPP_CONTROLLER:
+            self._notify_controller(
+                PacketIn(self.dpid, frame, in_port, REASON_ACTION),
+                (finish - self.engine.now) + self.costs.openflow_rtt / 2,
+            )
+            return finish
+        if out_port == OFPP_TABLE:
+            entry = self.flows.lookup(frame, in_port)
+            if entry is None:
+                self.table_misses += 1
+                return finish
+            entry.touch(self.engine.now, len(frame))
+            self._run_actions(frame, entry.actions, in_port, tun_dst, finish)
+            return self._busy_until
+
+        port = self.ports.get(out_port)
+        if port is None or not port.up:
+            self.packets_dropped += 1
+            return finish
+        port.tx_packets += 1
+        port.tx_bytes += len(frame)
+        delay = (finish - self.engine.now) + self.costs.loopback_latency
+        self.engine.schedule(delay, port.sink, frame, tun_dst)
+        return finish
+
+    # -- idle-timeout sweeper ------------------------------------------------------
+
+    def _sweep_idle(self):
+        while True:
+            yield self._sweep_interval
+            for entry in self.flows.expire_idle(self.engine.now):
+                self._notify_controller(
+                    FlowRemoved(self.dpid, entry.match, entry.cookie,
+                                REASON_IDLE_TIMEOUT, entry.packets, entry.bytes),
+                    self.costs.openflow_rtt / 2,
+                )
+
+    def shutdown(self) -> None:
+        self._sweeper.interrupt("switch shutdown")

@@ -1,0 +1,53 @@
+"""Discrete-event simulation kernel: clock, processes, queues, metrics."""
+
+from .costs import DEFAULT_COSTS, MS, US, CostModel, transmission_delay
+from .faults import (
+    FaultPlan,
+    InjectedWorkerFault,
+    crash_loop,
+    host_failure_at,
+    kill_worker_at,
+)
+from .engine import (
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopEngine,
+    Timer,
+)
+from .metrics import Counter, Distribution, MetricsRegistry, RateMeter, TimeSeries
+from .queues import BLOCK, DROP, Store
+from .rng import SeedFactory, as_factory, derive_seed
+
+__all__ = [
+    "BLOCK",
+    "DROP",
+    "DEFAULT_COSTS",
+    "MS",
+    "US",
+    "Counter",
+    "CostModel",
+    "Distribution",
+    "Engine",
+    "FaultPlan",
+    "InjectedWorkerFault",
+    "Event",
+    "Interrupt",
+    "MetricsRegistry",
+    "Process",
+    "RateMeter",
+    "SeedFactory",
+    "SimulationError",
+    "StopEngine",
+    "Store",
+    "TimeSeries",
+    "Timer",
+    "as_factory",
+    "crash_loop",
+    "host_failure_at",
+    "kill_worker_at",
+    "derive_seed",
+    "transmission_delay",
+]

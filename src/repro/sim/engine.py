@@ -1,0 +1,326 @@
+"""Discrete-event simulation kernel.
+
+Everything in this reproduction — hosts, switches, workers, controllers —
+runs on a single deterministic virtual clock owned by an :class:`Engine`.
+Concurrency is expressed with generator-based processes (in the style of
+SimPy): a process is a generator that yields *waitables* and is resumed by
+the engine when the waitable completes.
+
+A process may yield:
+
+* a ``float``/``int`` — sleep for that many virtual seconds,
+* an :class:`Event` — wait until the event is triggered; the ``yield``
+  expression evaluates to the event's value,
+* a :class:`Process` — wait for another process to finish (processes are
+  events that trigger on completion).
+
+The engine is strictly deterministic: events scheduled for the same virtual
+time fire in scheduling order (FIFO), so repeated runs with the same seeds
+produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class StopEngine(Exception):
+    """Raised inside a callback to halt the event loop immediately."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the object passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*; it is completed exactly once with either
+    :meth:`succeed` or :meth:`fail`. Callbacks registered before completion
+    run (in registration order) when the event fires; callbacks registered
+    after completion run immediately.
+    """
+
+    _PENDING = object()
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.value: Any = Event._PENDING
+        self.failed = False
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self.value is not Event._PENDING
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._callbacks is None:
+            # Already fired: deliver on the spot to preserve ordering
+            # guarantees for late subscribers.
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.value = value
+        self._fire()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.value = exception
+        self.failed = True
+        self._fire()
+        return self
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        for callback in callbacks or ():
+            callback(self)
+
+
+class Timer(Event):
+    """An event that fires after a fixed virtual-time delay.
+
+    Timers may be cancelled before they fire; a cancelled timer never
+    triggers and resumes nobody.
+    """
+
+    def __init__(self, engine: "Engine", delay: float):
+        super().__init__(engine)
+        if delay < 0:
+            raise ValueError("timer delay must be >= 0, got %r" % delay)
+        self.deadline = engine.now + delay
+        self.cancelled = False
+        engine._push(self.deadline, self._expire)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def _expire(self) -> None:
+        if not self.cancelled and not self.triggered:
+            self.succeed(None)
+
+
+class Process(Event):
+    """A running generator coroutine; completes when the generator returns.
+
+    The process's :class:`Event` value is the generator's return value
+    (``StopIteration.value``). A crashed process stores the exception and is
+    marked failed; waiting on a failed process re-raises the exception unless
+    the waiter handles it.
+    """
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        super().__init__(engine)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._alive = True
+        # Start on the next engine tick so the creator finishes its own step
+        # first; this keeps creation order from mattering.
+        engine._push(engine.now, lambda: self._step(None, None))
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op, which makes teardown
+        code simpler (kill paths often race with natural completion).
+        """
+        if not self._alive:
+            return
+        self.engine._push(self.engine.now, lambda: self._deliver_interrupt(cause))
+
+    def _deliver_interrupt(self, cause: Any) -> None:
+        if not self._alive:
+            return
+        # Cancel an abandoned sleep so it cannot needlessly advance the
+        # clock after the process has moved on.
+        if isinstance(self._waiting_on, Timer):
+            self._waiting_on.cancel()
+        self._waiting_on = None
+        self._step(None, Interrupt(cause))
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self._alive:
+            return
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to catch its own interrupt: treat as a
+            # clean cancellation rather than a crash.
+            self._alive = False
+            self.succeed(None)
+            return
+        except StopEngine:
+            raise
+        except BaseException as error:  # crash: propagate to waiters
+            self._alive = False
+            self.fail(error)
+            if self._callbacks is None and not self._had_waiters:
+                raise
+            return
+        self._wait_on(target)
+
+    # Tracks whether anyone observed the failure; see _step.
+    _had_waiters = False
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        self._had_waiters = True
+        super().add_callback(callback)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            target = Timer(self.engine, float(target))
+        if not isinstance(target, Event):
+            raise SimulationError(
+                "process %s yielded %r; expected a delay, Event or Process"
+                % (self.name, target)
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if not self._alive or self._waiting_on is not event:
+            return  # stale wake-up after an interrupt redirected us
+        self._waiting_on = None
+        if event.failed:
+            self._step(None, event.value)
+        else:
+            self._step(event.value, None)
+
+
+class Engine:
+    """The event loop: a priority queue of (time, seq, callback) entries."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    # -- scheduling ------------------------------------------------------
+
+    def _push(self, when: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), callback))
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0, got %r" % delay)
+        self._push(self.now + delay, lambda: callback(*args))
+
+    def timeout(self, delay: float) -> Timer:
+        """Return an event that fires after ``delay`` virtual seconds."""
+        return Timer(self, delay)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator as a concurrent process."""
+        return Process(self, generator, name=name)
+
+    # -- composite waits -------------------------------------------------
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event that fires when every input event has fired."""
+        events = list(events)
+        gate = self.event()
+        remaining = [len(events)]
+        if not events:
+            gate.succeed([])
+            return gate
+        results: List[Any] = [None] * len(events)
+
+        def make(index: int) -> Callable[[Event], None]:
+            def on_done(ev: Event) -> None:
+                results[index] = ev.value
+                remaining[0] -= 1
+                if remaining[0] == 0 and not gate.triggered:
+                    gate.succeed(results)
+
+            return on_done
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make(i))
+        return gate
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Event that fires when the first input event fires."""
+        gate = self.event()
+
+        def on_done(ev: Event) -> None:
+            if not gate.triggered:
+                gate.succeed(ev)
+
+        for ev in events:
+            ev.add_callback(on_done)
+        return gate
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the event loop.
+
+        With ``until``, stops once the clock would pass that time (the clock
+        is left exactly at ``until``). Without it, runs until no events
+        remain. Returns the final clock value.
+        """
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        try:
+            while self._heap:
+                when, _seq, callback = self._heap[0]
+                # Cancelled timers are dead weight: drop them without
+                # advancing the clock.
+                owner = getattr(callback, "__self__", None)
+                if isinstance(owner, Timer) and (owner.cancelled
+                                                 or owner.triggered):
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._heap)
+                self.now = when
+                try:
+                    callback()
+                except StopEngine:
+                    break
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def stop(self) -> None:
+        """Halt :meth:`run` from inside a callback/process."""
+        raise StopEngine()

@@ -1,0 +1,136 @@
+"""Failure injection for experiments and tests.
+
+The evaluation's failure scenarios (Fig. 10's NullPointerException,
+Fig. 11's OutOfMemoryError) are baked into workload components; this
+module provides *external* injectors that operate on a running cluster,
+so any topology can be subjected to failures without modifying its code:
+
+* :func:`kill_worker_at` — crash a specific worker at a virtual time;
+* :func:`crash_loop` — keep re-crashing a worker as it restarts (the
+  persistent-fault mode of Fig. 10);
+* :func:`host_failure_at` — take down every worker on a host at once;
+* :class:`FaultPlan` — compose a schedule of injections and account for
+  what actually fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .engine import Engine, Interrupt, Process
+
+
+class InjectedWorkerFault(RuntimeError):
+    """The error used for externally injected worker crashes."""
+
+
+def _crash(cluster, worker_id: int, reason: str) -> bool:
+    executor = cluster.executor(worker_id)
+    if executor is None or not executor.alive:
+        return False
+    executor._crash(InjectedWorkerFault(reason))
+    return True
+
+
+def kill_worker_at(cluster, worker_id: int, when: float,
+                   reason: str = "injected fault") -> None:
+    """Crash one worker at virtual time ``when`` (one-shot)."""
+    delay = when - cluster.engine.now
+    if delay < 0:
+        raise ValueError("injection time is in the past")
+    cluster.engine.schedule(delay, _crash, cluster, worker_id, reason)
+
+
+def crash_loop(cluster, worker_id: int, start: float,
+               recheck_interval: float = 0.2,
+               until: Optional[float] = None) -> Process:
+    """Persistently crash a worker: every restart dies again (the
+    Fig. 10 failure mode, injected externally)."""
+    engine: Engine = cluster.engine
+
+    def loop():
+        if start > engine.now:
+            yield start - engine.now
+        while until is None or engine.now < until:
+            _crash(cluster, worker_id, "persistent injected fault")
+            try:
+                yield recheck_interval
+            except Interrupt:
+                return
+
+    return engine.process(loop(), name="crash-loop:%d" % worker_id)
+
+
+def host_failure_at(cluster, hostname: str, when: float) -> None:
+    """Crash every worker running on a host at time ``when``.
+
+    Models a machine loss as seen by the framework: every worker dies at
+    once (in Typhoon, every port on that host's switch disappears and
+    the fault detector reroutes around all of them)."""
+
+    def fail_host() -> None:
+        agent = cluster.manager.agents.get(hostname)
+        if agent is None:
+            return
+        for worker_id in list(agent.workers):
+            _crash(cluster, worker_id, "host %s failed" % hostname)
+
+    delay = when - cluster.engine.now
+    if delay < 0:
+        raise ValueError("injection time is in the past")
+    cluster.engine.schedule(delay, fail_host)
+
+
+@dataclass
+class _Injection:
+    when: float
+    description: str
+    action: Callable[[], None]
+    fired: bool = False
+
+
+class FaultPlan:
+    """A declarative schedule of fault injections against one cluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.injections: List[_Injection] = []
+
+    def kill_worker(self, worker_id: int, when: float) -> "FaultPlan":
+        injection = _Injection(when, "kill worker %d" % worker_id,
+                               lambda: _crash(self.cluster, worker_id,
+                                              "planned kill"))
+        self.injections.append(injection)
+        return self
+
+    def fail_host(self, hostname: str, when: float) -> "FaultPlan":
+        def action() -> None:
+            agent = self.cluster.manager.agents.get(hostname)
+            if agent is None:
+                return
+            for worker_id in list(agent.workers):
+                _crash(self.cluster, worker_id, "host failure")
+
+        self.injections.append(
+            _Injection(when, "fail host %s" % hostname, action))
+        return self
+
+    def arm(self) -> "FaultPlan":
+        """Schedule every injection on the engine."""
+        now = self.cluster.engine.now
+        for injection in self.injections:
+            if injection.when < now:
+                raise ValueError("injection %r is in the past"
+                                 % injection.description)
+
+            def fire(injection=injection):
+                injection.fired = True
+                injection.action()
+
+            self.cluster.engine.schedule(injection.when - now, fire)
+        return self
+
+    @property
+    def fired(self) -> List[str]:
+        return [i.description for i in self.injections if i.fired]

@@ -1,0 +1,250 @@
+"""Measurement utilities for experiments.
+
+The paper's evaluation reports three kinds of data, all reproduced here:
+
+* per-second throughput time series (Figs. 10, 11, 12, 14) —
+  :class:`RateMeter`,
+* end-to-end latency CDFs (Figs. 8c, 8d) — :class:`Distribution`,
+* steady-state throughput bars (Figs. 8a, 8b, 9) — :class:`RateMeter`
+  totals over a measurement window.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .engine import Engine
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class TimeSeries:
+    """Ordered (time, value) samples."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("time series must be recorded in time order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def value_at(self, time: float) -> float:
+        """Last value recorded at or before ``time`` (0.0 before any)."""
+        index = bisect.bisect_right(self.times, time) - 1
+        if index < 0:
+            return 0.0
+        return self.values[index]
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        out = TimeSeries(self.name)
+        for t, v in self:
+            if start <= t <= end:
+                out.record(t, v)
+        return out
+
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+
+class RateMeter:
+    """Counts events and buckets them into a per-interval rate series.
+
+    ``mark(n)`` records ``n`` events at the engine's current time. The
+    resulting series reports events/second per bucket, matching the
+    "# Tuples/sec over time" plots in the paper.
+    """
+
+    def __init__(self, engine: Engine, name: str = "", interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.name = name
+        self.interval = interval
+        self.total = 0
+        self._buckets: Dict[int, int] = {}
+        self._start_time: Optional[float] = None
+        self._last_time: Optional[float] = None
+
+    def mark(self, count: int = 1) -> None:
+        now = self.engine.now
+        if self._start_time is None:
+            self._start_time = now
+        self._last_time = now
+        self.total += count
+        self._buckets[int(now // self.interval)] = (
+            self._buckets.get(int(now // self.interval), 0) + count
+        )
+
+    def reset(self) -> None:
+        self.total = 0
+        self._buckets.clear()
+        self._start_time = None
+        self._last_time = None
+
+    def series(self, start: float = 0.0, end: Optional[float] = None) -> TimeSeries:
+        """Per-bucket rate series; empty buckets report 0."""
+        out = TimeSeries(self.name)
+        if end is None:
+            end = self.engine.now
+        first = int(start // self.interval)
+        last = int(math.ceil(end / self.interval))
+        for bucket in range(first, last):
+            count = self._buckets.get(bucket, 0)
+            out.record(bucket * self.interval, count / self.interval)
+        return out
+
+    def rate(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Average events/second over [start, end] (defaults: full run).
+
+        Buckets partially covered by the window contribute pro rata, so
+        sub-bucket windows measure correctly.
+        """
+        if end is None:
+            end = self.engine.now
+        if start is None:
+            start = self._start_time or 0.0
+        duration = end - start
+        if duration <= 0:
+            return 0.0
+        total = 0.0
+        for bucket, count in self._buckets.items():
+            bucket_start = bucket * self.interval
+            bucket_end = bucket_start + self.interval
+            overlap = min(end, bucket_end) - max(start, bucket_start)
+            if overlap > 0:
+                total += count * (overlap / self.interval)
+        return total / duration
+
+
+class Distribution:
+    """Collects scalar samples; reports percentiles and CDF points."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def _ensure_sorted(self) -> List[float]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        data = self._ensure_sorted()
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return data[low]
+        frac = rank - low
+        return data[low] * (1 - frac) + data[high] * frac
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return sum(self._samples) / len(self._samples)
+
+    def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
+        """Return up to ``points`` (value, cumulative_fraction) pairs."""
+        data = self._ensure_sorted()
+        if not data:
+            return []
+        n = len(data)
+        if n <= points:
+            return [(v, (i + 1) / n) for i, v in enumerate(data)]
+        step = n / points
+        out = []
+        for k in range(points):
+            i = min(n - 1, int(round((k + 1) * step)) - 1)
+            out.append((data[i], (i + 1) / n))
+        return out
+
+    def fraction_below(self, threshold: float) -> float:
+        data = self._ensure_sorted()
+        if not data:
+            return 0.0
+        return bisect.bisect_right(data, threshold) / len(data)
+
+
+class MetricsRegistry:
+    """Named registry so components can publish metrics without plumbing."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.meters: Dict[str, RateMeter] = {}
+        self.counters: Dict[str, Counter] = {}
+        self.distributions: Dict[str, Distribution] = {}
+        self.series: Dict[str, TimeSeries] = {}
+
+    def meter(self, name: str, interval: float = 1.0) -> RateMeter:
+        if name not in self.meters:
+            self.meters[name] = RateMeter(self.engine, name, interval)
+        return self.meters[name]
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def distribution(self, name: str) -> Distribution:
+        if name not in self.distributions:
+            self.distributions[name] = Distribution(name)
+        return self.distributions[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]

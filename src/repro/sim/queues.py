@@ -1,0 +1,165 @@
+"""Queues connecting simulation processes.
+
+:class:`Store` is the workhorse: a FIFO channel with optional capacity.
+Producers either *drop* on overflow (modelling switch TX rings — §8 of the
+paper discusses switch-level tuple drops) or *block* (modelling TCP
+backpressure in the Storm baseline). Consumers wait on :meth:`Store.get`.
+
+Stores also track occupancy statistics (peak depth, drop counts, byte
+footprint) because several control-plane applications in the paper —
+notably the auto-scaler — act on queue levels reported by workers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from .engine import Engine, Event
+
+DROP = "drop"
+BLOCK = "block"
+
+
+class Store:
+    """FIFO channel between processes with optional capacity.
+
+    Parameters
+    ----------
+    engine:
+        Owning simulation engine.
+    capacity:
+        Maximum queued items; ``None`` means unbounded.
+    overflow:
+        ``"drop"`` (default) discards the newest item when full;
+        ``"block"`` makes :meth:`put` return a pending event the producer
+        must wait on.
+    sizer:
+        Optional callable mapping an item to its byte footprint, used to
+        maintain :attr:`bytes_queued` (the auto-scaler benchmarks use this
+        to model worker memory pressure / OOM).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: Optional[int] = None,
+        overflow: str = DROP,
+        sizer: Optional[Callable[[Any], int]] = None,
+    ):
+        if overflow not in (DROP, BLOCK):
+            raise ValueError("overflow must be 'drop' or 'block'")
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.engine = engine
+        self.capacity = capacity
+        self.overflow = overflow
+        self.sizer = sizer
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+        self.put_count = 0
+        self.drop_count = 0
+        self.peak_depth = 0
+        self.bytes_queued = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def _accept(self, item: Any) -> None:
+        self.put_count += 1
+        if self.sizer is not None:
+            self.bytes_queued += self.sizer(item)
+        # Hand straight to a waiting consumer when one exists; otherwise
+        # enqueue. Waiters are resumed in FIFO order.
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                if self.sizer is not None:
+                    self.bytes_queued -= self.sizer(item)
+                getter.succeed(item)
+                return
+        self._items.append(item)
+        if len(self._items) > self.peak_depth:
+            self.peak_depth = len(self._items)
+
+    def put(self, item: Any) -> Any:
+        """Offer ``item`` to the store.
+
+        * Unbounded or non-full store: item accepted; returns ``True``.
+        * Full + ``overflow="drop"``: item discarded; returns ``False``.
+        * Full + ``overflow="block"``: returns a pending :class:`Event`
+          the producer must ``yield``; the item is delivered when space
+          frees up.
+        """
+        if not self.full:
+            self._accept(item)
+            return True
+        if self.overflow == DROP:
+            self.drop_count += 1
+            return False
+        gate = self.engine.event()
+        self._putters.append((gate, item))
+        return gate
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        gate = self.engine.event()
+        if self._items:
+            item = self._items.popleft()
+            if self.sizer is not None:
+                self.bytes_queued -= self.sizer(item)
+            gate.succeed(item)
+            self._admit_blocked_putter()
+        else:
+            self._getters.append(gate)
+        return gate
+
+    def get_nowait(self) -> Tuple[bool, Any]:
+        """Non-blocking take: returns ``(True, item)`` or ``(False, None)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        if self.sizer is not None:
+            self.bytes_queued -= self.sizer(item)
+        self._admit_blocked_putter()
+        return True, item
+
+    def drain(self) -> list:
+        """Remove and return all queued items (blocked putters admitted)."""
+        items = list(self._items)
+        self._items.clear()
+        if self.sizer is not None:
+            self.bytes_queued = 0
+        while self._putters and not self.full:
+            self._admit_blocked_putter()
+        return items
+
+    def _admit_blocked_putter(self) -> None:
+        while self._putters and not self.full:
+            gate, item = self._putters.popleft()
+            if gate.triggered:
+                continue
+            self._accept(item)
+            gate.succeed(True)
+            break
+
+    def cancel_waiters(self, error: Optional[BaseException] = None) -> None:
+        """Fail every pending getter/putter (used when killing a worker)."""
+        error = error or RuntimeError("store closed")
+        while self._getters:
+            gate = self._getters.popleft()
+            if not gate.triggered:
+                gate.fail(error)
+        while self._putters:
+            gate, _item = self._putters.popleft()
+            if not gate.triggered:
+                gate.fail(error)

@@ -1,0 +1,71 @@
+"""Guaranteed processing: the acker component (§6.1, "tuple forwarding
+with reliability guarantee").
+
+Storm's scheme, reproduced faithfully: every tuple tree is tracked by a
+64-bit XOR ledger keyed by the root tuple id. The spout sends an INIT
+entry with the root's first edge id; every bolt that finishes processing
+an anchored tuple sends ``input_edge_id XOR (xor of emitted edge ids)``.
+When a root's ledger reaches zero, every edge was both created and
+consumed exactly once, so the tree is fully processed and the acker sends
+COMPLETE back to the originating spout worker (which records end-to-end
+latency — the measurement behind Figs. 8c/8d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .executor import ACK_ACK, ACK_COMPLETE, ACK_INIT
+from .topology import Bolt, EmitterApi
+from .tuples import ACK_STREAM, StreamTuple
+
+ACKER_COMPONENT = "__acker__"
+
+
+@dataclass
+class _Ledger:
+    value: int
+    spout_worker: int
+
+
+class AckerBolt(Bolt):
+    """Framework-provided bolt maintaining the XOR ledgers."""
+
+    def __init__(self):
+        self.ledgers: Dict[int, _Ledger] = {}
+        self.completed = 0
+        self.initialized = 0
+
+    def execute(self, stream_tuple: StreamTuple, collector: EmitterApi) -> None:
+        kind, root_id, value, src_worker = stream_tuple.values
+        if kind == ACK_INIT:
+            self.initialized += 1
+            existing = self.ledgers.get(root_id)
+            if existing is None:
+                self.ledgers[root_id] = _Ledger(value, src_worker)
+            else:
+                # Ack from a bolt raced ahead of the spout's init.
+                existing.value ^= value
+                existing.spout_worker = src_worker
+                self._maybe_complete(root_id, collector)
+        elif kind == ACK_ACK:
+            ledger = self.ledgers.get(root_id)
+            if ledger is None:
+                # Ack before init: remember the partial XOR.
+                self.ledgers[root_id] = _Ledger(value, -1)
+            else:
+                ledger.value ^= value
+                self._maybe_complete(root_id, collector)
+
+    def _maybe_complete(self, root_id: int, collector: EmitterApi) -> None:
+        ledger = self.ledgers.get(root_id)
+        if ledger is None or ledger.value != 0 or ledger.spout_worker < 0:
+            return
+        del self.ledgers[root_id]
+        self.completed += 1
+        collector.emit_direct(
+            ledger.spout_worker,
+            (ACK_COMPLETE, root_id, 0, -1),
+            stream=ACK_STREAM,
+        )

@@ -1,0 +1,156 @@
+"""Per-host worker agents (Storm's supervisors).
+
+A :class:`WorkerAgent` launches and kills workers on its host on behalf
+of the streaming manager (binary fetch + process start are modelled by
+``worker_launch_latency``), restarts locally-crashed workers after
+``supervisor_restart_delay`` (Storm's behaviour in Fig. 10a), and writes
+worker heartbeats into the coordinator.
+
+The actual construction of a :class:`WorkerExecutor` — transports differ
+between the Storm baseline and Typhoon — is delegated to the cluster
+runtime through the ``worker_factory`` callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..coordination.schema import GlobalState
+from ..sim.costs import CostModel
+from ..sim.engine import Engine, Interrupt
+from .executor import WorkerExecutor
+from .physical import WorkerAssignment
+
+#: Builds and wires a ready-to-start executor for an assignment.
+WorkerFactory = Callable[[WorkerAssignment], WorkerExecutor]
+
+#: Invoked when a worker crashes: (agent, executor, error).
+CrashListener = Callable[["WorkerAgent", WorkerExecutor, BaseException], None]
+
+
+class WorkerAgent:
+    """One agent per compute host."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        costs: CostModel,
+        hostname: str,
+        state: GlobalState,
+        worker_factory: WorkerFactory,
+        restart_crashed: bool = True,
+    ):
+        self.engine = engine
+        self.costs = costs
+        self.hostname = hostname
+        self.state = state
+        self.worker_factory = worker_factory
+        self.restart_crashed = restart_crashed
+        self.workers: Dict[int, WorkerExecutor] = {}
+        self._assignments: Dict[int, Tuple[str, WorkerAssignment]] = {}
+        self._launch_times: Dict[int, float] = {}
+        self._forgotten: set = set()
+        self.crash_listeners: List[CrashListener] = []
+        self.launches = 0
+        self.restarts = 0
+        state.register_agent(hostname, {"hostname": hostname})
+        self._beat_task = engine.process(self._beat_loop(),
+                                         name="agent-beats:%s" % hostname)
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def launch(self, topology_id: str, assignment: WorkerAssignment,
+               delay: Optional[float] = None) -> None:
+        """Fetch binaries and start a worker (asynchronously)."""
+        if assignment.hostname != self.hostname:
+            raise ValueError("assignment for %s handed to agent on %s"
+                             % (assignment.hostname, self.hostname))
+        self._forgotten.discard(assignment.worker_id)
+        self._assignments[assignment.worker_id] = (topology_id, assignment)
+        wait = self.costs.worker_launch_latency if delay is None else delay
+        self.engine.schedule(wait, self._start_worker, topology_id, assignment)
+
+    def _start_worker(self, topology_id: str,
+                      assignment: WorkerAssignment) -> None:
+        worker_id = assignment.worker_id
+        if worker_id in self._forgotten:
+            return
+        held = self._assignments.get(worker_id)
+        if held is None or held[1] is not assignment:
+            return  # superseded by a newer assignment while launching
+        executor = self.worker_factory(assignment)
+        executor.on_crash = self._on_crash
+        self.workers[worker_id] = executor
+        self._launch_times[worker_id] = self.engine.now
+        self.launches += 1
+        executor.start()
+
+    def kill(self, worker_id: int, drain: bool = False) -> None:
+        """Kill a worker and forget its assignment (no restart)."""
+        self._forgotten.add(worker_id)
+        held = self._assignments.pop(worker_id, None)
+        executor = self.workers.pop(worker_id, None)
+        self._launch_times.pop(worker_id, None)
+        if executor is not None:
+            executor.kill(drain=drain)
+        if held is not None:
+            self.state.clear_beat(held[0], worker_id)
+
+    def forget(self, worker_id: int) -> None:
+        """Drop responsibility without killing (relocation handoff)."""
+        self._forgotten.add(worker_id)
+        self._assignments.pop(worker_id, None)
+        self.workers.pop(worker_id, None)
+        self._launch_times.pop(worker_id, None)
+
+    def uptime(self, worker_id: int) -> Optional[float]:
+        started = self._launch_times.get(worker_id)
+        executor = self.workers.get(worker_id)
+        if started is None or executor is None or not executor.alive:
+            return None
+        return self.engine.now - started
+
+    # -- crash handling ------------------------------------------------------------
+
+    def _on_crash(self, executor: WorkerExecutor, error: BaseException) -> None:
+        worker_id = executor.worker_id
+        for listener in list(self.crash_listeners):
+            listener(self, executor, error)
+        held = self._assignments.get(worker_id)
+        if held is None or worker_id in self._forgotten:
+            return
+        if not self.restart_crashed:
+            return
+        topology_id, assignment = held
+        self.restarts += 1
+        # Local restart on the same host (Storm supervisor behaviour).
+        self.launch(topology_id, assignment,
+                    delay=self.costs.supervisor_restart_delay)
+
+    # -- heartbeats -------------------------------------------------------------------
+
+    def _beat_loop(self):
+        while True:
+            try:
+                yield self.costs.heartbeat_interval
+            except Interrupt:
+                return
+            for worker_id, executor in list(self.workers.items()):
+                uptime = self.uptime(worker_id)
+                # A crash-looping worker never stays up long enough to
+                # produce a heartbeat — exactly the Fig. 10a failure mode.
+                if uptime is None or uptime < self.costs.heartbeat_interval:
+                    continue
+                held = self._assignments.get(worker_id)
+                if held is None:
+                    continue
+                topology_id, _assignment = held
+                self.state.write_beat(topology_id, worker_id, {
+                    "time": self.engine.now,
+                    "stats": executor.stats_snapshot(),
+                })
+
+    def shutdown(self) -> None:
+        self._beat_task.interrupt("agent shutdown")
+        for worker_id in list(self.workers):
+            self.kill(worker_id)

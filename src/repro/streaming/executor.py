@@ -1,0 +1,642 @@
+"""The worker executor: framework layer + application computation layer.
+
+One :class:`WorkerExecutor` drives one deployed worker (Fig. 4). It
+
+* pulls :class:`~repro.streaming.transport.Delivery` batches off the
+  worker's input store, paying the receive-side virtual-time cost,
+* classifies tuples (data / signal / ack / control — the *tuple
+  classifier* of Fig. 4) and runs the user component on data tuples,
+* routes emissions with the per-edge :class:`~repro.streaming.grouping.Router`
+  state and hands them to the transport, paying the send-side cost,
+* implements guaranteed processing (Storm's XOR ack scheme) when the
+  topology enables acking,
+* reports worker statistics (queue level, processed/emitted counts) —
+  the application-layer metrics the auto-scaler consumes.
+
+Control tuples (Table 2) are dispatched to a pluggable handler installed
+by the Typhoon runtime; the Storm baseline leaves it unset, which is
+precisely the flexibility gap the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.costs import CostModel
+from ..sim.engine import Engine, Event, Interrupt, Process
+from ..sim.metrics import MetricsRegistry, RateMeter
+from ..sim.queues import Store
+from .grouping import Router
+from .physical import WorkerAssignment
+from .topology import (
+    BOLT,
+    SPOUT,
+    ComponentContext,
+    EmitterApi,
+    LogicalNode,
+    TopologyConfig,
+)
+from .transport import Delivery, Transport, delivery_bytes
+from .tuples import (
+    ACK_STREAM,
+    CONTROL_STREAM,
+    DEFAULT_STREAM,
+    SIGNAL_STREAM,
+    Anchor,
+    StreamTuple,
+)
+
+ACK_INIT = "init"
+ACK_ACK = "ack"
+ACK_COMPLETE = "complete"
+
+
+class WorkerCrashed(RuntimeError):
+    """Raised internally when the user component throws."""
+
+
+class OutOfMemoryError(WorkerCrashed):
+    """Worker exceeded its memory budget (OutOfMemoryError in the paper)."""
+
+
+@dataclass
+class WorkerStats:
+    """Application-layer statistics (METRIC_RESP payload, Table 2)."""
+
+    emitted: int = 0
+    processed: int = 0
+    acked: int = 0
+    failed: int = 0
+    crashes: int = 0
+    control_tuples: int = 0
+    signals: int = 0
+
+    def snapshot(self, queue_depth: int, queue_bytes: int) -> Dict[str, int]:
+        return {
+            "emitted": self.emitted,
+            "processed": self.processed,
+            "acked": self.acked,
+            "failed": self.failed,
+            "queue_depth": queue_depth,
+            "queue_bytes": queue_bytes,
+        }
+
+
+@dataclass
+class _PendingRoot:
+    message_id: Any
+    emit_time: float
+
+
+class _Collector(EmitterApi):
+    """Buffers emissions from one component call; the executor then
+    routes, anchors and dispatches them with proper cost accounting."""
+
+    def __init__(self, executor: "WorkerExecutor"):
+        self._executor = executor
+        self.buffered: List[Tuple[StreamTuple, Any]] = []
+        self.current_input: Optional[StreamTuple] = None
+        self.child_xor: int = 0
+        self.extra_cost: float = 0.0
+
+    def charge(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.extra_cost += seconds
+
+    def emit(self, values: Sequence[Any], stream: int = DEFAULT_STREAM,
+             anchor: Optional[StreamTuple] = None,
+             message_id: Any = None) -> None:
+        executor = self._executor
+        out = StreamTuple(
+            values=tuple(values),
+            stream=stream,
+            source_component=executor.component_name,
+            source_worker=executor.worker_id,
+        )
+        if executor.acking:
+            if executor.is_spout and message_id is not None:
+                out.anchor = executor._register_root(message_id)
+            else:
+                src = anchor if anchor is not None else self.current_input
+                if src is not None and src.anchor is not None:
+                    edge_id = executor._new_edge_id()
+                    out.anchor = Anchor(src.anchor.root_id, edge_id)
+                    self.child_xor ^= edge_id
+        self.buffered.append((out, None))
+
+    def emit_direct(self, worker_id: int, values: Sequence[Any],
+                    stream: int = DEFAULT_STREAM) -> None:
+        """Send straight to one worker id, bypassing edge routing (used by
+        the acker to notify the originating spout)."""
+        out = StreamTuple(
+            values=tuple(values),
+            stream=stream,
+            source_component=self._executor.component_name,
+            source_worker=self._executor.worker_id,
+        )
+        self.buffered.append((out, worker_id))
+
+    def ack(self, stream_tuple: StreamTuple) -> None:
+        # Handled automatically after execute(); kept for API parity.
+        pass
+
+    def fail(self, stream_tuple: StreamTuple) -> None:
+        # Reporting a non-zero value that is not the tuple's edge id keeps
+        # the XOR ledger non-zero, so the root times out and is replayed.
+        if stream_tuple.anchor is not None:
+            self._executor._send_ack_message(
+                ACK_ACK, stream_tuple.anchor.root_id, 1
+            )
+
+    def take(self) -> List[Tuple[StreamTuple, Any]]:
+        out, self.buffered = self.buffered, []
+        return out
+
+
+class WorkerExecutor:
+    """Runs one worker's processing loops on the simulation engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        costs: CostModel,
+        assignment: WorkerAssignment,
+        node: LogicalNode,
+        config: TopologyConfig,
+        transport: Transport,
+        routers: Dict[Tuple[str, int], Router],
+        metrics: MetricsRegistry,
+        rng,
+        topology_id: str,
+        ackers: Sequence[int] = (),
+        services: Optional[Dict[str, Any]] = None,
+        control_handler: Optional[Callable[["WorkerExecutor", StreamTuple], float]] = None,
+        on_crash: Optional[Callable[["WorkerExecutor", BaseException], None]] = None,
+        emit_batch: Optional[int] = None,
+    ):
+        self.engine = engine
+        self.costs = costs
+        self.assignment = assignment
+        self.node = node
+        self.config = config
+        self.transport = transport
+        self.routers = routers
+        self.metrics = metrics
+        self.rng = rng
+        self.topology_id = topology_id
+        self.ackers = list(ackers)
+        self.services = services or {}
+        self.control_handler = control_handler
+        self.on_crash = on_crash
+
+        self.worker_id = assignment.worker_id
+        self.component_name = assignment.component
+        self.is_spout = node.kind == SPOUT
+        self.acking = config.acking and bool(self.ackers)
+        self.alive = False
+        self.active = True            # ACTIVATE / DEACTIVATE (Table 2)
+        self.input_rate_limit: Optional[float] = config.max_spout_rate
+        self._emit_batch = emit_batch or max(1, config.batch_size)
+
+        self.input_store = Store(engine, sizer=delivery_bytes)
+        self.stats = WorkerStats()
+        self.collector = _Collector(self)
+        self.component = node.factory()
+        self.pending_roots: Dict[int, _PendingRoot] = {}
+
+        base = "%s.%s.%d" % (topology_id, self.component_name, self.worker_id)
+        self.processed_meter: RateMeter = metrics.meter(base + ".processed")
+        self.emitted_meter: RateMeter = metrics.meter(base + ".emitted")
+        self.latency_dist = metrics.distribution(
+            "%s.%s.latency" % (topology_id, self.component_name)
+        )
+
+        # Services (e.g. Redis/Kafka clients) that bill virtual-time costs
+        # for calls made synchronously inside component code.
+        self._billed_services = [
+            service for service in self.services.values()
+            if hasattr(service, "drain_cost")
+        ]
+        self._main: Optional[Process] = None
+        self._aux: List[Process] = []
+        self._pending_get: Optional[Event] = None
+        self._draining = False
+        self._rate_anchor = 0.0
+        self._emitted_since_anchor = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self.alive:
+            raise RuntimeError("worker %d already started" % self.worker_id)
+        self.alive = True
+        # Rate-limit budget accrues from start, not from t=0.
+        self._rate_anchor = self.engine.now
+        self._emitted_since_anchor = 0
+        context = ComponentContext(
+            topology_id=self.topology_id,
+            component=self.component_name,
+            worker_id=self.worker_id,
+            task_index=self.assignment.task_index,
+            parallelism=self.node.parallelism,
+            rng=self.rng,
+            services=self.services,
+        )
+        self.component.open(context)
+        loop = self._spout_loop() if self.is_spout else self._bolt_loop()
+        self._main = self.engine.process(
+            loop, name="worker:%d:%s" % (self.worker_id, self.component_name)
+        )
+        self._aux.append(self.engine.process(
+            self._flusher(), name="flusher:%d" % self.worker_id
+        ))
+        if self.config.enable_oom:
+            self._aux.append(self.engine.process(
+                self._oom_monitor(), name="oom:%d" % self.worker_id
+            ))
+        if self.acking and self.is_spout:
+            self._aux.append(self.engine.process(
+                self._pending_sweeper(), name="pending:%d" % self.worker_id
+            ))
+
+    def kill(self, drain: bool = False) -> None:
+        """Stop the worker. With ``drain`` (stable update, §3.5), remaining
+        queued tuples are processed and partial batches flushed first."""
+        if not self.alive:
+            return
+        if drain:
+            self._draining = True
+            if self._main is not None:
+                self._main.interrupt("drain")
+        else:
+            self._shutdown()
+
+    def _shutdown(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        try:
+            self.component.close()
+        except Exception:
+            pass
+        for process in self._aux:
+            process.interrupt("shutdown")
+        if self._main is not None:
+            self._main.interrupt("shutdown")
+        self.transport.close()
+        self.input_store.cancel_waiters()
+
+    def _crash(self, error: BaseException) -> None:
+        if not self.alive:
+            return
+        self.stats.crashes += 1
+        self.alive = False
+        for process in self._aux:
+            process.interrupt("crash")
+        if self._main is not None:
+            self._main.interrupt("crash")
+        self.transport.close()
+        self.input_store.cancel_waiters()
+        if self.on_crash is not None:
+            self.on_crash(self, error)
+
+    # -- delivery intake ------------------------------------------------------
+
+    def deliver(self, delivery: Delivery) -> bool:
+        """Entry point for the receive side of the transport."""
+        if not self.alive and self._main is not None:
+            return False
+        return bool(self.input_store.put(delivery))
+
+    @property
+    def queue_depth(self) -> int:
+        return self.input_store.depth
+
+    @property
+    def queue_bytes(self) -> int:
+        return self.input_store.bytes_queued
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        return self.stats.snapshot(self.queue_depth, self.queue_bytes)
+
+    # -- main loops --------------------------------------------------------------
+
+    def _bolt_loop(self):
+        while self.alive:
+            try:
+                delivery = yield self.input_store.get()
+            except Interrupt:
+                if self._draining:
+                    yield from self._drain_remaining()
+                return
+            except Exception:
+                return
+            cost = yield from self._process_delivery(delivery)
+            if cost > 0:
+                try:
+                    yield cost
+                except Interrupt:
+                    if self._draining:
+                        yield from self._drain_remaining()
+                    return
+        return
+
+    def _drain_remaining(self):
+        """Process whatever is queued, flush, then shut down (§3.5)."""
+        while True:
+            ok, delivery = self.input_store.get_nowait()
+            if not ok:
+                break
+            cost = yield from self._process_delivery(delivery)
+            if cost > 0:
+                yield cost
+        flush_cost = self.transport.flush()
+        if flush_cost > 0:
+            yield flush_cost
+        self._shutdown()
+
+    def _process_delivery(self, delivery: Delivery):
+        """Handle one delivery; returns the cost to charge (generator so
+        component crashes can abort the worker mid-batch)."""
+        cost = delivery.cost
+        for stream_tuple in delivery.tuples:
+            if stream_tuple.stream == CONTROL_STREAM:
+                cost += self._handle_control(stream_tuple)
+                continue
+            if stream_tuple.stream == SIGNAL_STREAM:
+                cost += self._run_component(stream_tuple, signal=True)
+                continue
+            if stream_tuple.stream == ACK_STREAM:
+                cost += self._handle_ack_tuple(stream_tuple)
+                continue
+            cost += self._run_component(stream_tuple, signal=False)
+            if not self.alive:
+                break
+        return cost
+        yield  # pragma: no cover - makes this a generator for uniform use
+
+    def _run_component(self, stream_tuple: StreamTuple, signal: bool) -> float:
+        self.collector.current_input = stream_tuple
+        self.collector.child_xor = 0
+        try:
+            if signal:
+                self.stats.signals += 1
+                self.component.on_signal(stream_tuple, self.collector)
+            else:
+                self.component.execute(stream_tuple, self.collector)
+        except Exception as error:
+            self._crash(WorkerCrashed(
+                "worker %d (%s) crashed: %r"
+                % (self.worker_id, self.component_name, error)
+            ))
+            return 0.0
+        finally:
+            self.collector.current_input = None
+        cost = self.costs.app_compute_per_tuple + self.collector.extra_cost
+        self.collector.extra_cost = 0.0
+        for service in self._billed_services:
+            cost += service.drain_cost()
+        if not signal:
+            self.stats.processed += 1
+            self.processed_meter.mark()
+        cost += self._dispatch_emissions()
+        if (not signal and self.acking and stream_tuple.anchor is not None):
+            ack_value = stream_tuple.anchor.edge_id ^ self.collector.child_xor
+            cost += self._send_ack_message(
+                ACK_ACK, stream_tuple.anchor.root_id, ack_value
+            )
+            self.stats.acked += 1
+        return cost
+
+    def _spout_loop(self):
+        while self.alive:
+            # 1. Drain any waiting input (completions / control tuples).
+            drained_cost = 0.0
+            while True:
+                ok, delivery = self.input_store.get_nowait()
+                if not ok:
+                    break
+                drained_cost += yield from self._process_delivery(delivery)
+            if drained_cost > 0:
+                yield drained_cost
+            if not self.alive:
+                return
+
+            # 2. Blocked states: deactivated, or ack window full.
+            blocked = (
+                not self.active
+                or (self.acking and self.node.max_pending is not None
+                    and len(self.pending_roots) >= self.node.max_pending)
+            )
+            if blocked:
+                # Wake on the next delivery (completion / control tuple)
+                # or after a short beat — the pending-root sweeper may
+                # have freed the ack window with nothing arriving.
+                gate = self._next_input()
+                timer = self.engine.timeout(0.5)
+                try:
+                    yield self.engine.any_of([gate, timer])
+                except Interrupt:
+                    return
+                except Exception:
+                    return
+                timer.cancel()
+                if gate.triggered:
+                    self._pending_get = None
+                    if gate.failed:
+                        return
+                    cost = yield from self._process_delivery(gate.value)
+                    if cost > 0:
+                        yield cost
+                continue
+
+            # 3. Rate limiting (INPUT_RATE control, Table 2).
+            if self.input_rate_limit is not None:
+                next_allowed = (self._rate_anchor
+                                + self._emitted_since_anchor / self.input_rate_limit)
+                delay = next_allowed - self.engine.now
+                if delay > 1e-12:
+                    try:
+                        yield delay
+                    except Interrupt:
+                        return
+                    continue
+
+            # 4. Emit a batch.
+            emitted, cost = self._emit_spout_batch()
+            self._emitted_since_anchor += emitted
+            if emitted == 0:
+                # Source idle; poll again shortly.
+                try:
+                    yield max(cost, 0.0005)
+                except Interrupt:
+                    return
+                continue
+            try:
+                yield cost
+            except Interrupt:
+                return
+        return
+
+    def _next_input(self) -> Event:
+        if self._pending_get is None:
+            self._pending_get = self.input_store.get()
+        return self._pending_get
+
+    def _emit_spout_batch(self) -> Tuple[int, float]:
+        cost = 0.0
+        emitted = 0
+        limit = self._emit_batch
+        if self.acking and self.node.max_pending is not None:
+            limit = min(limit,
+                        self.node.max_pending - len(self.pending_roots))
+        for _ in range(max(0, limit)):
+            try:
+                self.component.next_tuple(self.collector)
+            except Exception as error:
+                self._crash(WorkerCrashed(
+                    "spout %d crashed: %r" % (self.worker_id, error)
+                ))
+                return emitted, cost
+            cost += self.collector.extra_cost
+            self.collector.extra_cost = 0.0
+            for service in self._billed_services:
+                cost += service.drain_cost()
+            if not self.collector.buffered:
+                break
+            emitted_now = len(self.collector.buffered)
+            cost += self.costs.app_compute_per_tuple * emitted_now
+            cost += self._dispatch_emissions()
+            emitted += emitted_now
+        return emitted, cost
+
+    # -- emission dispatch ------------------------------------------------------------
+
+    def _dispatch_emissions(self) -> float:
+        cost = 0.0
+        for stream_tuple, direct_dst in self.collector.take():
+            if direct_dst is not None:
+                cost += self.transport.send(stream_tuple, [direct_dst])
+                self.stats.emitted += 1
+                self.emitted_meter.mark()
+                continue
+            matched = False
+            for (dst, stream), router in self.routers.items():
+                if stream != stream_tuple.stream:
+                    continue
+                matched = True
+                if router.is_broadcast:
+                    cost += self.transport.send_broadcast(
+                        stream_tuple, router.next_hops
+                    )
+                elif router.is_sdn_offloaded:
+                    cost += self.transport.send_offloaded(
+                        stream_tuple, (dst, stream), router.next_hops
+                    )
+                else:
+                    dsts = router.route(stream_tuple)
+                    cost += self.transport.send(stream_tuple, dsts)
+            if matched:
+                # One emission per tuple, however many edges consume it.
+                self.stats.emitted += 1
+                self.emitted_meter.mark()
+            if not matched and stream_tuple.stream == DEFAULT_STREAM:
+                # Terminal sink: emission has nowhere to go; drop silently
+                # (consistent with Storm semantics for unsubscribed streams).
+                pass
+        return cost
+
+    # -- acking (guaranteed processing) ---------------------------------------------------
+
+    def _new_edge_id(self) -> int:
+        return self.rng.getrandbits(64)
+
+    def _register_root(self, message_id: Any) -> Anchor:
+        root_id = self.rng.getrandbits(64)
+        edge_id = self._new_edge_id()
+        self.pending_roots[root_id] = _PendingRoot(message_id, self.engine.now)
+        self._send_ack_message(ACK_INIT, root_id, edge_id)
+        return Anchor(root_id, edge_id)
+
+    def _send_ack_message(self, kind: str, root_id: int, value: int) -> float:
+        if not self.ackers:
+            return 0.0
+        acker = self.ackers[root_id % len(self.ackers)]
+        message = StreamTuple(
+            values=(kind, root_id, value, self.worker_id),
+            stream=ACK_STREAM,
+            source_component=self.component_name,
+            source_worker=self.worker_id,
+        )
+        return self.transport.send(message, [acker])
+
+    def _handle_ack_tuple(self, stream_tuple: StreamTuple) -> float:
+        kind = stream_tuple.values[0]
+        if kind == ACK_COMPLETE and self.is_spout:
+            root_id = stream_tuple.values[1]
+            pending = self.pending_roots.pop(root_id, None)
+            if pending is not None:
+                self.latency_dist.record(self.engine.now - pending.emit_time)
+                try:
+                    self.component.ack(pending.message_id)
+                except Exception:
+                    pass
+            return self.costs.ack_per_tuple
+        # Non-spout workers receiving ack traffic = the acker component;
+        # its logic lives in the component itself (see acker.py), so run it.
+        return self._run_component(stream_tuple, signal=False)
+
+    def _pending_sweeper(self):
+        while True:
+            try:
+                yield max(self.config.tuple_timeout / 4, 0.5)
+            except Interrupt:
+                return
+            deadline = self.engine.now - self.config.tuple_timeout
+            expired = [root for root, p in self.pending_roots.items()
+                       if p.emit_time <= deadline]
+            for root in expired:
+                pending = self.pending_roots.pop(root)
+                self.stats.failed += 1
+                try:
+                    self.component.fail(pending.message_id)
+                except Exception:
+                    pass
+
+    # -- auxiliary processes ---------------------------------------------------------------
+
+    def _flusher(self):
+        while True:
+            try:
+                yield self.costs.batch_flush_interval
+            except Interrupt:
+                return
+            cost = self.transport.flush()
+            if cost > 0:
+                try:
+                    yield cost
+                except Interrupt:
+                    return
+
+    def _oom_monitor(self):
+        while True:
+            try:
+                yield self.costs.oom_check_interval
+            except Interrupt:
+                return
+            if self.queue_bytes > self.costs.worker_memory_limit_bytes:
+                self._crash(OutOfMemoryError(
+                    "worker %d exceeded %d bytes"
+                    % (self.worker_id, self.costs.worker_memory_limit_bytes)
+                ))
+                return
+
+    # -- control tuples (Typhoon hook) ---------------------------------------------------------
+
+    def _handle_control(self, stream_tuple: StreamTuple) -> float:
+        self.stats.control_tuples += 1
+        if self.control_handler is None:
+            return 0.0
+        return self.control_handler(self, stream_tuple)

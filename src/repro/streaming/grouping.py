@@ -1,0 +1,108 @@
+"""Per-worker routing state and routing functions (Listing 1).
+
+Each worker keeps, per outgoing edge, a :class:`Router` holding exactly
+the state the paper enumerates in §3.3.2:
+
+* policy-independent state — ``next_hops`` (the array of next-hop worker
+  IDs) and implicitly ``num_next_hops``;
+* policy-specific state — the round-robin ``counter`` for shuffle
+  routing, the hashed key-field indices for key-based routing, the pinned
+  destination for global routing.
+
+In the Storm baseline this state is baked in at deployment; in Typhoon it
+is owned by the SDN control plane and swapped at runtime via ROUTING
+control tuples — which is why :meth:`Router.update` exists and is
+carefully separated from the routing decision itself.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional, Sequence, Tuple
+
+from .serialize import encode_values
+from .topology import ALL, FIELDS, GLOBAL, SDN_SELECT, SHUFFLE, Grouping
+from .tuples import StreamTuple
+
+
+class RoutingError(RuntimeError):
+    """Raised when a routing decision is impossible (no next hops)."""
+
+
+def hash_fields(values: Tuple, fields: Sequence[int]) -> int:
+    """Stable key hash: CRC32 over the serialized key fields.
+
+    Deterministic across runs and processes (unlike Python's ``hash``),
+    which key-based routing needs for the "same key -> same worker"
+    guarantee.
+    """
+    try:
+        key = tuple(values[i] for i in fields)
+    except IndexError:
+        raise RoutingError(
+            "tuple %r lacks key fields %r" % (values, list(fields))
+        )
+    return zlib.crc32(encode_values(key))
+
+
+class Router:
+    """Routing state + decision function for one outgoing edge."""
+
+    def __init__(self, grouping: Grouping, next_hops: Sequence[int],
+                 stream: int = 0):
+        self.grouping = grouping
+        self.next_hops: List[int] = list(next_hops)
+        self.stream = stream
+        self.counter = 0          # round-robin state (shuffle)
+        self.decisions = 0
+
+    @property
+    def num_next_hops(self) -> int:
+        return len(self.next_hops)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.grouping.kind == ALL
+
+    @property
+    def is_sdn_offloaded(self) -> bool:
+        return self.grouping.kind == SDN_SELECT
+
+    def update(self, next_hops: Optional[Sequence[int]] = None,
+               grouping: Optional[Grouping] = None) -> None:
+        """Swap routing state in place (driven by ROUTING control tuples).
+
+        Updating ``next_hops`` resets policy-specific counters, matching
+        the paper's stable-update procedure where the controller pushes a
+        complete replacement state.
+        """
+        if grouping is not None:
+            self.grouping = grouping
+        if next_hops is not None:
+            self.next_hops = list(next_hops)
+            self.counter = 0
+
+    def route(self, stream_tuple: StreamTuple) -> List[int]:
+        """Pick destination worker id(s) for a tuple."""
+        if not self.next_hops:
+            raise RoutingError("edge has no next hops")
+        self.decisions += 1
+        kind = self.grouping.kind
+        if kind == SHUFFLE:
+            index = self.counter % len(self.next_hops)
+            self.counter += 1
+            return [self.next_hops[index]]
+        if kind == FIELDS:
+            index = hash_fields(stream_tuple.values,
+                                self.grouping.fields) % len(self.next_hops)
+            return [self.next_hops[index]]
+        if kind == GLOBAL:
+            return [self.next_hops[0]]
+        if kind == ALL:
+            return list(self.next_hops)
+        if kind == SDN_SELECT:
+            # Routing is offloaded: the worker picks nothing; the switch's
+            # select group rewrites the destination. The caller sends to a
+            # virtual destination (handled by the transport layer).
+            return list(self.next_hops[:1])
+        raise RoutingError("unhandled grouping %r" % kind)

@@ -1,0 +1,179 @@
+"""The streaming manager (Storm's Nimbus).
+
+Responsibilities, per §2: build the logical topology, schedule it into a
+physical topology, record both in the central coordinator (Table 1),
+drive worker agents to launch workers, and monitor worker heartbeats —
+rescheduling a worker onto another host when its beats stop for
+``heartbeat_timeout`` (30 s by default, Storm's task timeout; this delay
+is exactly what the Typhoon fault detector short-circuits in Fig. 10).
+
+The transport-specific wiring (TCP channels vs SDN switches) lives in
+the cluster runtimes; they subclass and implement the ``_deploy_worker``
+/ ``_on_worker_relocated`` hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..coordination.schema import GlobalState
+from ..net.hosts import Cluster
+from ..sim.costs import CostModel
+from ..sim.engine import Engine, Interrupt
+from .agent import WorkerAgent
+from .physical import PhysicalTopology, WorkerAssignment
+from .scheduler import IScheduler, WorkerIdAllocator
+from .topology import LogicalTopology
+
+
+@dataclass
+class TopologyRecord:
+    """Manager-side bookkeeping for one running topology."""
+
+    logical: LogicalTopology
+    physical: PhysicalTopology
+    assignment_times: Dict[int, float] = field(default_factory=dict)
+    active: bool = True
+
+
+class StreamingManager:
+    """Central job management: build, schedule, deploy, monitor."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        costs: CostModel,
+        cluster: Cluster,
+        state: GlobalState,
+        scheduler: IScheduler,
+    ):
+        self.engine = engine
+        self.costs = costs
+        self.cluster = cluster
+        self.state = state
+        self.scheduler = scheduler
+        self.agents: Dict[str, WorkerAgent] = {}
+        self.topologies: Dict[str, TopologyRecord] = {}
+        self.allocator = WorkerIdAllocator()
+        self._next_app_id = 1
+        self.reschedules = 0
+        self._monitor = engine.process(self._heartbeat_monitor(),
+                                       name="nimbus-monitor")
+
+    # -- agents ---------------------------------------------------------------
+
+    def register_agent(self, agent: WorkerAgent) -> None:
+        if agent.hostname in self.agents:
+            raise ValueError("agent for %s already registered" % agent.hostname)
+        self.agents[agent.hostname] = agent
+
+    def agent_for(self, hostname: str) -> WorkerAgent:
+        if hostname not in self.agents:
+            raise KeyError("no agent on host %r" % hostname)
+        return self.agents[hostname]
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, logical: LogicalTopology) -> PhysicalTopology:
+        """Deploy a topology: schedule, record global state, launch."""
+        if logical.topology_id in self.topologies:
+            raise ValueError("topology %r already running" % logical.topology_id)
+        app_id = self._next_app_id
+        self._next_app_id += 1
+        physical = self.scheduler.schedule(logical, self.cluster, app_id,
+                                           self.allocator)
+        record = TopologyRecord(logical=logical, physical=physical)
+        for worker_id in physical.assignments:
+            record.assignment_times[worker_id] = self.engine.now
+        self.topologies[logical.topology_id] = record
+        self.state.write_logical(logical.topology_id, logical)
+        self.state.write_physical(logical.topology_id, physical)
+        self._deploy_topology(record)
+        return physical
+
+    def kill_topology(self, topology_id: str) -> None:
+        record = self.topologies.pop(topology_id, None)
+        if record is None:
+            return
+        record.active = False
+        for assignment in record.physical.assignments.values():
+            agent = self.agents.get(assignment.hostname)
+            if agent is not None:
+                agent.kill(assignment.worker_id)
+        self.state.remove_topology(topology_id)
+
+    # -- deployment hooks (overridden by cluster runtimes) -----------------------
+
+    def _deploy_topology(self, record: TopologyRecord) -> None:
+        for assignment in sorted(record.physical.assignments.values(),
+                                 key=lambda a: a.worker_id):
+            self._deploy_worker(record, assignment)
+
+    def _deploy_worker(self, record: TopologyRecord,
+                       assignment: WorkerAssignment) -> None:
+        agent = self.agent_for(assignment.hostname)
+        # Notification flows through the coordinator before the agent acts.
+        self.engine.schedule(
+            self.costs.coordinator_op_latency,
+            agent.launch, record.logical.topology_id, assignment,
+        )
+
+    def _on_worker_relocated(self, record: TopologyRecord,
+                             old: WorkerAssignment,
+                             new: WorkerAssignment) -> None:
+        """Transport-specific fix-up after relocation (subclass hook)."""
+
+    # -- failure monitoring --------------------------------------------------------
+
+    def _heartbeat_monitor(self):
+        while True:
+            try:
+                yield self.costs.heartbeat_interval
+            except Interrupt:
+                return
+            for topology_id, record in list(self.topologies.items()):
+                if not record.active:
+                    continue
+                for worker_id in list(record.physical.assignments):
+                    if self._beat_stale(topology_id, record, worker_id):
+                        self._reschedule_worker(topology_id, record, worker_id)
+
+    def _beat_stale(self, topology_id: str, record: TopologyRecord,
+                    worker_id: int) -> bool:
+        beat = self.state.read_beat(topology_id, worker_id)
+        last = beat["time"] if beat else record.assignment_times.get(
+            worker_id, self.engine.now)
+        return self.engine.now - last > self.costs.heartbeat_timeout
+
+    def _reschedule_worker(self, topology_id: str, record: TopologyRecord,
+                           worker_id: int) -> None:
+        """Move a silent worker to another host (Nimbus reassignment)."""
+        old = record.physical.worker(worker_id)
+        new_host = self._pick_new_host(record.physical, old)
+        new = old.relocated(hostname=new_host)
+        old_agent = self.agents.get(old.hostname)
+        if old_agent is not None:
+            old_agent.kill(worker_id)
+        record.physical = record.physical.replace_worker(new)
+        record.assignment_times[worker_id] = self.engine.now
+        self.reschedules += 1
+        self.state.write_physical(topology_id, record.physical)
+        self.state.clear_beat(topology_id, worker_id)
+        self._on_worker_relocated(record, old, new)
+        self._deploy_worker(record, new)
+
+    def _pick_new_host(self, physical: PhysicalTopology,
+                       old: WorkerAssignment) -> str:
+        load: Dict[str, int] = {host.name: 0 for host in self.cluster}
+        for assignment in physical.assignments.values():
+            load[assignment.hostname] = load.get(assignment.hostname, 0) + 1
+        candidates = [name for name in sorted(load) if name != old.hostname]
+        if not candidates:
+            return old.hostname
+        return min(candidates, key=lambda name: load[name])
+
+    def shutdown(self) -> None:
+        self._monitor.interrupt("manager shutdown")
+        for topology_id in list(self.topologies):
+            self.kill_topology(topology_id)

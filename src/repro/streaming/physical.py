@@ -1,0 +1,113 @@
+"""Physical topologies: scheduled worker assignments (Fig. 2b).
+
+The scheduler converts a logical topology into a physical one by
+expanding node parallelism into *workers* and placing each worker on a
+compute host. Each worker receives a unique worker ID and its transport
+endpoint: a TCP (host, port) pair in the Storm baseline, or an SDN switch
+port (plus the 16-bit application address prefix) in Typhoon — exactly
+the per-worker assignment info of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from .topology import Edge
+
+
+@dataclass(frozen=True)
+class WorkerAssignment:
+    """Placement of one worker (one parallel task of one node)."""
+
+    worker_id: int
+    component: str
+    task_index: int
+    hostname: str
+    switch_port: Optional[int] = None   # Typhoon: host switch port
+    tcp_port: Optional[int] = None      # Storm: worker TCP listen port
+
+    def relocated(self, hostname: str,
+                  switch_port: Optional[int] = None,
+                  tcp_port: Optional[int] = None) -> "WorkerAssignment":
+        return replace(self, hostname=hostname, switch_port=switch_port,
+                       tcp_port=tcp_port)
+
+
+@dataclass
+class PhysicalTopology:
+    """The scheduled form of a logical topology."""
+
+    topology_id: str
+    app_id: int                     # 16-bit address prefix (Typhoon)
+    assignments: Dict[int, WorkerAssignment]
+    edges: List[Edge]
+    version: int = 0
+    binary_location: str = ""       # "location of application binaries"
+
+    def worker(self, worker_id: int) -> WorkerAssignment:
+        if worker_id not in self.assignments:
+            raise KeyError("no worker %d in topology %s"
+                           % (worker_id, self.topology_id))
+        return self.assignments[worker_id]
+
+    def workers_for(self, component: str) -> List[WorkerAssignment]:
+        out = [a for a in self.assignments.values() if a.component == component]
+        out.sort(key=lambda a: (a.task_index, a.worker_id))
+        return out
+
+    def worker_ids_for(self, component: str) -> List[int]:
+        return [a.worker_id for a in self.workers_for(component)]
+
+    def components(self) -> List[str]:
+        return sorted({a.component for a in self.assignments.values()})
+
+    def on_host(self, hostname: str) -> List[WorkerAssignment]:
+        out = [a for a in self.assignments.values() if a.hostname == hostname]
+        out.sort(key=lambda a: a.worker_id)
+        return out
+
+    def hosts(self) -> List[str]:
+        return sorted({a.hostname for a in self.assignments.values()})
+
+    def downstream_edges(self, component: str) -> List[Edge]:
+        return [e for e in self.edges if e.src == component]
+
+    def next_hop_ids(self, component: str) -> Dict[Tuple[str, int], List[int]]:
+        """Map (dst_component, stream) -> ordered next-hop worker ids."""
+        out: Dict[Tuple[str, int], List[int]] = {}
+        for edge in self.downstream_edges(component):
+            out[(edge.dst, edge.stream)] = self.worker_ids_for(edge.dst)
+        return out
+
+    def add_worker(self, assignment: WorkerAssignment) -> "PhysicalTopology":
+        if assignment.worker_id in self.assignments:
+            raise ValueError("worker id %d already assigned"
+                             % assignment.worker_id)
+        assignments = dict(self.assignments)
+        assignments[assignment.worker_id] = assignment
+        return PhysicalTopology(self.topology_id, self.app_id, assignments,
+                                list(self.edges), self.version + 1,
+                                self.binary_location)
+
+    def remove_worker(self, worker_id: int) -> "PhysicalTopology":
+        assignments = dict(self.assignments)
+        assignments.pop(worker_id, None)
+        return PhysicalTopology(self.topology_id, self.app_id, assignments,
+                                list(self.edges), self.version + 1,
+                                self.binary_location)
+
+    def replace_worker(self, assignment: WorkerAssignment) -> "PhysicalTopology":
+        assignments = dict(self.assignments)
+        assignments[assignment.worker_id] = assignment
+        return PhysicalTopology(self.topology_id, self.app_id, assignments,
+                                list(self.edges), self.version + 1,
+                                self.binary_location)
+
+    def with_edges(self, edges: List[Edge]) -> "PhysicalTopology":
+        return PhysicalTopology(self.topology_id, self.app_id,
+                                dict(self.assignments), list(edges),
+                                self.version + 1, self.binary_location)
+
+    def max_worker_id(self) -> int:
+        return max(self.assignments) if self.assignments else 0

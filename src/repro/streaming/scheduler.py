@@ -1,0 +1,95 @@
+"""Topology schedulers (the pluggable ``IScheduler`` interface).
+
+The Storm baseline uses round-robin placement across hosts (the paper
+runs Storm with "a round-robin topology scheduler for fair comparisons");
+Typhoon plugs in a locality-aware scheduler (see
+:mod:`repro.core.scheduler`) that co-locates topologically neighbouring
+workers to minimize remote inter-worker communication.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List
+
+from ..net.hosts import Cluster
+from .physical import PhysicalTopology, WorkerAssignment
+from .topology import LogicalTopology
+
+
+class SchedulingError(RuntimeError):
+    """Raised when a topology cannot be placed."""
+
+
+class WorkerIdAllocator:
+    """Hands out cluster-unique worker ids (the scheduler's job, §2)."""
+
+    def __init__(self, start: int = 1):
+        self._next = start
+
+    def allocate(self) -> int:
+        worker_id = self._next
+        self._next += 1
+        return worker_id
+
+    def reserve_through(self, worker_id: int) -> None:
+        self._next = max(self._next, worker_id + 1)
+
+
+class IScheduler:
+    """Pluggable scheduler interface (mirrors Storm's ``IScheduler``)."""
+
+    def schedule(self, logical: LogicalTopology, cluster: Cluster,
+                 app_id: int, allocator: WorkerIdAllocator) -> PhysicalTopology:
+        raise NotImplementedError
+
+    def place_one(self, physical: PhysicalTopology, component: str,
+                  cluster: Cluster) -> str:
+        """Pick a host for one additional worker of ``component``."""
+        raise NotImplementedError
+
+
+def _expand_tasks(logical: LogicalTopology) -> List[tuple]:
+    """List of (component, task_index) in deterministic node order."""
+    tasks = []
+    for name in logical.nodes:  # insertion order = declaration order
+        node = logical.nodes[name]
+        for index in range(node.parallelism):
+            tasks.append((name, index))
+    return tasks
+
+
+class RoundRobinScheduler(IScheduler):
+    """Storm's default: spread tasks across hosts round-robin."""
+
+    def schedule(self, logical: LogicalTopology, cluster: Cluster,
+                 app_id: int, allocator: WorkerIdAllocator) -> PhysicalTopology:
+        hosts = list(cluster)
+        if not hosts:
+            raise SchedulingError("no hosts available")
+        assignments: Dict[int, WorkerAssignment] = {}
+        host_cycle = itertools.cycle(hosts)
+        for component, task_index in _expand_tasks(logical):
+            worker_id = allocator.allocate()
+            host = next(host_cycle)
+            assignments[worker_id] = WorkerAssignment(
+                worker_id=worker_id,
+                component=component,
+                task_index=task_index,
+                hostname=host.name,
+            )
+        return PhysicalTopology(
+            topology_id=logical.topology_id,
+            app_id=app_id,
+            assignments=assignments,
+            edges=list(logical.edges),
+            binary_location="coordinator://%s/binary" % logical.topology_id,
+        )
+
+    def place_one(self, physical: PhysicalTopology, component: str,
+                  cluster: Cluster) -> str:
+        # Least-loaded host keeps the round-robin spirit for increments.
+        load = {host.name: 0 for host in cluster}
+        for assignment in physical.assignments.values():
+            load[assignment.hostname] = load.get(assignment.hostname, 0) + 1
+        return min(sorted(load), key=lambda name: load[name])

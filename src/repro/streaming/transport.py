@@ -1,0 +1,85 @@
+"""Worker transport abstraction (Storm's ``IContext``/``IConnection``).
+
+The executor is transport-agnostic: it hands routed tuples to a
+:class:`Transport` and receives :class:`Delivery` batches on its input
+store. The two implementations differ exactly where the paper says they
+do:
+
+* :class:`~repro.streaming.storm.StormTransport` — application-level TCP
+  connections, **one serialization per destination**;
+* :class:`~repro.core.io_layer.TyphoonTransport` — serialize once,
+  packetize into custom Ethernet frames, hand to the host SDN switch
+  (which replicates broadcast frames at the network layer).
+
+All CPU the transport consumes is *returned* from its methods as a
+virtual-time cost; the calling executor yields that amount, so the
+sender's clock advances by exactly the work it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .tuples import StreamTuple
+
+
+@dataclass
+class Delivery:
+    """A batch of tuples arriving at a worker, plus its receive-side cost.
+
+    ``cost`` covers everything the receiving worker must pay before the
+    tuples are usable: TCP receive / depacketization, demultiplexing and
+    deserialization. The executor yields it before processing.
+    """
+
+    tuples: List[StreamTuple]
+    cost: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+
+def delivery_bytes(delivery: Delivery) -> int:
+    """Approximate byte footprint of a queued delivery (for OOM tracking)."""
+    # 80 bytes of object overhead per tuple plus a rough payload estimate.
+    total = 0
+    for stream_tuple in delivery.tuples:
+        total += 80
+        for value in stream_tuple.values:
+            if isinstance(value, (str, bytes)):
+                total += len(value)
+            else:
+                total += 8
+    return total
+
+
+class Transport:
+    """Outbound side of a worker's communication stack."""
+
+    def send(self, stream_tuple: StreamTuple, dst_worker_ids: Sequence[int]) -> float:
+        """Route one tuple to explicit destinations; returns CPU cost."""
+        raise NotImplementedError
+
+    def send_broadcast(self, stream_tuple: StreamTuple,
+                       dst_worker_ids: Sequence[int]) -> float:
+        """One-to-many send. Typhoon serializes once and lets the switch
+        replicate; the baseline degenerates to per-destination sends."""
+        raise NotImplementedError
+
+    def send_offloaded(self, stream_tuple: StreamTuple, edge_key,
+                       dst_worker_ids: Sequence[int]) -> float:
+        """SDN-offloaded routing (§4, load balancer): the worker picks no
+        destination; the switch's select group rewrites it. Transports
+        without SDN support fall back to local round robin."""
+        raise NotImplementedError
+
+    def flush(self) -> float:
+        """Force out partially filled batches; returns CPU cost."""
+        raise NotImplementedError
+
+    def set_batch_size(self, batch_size: int) -> None:
+        """Adjust batching (Typhoon BATCH_SIZE control tuples)."""
+
+    def close(self) -> None:
+        """Tear down connections/ports."""

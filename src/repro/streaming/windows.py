@@ -1,0 +1,134 @@
+"""Windowed aggregation helpers for stateful workers.
+
+The paper's stateful workers follow the Listing 2 pattern: an in-memory
+cache keyed by (key, window), flushed by signal tuples or watermark
+progress (the Yahoo aggregation stage keeps a 10-second tuple window).
+This module factors that pattern into reusable primitives:
+
+* :class:`TumblingWindow` — fixed, non-overlapping windows;
+* :class:`SlidingWindow` — overlapping windows with a slide interval;
+* :class:`WindowedCounter` — per-key counts inside a window assigner,
+  closing windows as the event-time watermark advances and on signals.
+
+All state is plain in-memory dictionaries, matching Table 4's stateful
+worker profile (in-memory cache + key-based routing + signal flush).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WindowSpan:
+    """One window instance: [start, end)."""
+
+    start: float
+    end: float
+
+    def contains(self, timestamp: float) -> bool:
+        return self.start <= timestamp < self.end
+
+
+class WindowAssigner:
+    """Maps an event timestamp to the window(s) it belongs to."""
+
+    def assign(self, timestamp: float) -> List[WindowSpan]:
+        raise NotImplementedError
+
+    def is_closed(self, span: WindowSpan, watermark: float) -> bool:
+        """A window is closed once the watermark passes its end."""
+        return watermark >= span.end
+
+
+class TumblingWindow(WindowAssigner):
+    """Fixed-size, non-overlapping windows (the Yahoo 10 s window)."""
+
+    def __init__(self, size: float):
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        self.size = size
+
+    def assign(self, timestamp: float) -> List[WindowSpan]:
+        start = (timestamp // self.size) * self.size
+        return [WindowSpan(start, start + self.size)]
+
+
+class SlidingWindow(WindowAssigner):
+    """Overlapping windows of ``size`` advancing every ``slide``."""
+
+    def __init__(self, size: float, slide: float):
+        if size <= 0 or slide <= 0:
+            raise ValueError("size and slide must be positive")
+        if slide > size:
+            raise ValueError("slide must not exceed size")
+        self.size = size
+        self.slide = slide
+
+    def assign(self, timestamp: float) -> List[WindowSpan]:
+        spans = []
+        first = ((timestamp - self.size) // self.slide + 1) * self.slide
+        start = max(0.0, first)
+        # Walk every window whose span covers the timestamp.
+        while start <= timestamp:
+            if timestamp < start + self.size:
+                spans.append(WindowSpan(start, start + self.size))
+            start += self.slide
+        return spans
+
+
+class WindowedCounter:
+    """Per-key counting under a window assigner with watermark closing.
+
+    ``add`` records one occurrence; whenever the watermark (the largest
+    event time seen) passes a window's end, the window is *closed* and
+    handed to ``on_close(key, span, count)``. ``flush`` closes everything
+    immediately (the signal-tuple path).
+    """
+
+    def __init__(self, assigner: WindowAssigner,
+                 on_close: Optional[Callable[[Any, WindowSpan, int], None]] = None):
+        self.assigner = assigner
+        self.on_close = on_close
+        self.cells: Dict[Tuple[Any, WindowSpan], int] = {}
+        self.watermark = 0.0
+        self.closed_windows = 0
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def add(self, key: Any, timestamp: float, amount: int = 1) -> None:
+        for span in self.assigner.assign(timestamp):
+            cell = (key, span)
+            self.cells[cell] = self.cells.get(cell, 0) + amount
+        if timestamp > self.watermark:
+            self.watermark = timestamp
+            self._close_ready()
+
+    def value(self, key: Any, timestamp: float) -> int:
+        """Current count of ``key`` in the window containing ``timestamp``."""
+        total = 0
+        for span in self.assigner.assign(timestamp):
+            total += self.cells.get((key, span), 0)
+        return total
+
+    def _close_ready(self) -> None:
+        ready = [cell for cell in self.cells
+                 if self.assigner.is_closed(cell[1], self.watermark)]
+        for cell in sorted(ready, key=lambda c: (c[1].start, repr(c[0]))):
+            count = self.cells.pop(cell)
+            self.closed_windows += 1
+            if self.on_close is not None:
+                self.on_close(cell[0], cell[1], count)
+
+    def flush(self) -> List[Tuple[Any, WindowSpan, int]]:
+        """Close every open window now (signal-tuple semantics)."""
+        out = []
+        for cell in sorted(self.cells, key=lambda c: (c[1].start, repr(c[0]))):
+            count = self.cells.pop(cell)
+            self.closed_windows += 1
+            out.append((cell[0], cell[1], count))
+            if self.on_close is not None:
+                self.on_close(cell[0], cell[1], count)
+        return out

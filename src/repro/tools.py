@@ -1,0 +1,102 @@
+"""Operator tooling: textual cluster/topology inspection (the Storm-UI
+analog for this reproduction).
+
+``describe_cluster`` renders a full status report for a running Storm or
+Typhoon cluster: topologies, per-component worker placement and rates,
+and — for Typhoon — the SDN data plane (switch flow tables, tunnel
+traffic, controller counters).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .bench.harness import format_table
+
+
+def describe_topology(cluster, topology_id: str,
+                      rate_window: float = 5.0) -> str:
+    """One topology's worker table plus recent throughput."""
+    record = cluster.manager.topologies.get(topology_id)
+    if record is None:
+        return "topology %r is not running" % topology_id
+    now = cluster.engine.now
+    start = max(0.0, now - rate_window)
+    rows = []
+    for component in record.logical.nodes:
+        for assignment in record.physical.workers_for(component):
+            executor = cluster.executor(assignment.worker_id)
+            if executor is None:
+                status, processed, emitted, queue = "dead", "-", "-", "-"
+            else:
+                status = "up"
+                processed = "%.0f/s" % executor.processed_meter.rate(start, now)
+                emitted = "%.0f/s" % executor.emitted_meter.rate(start, now)
+                queue = executor.queue_depth
+            rows.append([component, assignment.worker_id,
+                         assignment.hostname, status, processed, emitted,
+                         queue])
+    header = "topology %s (v%d, %d workers) at t=%.1f" % (
+        topology_id, record.logical.version,
+        len(record.physical.assignments), now)
+    return format_table(header,
+                        ("component", "worker", "host", "status",
+                         "processed", "emitted", "queue"),
+                        rows)
+
+
+def describe_data_plane(cluster) -> str:
+    """Typhoon SDN data plane summary (switches, rules, tunnels)."""
+    fabric = getattr(cluster, "fabric", None)
+    if fabric is None:
+        return "no SDN data plane (Storm baseline cluster)"
+    sections: List[str] = []
+    rows = []
+    for hostname in sorted(fabric.hosts):
+        switch = fabric.hosts[hostname].switch
+        rows.append([
+            hostname, len(switch.flows), len(switch.ports),
+            switch.packets_forwarded, switch.packets_dropped,
+            switch.table_misses,
+        ])
+    sections.append(format_table(
+        "switches", ("host", "rules", "ports", "forwarded", "dropped",
+                     "misses"), rows))
+
+    tunnel_rows = []
+    seen = set()
+    for hostname in sorted(fabric.hosts):
+        for peer, tunnel in sorted(fabric.hosts[hostname].tunnels.items()):
+            key = tuple(sorted((hostname, peer)))
+            if key in seen:
+                continue
+            seen.add(key)
+            tunnel_rows.append(["%s <-> %s" % key, tunnel.total_bytes])
+    sections.append(format_table("host tunnels", ("link", "bytes"),
+                                 tunnel_rows))
+
+    controller = getattr(cluster, "sdn", None)
+    if controller is not None:
+        app = getattr(cluster, "app", None)
+        rows = [["messages sent", controller.messages_sent],
+                ["events received", controller.events_received],
+                ["apps", ", ".join(a.name for a in controller.apps)]]
+        if app is not None:
+            rows.append(["rules installed", app.rules_installed])
+            rows.append(["rules removed", app.rules_removed])
+            rows.append(["control tuples sent", app.control_tuples_sent])
+        sections.append(format_table("controller", ("metric", "value"),
+                                     rows))
+    return "\n\n".join(sections)
+
+
+def describe_cluster(cluster, rate_window: float = 5.0) -> str:
+    """Full status report: every topology plus the data plane."""
+    sections = []
+    for topology_id in sorted(cluster.manager.topologies):
+        sections.append(describe_topology(cluster, topology_id,
+                                          rate_window))
+    if not sections:
+        sections.append("(no topologies running)")
+    sections.append(describe_data_plane(cluster))
+    return "\n\n".join(sections)

@@ -1,0 +1,69 @@
+"""Workload generators and topologies used by the evaluation."""
+
+from .adevents import (
+    AD_TYPES,
+    CAMPAIGN_KEY_PREFIX,
+    EVENT_FIELDS,
+    EVENT_TYPES,
+    AdEventGenerator,
+    produce_events,
+)
+from .sentences import (
+    CountBolt,
+    FaultySplitBolt,
+    InjectedFault,
+    NullSinkBolt,
+    SentenceSpout,
+    SequenceCheckBolt,
+    SequenceSpout,
+    SplitBolt,
+    Vocabulary,
+)
+from .wordcount import (
+    broadcast_topology,
+    forwarding_topology,
+    word_count_topology,
+)
+from .yahoo import (
+    EVENTS_TOPIC,
+    WINDOW_SECONDS,
+    CampaignAggregator,
+    FilterBolt,
+    JoinBolt,
+    KafkaClientSpout,
+    ParseBolt,
+    ProjectionBolt,
+    make_filter_factory,
+    yahoo_topology,
+)
+
+__all__ = [
+    "AD_TYPES",
+    "CAMPAIGN_KEY_PREFIX",
+    "EVENTS_TOPIC",
+    "EVENT_FIELDS",
+    "EVENT_TYPES",
+    "WINDOW_SECONDS",
+    "AdEventGenerator",
+    "CampaignAggregator",
+    "CountBolt",
+    "FaultySplitBolt",
+    "FilterBolt",
+    "InjectedFault",
+    "JoinBolt",
+    "KafkaClientSpout",
+    "NullSinkBolt",
+    "ParseBolt",
+    "ProjectionBolt",
+    "SentenceSpout",
+    "SequenceCheckBolt",
+    "SequenceSpout",
+    "SplitBolt",
+    "Vocabulary",
+    "broadcast_topology",
+    "forwarding_topology",
+    "make_filter_factory",
+    "produce_events",
+    "word_count_topology",
+    "yahoo_topology",
+]

@@ -1,0 +1,84 @@
+"""Advertisement event workload (the Yahoo streaming benchmark's input).
+
+Events mirror the benchmark's schema: user id, page id, ad id, ad type,
+event type (view / click / purchase, uniformly distributed), event time
+and source IP. Ads map onto campaigns; the mapping is seeded into the
+Redis substrate so the join stage can resolve it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ext.kafka import KafkaBroker, KafkaProducer
+from ..ext.redis import RedisStore
+from ..sim.engine import Engine, Interrupt, Process
+
+AD_TYPES = ("banner", "modal", "sponsored-search", "mail", "mobile")
+EVENT_TYPES = ("view", "click", "purchase")
+
+#: Tuple layout of one ad event flowing through the pipeline.
+EVENT_FIELDS = ("user_id", "page_id", "ad_id", "ad_type", "event_type",
+                "event_time", "ip")
+
+CAMPAIGN_KEY_PREFIX = "ad-campaign:"
+
+
+class AdEventGenerator:
+    """Seeded generator of ad events over a fixed campaign universe."""
+
+    def __init__(self, rng, num_campaigns: int = 100,
+                 ads_per_campaign: int = 10, num_users: int = 1000,
+                 num_pages: int = 100):
+        self.rng = rng
+        self.campaigns = ["campaign-%04d" % i for i in range(num_campaigns)]
+        self.ads: List[str] = []
+        self.ad_to_campaign = {}
+        for campaign_index, campaign in enumerate(self.campaigns):
+            for ad_index in range(ads_per_campaign):
+                ad_id = "ad-%04d-%02d" % (campaign_index, ad_index)
+                self.ads.append(ad_id)
+                self.ad_to_campaign[ad_id] = campaign
+        self.num_users = num_users
+        self.num_pages = num_pages
+
+    def seed_redis(self, store: RedisStore) -> None:
+        """Install the ad -> campaign mapping (what the benchmark keeps
+        in Redis for the join stage)."""
+        for ad_id, campaign in self.ad_to_campaign.items():
+            store.set(CAMPAIGN_KEY_PREFIX + ad_id, campaign)
+
+    def make_event(self, now: float) -> Tuple:
+        rng = self.rng
+        return (
+            "user-%04d" % rng.randrange(self.num_users),
+            "page-%03d" % rng.randrange(self.num_pages),
+            self.ads[rng.randrange(len(self.ads))],
+            AD_TYPES[rng.randrange(len(AD_TYPES))],
+            EVENT_TYPES[rng.randrange(len(EVENT_TYPES))],
+            now,
+            "10.0.%d.%d" % (rng.randrange(256), rng.randrange(256)),
+        )
+
+
+def produce_events(engine: Engine, broker: KafkaBroker, topic: str,
+                   generator: AdEventGenerator, rate: float,
+                   batch: int = 50,
+                   until: Optional[float] = None) -> Process:
+    """Run a producer process pushing ``rate`` events/second into Kafka."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    producer = KafkaProducer(broker)
+
+    def loop():
+        interval = batch / rate
+        while until is None or engine.now < until:
+            for _ in range(batch):
+                event = generator.make_event(engine.now)
+                producer.send(topic, event, key=event[2])
+            try:
+                yield interval
+            except Interrupt:
+                return
+
+    return engine.process(loop(), name="ad-producer:%s" % topic)

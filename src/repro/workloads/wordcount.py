@@ -1,0 +1,89 @@
+"""Word-count topology builders (Fig. 2, used throughout §6.2).
+
+The canonical pipeline: sentence source -> split (shuffle) -> count
+(key-based), with optional fault injection on one split worker and a
+configurable split work cost for the overload / auto-scaling scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..streaming.topology import (
+    LogicalTopology,
+    TopologyBuilder,
+    TopologyConfig,
+)
+from .sentences import (
+    CountBolt,
+    FaultySplitBolt,
+    NullSinkBolt,
+    SentenceSpout,
+    SequenceCheckBolt,
+    SequenceSpout,
+    SplitBolt,
+    Vocabulary,
+)
+
+
+def forwarding_topology(topology_id: str = "forward",
+                        config: Optional[TopologyConfig] = None,
+                        payload: str = "typhoon-forwarding-benchmark",
+                        ) -> LogicalTopology:
+    """§6.1 microbenchmark: one source, one sequence-checking sink."""
+    builder = TopologyBuilder(topology_id, config)
+    builder.set_spout("source", lambda: SequenceSpout(payload), 1,
+                      max_pending=2000)
+    builder.set_bolt("sink", SequenceCheckBolt, 1).shuffle_grouping("source")
+    return builder.build()
+
+
+def broadcast_topology(topology_id: str = "broadcast", sinks: int = 2,
+                       config: Optional[TopologyConfig] = None,
+                       payload: str = "typhoon-broadcast-benchmark",
+                       ) -> LogicalTopology:
+    """§6.1 one-to-many: a source broadcasting to ``sinks`` workers."""
+    if sinks < 1:
+        raise ValueError("need at least one sink")
+    builder = TopologyBuilder(topology_id, config)
+    builder.set_spout("source", lambda: SequenceSpout(payload), 1)
+    builder.set_bolt("sink", NullSinkBolt, sinks).all_grouping("source")
+    return builder.build()
+
+
+def word_count_topology(
+    topology_id: str = "wordcount",
+    config: Optional[TopologyConfig] = None,
+    splits: int = 2,
+    counts: int = 4,
+    vocabulary_size: int = 1000,
+    skew: float = 0.0,
+    words_per_sentence: int = 5,
+    split_work_cost: float = 0.0,
+    fault_time: Optional[float] = None,
+    faulty_task_index: int = 0,
+) -> LogicalTopology:
+    """The Fig. 2 word-count pipeline, §6.2's evaluation workload.
+
+    With ``fault_time`` set, the split worker with ``faulty_task_index``
+    starts throwing at that (virtual) time — the Fig. 10 scenario.
+    """
+    vocabulary = Vocabulary(vocabulary_size, skew)
+
+    def spout_factory():
+        return SentenceSpout(vocabulary, words_per_sentence)
+
+    if fault_time is not None:
+        def split_factory():
+            return FaultySplitBolt(fault_time, faulty_task_index,
+                                   split_work_cost)
+    else:
+        def split_factory():
+            return SplitBolt(split_work_cost)
+
+    builder = TopologyBuilder(topology_id, config)
+    builder.set_spout("source", spout_factory, 1)
+    builder.set_bolt("split", split_factory, splits).shuffle_grouping("source")
+    builder.set_bolt("count", CountBolt, counts,
+                     stateful=True).fields_grouping("split", [0])
+    return builder.build()

@@ -1,0 +1,216 @@
+"""The Yahoo advertisement-analytics pipeline (Fig. 13, §6.2).
+
+Six computations, with Kafka as the input source and Redis as the
+database for the join and aggregation workers:
+
+    kafka-client(1) -> parse(1) -> filter(3) -> projection(3)
+        -> join(3, stateful) -> aggregate-store(1, stateful)
+
+The filter initially admits only ``view`` events; the Fig. 14 experiment
+hot-swaps it for one that also admits ``click`` events, which roughly
+doubles the windowed counts downstream — without restarting anything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..ext.kafka import KafkaBroker, KafkaConsumer
+from ..ext.redis import RedisClient, RedisStore
+from ..streaming.topology import (
+    Bolt,
+    ComponentContext,
+    EmitterApi,
+    LogicalTopology,
+    Spout,
+    TopologyBuilder,
+    TopologyConfig,
+)
+from ..streaming.tuples import StreamTuple
+from ..streaming.windows import TumblingWindow, WindowedCounter
+from .adevents import CAMPAIGN_KEY_PREFIX
+
+#: The 10-second tuple window the paper's deployment uses.
+WINDOW_SECONDS = 10.0
+
+EVENTS_TOPIC = "ad-events"
+
+
+class KafkaClientSpout(Spout):
+    """Pulls ad events from the Kafka substrate (consumer group =
+    this component's parallel workers)."""
+
+    def __init__(self, poll_batch: int = 100):
+        self.poll_batch = poll_batch
+        self._consumer: Optional[KafkaConsumer] = None
+        self.polled = 0
+
+    def open(self, ctx: ComponentContext) -> None:
+        broker: KafkaBroker = ctx.services["kafka"]
+        self._consumer = KafkaConsumer(
+            broker, EVENTS_TOPIC,
+            member_index=ctx.task_index, group_size=ctx.parallelism,
+        )
+
+    def next_tuple(self, collector: EmitterApi) -> None:
+        records = self._consumer.poll(self.poll_batch)
+        collector.charge(self._consumer.drain_cost())
+        for record in records:
+            self.polled += 1
+            collector.emit(record.value, message_id=(record.partition,
+                                                     record.offset))
+
+
+class ParseBolt(Bolt):
+    """Deserializes/validates raw events into the 7-field tuple."""
+
+    def __init__(self):
+        self.malformed = 0
+
+    def execute(self, stream_tuple: StreamTuple,
+                collector: EmitterApi) -> None:
+        values = stream_tuple.values
+        if len(values) != 7 or not isinstance(values[4], str):
+            self.malformed += 1
+            return
+        collector.emit(values, anchor=stream_tuple)
+
+
+class FilterBolt(Bolt):
+    """Admits events whose type is in the allowed set — the Fig. 14
+    hot-swap target."""
+
+    def __init__(self, allowed: Sequence[str] = ("view",)):
+        self.allowed = frozenset(allowed)
+        self.passed = 0
+        self.dropped = 0
+
+    def execute(self, stream_tuple: StreamTuple,
+                collector: EmitterApi) -> None:
+        if stream_tuple[4] in self.allowed:
+            self.passed += 1
+            collector.emit(stream_tuple.values, anchor=stream_tuple)
+        else:
+            self.dropped += 1
+
+
+def make_filter_factory(allowed: Sequence[str]) -> Callable[[], FilterBolt]:
+    allowed = tuple(allowed)
+
+    def factory() -> FilterBolt:
+        return FilterBolt(allowed)
+
+    return factory
+
+
+class ProjectionBolt(Bolt):
+    """Projects events down to (ad_id, event_time)."""
+
+    def execute(self, stream_tuple: StreamTuple,
+                collector: EmitterApi) -> None:
+        collector.emit((stream_tuple[2], stream_tuple[5]),
+                       anchor=stream_tuple)
+
+
+class JoinBolt(Bolt):
+    """Joins ad ids to campaign ids via Redis, with a local cache
+    (key-based routing upstream keeps the cache effective)."""
+
+    def __init__(self):
+        self._redis: Optional[RedisClient] = None
+        self.cache: Dict[str, str] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.unjoined = 0
+
+    def open(self, ctx: ComponentContext) -> None:
+        store: RedisStore = ctx.services["redis"]
+        self._redis = RedisClient(store)
+
+    def execute(self, stream_tuple: StreamTuple,
+                collector: EmitterApi) -> None:
+        ad_id, event_time = stream_tuple.values
+        campaign = self.cache.get(ad_id)
+        if campaign is None:
+            self.cache_misses += 1
+            campaign = self._redis.get(CAMPAIGN_KEY_PREFIX + ad_id)
+            collector.charge(self._redis.drain_cost())
+            if campaign is None:
+                self.unjoined += 1
+                return
+            self.cache[ad_id] = campaign
+        else:
+            self.cache_hits += 1
+        collector.emit((campaign, event_time), anchor=stream_tuple)
+
+    def on_signal(self, signal: StreamTuple, collector: EmitterApi) -> None:
+        self.cache.clear()
+
+
+class CampaignAggregator(Bolt):
+    """Windowed per-campaign counts (10 s tumbling windows); closed
+    windows are written to Redis and emitted downstream.
+
+    Built on :class:`~repro.streaming.windows.WindowedCounter`: windows
+    close as the event-time watermark advances, and a SIGNAL (stable
+    update / relocation) flushes everything still open."""
+
+    def __init__(self, window_seconds: float = WINDOW_SECONDS):
+        self.window_seconds = window_seconds
+        self.emitted_windows = 0
+        self._redis: Optional[RedisClient] = None
+        self._counter: Optional[WindowedCounter] = None
+        self._collector: Optional[EmitterApi] = None
+
+    def open(self, ctx: ComponentContext) -> None:
+        store: RedisStore = ctx.services["redis"]
+        self._redis = RedisClient(store)
+        self._counter = WindowedCounter(
+            TumblingWindow(self.window_seconds), on_close=self._on_close)
+
+    @property
+    def windows(self) -> Dict[Tuple[str, float], int]:
+        """Open windows as {(campaign, window_start): count}."""
+        return {(key, span.start): count
+                for (key, span), count in self._counter.cells.items()}
+
+    def _on_close(self, campaign: str, span, count: int) -> None:
+        self._redis.set("window:%s:%.0f" % (campaign, span.start), count)
+        self._collector.charge(self._redis.drain_cost())
+        self._collector.emit((campaign, span.start, count))
+        self.emitted_windows += 1
+
+    def execute(self, stream_tuple: StreamTuple,
+                collector: EmitterApi) -> None:
+        campaign, event_time = stream_tuple.values
+        self._collector = collector
+        self._counter.add(campaign, event_time)
+
+    def on_signal(self, signal: StreamTuple, collector: EmitterApi) -> None:
+        self._collector = collector
+        self._counter.flush()
+
+
+def yahoo_topology(
+    topology_id: str = "yahoo-ads",
+    config: Optional[TopologyConfig] = None,
+    allowed_events: Sequence[str] = ("view",),
+    filters: int = 3,
+    projections: int = 3,
+    joins: int = 3,
+    window_seconds: float = WINDOW_SECONDS,
+) -> LogicalTopology:
+    """Build the Fig. 13 pipeline. The hosting cluster must provide the
+    ``kafka`` and ``redis`` services (see the Yahoo example)."""
+    builder = TopologyBuilder(topology_id, config)
+    builder.set_spout("kafka-client", KafkaClientSpout, 1)
+    builder.set_bolt("parse", ParseBolt, 1).shuffle_grouping("kafka-client")
+    builder.set_bolt("filter", make_filter_factory(allowed_events),
+                     filters).shuffle_grouping("parse")
+    builder.set_bolt("projection", ProjectionBolt,
+                     projections).shuffle_grouping("filter")
+    builder.set_bolt("join", JoinBolt, joins,
+                     stateful=True).fields_grouping("projection", [0])
+    builder.set_bolt("store", lambda: CampaignAggregator(window_seconds), 1,
+                     stateful=True).global_grouping("join")
+    return builder.build()

@@ -1,0 +1,63 @@
+"""Shared fixtures and helper components for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import DEFAULT_COSTS, Engine
+from repro.streaming import (
+    Bolt,
+    Spout,
+    TopologyBuilder,
+    TopologyConfig,
+)
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class CountingSpout(Spout):
+    """Emits (payload, seq) at max speed, optionally up to a limit."""
+
+    def __init__(self, limit=None, payload="x"):
+        self.limit = limit
+        self.payload = payload
+        self.seq = 0
+
+    def next_tuple(self, collector):
+        if self.limit is not None and self.seq >= self.limit:
+            return
+        collector.emit((self.payload, self.seq), message_id=self.seq)
+        self.seq += 1
+
+
+class RecordingBolt(Bolt):
+    """Stores every received tuple's values."""
+
+    instances = []
+
+    def __init__(self):
+        self.received = []
+        RecordingBolt.instances.append(self)
+
+    def execute(self, stream_tuple, collector):
+        self.received.append(stream_tuple.values)
+
+
+class ForwardingBolt(Bolt):
+    """Re-emits everything it receives."""
+
+    def execute(self, stream_tuple, collector):
+        collector.emit(stream_tuple.values, anchor=stream_tuple)
+
+
+def simple_chain(topology_id="chain", limit=None, config=None,
+                 sink_parallelism=1):
+    """source -> sink topology used across integration tests."""
+    builder = TopologyBuilder(topology_id, config or TopologyConfig())
+    builder.set_spout("source", lambda: CountingSpout(limit), 1)
+    builder.set_bolt("sink", RecordingBolt,
+                     sink_parallelism).shuffle_grouping("source")
+    return builder.build()

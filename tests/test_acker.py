@@ -1,0 +1,76 @@
+"""Unit tests for the XOR-ledger acker component."""
+
+from repro.streaming.acker import AckerBolt, _Ledger
+from repro.streaming.executor import ACK_ACK, ACK_COMPLETE, ACK_INIT
+from repro.streaming.tuples import ACK_STREAM, StreamTuple
+
+
+class DirectCollector:
+    def __init__(self):
+        self.direct = []
+
+    def emit_direct(self, worker_id, values, stream=0):
+        self.direct.append((worker_id, tuple(values), stream))
+
+
+def message(kind, root, value, src=1):
+    return StreamTuple((kind, root, value, src), stream=ACK_STREAM)
+
+
+def test_single_hop_tree_completes():
+    acker = AckerBolt()
+    collector = DirectCollector()
+    root, edge = 0xAAAA, 0xBBBB
+    acker.execute(message(ACK_INIT, root, edge, src=7), collector)
+    assert not collector.direct
+    # The single consumer acks the edge with no children.
+    acker.execute(message(ACK_ACK, root, edge, src=2), collector)
+    assert collector.direct == [(7, (ACK_COMPLETE, root, 0, -1), ACK_STREAM)]
+    assert acker.completed == 1
+    assert not acker.ledgers
+
+
+def test_multi_hop_tree():
+    acker = AckerBolt()
+    collector = DirectCollector()
+    root, e0, e1, e2 = 1, 10, 20, 30
+    acker.execute(message(ACK_INIT, root, e0, src=5), collector)
+    # Bolt A consumed e0, emitted e1 and e2.
+    acker.execute(message(ACK_ACK, root, e0 ^ e1 ^ e2), collector)
+    assert not collector.direct  # e1, e2 outstanding
+    acker.execute(message(ACK_ACK, root, e1), collector)
+    acker.execute(message(ACK_ACK, root, e2), collector)
+    assert len(collector.direct) == 1
+    assert collector.direct[0][0] == 5
+
+
+def test_ack_before_init_race():
+    acker = AckerBolt()
+    collector = DirectCollector()
+    root, edge = 2, 99
+    # Downstream ack overtakes the spout's init message.
+    acker.execute(message(ACK_ACK, root, edge), collector)
+    assert not collector.direct
+    acker.execute(message(ACK_INIT, root, edge, src=3), collector)
+    assert collector.direct[0][0] == 3
+    assert acker.completed == 1
+
+
+def test_incomplete_tree_never_completes():
+    acker = AckerBolt()
+    collector = DirectCollector()
+    acker.execute(message(ACK_INIT, 3, 111, src=1), collector)
+    acker.execute(message(ACK_ACK, 3, 111 ^ 222), collector)  # child 222
+    assert not collector.direct
+    assert 3 in acker.ledgers
+
+
+def test_independent_roots_tracked_separately():
+    acker = AckerBolt()
+    collector = DirectCollector()
+    acker.execute(message(ACK_INIT, 10, 1, src=1), collector)
+    acker.execute(message(ACK_INIT, 20, 2, src=1), collector)
+    acker.execute(message(ACK_ACK, 10, 1), collector)
+    assert acker.completed == 1
+    assert 20 in acker.ledgers
+    assert 10 not in acker.ledgers

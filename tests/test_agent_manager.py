@@ -1,0 +1,183 @@
+"""Unit tests for worker agents and the streaming manager."""
+
+import pytest
+
+from repro.coordination import Coordinator, GlobalState
+from repro.net import Cluster
+from repro.sim import DEFAULT_COSTS, Engine, MetricsRegistry
+from repro.sim.rng import SeedFactory
+from repro.streaming import (
+    LogicalNode,
+    Router,
+    StormCluster,
+    TopologyConfig,
+    WorkerAgent,
+    WorkerAssignment,
+    WorkerExecutor,
+)
+from repro.streaming.topology import BOLT, Bolt
+from tests.conftest import simple_chain
+from tests.test_executor import FakeTransport
+
+
+class Idle(Bolt):
+    def execute(self, stream_tuple, collector):
+        pass
+
+
+def make_agent(engine, hostname="host-0", restart=True):
+    coordinator = Coordinator(engine, DEFAULT_COSTS)
+    state = GlobalState(coordinator)
+    metrics = MetricsRegistry(engine)
+    built = []
+
+    def factory(assignment):
+        executor = WorkerExecutor(
+            engine=engine, costs=DEFAULT_COSTS, assignment=assignment,
+            node=LogicalNode("c", BOLT, Idle), config=TopologyConfig(),
+            transport=FakeTransport(), routers={}, metrics=metrics,
+            rng=SeedFactory(0).rng("x"), topology_id="t",
+        )
+        built.append(executor)
+        return executor
+
+    agent = WorkerAgent(engine, DEFAULT_COSTS, hostname, state, factory,
+                        restart_crashed=restart)
+    return agent, state, built
+
+
+def assignment(worker_id=1, host="host-0"):
+    return WorkerAssignment(worker_id=worker_id, component="c",
+                            task_index=0, hostname=host)
+
+
+def test_launch_after_latency(engine):
+    agent, _state, built = make_agent(engine)
+    agent.launch("t", assignment())
+    engine.run(until=DEFAULT_COSTS.worker_launch_latency - 0.1)
+    assert not built
+    engine.run(until=DEFAULT_COSTS.worker_launch_latency + 0.1)
+    assert len(built) == 1
+    assert built[0].alive
+    assert agent.launches == 1
+
+
+def test_launch_wrong_host_rejected(engine):
+    agent, _state, _built = make_agent(engine)
+    with pytest.raises(ValueError):
+        agent.launch("t", assignment(host="elsewhere"))
+
+
+def test_kill_prevents_pending_launch(engine):
+    agent, _state, built = make_agent(engine)
+    agent.launch("t", assignment())
+    agent.kill(1)
+    engine.run(until=5.0)
+    assert built == []
+
+
+def test_crash_triggers_local_restart(engine):
+    agent, _state, built = make_agent(engine)
+    agent.launch("t", assignment())
+    engine.run(until=3.0)
+    built[0]._crash(RuntimeError("x"))
+    engine.run(until=3.0 + DEFAULT_COSTS.supervisor_restart_delay + 0.5)
+    assert len(built) == 2
+    assert built[1].alive
+    assert agent.restarts == 1
+
+
+def test_no_restart_when_disabled(engine):
+    agent, _state, built = make_agent(engine, restart=False)
+    agent.launch("t", assignment())
+    engine.run(until=3.0)
+    built[0]._crash(RuntimeError("x"))
+    engine.run(until=10.0)
+    assert len(built) == 1
+
+
+def test_crash_listeners_invoked(engine):
+    agent, _state, built = make_agent(engine)
+    seen = []
+    agent.crash_listeners.append(
+        lambda agent_, executor, error: seen.append(executor.worker_id))
+    agent.launch("t", assignment())
+    engine.run(until=3.0)
+    built[0]._crash(RuntimeError("x"))
+    engine.run(until=4.0)
+    assert seen == [1]
+
+
+def test_heartbeats_written_after_uptime(engine):
+    agent, state, _built = make_agent(engine)
+    agent.launch("t", assignment())
+    engine.run(until=DEFAULT_COSTS.worker_launch_latency
+               + DEFAULT_COSTS.heartbeat_interval * 2 + 0.5)
+    beat = state.read_beat("t", 1)
+    assert beat is not None
+    assert beat["time"] > 0
+    assert "stats" in beat
+
+
+def test_crash_looping_worker_never_beats(engine):
+    agent, state, built = make_agent(engine)
+    agent.launch("t", assignment())
+
+    def keep_crashing(agent_, executor, error):
+        pass
+
+    engine.run(until=3.0)
+
+    # Crash it every half second, faster than the heartbeat interval.
+    def crasher():
+        while True:
+            yield 0.5
+            if built and built[-1].alive:
+                built[-1]._crash(RuntimeError("loop"))
+
+    engine.process(crasher())
+    engine.run(until=30.0)
+    assert state.read_beat("t", 1) is None
+    assert agent.restarts > 5
+
+
+def test_forget_stops_tracking_without_kill(engine):
+    agent, _state, built = make_agent(engine)
+    agent.launch("t", assignment())
+    engine.run(until=3.0)
+    executor = built[0]
+    agent.forget(1)
+    executor._crash(RuntimeError("x"))
+    engine.run(until=10.0)
+    assert len(built) == 1  # no restart: responsibility dropped
+
+
+def test_manager_kill_topology_idempotent():
+    engine = Engine()
+    cluster = StormCluster(engine, num_hosts=1)
+    cluster.submit(simple_chain(config=TopologyConfig(max_spout_rate=100)))
+    engine.run(until=4.0)
+    cluster.manager.kill_topology("chain")
+    cluster.manager.kill_topology("chain")  # no error
+    engine.run(until=5.0)
+    assert cluster.manager.topologies == {}
+
+
+def test_manager_rejects_duplicate_submission():
+    engine = Engine()
+    cluster = StormCluster(engine, num_hosts=1)
+    cluster.submit(simple_chain(config=TopologyConfig(max_spout_rate=100)))
+    with pytest.raises(ValueError):
+        cluster.submit(simple_chain(config=TopologyConfig(max_spout_rate=100)))
+
+
+def test_manager_assigns_distinct_app_ids():
+    engine = Engine()
+    cluster = StormCluster(engine, num_hosts=1)
+    first = cluster.submit(simple_chain("one",
+                                        config=TopologyConfig(max_spout_rate=100)))
+    second = cluster.submit(simple_chain("two",
+                                         config=TopologyConfig(max_spout_rate=100)))
+    assert first.app_id != second.app_id
+    # Worker ids are cluster-unique across topologies.
+    assert set(first.assignments).isdisjoint(second.assignments)

@@ -1,0 +1,68 @@
+"""Integration tests for the cross-layer stats monitor app."""
+
+import pytest
+
+from repro.core import TyphoonCluster
+from repro.core.apps import StatsMonitor
+from repro.sim import Engine
+from repro.streaming import TopologyConfig
+from repro.workloads import word_count_topology
+
+
+def start(poll=3.0, rate=1000):
+    engine = Engine()
+    cluster = TyphoonCluster(engine, num_hosts=2, seed=0)
+    config = TopologyConfig(batch_size=50, max_spout_rate=rate)
+    cluster.submit(word_count_topology("wc", config, splits=2, counts=2,
+                                       words_per_sentence=2))
+    monitor = cluster.register_app(StatsMonitor(cluster, "wc",
+                                                poll_interval=poll))
+    engine.run(until=15.0)
+    return engine, cluster, monitor
+
+
+def test_collects_network_layer_edge_stats():
+    engine, cluster, monitor = start()
+    assert monitor.polls >= 2
+    record = cluster.manager.topologies["wc"]
+    source_id = record.physical.worker_ids_for("source")[0]
+    edges = monitor.edges_from(source_id)
+    assert edges, "source has outgoing edge stats"
+    assert all(e.packets > 0 and e.bytes > 0 for e in edges)
+    split_ids = set(record.physical.worker_ids_for("split"))
+    assert {e.dst_worker for e in edges} <= split_ids
+
+
+def test_collects_application_layer_worker_stats():
+    engine, cluster, monitor = start()
+    record = cluster.manager.topologies["wc"]
+    for worker_id in record.physical.worker_ids_for("count"):
+        view = monitor.worker(worker_id)
+        assert view is not None
+        assert view.app_stats.get("processed", 0) > 0
+        assert view.rx_packets > 0  # network layer merged in
+
+
+def test_busiest_edges_ranked_by_bytes():
+    engine, cluster, monitor = start()
+    busiest = monitor.busiest_edges(top=3)
+    assert busiest
+    volumes = [e.bytes for e in busiest]
+    assert volumes == sorted(volumes, reverse=True)
+
+
+def test_report_renders():
+    engine, cluster, monitor = start()
+    text = monitor.report()
+    assert "cross-layer statistics" in text
+    assert "-- workers --" in text
+    assert "-- busiest edges --" in text
+    assert "w1" in text
+
+
+def test_stop_halts_polling():
+    engine, cluster, monitor = start()
+    polls = monitor.polls
+    monitor.on_stop()
+    engine.run(until=30.0)
+    assert monitor.polls == polls

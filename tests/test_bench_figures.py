@@ -1,0 +1,46 @@
+"""Smoke tests for the experiment implementations (fast paths only —
+the full experiments run under benchmarks/)."""
+
+import pytest
+
+from repro.bench.figures import (
+    _cluster,
+    _exact_rate,
+    _forwarding_run,
+    table5_debugger,
+)
+from repro.sim import Engine
+from repro.streaming import StormCluster, TopologyConfig
+from repro.core import TyphoonCluster
+from repro.workloads import forwarding_topology
+
+
+def test_cluster_factory_dispatch():
+    engine = Engine()
+    assert isinstance(_cluster("storm", engine, 1), StormCluster)
+    assert isinstance(_cluster("typhoon", Engine(), 1), TyphoonCluster)
+    with pytest.raises(ValueError):
+        _cluster("flink", Engine(), 1)
+
+
+def test_exact_rate_measures_delta():
+    engine = Engine()
+    cluster = StormCluster(engine, num_hosts=1)
+    cluster.submit(forwarding_topology(
+        "fwd", TopologyConfig(max_spout_rate=1000)))
+    rate = _exact_rate(engine, cluster, "fwd", "sink", 4.0, 6.0)
+    assert rate == pytest.approx(1000, rel=0.1)
+
+
+def test_forwarding_run_returns_expected_keys():
+    run = _forwarding_run("storm", local=True, batch=100, acking=False)
+    assert run["throughput"] > 0
+    assert run["out_of_order"] == 0
+    assert "latency_p50" not in run  # no acker -> no latency data
+
+
+def test_table5_is_fast_and_complete():
+    result = table5_debugger()
+    rendered = result.render()
+    assert "Typhoon" in rendered and "Storm" in rendered
+    assert result.scalars["typhoon_dynamic"] == 1.0

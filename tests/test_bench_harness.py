@@ -1,0 +1,77 @@
+"""Unit tests for the bench harness rendering utilities."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    Series,
+    format_series,
+    format_table,
+)
+from repro.sim import Engine, RateMeter
+
+
+def test_format_table_alignment():
+    text = format_table("title", ("a", "bb"), [["x", 1], ["yyy", 22.5]])
+    lines = text.splitlines()
+    assert lines[0] == "title"
+    assert "a" in lines[2] and "bb" in lines[2]
+    assert "22.50" in text
+
+
+def test_format_table_float_formatting():
+    text = format_table("t", ("v",), [[0.12345], [1234.5], [2.5], [0]])
+    assert "0.1234" in text or "0.1235" in text
+    assert "1234" in text
+    assert "2.50" in text
+
+
+def test_series_from_rate_meter():
+    engine = Engine()
+    meter = RateMeter(engine, "m")
+
+    def producer():
+        for _ in range(10):
+            meter.mark(5)
+            yield 0.5
+
+    engine.process(producer())
+    engine.run()
+    series = Series.from_timeseries("m", meter.series(0, 5))
+    assert series.points
+    assert series.mean_between(0, 4) > 0
+    assert series.value_near(0.0) == 10.0  # 2 marks of 5 in bucket 0
+
+
+def test_series_helpers_empty():
+    series = Series("empty", [])
+    assert series.value_near(1.0) == 0.0
+    assert series.mean_between(0, 1) == 0.0
+    assert series.max_between(0, 1) == 0.0
+
+
+def test_format_series_renders_marks():
+    a = Series("alpha", [(0, 1.0), (1, 2.0), (2, 3.0)])
+    b = Series("beta", [(0, 3.0), (1, 2.0), (2, 1.0)])
+    text = format_series("chart", [a, b])
+    assert "chart" in text
+    assert "[0] alpha" in text
+    assert "[1] beta" in text
+    assert "0" in text and "1" in text
+
+
+def test_format_series_no_data():
+    text = format_series("chart", [Series("x", [])])
+    assert "(no data)" in text
+
+
+def test_experiment_result_render():
+    result = ExperimentResult("Fig X")
+    result.add_table("numbers", ("k", "v"), [["a", 1]])
+    result.add_series(Series("line", [(0, 1), (1, 2)]))
+    result.scalars["metric"] = 42.0
+    text = result.render()
+    assert "=== Fig X ===" in text
+    assert "numbers" in text
+    assert "line" in text
+    assert "metric" in text

@@ -1,0 +1,174 @@
+"""Unit tests for the coordinator (ZooKeeper stand-in) and state schema."""
+
+import pytest
+
+from repro.coordination import (
+    BadVersionError,
+    Coordinator,
+    GlobalState,
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+)
+from repro.sim import DEFAULT_COSTS, Engine
+
+
+@pytest.fixture
+def coordinator(engine):
+    return Coordinator(engine, DEFAULT_COSTS)
+
+
+def test_create_get_set(coordinator):
+    coordinator.create("/a", {"x": 1})
+    data, version = coordinator.get("/a")
+    assert data == {"x": 1}
+    assert version == 0
+    new_version = coordinator.set("/a", {"x": 2})
+    assert new_version == 1
+    assert coordinator.get("/a")[0] == {"x": 2}
+
+
+def test_create_requires_parent(coordinator):
+    with pytest.raises(NoNodeError):
+        coordinator.create("/a/b", 1)
+    coordinator.create("/a/b", 1, make_parents=True)
+    assert coordinator.exists("/a")
+    assert coordinator.get("/a/b")[0] == 1
+
+
+def test_duplicate_create_rejected(coordinator):
+    coordinator.create("/a")
+    with pytest.raises(NodeExistsError):
+        coordinator.create("/a")
+
+
+def test_bad_path_rejected(coordinator):
+    with pytest.raises(ValueError):
+        coordinator.create("no-slash")
+    with pytest.raises(ValueError):
+        coordinator.create("/trailing/")
+
+
+def test_compare_and_set(coordinator):
+    coordinator.create("/a", 1)
+    coordinator.set("/a", 2, expected_version=0)
+    with pytest.raises(BadVersionError):
+        coordinator.set("/a", 3, expected_version=0)
+
+
+def test_children_sorted(coordinator):
+    coordinator.create("/top")
+    for name in ("c", "a", "b"):
+        coordinator.create("/top/%s" % name)
+    assert coordinator.children("/top") == ["a", "b", "c"]
+
+
+def test_delete_and_recursive(coordinator):
+    coordinator.create("/a/b/c", 1, make_parents=True)
+    with pytest.raises(NotEmptyError):
+        coordinator.delete("/a")
+    coordinator.delete("/a", recursive=True)
+    assert not coordinator.exists("/a")
+    assert not coordinator.exists("/a/b/c")
+
+
+def test_ephemeral_nodes_die_with_session(coordinator):
+    coordinator.start_session("worker-1")
+    coordinator.create("/beats", None)
+    coordinator.create("/beats/w1", "alive", ephemeral_owner="worker-1")
+    assert coordinator.exists("/beats/w1")
+    coordinator.expire_session("worker-1")
+    assert not coordinator.exists("/beats/w1")
+    assert coordinator.exists("/beats")
+
+
+def test_ephemeral_requires_session(coordinator):
+    with pytest.raises(Exception):
+        coordinator.create("/x", 1, ephemeral_owner="ghost")
+
+
+def test_data_watch_fires_after_latency(engine, coordinator):
+    seen = []
+    coordinator.create("/w", 0)
+    coordinator.watch_data("/w", lambda p, d, v: seen.append((engine.now, d)))
+    coordinator.set("/w", 1)
+    assert seen == []  # not synchronous
+    engine.run()
+    assert len(seen) == 1
+    assert seen[0][1] == 1
+    assert seen[0][0] == pytest.approx(DEFAULT_COSTS.coordinator_op_latency)
+
+
+def test_data_watch_sees_delete_as_none(engine, coordinator):
+    seen = []
+    coordinator.create("/w", 0)
+    coordinator.watch_data("/w", lambda p, d, v: seen.append((d, v)))
+    coordinator.delete("/w")
+    engine.run()
+    assert seen == [(None, None)]
+
+
+def test_child_watch(engine, coordinator):
+    seen = []
+    coordinator.create("/parent")
+    coordinator.watch_children("/parent", lambda p, names: seen.append(names))
+    coordinator.create("/parent/a")
+    coordinator.create("/parent/b")
+    coordinator.delete("/parent/a")
+    engine.run()
+    assert seen == [["a"], ["a", "b"], ["b"]]
+
+
+def test_watch_unsubscribe(engine, coordinator):
+    seen = []
+    coordinator.create("/w", 0)
+    unsubscribe = coordinator.watch_data("/w",
+                                         lambda p, d, v: seen.append(d))
+    coordinator.set("/w", 1)
+    unsubscribe()
+    coordinator.set("/w", 2)
+    engine.run()
+    assert seen == [1]
+
+
+def test_ensure_creates_or_overwrites(coordinator):
+    state = coordinator
+    state.ensure("/deep/path/node", "v1")
+    assert state.get("/deep/path/node")[0] == "v1"
+    state.ensure("/deep/path/node", "v2")
+    assert state.get("/deep/path/node")[0] == "v2"
+
+
+# -- GlobalState schema (Table 1) -------------------------------------------------
+
+
+def test_global_state_topology_roundtrip(engine, coordinator):
+    state = GlobalState(coordinator)
+    assert state.list_topologies() == []
+    state.write_logical("wc", {"nodes": ["a"]})
+    state.write_physical("wc", {"workers": [1, 2]})
+    assert state.read_logical("wc") == {"nodes": ["a"]}
+    assert state.read_physical("wc") == {"workers": [1, 2]}
+    assert state.list_topologies() == ["wc"]
+    state.remove_topology("wc")
+    assert state.list_topologies() == []
+    assert state.read_logical("wc") is None
+
+
+def test_global_state_agents(engine, coordinator):
+    state = GlobalState(coordinator)
+    state.register_agent("host-0", {"ports": 4})
+    state.register_agent("host-1", {"ports": 2})
+    assert state.list_agents() == ["host-0", "host-1"]
+    assert state.agent_info("host-0") == {"ports": 4}
+
+
+def test_global_state_beats(engine, coordinator):
+    state = GlobalState(coordinator)
+    state.write_beat("wc", 3, {"time": 1.0})
+    assert state.read_beat("wc", 3) == {"time": 1.0}
+    state.write_beat("wc", 3, {"time": 2.0})
+    assert state.read_beat("wc", 3) == {"time": 2.0}
+    state.clear_beat("wc", 3)
+    assert state.read_beat("wc", 3) is None
+    state.clear_beat("wc", 3)  # idempotent

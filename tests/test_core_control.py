@@ -1,0 +1,85 @@
+"""Unit tests for control tuples (Table 2)."""
+
+import pytest
+
+from repro.core import control as ct
+from repro.streaming import CONTROL_STREAM, SHUFFLE
+from repro.streaming.topology import FIELDS
+
+
+def test_all_table2_types_constructible():
+    samples = [
+        ct.routing_update([ct.RoutingUpdate("sink", 0, [1, 2])]),
+        ct.signal(),
+        ct.metric_request(1),
+        ct.metric_response(1, 7, {"queue_depth": 3}),
+        ct.input_rate(1000.0),
+        ct.activate(),
+        ct.deactivate(),
+        ct.batch_size(250),
+    ]
+    types = {sample.ctype for sample in samples}
+    assert types == set(ct.CONTROL_TYPES)
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ValueError):
+        ct.ControlTuple("REBOOT")
+
+
+def test_stream_tuple_conversion():
+    control = ct.signal("flush")
+    stream_tuple = control.to_stream_tuple()
+    assert stream_tuple.stream == CONTROL_STREAM
+    assert stream_tuple.source_worker == ct.CONTROLLER_WORKER_ID
+    back = ct.ControlTuple.from_stream_tuple(stream_tuple)
+    assert back.ctype == ct.SIGNAL
+    assert back.payload == {"kind": "flush"}
+
+
+def test_from_stream_tuple_rejects_data_streams():
+    from repro.streaming import StreamTuple
+    with pytest.raises(ValueError):
+        ct.ControlTuple.from_stream_tuple(StreamTuple(("x",), stream=0))
+
+
+def test_wire_encoding_roundtrip():
+    control = ct.routing_update([
+        ct.RoutingUpdate("count", 0, [4, 5, 6], FIELDS, (0, 1)),
+        ct.RoutingUpdate("debug", 2, [9]),
+    ], request_id=17)
+    decoded = ct.ControlTuple.decode(control.encode())
+    assert decoded.ctype == ct.ROUTING
+    assert decoded.request_id == 17
+    updates = ct.parse_routing(decoded)
+    assert updates[0].dst_component == "count"
+    assert updates[0].next_hops == [4, 5, 6]
+    assert updates[0].grouping_fields == (0, 1)
+    assert updates[0].grouping().kind == FIELDS
+    assert updates[1].grouping_kind is None
+    assert updates[1].grouping() is None
+
+
+def test_parse_routing_rejects_other_types():
+    with pytest.raises(ValueError):
+        ct.parse_routing(ct.signal())
+
+
+def test_input_rate_none_means_unlimited():
+    control = ct.input_rate(None)
+    assert control.payload["rate"] == -1.0
+    control = ct.input_rate(5000)
+    assert control.payload["rate"] == 5000.0
+
+
+def test_metric_response_payload():
+    control = ct.metric_response(3, 42, {"emitted": 10, "queue_depth": 2})
+    assert control.payload["worker_id"] == 42
+    assert control.payload["stats"]["emitted"] == 10
+
+
+def test_routing_update_wire_format_is_codec_friendly():
+    update = ct.RoutingUpdate("sink", 1, [7, 8], SHUFFLE, ())
+    wire = update.to_wire()
+    back = ct.RoutingUpdate.from_wire(wire)
+    assert back == update

@@ -1,0 +1,134 @@
+"""Unit tests for the Typhoon SDN controller app (rule generation,
+port discovery, control-tuple injection)."""
+
+import pytest
+
+from repro.core import TyphoonCluster, control as ct
+from repro.core.controller import _worker_of_port
+from repro.net import BROADCAST, CONTROLLER_ADDRESS
+from repro.sdn.flow import Output, SetTunnelDst
+from repro.sim import Engine
+from repro.streaming import TopologyBuilder, TopologyConfig
+from tests.conftest import CountingSpout, RecordingBolt, simple_chain
+
+
+def test_worker_of_port_parsing():
+    assert _worker_of_port("w17") == 17
+    assert _worker_of_port("tunnel") is None
+    assert _worker_of_port("wabc") is None
+    assert _worker_of_port("") is None
+
+
+def deploy(engine, topology, hosts=2):
+    cluster = TyphoonCluster(engine, num_hosts=hosts)
+    cluster.submit(topology)
+    engine.run(until=3.0)
+    return cluster
+
+
+def test_port_discovery_tracks_workers(engine):
+    cluster = deploy(engine, simple_chain(
+        config=TopologyConfig(max_spout_rate=100)))
+    record = cluster.manager.topologies["chain"]
+    for worker_id in record.physical.assignments:
+        assert worker_id in cluster.app.worker_host
+        dpid = cluster.app.worker_host[worker_id]
+        assert (dpid, worker_id) in cluster.app.port_map
+
+
+def test_rules_respect_locality(engine):
+    builder = TopologyBuilder("r", TopologyConfig(max_spout_rate=100))
+    builder.set_spout("source", lambda: CountingSpout(None), 1)
+    builder.set_bolt("sink", RecordingBolt, 3).shuffle_grouping("source")
+    cluster = deploy(engine, builder.build(), hosts=2)
+    installed = cluster.app._installed["r"]
+    record = cluster.manager.topologies["r"]
+    source_host = record.physical.workers_for("source")[0].hostname
+    for (dpid, match), (priority, actions) in installed.items():
+        if match.dl_dst is not None and match.dl_dst.is_broadcast:
+            continue
+        if match.in_port == cluster.fabric.host(dpid).tunnel_port:
+            # Receiver-side rule: output must be a local worker port.
+            assert isinstance(actions[-1], Output)
+        elif any(isinstance(a, SetTunnelDst) for a in actions):
+            # Sender-side remote rule originates at the source host.
+            assert dpid == source_host
+
+
+def test_sync_is_idempotent(engine):
+    cluster = deploy(engine, simple_chain(
+        config=TopologyConfig(max_spout_rate=100)))
+    installed_before = dict(cluster.app._installed["chain"])
+    rules_before = cluster.app.rules_installed
+    cluster.app.sync_topology("chain")
+    engine.run(until=4.0)
+    assert cluster.app._installed["chain"] == installed_before
+    assert cluster.app.rules_installed == rules_before
+
+
+def test_unmanage_removes_rules(engine):
+    cluster = deploy(engine, simple_chain(
+        config=TopologyConfig(max_spout_rate=100)))
+    assert cluster.app._installed["chain"]
+    removed_before = cluster.app.rules_removed
+    cluster.app.unmanage("chain")
+    engine.run(until=4.0)
+    assert "chain" not in cluster.app._installed
+    assert cluster.app.rules_removed > removed_before
+
+
+def test_send_control_unknown_worker_returns_false(engine):
+    cluster = deploy(engine, simple_chain(
+        config=TopologyConfig(max_spout_rate=100)))
+    assert not cluster.app.send_control("chain", 9999, ct.signal())
+    assert not cluster.app.send_control("ghost", 1, ct.signal())
+
+
+def test_metric_query_times_out_with_partial_results(engine):
+    cluster = deploy(engine, simple_chain(
+        config=TopologyConfig(max_spout_rate=100)))
+    record = cluster.manager.topologies["chain"]
+    real = record.physical.worker_ids_for("sink")[0]
+    gate = cluster.app.query_metrics("chain", [real, 4242], timeout=1.0)
+    engine.run(until=5.0)
+    assert gate.triggered
+    replies = gate.value
+    assert real in replies
+    assert 4242 not in replies
+
+
+def test_routing_update_creates_new_edge(engine):
+    cluster = deploy(engine, simple_chain(
+        config=TopologyConfig(max_spout_rate=100)))
+    record = cluster.manager.topologies["chain"]
+    source_id = record.physical.worker_ids_for("source")[0]
+    cluster.app.update_routing("chain", source_id, [ct.RoutingUpdate(
+        dst_component="extra", stream=5, next_hops=[77],
+        grouping_kind="global")])
+    engine.run(until=4.0)
+    source = cluster.executor(source_id)
+    assert ("extra", 5) in source.routers
+    # Empty next hops removes the edge again.
+    cluster.app.update_routing("chain", source_id, [ct.RoutingUpdate(
+        dst_component="extra", stream=5, next_hops=[])])
+    engine.run(until=5.0)
+    assert ("extra", 5) not in source.routers
+
+
+def test_broadcast_rules_cover_remote_hosts(engine):
+    builder = TopologyBuilder("bc", TopologyConfig(max_spout_rate=100))
+    builder.set_spout("source", lambda: CountingSpout(None), 1)
+    builder.set_bolt("sink", RecordingBolt, 4).all_grouping("source")
+    cluster = deploy(engine, builder.build(), hosts=2)
+    installed = cluster.app._installed["bc"]
+    broadcast_rules = [
+        (dpid, match, actions)
+        for (dpid, match), (_prio, actions) in installed.items()
+        if match.dl_dst is not None and match.dl_dst.is_broadcast
+    ]
+    # One sender-side one-to-many rule plus receiver rules on the other
+    # host (the 5 workers split across 2 hosts with locality scheduling).
+    assert len(broadcast_rules) >= 2
+    sender_rules = [r for r in broadcast_rules
+                    if any(isinstance(a, SetTunnelDst) for a in r[2])]
+    assert sender_rules  # remote replication goes through the tunnel

@@ -1,0 +1,171 @@
+"""Unit tests for the Typhoon I/O layer and fabric."""
+
+import pytest
+
+from repro.core.io_layer import HostFabric, TyphoonFabric, TyphoonTransport
+from repro.net import BROADCAST, Cluster, EthernetFrame, TYPHOON_ETHERTYPE, WorkerAddress
+from repro.sdn import ADD, FlowMod, Match, Output, SetTunnelDst
+from repro.sim import DEFAULT_COSTS, Engine
+from repro.streaming import StreamTuple
+
+
+@pytest.fixture
+def fabric(engine):
+    return TyphoonFabric(engine, DEFAULT_COSTS, Cluster.of_size(2))
+
+
+def make_transport(engine, fabric, worker_id, host="host-0", batch=10):
+    transport = TyphoonTransport(engine, DEFAULT_COSTS, worker_id, app_id=1,
+                                 host_fabric=fabric.host(host),
+                                 batch_size=batch)
+    received = []
+    transport.deliver = lambda delivery: received.append(delivery) or True
+    transport.attach()
+    return transport, received
+
+
+def install_unicast(fabric, host, src_port, src_id, dst_id, dst_port):
+    switch = fabric.host(host).switch
+    switch.handle_message(FlowMod(ADD, Match(
+        in_port=src_port, dl_src=WorkerAddress(1, src_id),
+        dl_dst=WorkerAddress(1, dst_id), ether_type=TYPHOON_ETHERTYPE,
+    ), (Output(dst_port),)))
+
+
+def test_fabric_builds_full_tunnel_mesh(engine):
+    fabric = TyphoonFabric(engine, DEFAULT_COSTS, Cluster.of_size(3))
+    for name, host in fabric.hosts.items():
+        assert set(host.tunnels) == {other for other in fabric.hosts
+                                     if other != name}
+    assert len(fabric.switches()) == 3
+
+
+def test_local_send_and_receive_roundtrip(engine, fabric):
+    sender, _ = make_transport(engine, fabric, 1, batch=2)
+    receiver, received = make_transport(engine, fabric, 2)
+    install_unicast(fabric, "host-0", sender.port_no, 1, 2, receiver.port_no)
+    engine.run(until=0.01)
+    cost = sender.send(StreamTuple(("hello", 1)), [2])
+    cost += sender.send(StreamTuple(("world", 2)), [2])  # fills batch of 2
+    assert cost > 0
+    engine.run(until=0.05)
+    assert len(received) == 1
+    tuples = received[0].tuples
+    assert [t.values for t in tuples] == [("hello", 1), ("world", 2)]
+    assert received[0].cost > 0
+
+
+def test_remote_send_via_tunnel(engine, fabric):
+    sender, _ = make_transport(engine, fabric, 1, host="host-0", batch=1)
+    receiver, received = make_transport(engine, fabric, 2, host="host-1")
+    switch0 = fabric.host("host-0").switch
+    switch0.handle_message(FlowMod(ADD, Match(
+        in_port=sender.port_no, dl_src=WorkerAddress(1, 1),
+        dl_dst=WorkerAddress(1, 2), ether_type=TYPHOON_ETHERTYPE,
+    ), (SetTunnelDst("host-1"), Output(fabric.host("host-0").tunnel_port))))
+    switch1 = fabric.host("host-1").switch
+    switch1.handle_message(FlowMod(ADD, Match(
+        in_port=fabric.host("host-1").tunnel_port,
+        dl_src=WorkerAddress(1, 1), dl_dst=WorkerAddress(1, 2),
+    ), (Output(receiver.port_no),)))
+    engine.run(until=0.01)
+    sender.send(StreamTuple(("remote",)), [2])
+    engine.run(until=0.05)
+    assert len(received) == 1
+    assert received[0].tuples[0].values == ("remote",)
+    assert fabric.host("host-0").tunnels["host-1"].total_bytes > 0
+
+
+def test_serialize_once_for_multiple_destinations(engine, fabric):
+    sender, _ = make_transport(engine, fabric, 1, batch=100)
+    sender.send(StreamTuple(("multi",)), [2, 3, 4])
+    assert sender.serializations == 1
+    assert sender.tuples_sent == 3  # one buffered copy per destination
+
+
+def test_broadcast_uses_broadcast_address(engine, fabric):
+    sender, _ = make_transport(engine, fabric, 1, batch=1)
+    receivers = []
+    for worker_id in (2, 3):
+        _transport, received = make_transport(engine, fabric, worker_id)
+        receivers.append(received)
+    switch = fabric.host("host-0").switch
+    ports = [switch.port_by_name("w2").number,
+             switch.port_by_name("w3").number]
+    switch.handle_message(FlowMod(ADD, Match(
+        in_port=sender.port_no, dl_dst=BROADCAST,
+        ether_type=TYPHOON_ETHERTYPE,
+    ), tuple(Output(p) for p in ports)))
+    engine.run(until=0.01)
+    sender.send_broadcast(StreamTuple(("fanout",)), [2, 3])
+    engine.run(until=0.05)
+    assert sender.serializations == 1
+    assert all(len(received) == 1 for received in receivers)
+
+
+def test_large_tuple_segmentation_end_to_end(engine, fabric):
+    sender, _ = make_transport(engine, fabric, 1, batch=1)
+    receiver, received = make_transport(engine, fabric, 2)
+    install_unicast(fabric, "host-0", sender.port_no, 1, 2, receiver.port_no)
+    engine.run(until=0.01)
+    payload = "y" * 30000  # far beyond the MTU
+    sender.send(StreamTuple((payload,)), [2])
+    assert sender.frames_sent > 1  # fragmented
+    engine.run(until=0.05)
+    assert len(received) == 1
+    assert received[0].tuples[0].values == (payload,)
+
+
+def test_flush_sends_partial_batches(engine, fabric):
+    sender, _ = make_transport(engine, fabric, 1, batch=1000)
+    receiver, received = make_transport(engine, fabric, 2)
+    install_unicast(fabric, "host-0", sender.port_no, 1, 2, receiver.port_no)
+    engine.run(until=0.01)
+    sender.send(StreamTuple(("partial",)), [2])
+    assert sender.frames_sent == 0  # buffered
+    cost = sender.flush()
+    assert cost > 0
+    assert sender.frames_sent == 1
+    engine.run(until=0.05)
+    assert len(received) == 1
+
+
+def test_close_removes_port_and_drops_sends(engine, fabric):
+    sender, _ = make_transport(engine, fabric, 1, batch=1)
+    port = sender.port_no
+    sender.close()
+    assert port not in fabric.host("host-0").switch.ports
+    assert sender.send(StreamTuple(("late",)), [2]) == 0.0
+    sender.close()  # idempotent
+
+
+def test_send_to_controller_flushes_immediately(engine, fabric):
+    events = []
+    fabric.host("host-0").switch.connect_controller(events.append)
+    sender, _ = make_transport(engine, fabric, 1, batch=1000)
+    from repro.core import rules
+    match, actions = rules.worker_to_controller(sender.port_no)
+    fabric.host("host-0").switch.handle_message(
+        FlowMod(ADD, match, actions, priority=rules.PRIORITY_CONTROL))
+    engine.run(until=0.01)
+    sender.send_to_controller(StreamTuple(("stats", 1)))
+    engine.run(until=0.05)
+    packet_ins = [e for e in events if type(e).__name__ == "PacketIn"]
+    assert len(packet_ins) == 1
+
+
+def test_tunnel_to_unknown_peer_counts_drop(engine, fabric):
+    host = fabric.host("host-0")
+    frame = EthernetFrame(WorkerAddress(1, 2), WorkerAddress(1, 1),
+                          TYPHOON_ETHERTYPE, b"x")
+    host._tunnel_sink(frame, None)
+    host._tunnel_sink(frame, "no-such-host")
+    assert host.tunnel_drops == 2
+
+
+def test_set_batch_size_floor(engine, fabric):
+    sender, _ = make_transport(engine, fabric, 1)
+    sender.set_batch_size(0)
+    assert sender.batch_size == 1
+    sender.set_batch_size(64)
+    assert sender.batch_size == 64

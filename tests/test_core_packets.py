@@ -1,0 +1,139 @@
+"""Unit + property tests for the Typhoon packet format (Fig. 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Fragment, PacketError, Reassembler, pack_tuples, unpack_payload
+
+
+def test_multiplexing_small_tuples_into_one_packet():
+    tuples = [b"tuple-%d" % i for i in range(10)]
+    payloads, _ = pack_tuples(tuples, mtu=1500)
+    assert len(payloads) == 1
+    assert unpack_payload(payloads[0]) == tuples
+
+
+def test_packing_respects_mtu():
+    tuples = [b"x" * 200 for _ in range(20)]
+    payloads, _ = pack_tuples(tuples, mtu=1000)
+    assert all(len(p) <= 1000 for p in payloads)
+    recovered = []
+    for payload in payloads:
+        recovered.extend(unpack_payload(payload))
+    assert recovered == tuples
+
+
+def test_large_tuple_is_fragmented():
+    big = bytes(range(256)) * 40  # 10240 bytes
+    payloads, next_id = pack_tuples([big], mtu=1500)
+    assert len(payloads) > 1
+    assert next_id == 1
+    fragments = [unpack_payload(p) for p in payloads]
+    assert all(isinstance(f, Fragment) for f in fragments)
+    reassembler = Reassembler()
+    result = None
+    for fragment in fragments:
+        result = reassembler.feed(7, fragment)
+    assert result == big
+    assert reassembler.pending_count == 0
+
+
+def test_mixed_small_and_large():
+    small = [b"aa", b"bb"]
+    big = b"z" * 5000
+    payloads, _ = pack_tuples(small + [big] + small, mtu=1500)
+    records, fragments = [], []
+    for payload in payloads:
+        decoded = unpack_payload(payload)
+        if isinstance(decoded, Fragment):
+            fragments.append(decoded)
+        else:
+            records.extend(decoded)
+    assert records == small + small
+    reassembler = Reassembler()
+    outcome = [reassembler.feed(1, f) for f in fragments]
+    assert outcome[-1] == big
+
+
+def test_fragment_ids_thread_across_calls():
+    big = b"y" * 4000
+    _payloads, next_id = pack_tuples([big], mtu=1500, next_frag_id=41)
+    assert next_id == 42
+
+
+def test_interleaved_fragments_from_different_sources():
+    big_a = b"a" * 4000
+    big_b = b"b" * 4000
+    frags_a = [unpack_payload(p) for p in pack_tuples([big_a], 1500)[0]]
+    frags_b = [unpack_payload(p) for p in pack_tuples([big_b], 1500)[0]]
+    reassembler = Reassembler()
+    result_a = result_b = None
+    for fa, fb in zip(frags_a, frags_b):
+        result_a = reassembler.feed(1, fa) or result_a
+        result_b = reassembler.feed(2, fb) or result_b
+    assert result_a == big_a
+    assert result_b == big_b
+
+
+def test_missing_head_fragment_dropped():
+    big = b"c" * 4000
+    fragments = [unpack_payload(p) for p in pack_tuples([big], 1500)[0]]
+    reassembler = Reassembler()
+    # Feed without the first fragment: partial tuple must be discarded.
+    assert reassembler.feed(1, fragments[1]) is None
+    assert reassembler.dropped == 1
+
+
+def test_gap_in_fragments_discards_partial():
+    big = b"d" * 6000
+    fragments = [unpack_payload(p) for p in pack_tuples([big], 1500)[0]]
+    assert len(fragments) >= 3
+    reassembler = Reassembler()
+    reassembler.feed(1, fragments[0])
+    assert reassembler.feed(1, fragments[2]) is None  # skipped one
+    assert reassembler.dropped == 1
+    assert reassembler.pending_count == 0
+
+
+def test_malformed_payloads_rejected():
+    with pytest.raises(PacketError):
+        unpack_payload(b"")
+    with pytest.raises(PacketError):
+        unpack_payload(bytes([0xEE]) + b"junk")
+    # Truncated MULTI record.
+    good, _ = pack_tuples([b"hello"], 1500)
+    with pytest.raises(PacketError):
+        unpack_payload(good[0][:-2])
+    with pytest.raises(PacketError):
+        unpack_payload(good[0] + b"trailing")
+
+
+def test_tiny_mtu_rejected():
+    with pytest.raises(ValueError):
+        pack_tuples([b"x"], mtu=8)
+
+
+def test_empty_tuple_list():
+    payloads, next_id = pack_tuples([], mtu=1500)
+    assert payloads == []
+    assert next_id == 0
+
+
+@settings(max_examples=100)
+@given(st.lists(st.binary(min_size=0, max_size=4000), max_size=20),
+       st.integers(120, 9000))
+def test_pack_unpack_roundtrip_property(tuples, mtu):
+    payloads, _ = pack_tuples(tuples, mtu=mtu)
+    assert all(len(p) <= mtu for p in payloads)
+    reassembler = Reassembler()
+    recovered = []
+    for payload in payloads:
+        decoded = unpack_payload(payload)
+        if isinstance(decoded, Fragment):
+            complete = reassembler.feed(0, decoded)
+            if complete is not None:
+                recovered.append(complete)
+        else:
+            recovered.extend(decoded)
+    assert recovered == tuples
+    assert reassembler.pending_count == 0

@@ -1,0 +1,92 @@
+"""Unit tests for Table 3 flow-rule templates."""
+
+from repro.core import rules
+from repro.net import (
+    BROADCAST,
+    CONTROLLER_ADDRESS,
+    TYPHOON_ETHERTYPE,
+    EthernetFrame,
+    WorkerAddress,
+)
+from repro.sdn import OFPP_CONTROLLER, Output, SetTunnelDst
+
+
+def frame(app, src, dst):
+    return EthernetFrame(dst=dst if isinstance(dst, WorkerAddress)
+                         else WorkerAddress(app, dst),
+                         src=WorkerAddress(app, src),
+                         ethertype=TYPHOON_ETHERTYPE, payload=b"p")
+
+
+def test_local_transfer_row():
+    match, actions = rules.local_transfer(1, 10, 3, 11, 4)
+    assert match.matches(frame(1, 10, 11), 3)
+    assert not match.matches(frame(1, 10, 12), 3)
+    assert not match.matches(frame(2, 10, 11), 3)  # other application
+    assert actions == (Output(4),)
+    assert match.ether_type == TYPHOON_ETHERTYPE
+
+
+def test_remote_transfer_rows():
+    send_match, send_actions = rules.remote_transfer_sender(
+        1, 10, 3, 11, "host-b", 99)
+    assert send_actions == (SetTunnelDst("host-b"), Output(99))
+    assert send_match.matches(frame(1, 10, 11), 3)
+
+    recv_match, recv_actions = rules.remote_transfer_receiver(1, 10, 11, 7, 4)
+    assert recv_match.in_port == 7
+    assert recv_actions == (Output(4),)
+    assert recv_match.matches(frame(1, 10, 11), 7)
+    # Receiver row omits ether_type (Table 3) but pins src and dst.
+    assert recv_match.ether_type is None
+
+
+def test_one_to_many_row_replicates_locally_and_remotely():
+    match, actions = rules.one_to_many(3, [4, 5], ["host-b", "host-c"], 99)
+    assert match.dl_dst == BROADCAST
+    assert match.matches(frame(1, 10, BROADCAST), 3)
+    assert actions == (
+        Output(4), Output(5),
+        SetTunnelDst("host-b"), Output(99),
+        SetTunnelDst("host-c"), Output(99),
+    )
+
+
+def test_one_to_many_receiver_row():
+    match, actions = rules.one_to_many_receiver(1, 10, 7, [4, 5])
+    assert match.in_port == 7
+    assert match.dl_src == WorkerAddress(1, 10)
+    assert actions == (Output(4), Output(5))
+
+
+def test_worker_to_controller_row():
+    match, actions = rules.worker_to_controller(3)
+    assert match.dl_dst == CONTROLLER_ADDRESS
+    assert actions == (Output(OFPP_CONTROLLER),)
+    assert match.matches(frame(1, 10, CONTROLLER_ADDRESS), 3)
+    assert not match.matches(frame(1, 10, 11), 3)
+
+
+def test_mirror_rule_appends_debug_output():
+    base_match, base_actions = rules.local_transfer(1, 10, 3, 11, 4)
+    match, actions = rules.mirror_rule(base_match, base_actions, 66)
+    assert match == base_match
+    assert actions == (Output(4), Output(66))
+
+
+def test_select_address_deterministic_and_distinct():
+    a1 = rules.select_address(1, "sink", 0)
+    a2 = rules.select_address(1, "sink", 0)
+    b = rules.select_address(1, "other", 0)
+    c = rules.select_address(1, "sink", 1)
+    assert a1 == a2
+    assert a1 != b
+    assert a1 != c
+    assert a1.app_id == 1
+    # Stays clear of the real-worker id space prefix.
+    assert a1.worker_id >= 0xE0000000
+
+
+def test_priorities_are_ordered():
+    assert rules.PRIORITY_CONTROL > rules.PRIORITY_UNICAST
+    assert rules.PRIORITY_UNICAST > rules.PRIORITY_BROADCAST

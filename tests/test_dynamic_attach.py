@@ -1,0 +1,122 @@
+"""Integration tests for dynamic component attach/detach (interactive
+data mining, §1) on a running Typhoon pipeline."""
+
+import pytest
+
+from repro.core import ReconfigurationError, TyphoonCluster
+from repro.sim import Engine
+from repro.streaming import Grouping, TopologyConfig
+from repro.streaming.topology import Bolt
+from repro.workloads import word_count_topology
+from tests.conftest import RecordingBolt
+
+
+class WindowedQuery(Bolt):
+    """A dynamically attached mining query: counts per-sentence lengths."""
+
+    def __init__(self):
+        self.lengths = {}
+
+    def execute(self, stream_tuple, collector):
+        words = len(stream_tuple[0].split())
+        self.lengths[words] = self.lengths.get(words, 0) + 1
+
+
+def start(rate=1000, seed=0):
+    engine = Engine()
+    cluster = TyphoonCluster(engine, num_hosts=2, seed=seed)
+    config = TopologyConfig(batch_size=50, max_spout_rate=rate)
+    cluster.submit(word_count_topology("wc", config, splits=2, counts=2,
+                                       words_per_sentence=3))
+    engine.run(until=8.0)
+    return engine, cluster
+
+
+def test_attach_query_taps_live_stream():
+    engine, cluster = start()
+    request = cluster.attach_component(
+        "wc", "query", WindowedQuery, subscribe_to="source",
+        grouping=Grouping("shuffle"))
+    engine.run(until=20.0)
+    assert request.triggered and not request.failed
+    query_workers = cluster.executors_for("wc", "query")
+    assert len(query_workers) == 1
+    assert query_workers[0].stats.processed > 0
+    assert query_workers[0].component.lengths.get(3, 0) > 0
+    # The original pipeline is untouched: splits still receive everything.
+    source = cluster.executors_for("wc", "source")[0]
+    assert ("split", 0) in source.routers
+    assert ("query", 0) in source.routers
+
+
+def test_attach_does_not_steal_tuples():
+    engine, cluster = start()
+    cluster.attach_component("wc", "query", WindowedQuery,
+                             subscribe_to="source",
+                             grouping=Grouping("shuffle"))
+    engine.run(until=25.0)
+    cluster.deactivate("wc")
+    engine.run(until=30.0)
+    source = cluster.executors_for("wc", "source")[0]
+    splits = cluster.executors_for("wc", "split")
+    # All emitted sentences still reached the split stage.
+    assert sum(s.stats.processed for s in splits) == source.stats.emitted
+
+
+def test_detach_stops_traffic_and_retires_workers():
+    engine, cluster = start()
+    cluster.attach_component("wc", "query", WindowedQuery,
+                             subscribe_to="source",
+                             grouping=Grouping("shuffle"))
+    engine.run(until=20.0)
+    executor = cluster.executors_for("wc", "query")[0]
+    request = cluster.detach_component("wc", "query")
+    engine.run(until=30.0)
+    assert request.triggered and not request.failed
+    assert not executor.alive
+    record = cluster.manager.topologies["wc"]
+    assert "query" not in record.logical.nodes
+    assert all(e.dst != "query" for e in record.physical.edges)
+    source = cluster.executors_for("wc", "source")[0]
+    assert ("query", 0) not in source.routers
+    # And the main pipeline is still flowing.
+    split_rate = cluster.executors_for("wc", "split")[0] \
+        .processed_meter.rate(25, 29)
+    assert split_rate > 0
+
+
+def test_attach_multiple_parallel_workers():
+    engine, cluster = start()
+    request = cluster.attach_component(
+        "wc", "query", WindowedQuery, subscribe_to="split",
+        grouping=Grouping("fields", (0,)), parallelism=3, stateful=True)
+    engine.run(until=20.0)
+    assert request.triggered and not request.failed
+    workers = cluster.executors_for("wc", "query")
+    assert len(workers) == 3
+    assert sum(w.stats.processed for w in workers) > 0
+
+
+def test_attach_duplicate_name_rejected():
+    engine, cluster = start()
+    with pytest.raises(ReconfigurationError):
+        cluster.attach_component("wc", "split", WindowedQuery,
+                                 subscribe_to="source",
+                                 grouping=Grouping("shuffle"))
+    with pytest.raises(ReconfigurationError):
+        cluster.attach_component("wc", "query", WindowedQuery,
+                                 subscribe_to="ghost",
+                                 grouping=Grouping("shuffle"))
+    engine.run(until=15.0)
+    # Topology untouched.
+    assert len(cluster.executors_for("wc", "split")) == 2
+
+
+def test_detach_with_downstream_rejected():
+    engine, cluster = start()
+    with pytest.raises(ReconfigurationError):
+        cluster.detach_component("wc", "split")
+    engine.run(until=15.0)
+    # split has downstream (count): request refused, topology untouched.
+    assert len(cluster.executors_for("wc", "split")) == 2
+    assert len(cluster.executors_for("wc", "count")) == 2

@@ -1,0 +1,110 @@
+"""Unit tests for the Kafka-like broker substrate."""
+
+import pytest
+
+from repro.ext import KafkaBroker, KafkaConsumer, KafkaProducer
+from repro.sim import Engine
+
+
+@pytest.fixture
+def broker(engine):
+    broker = KafkaBroker(engine, num_partitions=4)
+    broker.create_topic("events")
+    return broker
+
+
+def test_topic_management(engine):
+    broker = KafkaBroker(engine)
+    broker.create_topic("a", partitions=2)
+    assert broker.topics() == ["a"]
+    assert broker.partitions_of("a") == 2
+    with pytest.raises(ValueError):
+        broker.create_topic("a")
+    with pytest.raises(KeyError):
+        broker.partitions_of("ghost")
+    with pytest.raises(ValueError):
+        broker.create_topic("bad", partitions=0)
+
+
+def test_produce_assigns_offsets_per_partition(broker):
+    records = [broker.produce("events", "v%d" % i, key="k") for i in range(5)]
+    # Same key -> same partition, consecutive offsets.
+    partitions = {r.partition for r in records}
+    assert len(partitions) == 1
+    assert [r.offset for r in records] == [0, 1, 2, 3, 4]
+
+
+def test_keyless_produce_round_robins(broker):
+    records = [broker.produce("events", i) for i in range(8)]
+    assert {r.partition for r in records} == {0, 1, 2, 3}
+
+
+def test_consumer_reads_everything_once(broker):
+    for i in range(100):
+        broker.produce("events", i, key=i)
+    consumer = KafkaConsumer(broker, "events")
+    seen = []
+    while True:
+        records = consumer.poll(max_records=17)
+        if not records:
+            break
+        seen.extend(r.value for r in records)
+    assert sorted(seen) == list(range(100))
+    assert consumer.lag() == 0
+    # Nothing is re-delivered.
+    assert consumer.poll() == []
+
+
+def test_consumer_group_partition_split(broker):
+    for i in range(40):
+        broker.produce("events", i, key=i)
+    first = KafkaConsumer(broker, "events", member_index=0, group_size=2)
+    second = KafkaConsumer(broker, "events", member_index=1, group_size=2)
+    assert set(first.partitions) == {0, 2}
+    assert set(second.partitions) == {1, 3}
+    seen = []
+    for consumer in (first, second):
+        while True:
+            records = consumer.poll(100)
+            if not records:
+                break
+            seen.extend(r.value for r in records)
+    assert sorted(seen) == list(range(40))
+
+
+def test_consumer_group_bounds_checked(broker):
+    with pytest.raises(ValueError):
+        KafkaConsumer(broker, "events", member_index=2, group_size=2)
+    with pytest.raises(ValueError):
+        KafkaConsumer(broker, "events", group_size=0)
+
+
+def test_lag_accounting(broker):
+    consumer = KafkaConsumer(broker, "events")
+    for i in range(10):
+        broker.produce("events", i)
+    assert consumer.lag() == 10
+    consumer.poll(4)
+    assert consumer.lag() == 6
+
+
+def test_cost_billing(engine, broker):
+    producer = KafkaProducer(broker)
+    producer.send("events", "v")
+    assert producer.drain_cost() > 0
+    assert producer.drain_cost() == 0  # drained
+    consumer = KafkaConsumer(broker, "events")
+    consumer.poll()
+    assert consumer.drain_cost() > 0
+
+
+def test_record_timestamps_use_engine_clock(engine, broker):
+    engine.schedule(5.0, lambda: broker.produce("events", "late"))
+    engine.run()
+    record = broker.fetch("events", broker._partition_for("events", None) or 0,
+                          0, 10)
+    # fetch from whichever partition got it
+    found = []
+    for p in range(broker.partitions_of("events")):
+        found.extend(broker.fetch("events", p, 0, 10))
+    assert found[0].timestamp == 5.0

@@ -1,0 +1,76 @@
+"""Unit tests for the Redis-like store substrate."""
+
+import pytest
+
+from repro.ext import RedisClient, RedisStore
+
+
+@pytest.fixture
+def store():
+    return RedisStore()
+
+
+def test_string_ops(store):
+    assert store.get("k") is None
+    store.set("k", "v")
+    assert store.get("k") == "v"
+    assert store.exists("k")
+    assert store.delete("k")
+    assert not store.exists("k")
+    assert not store.delete("k")
+
+
+def test_hash_ops(store):
+    assert store.hget("h", "f") is None
+    store.hset("h", "f", 10)
+    assert store.hget("h", "f") == 10
+    assert store.hincrby("h", "f", 5) == 15
+    assert store.hincrby("h", "g") == 1
+    assert store.hgetall("h") == {"f": 15, "g": 1}
+
+
+def test_hgetall_returns_copy(store):
+    store.hset("h", "f", 1)
+    snapshot = store.hgetall("h")
+    snapshot["f"] = 999
+    assert store.hget("h", "f") == 1
+
+
+def test_keys_with_prefix(store):
+    store.set("window:a", 1)
+    store.set("window:b", 2)
+    store.hset("campaign:x", "f", 1)
+    assert store.keys("window:") == ["window:a", "window:b"]
+    assert len(store.keys()) == 3
+
+
+def test_delete_covers_hashes(store):
+    store.hset("h", "f", 1)
+    assert store.delete("h")
+    assert store.hgetall("h") == {}
+
+
+def test_ops_counter(store):
+    store.set("a", 1)
+    store.get("a")
+    store.hincrby("h", "f")
+    assert store.ops == 3
+
+
+def test_client_bills_costs(store):
+    client = RedisClient(store)
+    client.set("a", 1)
+    client.get("a")
+    cost = client.drain_cost()
+    assert cost == pytest.approx(2 * client.op_cost)
+    assert client.drain_cost() == 0
+
+
+def test_clients_share_store_but_not_bills(store):
+    first = RedisClient(store)
+    second = RedisClient(store)
+    first.set("k", "v")
+    assert second.get("k") == "v"
+    assert first.drain_cost() > 0
+    assert second.drain_cost() > 0
+    assert first.drain_cost() == 0

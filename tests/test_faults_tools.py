@@ -1,0 +1,133 @@
+"""Tests for external fault injection and the cluster inspector."""
+
+import pytest
+
+from repro.core import TyphoonCluster
+from repro.core.apps import FaultDetector
+from repro.sim import Engine
+from repro.sim.faults import (
+    FaultPlan,
+    InjectedWorkerFault,
+    crash_loop,
+    host_failure_at,
+    kill_worker_at,
+)
+from repro.streaming import StormCluster, TopologyConfig
+from repro.tools import describe_cluster, describe_data_plane, describe_topology
+from repro.workloads import word_count_topology
+
+
+def start(cluster_class=TyphoonCluster, hosts=3, rate=1000):
+    engine = Engine()
+    cluster = cluster_class(engine, num_hosts=hosts, seed=0)
+    config = TopologyConfig(batch_size=50, max_spout_rate=rate)
+    cluster.submit(word_count_topology("wc", config, splits=2, counts=2,
+                                       words_per_sentence=2))
+    engine.run(until=6.0)
+    return engine, cluster
+
+
+def test_kill_worker_at_crashes_then_supervisor_restarts():
+    engine, cluster = start()
+    record = cluster.manager.topologies["wc"]
+    victim = record.physical.worker_ids_for("split")[0]
+    kill_worker_at(cluster, victim, when=8.0)
+    engine.run(until=8.5)
+    executor = cluster.executor(victim)
+    assert executor is None or not executor.alive
+    engine.run(until=12.0)
+    executor = cluster.executor(victim)
+    assert executor is not None and executor.alive  # local restart
+    assert executor.stats is not None
+
+
+def test_kill_worker_in_past_rejected():
+    engine, cluster = start()
+    with pytest.raises(ValueError):
+        kill_worker_at(cluster, 1, when=1.0)
+
+
+def test_crash_loop_keeps_worker_down():
+    engine, cluster = start()
+    detector = cluster.register_app(FaultDetector(cluster))
+    record = cluster.manager.topologies["wc"]
+    victim = record.physical.worker_ids_for("split")[0]
+    healthy = record.physical.worker_ids_for("split")[1]
+    task = crash_loop(cluster, victim, start=8.0, until=25.0)
+    engine.run(until=25.0)
+    assert detector.detections >= 1
+    # The healthy split absorbed (nearly) all traffic meanwhile.
+    survivor = cluster.executor(healthy)
+    assert survivor.processed_meter.rate(15, 24) > 800
+    engine.run(until=35.0)  # loop ended; worker may recover now
+
+
+def test_host_failure_takes_down_all_workers_on_host():
+    engine, cluster = start()
+    record = cluster.manager.topologies["wc"]
+    target_host = record.physical.workers_for("split")[0].hostname
+    doomed = [a.worker_id for a in record.physical.on_host(target_host)]
+    assert doomed
+    host_failure_at(cluster, target_host, when=8.0)
+    engine.run(until=8.4)
+    for worker_id in doomed:
+        executor = cluster.executors.get(worker_id)
+        assert executor is None or not executor.alive
+
+
+def test_fault_plan_composes_and_tracks():
+    engine, cluster = start()
+    record = cluster.manager.topologies["wc"]
+    victim = record.physical.worker_ids_for("count")[0]
+    plan = (FaultPlan(cluster)
+            .kill_worker(victim, when=8.0)
+            .fail_host("host-2", when=9.0)
+            .arm())
+    assert plan.fired == []
+    engine.run(until=10.0)
+    assert "kill worker %d" % victim in plan.fired
+    assert "fail host host-2" in plan.fired
+
+
+def test_describe_topology_renders_workers():
+    engine, cluster = start()
+    text = describe_topology(cluster, "wc")
+    assert "topology wc" in text
+    assert "split" in text and "count" in text and "source" in text
+    assert "up" in text
+    assert describe_topology(cluster, "ghost").startswith("topology")
+
+
+def test_describe_data_plane_typhoon():
+    engine, cluster = start()
+    text = describe_data_plane(cluster)
+    assert "switches" in text
+    assert "host tunnels" in text
+    assert "controller" in text
+    assert "typhoon-core" in text
+
+
+def test_describe_data_plane_storm_baseline():
+    engine, cluster = start(cluster_class=StormCluster)
+    assert "no SDN data plane" in describe_data_plane(cluster)
+
+
+def test_describe_cluster_full_report():
+    engine, cluster = start()
+    text = describe_cluster(cluster)
+    assert "topology wc" in text
+    assert "switches" in text
+
+
+def test_injected_fault_is_distinguishable():
+    engine, cluster = start()
+    record = cluster.manager.topologies["wc"]
+    victim = record.physical.worker_ids_for("split")[0]
+    errors = []
+    agent = cluster.manager.agent_for(
+        record.physical.worker(victim).hostname)
+    agent.crash_listeners.append(
+        lambda agent_, executor, error: errors.append(error))
+    kill_worker_at(cluster, victim, when=8.0)
+    engine.run(until=9.0)
+    assert errors and isinstance(errors[0], InjectedWorkerFault)

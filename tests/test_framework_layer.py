@@ -1,0 +1,149 @@
+"""Unit tests for the Typhoon framework layer (control-tuple handling
+inside a live worker)."""
+
+import pytest
+
+from repro.core import control as ct
+from repro.core.framework_layer import handle_control_tuple
+from repro.core.io_layer import TyphoonFabric, TyphoonTransport
+from repro.net import Cluster
+from repro.sim import DEFAULT_COSTS, Engine, MetricsRegistry
+from repro.sim.rng import SeedFactory
+from repro.streaming import (
+    Grouping,
+    LogicalNode,
+    Router,
+    SHUFFLE,
+    TopologyConfig,
+    WorkerAssignment,
+    WorkerExecutor,
+)
+from repro.streaming.topology import BOLT, SDN_SELECT, SPOUT, Bolt, Spout
+
+
+class Idle(Bolt):
+    def execute(self, stream_tuple, collector):
+        pass
+
+
+class IdleSpout(Spout):
+    def next_tuple(self, collector):
+        pass
+
+
+def make_worker(engine, kind=BOLT):
+    fabric = TyphoonFabric(engine, DEFAULT_COSTS, Cluster.of_size(1))
+    transport = TyphoonTransport(engine, DEFAULT_COSTS, worker_id=1,
+                                 app_id=1, host_fabric=fabric.host("host-0"))
+    factory = Idle if kind == BOLT else IdleSpout
+    executor = WorkerExecutor(
+        engine=engine, costs=DEFAULT_COSTS,
+        assignment=WorkerAssignment(1, "c", 0, "host-0"),
+        node=LogicalNode("c", kind, factory),
+        config=TopologyConfig(),
+        transport=transport,
+        routers={("down", 0): Router(Grouping(SHUFFLE), [2, 3])},
+        metrics=MetricsRegistry(engine),
+        rng=SeedFactory(0).rng("w"),
+        topology_id="t",
+        control_handler=handle_control_tuple,
+    )
+    transport.deliver = executor.deliver
+    transport.attach()
+    return executor, transport
+
+
+def control(executor, message):
+    cost = handle_control_tuple(executor, message.to_stream_tuple())
+    assert cost >= 0
+    return cost
+
+
+def test_routing_update_replaces_next_hops(engine):
+    executor, _ = make_worker(engine)
+    control(executor, ct.routing_update([
+        ct.RoutingUpdate("down", 0, [7, 8, 9])]))
+    router = executor.routers[("down", 0)]
+    assert router.next_hops == [7, 8, 9]
+    assert router.grouping.kind == SHUFFLE  # unchanged without a policy
+
+
+def test_routing_update_changes_policy(engine):
+    executor, _ = make_worker(engine)
+    control(executor, ct.routing_update([
+        ct.RoutingUpdate("down", 0, [7], "global")]))
+    assert executor.routers[("down", 0)].grouping.kind == "global"
+
+
+def test_routing_update_sdn_select_sets_virtual_address(engine):
+    executor, transport = make_worker(engine)
+    control(executor, ct.routing_update([
+        ct.RoutingUpdate("down", 0, [2, 3], SDN_SELECT)]))
+    assert ("down", 0) in transport.select_addresses
+    address = transport.select_addresses[("down", 0)]
+    assert address.worker_id >= 0xE0000000
+
+
+def test_input_rate_and_reset(engine):
+    executor, _ = make_worker(engine, kind=SPOUT)
+    control(executor, ct.input_rate(1234.0))
+    assert executor.input_rate_limit == 1234.0
+    control(executor, ct.input_rate(None))
+    assert executor.input_rate_limit is None
+
+
+def test_activate_deactivate(engine):
+    executor, _ = make_worker(engine, kind=SPOUT)
+    control(executor, ct.deactivate())
+    assert not executor.active
+    control(executor, ct.activate())
+    assert executor.active
+
+
+def test_batch_size_updates_transport_and_emit_batch(engine):
+    executor, transport = make_worker(engine)
+    control(executor, ct.batch_size(42))
+    assert transport.batch_size == 42
+    assert executor._emit_batch == 42
+
+
+def test_signal_invokes_on_signal(engine):
+    calls = []
+
+    class Stateful(Bolt):
+        def execute(self, stream_tuple, collector):
+            pass
+
+        def on_signal(self, signal, collector):
+            calls.append(signal.values)
+
+    fabric = TyphoonFabric(engine, DEFAULT_COSTS, Cluster.of_size(1))
+    transport = TyphoonTransport(engine, DEFAULT_COSTS, 1, 1,
+                                 fabric.host("host-0"))
+    executor = WorkerExecutor(
+        engine=engine, costs=DEFAULT_COSTS,
+        assignment=WorkerAssignment(1, "c", 0, "host-0"),
+        node=LogicalNode("c", BOLT, Stateful), config=TopologyConfig(),
+        transport=transport, routers={}, metrics=MetricsRegistry(engine),
+        rng=SeedFactory(0).rng("w"), topology_id="t",
+        control_handler=handle_control_tuple,
+    )
+    transport.deliver = executor.deliver
+    transport.attach()
+    handle_control_tuple(executor, ct.signal("flush").to_stream_tuple())
+    assert calls == [("flush",)]
+
+
+def test_metric_req_sends_response_frame(engine):
+    executor, transport = make_worker(engine)
+    frames_before = transport.frames_sent
+    cost = control(executor, ct.metric_request(3))
+    assert cost > 0
+    assert transport.frames_sent == frames_before + 1
+
+
+def test_metric_resp_is_ignored_gracefully(engine):
+    executor, transport = make_worker(engine)
+    frames_before = transport.frames_sent
+    control(executor, ct.metric_response(1, 2, {"x": 1}))  # no exception
+    assert transport.frames_sent == frames_before  # and no reply sent

@@ -1,0 +1,128 @@
+"""Unit + property tests for routing state and policies (Listing 1)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.streaming import (
+    ALL,
+    FIELDS,
+    GLOBAL,
+    Grouping,
+    Router,
+    RoutingError,
+    SHUFFLE,
+    StreamTuple,
+    hash_fields,
+)
+
+
+def make_tuple(*values):
+    return StreamTuple(tuple(values))
+
+
+def test_shuffle_round_robin():
+    router = Router(Grouping(SHUFFLE), [10, 11, 12])
+    picks = [router.route(make_tuple("x"))[0] for _ in range(6)]
+    assert picks == [10, 11, 12, 10, 11, 12]
+    assert router.decisions == 6
+
+
+def test_fields_same_key_same_worker():
+    router = Router(Grouping(FIELDS, (0,)), [10, 11, 12, 13])
+    first = router.route(make_tuple("apple", 1))
+    for _ in range(5):
+        assert router.route(make_tuple("apple", 99)) == first
+
+
+def test_fields_uses_only_key_fields():
+    router = Router(Grouping(FIELDS, (1,)), [10, 11, 12])
+    a = router.route(make_tuple("x", "key", 1))
+    b = router.route(make_tuple("y", "key", 2))
+    assert a == b
+
+
+def test_fields_missing_field_raises():
+    router = Router(Grouping(FIELDS, (5,)), [10])
+    with pytest.raises(RoutingError):
+        router.route(make_tuple("only-one"))
+
+
+def test_global_always_first():
+    router = Router(Grouping(GLOBAL), [42, 43])
+    assert all(router.route(make_tuple(i)) == [42] for i in range(5))
+
+
+def test_all_returns_every_hop():
+    router = Router(Grouping(ALL), [1, 2, 3])
+    assert router.route(make_tuple("x")) == [1, 2, 3]
+    assert router.is_broadcast
+
+
+def test_route_with_no_hops_raises():
+    router = Router(Grouping(SHUFFLE), [])
+    with pytest.raises(RoutingError):
+        router.route(make_tuple("x"))
+
+
+def test_update_next_hops_resets_counter():
+    router = Router(Grouping(SHUFFLE), [1, 2])
+    router.route(make_tuple("x"))
+    router.update(next_hops=[5, 6, 7])
+    assert router.route(make_tuple("x")) == [5]
+    assert router.num_next_hops == 3
+
+
+def test_update_grouping_switches_policy():
+    router = Router(Grouping(FIELDS, (0,)), [1, 2])
+    router.update(grouping=Grouping(SHUFFLE))
+    picks = [router.route(make_tuple("same-key"))[0] for _ in range(4)]
+    assert picks == [1, 2, 1, 2]  # no longer key-pinned
+
+
+def test_key_redistribution_on_scale_changes_mapping():
+    # The §3.5 consistency hazard: changing numNextHops remaps keys.
+    router = Router(Grouping(FIELDS, (0,)), [1, 2, 3])
+    keys = ["k%d" % i for i in range(50)]
+    before = {k: router.route(make_tuple(k))[0] for k in keys}
+    router.update(next_hops=[1, 2, 3, 4])
+    after = {k: router.route(make_tuple(k))[0] for k in keys}
+    assert before != after  # at least some keys moved
+
+
+def test_hash_fields_stable_across_instances():
+    values = ("word", 3)
+    assert hash_fields(values, (0,)) == hash_fields(("word", 99), (0,))
+    assert hash_fields(values, (0,)) != hash_fields(("другое", 3), (0,))
+
+
+@settings(max_examples=100)
+@given(st.text(max_size=20), st.integers(2, 16))
+def test_fields_routing_deterministic_property(key, hops):
+    router_a = Router(Grouping(FIELDS, (0,)), list(range(hops)))
+    router_b = Router(Grouping(FIELDS, (0,)), list(range(hops)))
+    assert router_a.route(make_tuple(key)) == router_b.route(make_tuple(key))
+
+
+@settings(max_examples=50)
+@given(st.integers(1, 8), st.integers(1, 200))
+def test_shuffle_is_balanced_property(hops, count):
+    router = Router(Grouping(SHUFFLE), list(range(hops)))
+    picks = Counter(router.route(make_tuple(i))[0] for i in range(count))
+    most = max(picks.values())
+    least = min(picks.values()) if len(picks) == hops else 0
+    assert most - least <= 1  # perfect round robin
+
+
+@settings(max_examples=50)
+@given(st.lists(st.text(max_size=8), min_size=1, max_size=100),
+       st.integers(1, 8))
+def test_fields_partition_property(keys, hops):
+    # Key-based routing is a function: same key never maps to two hops.
+    router = Router(Grouping(FIELDS, (0,)), list(range(hops)))
+    mapping = {}
+    for key in keys:
+        (hop,) = router.route(make_tuple(key))
+        assert mapping.setdefault(key, hop) == hop
+        assert 0 <= hop < hops

@@ -1,0 +1,88 @@
+"""Multiple applications sharing one Typhoon cluster.
+
+The application-ID prefix in worker addresses (§3.3.1) exists precisely
+so several stream applications can share switches without interfering;
+these tests run two topologies side by side and check isolation,
+independent reconfiguration, and clean teardown of one without the
+other noticing.
+"""
+
+import pytest
+
+from repro.core import TyphoonCluster
+from repro.sim import Engine
+from repro.streaming import TopologyConfig
+from tests.conftest import simple_chain
+
+
+def start_two():
+    engine = Engine()
+    cluster = TyphoonCluster(engine, num_hosts=2, seed=0)
+    config_a = TopologyConfig(batch_size=50, max_spout_rate=800)
+    config_b = TopologyConfig(batch_size=50, max_spout_rate=400)
+    physical_a = cluster.submit(simple_chain("app-a", config=config_a))
+    physical_b = cluster.submit(simple_chain("app-b", config=config_b,
+                                             sink_parallelism=2))
+    engine.run(until=10.0)
+    return engine, cluster, physical_a, physical_b
+
+
+def test_distinct_app_ids_and_worker_ids():
+    engine, cluster, physical_a, physical_b = start_two()
+    assert physical_a.app_id != physical_b.app_id
+    assert set(physical_a.assignments).isdisjoint(physical_b.assignments)
+
+
+def test_both_topologies_flow_at_their_own_rates():
+    engine, cluster, _a, _b = start_two()
+    sink_a = cluster.executors_for("app-a", "sink")[0]
+    rate_a = sink_a.processed_meter.rate(5, 9)
+    rate_b = sum(s.processed_meter.rate(5, 9)
+                 for s in cluster.executors_for("app-b", "sink"))
+    assert rate_a == pytest.approx(800, rel=0.1)
+    assert rate_b == pytest.approx(400, rel=0.1)
+
+
+def test_rules_are_app_scoped():
+    engine, cluster, physical_a, physical_b = start_two()
+    for topology_id, physical in (("app-a", physical_a),
+                                  ("app-b", physical_b)):
+        for (_dpid, match), _value in cluster.app._installed[topology_id].items():
+            if match.dl_src is not None and not match.dl_src.is_broadcast:
+                assert match.dl_src.app_id == physical.app_id
+
+
+def test_no_cross_topology_delivery():
+    engine, cluster, _a, _b = start_two()
+    # Every tuple a sink saw originates from its own topology's source.
+    record_a = cluster.manager.topologies["app-a"]
+    source_a = record_a.physical.worker_ids_for("source")[0]
+    sink_a = cluster.executors_for("app-a", "sink")[0]
+    for values in sink_a.component.received[:50]:
+        assert values[0] == "x"  # CountingSpout payload
+    # Worker-level receive counters match their own stream only.
+    assert sink_a.stats.processed > 0
+
+
+def test_reconfigure_one_without_touching_other():
+    engine, cluster, _a, _b = start_two()
+    before = cluster.executors_for("app-a", "sink")[0].stats.processed
+    cluster.set_parallelism("app-b", "sink", 3)
+    engine.run(until=25.0)
+    assert len(cluster.executors_for("app-b", "sink")) == 3
+    assert len(cluster.executors_for("app-a", "sink")) == 1
+    sink_a = cluster.executors_for("app-a", "sink")[0]
+    assert sink_a.processed_meter.rate(20, 24) == pytest.approx(800, rel=0.1)
+
+
+def test_kill_one_topology_leaves_other_running():
+    engine, cluster, _a, _b = start_two()
+    cluster.kill_topology("app-b")
+    engine.run(until=20.0)
+    assert cluster.executors_for("app-b", "sink") == []
+    sink_a = cluster.executors_for("app-a", "sink")[0]
+    assert sink_a.alive
+    assert sink_a.processed_meter.rate(15, 19) == pytest.approx(800, rel=0.1)
+    # app-b's rules are gone; app-a's remain.
+    assert cluster.app._installed.get("app-b") is None
+    assert cluster.app._installed["app-a"]

@@ -1,0 +1,138 @@
+"""Integration tests for worker relocation (§8: pause-and-resume via
+control tuples with state in external storage)."""
+
+import pytest
+
+from repro.core import ReconfigurationError, TyphoonCluster
+from repro.ext import RedisClient, RedisStore
+from repro.sim import Engine
+from repro.streaming import Grouping, TopologyBuilder, TopologyConfig
+from repro.streaming.topology import Bolt
+from tests.conftest import CountingSpout
+
+
+class ExternalStateCounter(Bolt):
+    """Keeps a small in-memory cache; durable counts live in Redis.
+
+    On SIGNAL (the relocation procedure injects one) the cache is
+    persisted, so a relocated replacement resumes from external state —
+    the §8 pattern.
+    """
+
+    def __init__(self):
+        self.cache = {}
+        self._redis = None
+
+    def open(self, ctx):
+        self._redis = RedisClient(ctx.services["redis"])
+
+    def execute(self, stream_tuple, collector):
+        key = "k%d" % (stream_tuple[1] % 5)
+        self.cache[key] = self.cache.get(key, 0) + 1
+        collector.charge(0)
+
+    def _persist(self, collector):
+        for key, value in sorted(self.cache.items()):
+            self._redis.hincrby("counter", key, value)
+        collector.charge(self._redis.drain_cost())
+        self.cache.clear()
+
+    def on_signal(self, signal, collector):
+        self._persist(collector)
+
+
+def start(seed=0):
+    engine = Engine()
+    cluster = TyphoonCluster(engine, num_hosts=3, seed=seed)
+    store = RedisStore()
+    cluster.services["redis"] = store
+    builder = TopologyBuilder("rel", TopologyConfig(batch_size=50,
+                                                    max_spout_rate=1000))
+    builder.set_spout("source", lambda: CountingSpout(None), 1)
+    builder.set_bolt("state", ExternalStateCounter, 2,
+                     stateful=True).fields_grouping("source", [1])
+    cluster.submit(builder.build())
+    engine.run(until=8.0)
+    return engine, cluster, store
+
+
+def test_relocation_moves_worker_and_keeps_traffic():
+    engine, cluster, store = start()
+    record = cluster.manager.topologies["rel"]
+    victim = record.physical.workers_for("state")[0]
+    old_host = victim.hostname
+    new_host = next(name for name in cluster.manager.agents
+                    if name != old_host)
+    request = cluster.relocate_worker("rel", victim.worker_id, new_host)
+    engine.run(until=25.0)
+    assert request.triggered and not request.failed
+    moved = record.physical.worker(victim.worker_id)
+    assert moved.hostname == new_host
+    executor = cluster.executor(victim.worker_id)
+    assert executor is not None and executor.alive
+    assert executor.assignment.hostname == new_host
+    # Traffic resumed on the relocated worker.
+    engine.run(until=35.0)
+    assert executor.processed_meter.rate(28, 34) > 0
+
+
+def test_relocation_persists_state_via_signal():
+    engine, cluster, store = start()
+    record = cluster.manager.topologies["rel"]
+    victim = record.physical.workers_for("state")[0]
+    old_executor = cluster.executor(victim.worker_id)
+    engine.run(until=12.0)
+    assert old_executor.component.cache  # state accumulated in memory
+    new_host = next(name for name in cluster.manager.agents
+                    if name != victim.hostname)
+    cluster.relocate_worker("rel", victim.worker_id, new_host)
+    engine.run(until=25.0)
+    # The SIGNAL persisted the in-memory cache before the move.
+    assert store.hgetall("counter")
+    assert not old_executor.alive
+
+
+def test_relocation_no_tuple_loss_with_siblings():
+    engine, cluster, store = start()
+    record = cluster.manager.topologies["rel"]
+    victim = record.physical.workers_for("state")[0]
+    new_host = next(name for name in cluster.manager.agents
+                    if name != victim.hostname)
+    cluster.relocate_worker("rel", victim.worker_id, new_host)
+    engine.run(until=25.0)
+    cluster.deactivate("rel")
+    engine.run(until=30.0)
+    source = cluster.executors_for("rel", "source")[0]
+    prefix = "rel.state."
+    processed = sum(m.total for name, m in cluster.metrics.meters.items()
+                    if name.startswith(prefix) and name.endswith(".processed"))
+    assert processed == source.stats.emitted
+
+
+def test_relocation_same_host_is_noop():
+    engine, cluster, store = start()
+    record = cluster.manager.topologies["rel"]
+    victim = record.physical.workers_for("state")[0]
+    request = cluster.relocate_worker("rel", victim.worker_id,
+                                      victim.hostname)
+    engine.run(until=15.0)
+    assert request.triggered
+    executor = cluster.executor(victim.worker_id)
+    assert executor is not None and executor.alive
+
+
+def test_relocation_unknown_target_rejected():
+    engine, cluster, store = start()
+    record = cluster.manager.topologies["rel"]
+    victim = record.physical.workers_for("state")[0]
+    request = cluster.relocate_worker("rel", victim.worker_id, "mars")
+    failures = []
+    request.add_callback(lambda ev: failures.append(ev.failed))
+    engine.run(until=15.0)
+    assert failures == [True]
+
+
+def test_relocation_unknown_worker_rejected():
+    engine, cluster, store = start()
+    with pytest.raises(KeyError):
+        cluster.relocate_worker("rel", 999, "host-1")

@@ -1,0 +1,151 @@
+"""Tests for the REST API (§5's user-facing framework services)."""
+
+import pytest
+
+from repro.core import TyphoonCluster
+from repro.core.apps import LiveDebugger
+from repro.core.rest import RestApi
+from repro.sim import Engine
+from repro.streaming import TopologyConfig
+from repro.workloads import SplitBolt, word_count_topology
+
+
+def start():
+    engine = Engine()
+    cluster = TyphoonCluster(engine, num_hosts=2, seed=0)
+    debugger = cluster.register_app(LiveDebugger(cluster))
+    api = RestApi(cluster)
+    api.attach_debugger(debugger)
+    config = TopologyConfig(batch_size=50, max_spout_rate=1000)
+    cluster.submit(word_count_topology("wc", config, splits=2, counts=2,
+                                       words_per_sentence=2))
+    engine.run(until=6.0)
+    return engine, cluster, api
+
+
+def test_list_and_get_topology():
+    engine, cluster, api = start()
+    status, payload = api.handle("GET", "/topologies")
+    assert status == 200
+    assert payload["topologies"] == ["wc"]
+    status, payload = api.handle("GET", "/topologies/wc")
+    assert status == 200
+    assert payload["components"]["split"]["parallelism"] == 2
+    assert payload["components"]["count"]["stateful"]
+    alive = [w for w in payload["workers"] if w["alive"]]
+    assert len(alive) == len(payload["workers"])
+
+
+def test_unknown_routes_and_topologies():
+    engine, cluster, api = start()
+    assert api.handle("GET", "/nope")[0] == 404
+    assert api.handle("GET", "/topologies/ghost")[0] == 404
+    assert api.handle("PUT", "/topologies")[0] == 404
+
+
+def test_parallelism_via_rest():
+    engine, cluster, api = start()
+    status, payload = api.handle(
+        "POST", "/topologies/wc/components/split/parallelism",
+        {"value": 3})
+    assert status == 202
+    engine.run(until=20.0)
+    assert len(cluster.executors_for("wc", "split")) == 3
+
+
+def test_parallelism_validation_errors():
+    engine, cluster, api = start()
+    status, payload = api.handle(
+        "POST", "/topologies/wc/components/split/parallelism", {"value": 0})
+    assert status == 409
+    status, _ = api.handle(
+        "POST", "/topologies/wc/components/ghost/parallelism", {"value": 2})
+    assert status == 409
+    status, _ = api.handle(
+        "POST", "/topologies/wc/components/split/parallelism", {})
+    assert status == 404 or status == 400
+
+
+def test_logic_replacement_via_registered_factory():
+    engine, cluster, api = start()
+
+    class LoudSplit(SplitBolt):
+        pass
+
+    status, _ = api.handle("POST", "/topologies/wc/components/split/logic",
+                           {"factory": "loud"})
+    assert status == 400  # not registered yet
+    api.register_factory("loud", LoudSplit)
+    status, payload = api.handle(
+        "POST", "/topologies/wc/components/split/logic", {"factory": "loud"})
+    assert status == 202
+    engine.run(until=25.0)
+    splits = cluster.executors_for("wc", "split")
+    assert all(isinstance(s.component, LoudSplit) for s in splits)
+
+
+def test_activate_deactivate_and_rate():
+    engine, cluster, api = start()
+    assert api.handle("POST", "/topologies/wc/deactivate")[0] == 202
+    engine.run(until=8.0)
+    source = cluster.executors_for("wc", "source")[0]
+    assert not source.active
+    assert api.handle("POST", "/topologies/wc/activate")[0] == 202
+    assert api.handle("POST", "/topologies/wc/input-rate",
+                      {"rate": 500})[0] == 202
+    engine.run(until=10.0)
+    assert source.active
+    assert source.input_rate_limit == 500
+    status, _ = api.handle("POST", "/topologies/wc/input-rate", {})
+    assert status == 400
+
+
+def test_grouping_change_via_rest():
+    engine, cluster, api = start()
+    status, payload = api.handle(
+        "POST", "/topologies/wc/components/split/grouping",
+        {"src": "source", "kind": "shuffle"})
+    assert status == 202
+    engine.run(until=12.0)
+    source = cluster.executors_for("wc", "source")[0]
+    assert source.routers[("split", 0)].grouping.kind == "shuffle"
+
+
+def test_debug_tap_lifecycle_via_rest():
+    engine, cluster, api = start()
+    status, _ = api.handle("POST",
+                           "/topologies/wc/components/source/debug")
+    assert status == 202
+    engine.run(until=15.0)
+    status, payload = api.handle("GET",
+                                 "/topologies/wc/components/source/debug")
+    assert status == 200
+    assert payload["seen"] > 0
+    status, _ = api.handle("DELETE",
+                           "/topologies/wc/components/source/debug")
+    assert status == 200
+    engine.run(until=17.0)
+    status, _ = api.handle("GET",
+                           "/topologies/wc/components/source/debug")
+    assert status == 404
+
+
+def test_batch_size_via_rest():
+    engine, cluster, api = start()
+    assert api.handle("POST", "/topologies/wc/batch-size",
+                      {"size": 25})[0] == 202
+    engine.run(until=8.0)
+    source = cluster.executors_for("wc", "source")[0]
+    assert cluster.transports[source.worker_id].batch_size == 25
+    assert api.handle("POST", "/topologies/wc/batch-size",
+                      {"size": 0})[0] == 400
+
+
+def test_cluster_summary():
+    engine, cluster, api = start()
+    status, payload = api.handle("GET", "/cluster")
+    assert status == 200
+    assert payload["topologies"] == ["wc"]
+    assert len(payload["switches"]) == 2
+    assert "typhoon-core" in payload["controller"]["apps"]
+    assert api.requests_served >= 1

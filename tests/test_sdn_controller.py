@@ -1,0 +1,156 @@
+"""Unit tests for the generic SDN controller runtime."""
+
+import pytest
+
+from repro.net import TYPHOON_ETHERTYPE, EthernetFrame, WorkerAddress
+from repro.sdn import (
+    ControllerApp,
+    FlowStatsReply,
+    Match,
+    OFPP_CONTROLLER,
+    Output,
+    PacketIn,
+    PacketOut,
+    PortStatsReply,
+    PortStatus,
+    SdnController,
+    SoftwareSwitch,
+)
+from repro.sim import DEFAULT_COSTS, Engine
+
+
+class RecorderApp(ControllerApp):
+    name = "recorder"
+
+    def __init__(self):
+        super().__init__()
+        self.started = False
+        self.switches = []
+        self.packet_ins = []
+        self.port_events = []
+        self.stats = []
+
+    def on_start(self):
+        self.started = True
+
+    def on_switch_connected(self, switch):
+        self.switches.append(switch.dpid)
+
+    def on_packet_in(self, message):
+        self.packet_ins.append(message)
+
+    def on_port_status(self, message):
+        self.port_events.append(message)
+
+    def on_port_stats(self, message):
+        self.stats.append(message)
+
+
+def setup():
+    engine = Engine()
+    controller = SdnController(engine, DEFAULT_COSTS)
+    switch = SoftwareSwitch(engine, DEFAULT_COSTS, dpid="sw0")
+    controller.connect_switch(switch)
+    return engine, controller, switch
+
+
+def test_register_app_sees_existing_switches():
+    engine, controller, switch = setup()
+    app = RecorderApp()
+    controller.register_app(app)
+    assert app.started
+    assert app.switches == ["sw0"]
+    assert controller.app("recorder") is app
+    with pytest.raises(KeyError):
+        controller.app("nope")
+
+
+def test_duplicate_switch_rejected():
+    engine, controller, switch = setup()
+    with pytest.raises(ValueError):
+        controller.connect_switch(switch)
+
+
+def test_install_flow_arrives_after_control_latency():
+    engine, controller, switch = setup()
+    controller.install_flow("sw0", Match(in_port=1), [Output(2)])
+    assert len(switch.flows) == 0  # not yet delivered/installed
+    engine.run(until=DEFAULT_COSTS.openflow_rtt / 2
+               + DEFAULT_COSTS.flow_install_latency + 1e-6)
+    assert len(switch.flows) == 1
+
+
+def test_port_status_dispatched_to_apps():
+    engine, controller, switch = setup()
+    app = controller.register_app(RecorderApp())
+    port = switch.add_port("w1", lambda f, t: None)
+    switch.remove_port(port)
+    engine.run(until=1.0)
+    assert [e.reason for e in app.port_events] == ["add", "delete"]
+
+
+def test_packet_in_dispatch():
+    engine, controller, switch = setup()
+    app = controller.register_app(RecorderApp())
+    p_in = switch.add_port("w1", lambda f, t: None)
+    controller.install_flow("sw0", Match(in_port=p_in),
+                            [Output(OFPP_CONTROLLER)])
+    engine.run(until=0.01)
+    frame = EthernetFrame(WorkerAddress(1, 2), WorkerAddress(1, 1),
+                          TYPHOON_ETHERTYPE, b"x")
+    switch.inject(p_in, frame)
+    engine.run(until=0.05)
+    assert len(app.packet_ins) == 1
+    assert app.packet_ins[0].dpid == "sw0"
+
+
+def test_stats_request_event_resolution():
+    engine, controller, switch = setup()
+    switch.add_port("w1", lambda f, t: None)
+    gate = controller.request_port_stats("sw0")
+    engine.run(until=0.1)
+    assert gate.triggered
+    reply = gate.value
+    assert isinstance(reply, PortStatsReply)
+    assert reply.dpid == "sw0"
+    names = [e.port_name for e in reply.entries]
+    assert "w1" in names
+
+
+def test_flow_stats_request_event():
+    engine, controller, switch = setup()
+    controller.install_flow("sw0", Match(in_port=1), [Output(2)])
+    engine.run(until=0.01)
+    gate = controller.request_flow_stats("sw0")
+    engine.run(until=0.1)
+    assert isinstance(gate.value, FlowStatsReply)
+    assert len(gate.value.entries) == 1
+
+
+def test_send_to_unknown_switch_raises():
+    engine, controller, _switch = setup()
+    with pytest.raises(KeyError):
+        controller.install_flow("missing", Match(), [Output(1)])
+
+
+def test_every_runs_periodic_task():
+    engine, controller, _switch = setup()
+    ticks = []
+    controller.every(1.0, lambda: ticks.append(engine.now))
+    engine.run(until=5.5)
+    assert len(ticks) == 5
+    controller.shutdown()
+    engine.run(until=10.0)
+    assert len(ticks) == 5  # stopped
+
+
+def test_packet_out_reaches_port():
+    engine, controller, switch = setup()
+    received = []
+    port = switch.add_port("w1", lambda f, t: received.append(f))
+    frame = EthernetFrame(WorkerAddress(1, 1), WorkerAddress(1, 0),
+                          TYPHOON_ETHERTYPE, b"ctl")
+    controller.packet_out("sw0", PacketOut(frame, (Output(port),),
+                                           in_port=OFPP_CONTROLLER))
+    engine.run(until=0.05)
+    assert received == [frame]

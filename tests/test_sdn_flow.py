@@ -1,0 +1,163 @@
+"""Unit tests for flow matches, actions and flow tables."""
+
+import pytest
+
+from repro.net import BROADCAST, TYPHOON_ETHERTYPE, EthernetFrame, WorkerAddress
+from repro.sdn import FlowEntry, FlowTable, GroupAction, Match, Output, SetDlDst, SetTunnelDst
+
+
+def frame(src=1, dst=2, app=1, ethertype=TYPHOON_ETHERTYPE, payload=b"p"):
+    return EthernetFrame(
+        dst=WorkerAddress(app, dst) if isinstance(dst, int) else dst,
+        src=WorkerAddress(app, src),
+        ethertype=ethertype, payload=payload,
+    )
+
+
+def test_exact_match_fields():
+    match = Match(in_port=3, dl_src=WorkerAddress(1, 1),
+                  dl_dst=WorkerAddress(1, 2), ether_type=TYPHOON_ETHERTYPE)
+    assert match.matches(frame(1, 2), 3)
+    assert not match.matches(frame(1, 2), 4)          # wrong in_port
+    assert not match.matches(frame(9, 2), 3)          # wrong src
+    assert not match.matches(frame(1, 9), 3)          # wrong dst
+    assert not match.matches(frame(1, 2, ethertype=0x0800), 3)
+
+
+def test_wildcard_match():
+    match = Match()  # matches everything
+    assert match.matches(frame(), 1)
+    assert match.matches(frame(5, 6, ethertype=0x0800), 99)
+
+
+def test_broadcast_destination_match():
+    match = Match(dl_dst=BROADCAST)
+    assert match.matches(frame(1, BROADCAST), 1)
+    assert not match.matches(frame(1, 2), 1)
+
+
+def test_match_covers():
+    broad = Match(in_port=1)
+    narrow = Match(in_port=1, dl_src=WorkerAddress(1, 1))
+    assert broad.covers(narrow)
+    assert not narrow.covers(broad)
+    assert Match().covers(narrow)
+
+
+def test_describe_is_readable():
+    match = Match(in_port=2, ether_type=0xFFFF)
+    description = match.describe()
+    assert "in_port=2" in description
+    assert "0xffff" in description
+    assert Match().describe() == "any"
+
+
+def test_table_priority_ordering():
+    table = FlowTable()
+    low = FlowEntry(Match(), (Output(1),), priority=10)
+    high = FlowEntry(Match(in_port=1), (Output(2),), priority=200)
+    table.add(low)
+    table.add(high)
+    hit = table.lookup(frame(), 1)
+    assert hit is high
+    # Frames not matching the high-priority rule fall through.
+    assert table.lookup(frame(), 9) is low
+
+
+def test_table_equal_priority_first_installed_wins():
+    table = FlowTable()
+    first = FlowEntry(Match(in_port=1), (Output(1),), priority=100)
+    second = FlowEntry(Match(), (Output(2),), priority=100)
+    table.add(first)
+    table.add(second)
+    assert table.lookup(frame(), 1) is first
+
+
+def test_table_add_replaces_same_match_and_priority():
+    table = FlowTable()
+    table.add(FlowEntry(Match(in_port=1), (Output(1),), priority=100))
+    table.add(FlowEntry(Match(in_port=1), (Output(5),), priority=100))
+    assert len(table) == 1
+    entry = table.lookup(frame(), 1)
+    assert entry.actions == (Output(5),)
+
+
+def test_table_nonstrict_delete_covers():
+    table = FlowTable()
+    table.add(FlowEntry(Match(in_port=1, dl_src=WorkerAddress(1, 1)),
+                        (Output(1),)))
+    table.add(FlowEntry(Match(in_port=1, dl_src=WorkerAddress(1, 2)),
+                        (Output(2),)))
+    table.add(FlowEntry(Match(in_port=2), (Output(3),)))
+    removed = table.remove(Match(in_port=1))
+    assert len(removed) == 2
+    assert len(table) == 1
+
+
+def test_table_strict_delete_respects_priority():
+    table = FlowTable()
+    base = FlowEntry(Match(in_port=1), (Output(1),), priority=100)
+    mirror = FlowEntry(Match(in_port=1), (Output(1), Output(9)), priority=150)
+    table.add(base)
+    table.add(mirror)
+    removed = table.remove(Match(in_port=1), strict=True, priority=150)
+    assert removed == [mirror]
+    assert len(table) == 1
+    assert table.lookup(frame(), 1) is base
+
+
+def test_idle_timeout_expiry():
+    table = FlowTable()
+    entry = FlowEntry(Match(in_port=1), (Output(1),), idle_timeout=5.0)
+    table.add(entry, now=0.0)
+    entry.touch(2.0, 100)
+    assert table.expire_idle(6.9) == []
+    expired = table.expire_idle(7.0)
+    assert expired == [entry]
+    assert len(table) == 0
+
+
+def test_idle_timeout_uses_install_time_when_unused():
+    table = FlowTable()
+    entry = FlowEntry(Match(), (Output(1),), idle_timeout=3.0)
+    table.add(entry, now=10.0)
+    assert table.expire_idle(12.0) == []
+    assert table.expire_idle(13.0) == [entry]
+
+
+def test_counters_updated_on_touch():
+    entry = FlowEntry(Match(), (Output(1),))
+    entry.touch(1.0, 50)
+    entry.touch(2.0, 70)
+    assert entry.packets == 2
+    assert entry.bytes == 120
+    assert entry.last_used == 2.0
+
+
+def test_referencing_port():
+    table = FlowTable()
+    by_input = FlowEntry(Match(in_port=7), (Output(1),))
+    by_output = FlowEntry(Match(in_port=1), (SetTunnelDst("h"), Output(7)))
+    unrelated = FlowEntry(Match(in_port=2), (Output(3),))
+    for entry in (by_input, by_output, unrelated):
+        table.add(entry)
+    hits = table.referencing_port(7)
+    assert by_input in hits and by_output in hits
+    assert unrelated not in hits
+
+
+def test_remove_by_cookie():
+    table = FlowTable()
+    table.add(FlowEntry(Match(in_port=1), (Output(1),), cookie=42))
+    table.add(FlowEntry(Match(in_port=2), (Output(2),), cookie=7))
+    removed = table.remove_by_cookie(42)
+    assert len(removed) == 1
+    assert len(table) == 1
+
+
+def test_actions_are_immutable_dataclasses():
+    assert Output(1) == Output(1)
+    assert SetDlDst(WorkerAddress(1, 2)) == SetDlDst(WorkerAddress(1, 2))
+    assert GroupAction(5) != GroupAction(6)
+    with pytest.raises(Exception):
+        Output(1).port = 2

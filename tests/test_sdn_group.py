@@ -1,0 +1,78 @@
+"""Unit tests for group tables (all / select, smooth WRR)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.sdn import GROUP_ALL, GROUP_SELECT, Bucket, GroupEntry, GroupTable
+from repro.sdn.flow import Output
+
+
+def test_all_group_returns_every_bucket():
+    entry = GroupEntry(1, GROUP_ALL, [Bucket((Output(1),)),
+                                      Bucket((Output(2),))])
+    buckets = entry.select_buckets()
+    assert len(buckets) == 2
+
+
+def test_select_group_round_robin_equal_weights():
+    entry = GroupEntry(1, GROUP_SELECT, [
+        Bucket((Output(1),)), Bucket((Output(2),)), Bucket((Output(3),)),
+    ])
+    picks = [entry.select_buckets()[0].actions[0].port for _ in range(9)]
+    assert Counter(picks) == {1: 3, 2: 3, 3: 3}
+
+
+def test_select_group_weighted_distribution():
+    entry = GroupEntry(1, GROUP_SELECT, [
+        Bucket((Output(1),), weight=3),
+        Bucket((Output(2),), weight=1),
+    ])
+    picks = [entry.select_buckets()[0].actions[0].port for _ in range(40)]
+    counts = Counter(picks)
+    assert counts[1] == 30
+    assert counts[2] == 10
+
+
+def test_smooth_wrr_spreads_heavy_bucket():
+    # Smooth WRR should interleave, not burst: 3:1 never yields four
+    # consecutive picks of the heavy bucket beyond its natural run.
+    entry = GroupEntry(1, GROUP_SELECT, [
+        Bucket((Output(1),), weight=3),
+        Bucket((Output(2),), weight=1),
+    ])
+    picks = [entry.select_buckets()[0].actions[0].port for _ in range(12)]
+    # In every window of 4, port 2 appears exactly once.
+    for start in range(0, 12, 4):
+        assert picks[start:start + 4].count(2) == 1
+
+
+def test_set_buckets_resets_state():
+    entry = GroupEntry(1, GROUP_SELECT, [Bucket((Output(1),), weight=1)])
+    entry.select_buckets()
+    entry.set_buckets([Bucket((Output(5),), weight=2),
+                       Bucket((Output(6),), weight=2)])
+    picks = [entry.select_buckets()[0].actions[0].port for _ in range(4)]
+    assert Counter(picks) == {5: 2, 6: 2}
+
+
+def test_group_validation():
+    with pytest.raises(ValueError):
+        GroupEntry(1, "fanout", [Bucket((Output(1),))])
+    with pytest.raises(ValueError):
+        GroupEntry(1, GROUP_ALL, [])
+    with pytest.raises(ValueError):
+        Bucket((Output(1),), weight=0)
+
+
+def test_group_table_crud():
+    table = GroupTable()
+    entry = GroupEntry(9, GROUP_SELECT, [Bucket((Output(1),))])
+    table.add(entry)
+    assert 9 in table
+    assert table.get(9) is entry
+    table.remove(9)
+    assert 9 not in table
+    with pytest.raises(KeyError):
+        table.get(9)
+    table.remove(9)  # idempotent

@@ -1,0 +1,174 @@
+"""Unit tests for the SDN network hypervisor (slice isolation, §8)."""
+
+import pytest
+
+from repro.net import (
+    BROADCAST,
+    CONTROLLER_ADDRESS,
+    TYPHOON_ETHERTYPE,
+    EthernetFrame,
+    WorkerAddress,
+)
+from repro.sdn import (
+    Bucket,
+    ControllerApp,
+    GroupMod,
+    Match,
+    OFPP_CONTROLLER,
+    Output,
+    PacketOut,
+    SetDlDst,
+    SoftwareSwitch,
+)
+from repro.sdn.hypervisor import NetworkHypervisor, SliceViolation
+from repro.sim import DEFAULT_COSTS, Engine
+
+
+@pytest.fixture
+def setup(engine):
+    hypervisor = NetworkHypervisor(engine, DEFAULT_COSTS)
+    switch = SoftwareSwitch(engine, DEFAULT_COSTS, dpid="sw0")
+    hypervisor.connect_switch(switch)
+    tenant_a = hypervisor.create_slice("tenant-a", {1})
+    tenant_b = hypervisor.create_slice("tenant-b", {2})
+    return hypervisor, switch, tenant_a, tenant_b
+
+
+def addr(app, worker):
+    return WorkerAddress(app, worker)
+
+
+def test_slice_can_program_its_own_space(engine, setup):
+    _hv, switch, tenant_a, _b = setup
+    tenant_a.install_flow("sw0", Match(
+        in_port=1, dl_src=addr(1, 10), dl_dst=addr(1, 11),
+        ether_type=TYPHOON_ETHERTYPE), [Output(2)])
+    engine.run(until=0.01)
+    assert len(switch.flows) == 1
+
+
+def test_cross_slice_match_rejected(engine, setup):
+    _hv, _switch, tenant_a, _b = setup
+    with pytest.raises(SliceViolation):
+        tenant_a.install_flow("sw0", Match(
+            dl_src=addr(2, 10), dl_dst=addr(1, 11)), [Output(2)])
+    with pytest.raises(SliceViolation):
+        tenant_a.install_flow("sw0", Match(
+            dl_src=addr(1, 10), dl_dst=addr(2, 11)), [Output(2)])
+    assert tenant_a.violations == 2
+
+
+def test_unanchored_match_rejected(engine, setup):
+    _hv, _switch, tenant_a, _b = setup
+    with pytest.raises(SliceViolation):
+        tenant_a.install_flow("sw0", Match(ether_type=TYPHOON_ETHERTYPE),
+                              [Output(2)])
+    # But anchoring via in_port is acceptable (a slice-owned port).
+    tenant_a.install_flow("sw0", Match(in_port=3, dl_dst=BROADCAST),
+                          [Output(2)])
+
+
+def test_cross_slice_rewrite_rejected(engine, setup):
+    _hv, _switch, tenant_a, _b = setup
+    with pytest.raises(SliceViolation):
+        tenant_a.install_flow("sw0", Match(dl_src=addr(1, 1)),
+                              [SetDlDst(addr(2, 5)), Output(2)])
+    with pytest.raises(SliceViolation):
+        tenant_a.install_group("sw0", 1, "select",
+                               [Bucket((SetDlDst(addr(2, 5)), Output(1)))])
+
+
+def test_cross_slice_packet_out_rejected(engine, setup):
+    _hv, _switch, tenant_a, _b = setup
+    frame = EthernetFrame(addr(2, 1), CONTROLLER_ADDRESS,
+                          TYPHOON_ETHERTYPE, b"ctl")
+    with pytest.raises(SliceViolation):
+        tenant_a.packet_out("sw0", PacketOut(frame, (Output(1),),
+                                             in_port=OFPP_CONTROLLER))
+
+
+def test_packet_in_routed_to_owning_slice(engine, setup):
+    _hv, switch, tenant_a, tenant_b = setup
+
+    class Recorder(ControllerApp):
+        name = "rec"
+
+        def __init__(self):
+            super().__init__()
+            self.packet_ins = []
+
+        def on_packet_in(self, message):
+            self.packet_ins.append(message)
+
+    rec_a = tenant_a.register_app(Recorder())
+    rec_b = tenant_b.register_app(Recorder())
+    port = switch.add_port("w1", lambda f, t: None)
+    tenant_a.install_flow("sw0", Match(
+        in_port=port, dl_dst=CONTROLLER_ADDRESS), [Output(OFPP_CONTROLLER)])
+    engine.run(until=0.01)
+    frame = EthernetFrame(CONTROLLER_ADDRESS, addr(1, 7),
+                          TYPHOON_ETHERTYPE, b"stats")
+    switch.inject(port, frame)
+    engine.run(until=0.05)
+    assert len(rec_a.packet_ins) == 1
+    assert rec_b.packet_ins == []
+
+
+def test_port_events_shared_across_slices(engine, setup):
+    _hv, switch, tenant_a, tenant_b = setup
+
+    class Ports(ControllerApp):
+        name = "ports"
+
+        def __init__(self):
+            super().__init__()
+            self.events = []
+
+        def on_port_status(self, message):
+            self.events.append(message.reason)
+
+    ports_a = tenant_a.register_app(Ports())
+    ports_b = tenant_b.register_app(Ports())
+    port = switch.add_port("w9", lambda f, t: None)
+    switch.remove_port(port)
+    engine.run(until=1.0)
+    assert ports_a.events == ["add", "delete"]
+    assert ports_b.events == ["add", "delete"]
+
+
+def test_overlapping_slices_rejected(engine, setup):
+    hypervisor, _switch, _a, _b = setup
+    with pytest.raises(ValueError):
+        hypervisor.create_slice("tenant-c", {1, 3})
+    with pytest.raises(ValueError):
+        hypervisor.create_slice("tenant-a", {9})
+
+
+def test_broadcast_and_controller_addresses_allowed(engine, setup):
+    _hv, switch, tenant_a, _b = setup
+    tenant_a.install_flow("sw0", Match(
+        in_port=1, dl_src=addr(1, 1), dl_dst=BROADCAST), [Output(2)])
+    tenant_a.install_flow("sw0", Match(
+        in_port=2, dl_dst=CONTROLLER_ADDRESS), [Output(OFPP_CONTROLLER)])
+    engine.run(until=0.01)
+    assert len(switch.flows) == 2
+
+
+def test_two_tenants_coexist_on_data_plane(engine, setup):
+    _hv, switch, tenant_a, tenant_b = setup
+    got_a, got_b = [], []
+    p_in = switch.add_port("shared-in", lambda f, t: None)
+    p_a = switch.add_port("wa", lambda f, t: got_a.append(f))
+    p_b = switch.add_port("wb", lambda f, t: got_b.append(f))
+    tenant_a.install_flow("sw0", Match(
+        in_port=p_in, dl_src=addr(1, 1), dl_dst=addr(1, 2)), [Output(p_a)])
+    tenant_b.install_flow("sw0", Match(
+        in_port=p_in, dl_src=addr(2, 1), dl_dst=addr(2, 2)), [Output(p_b)])
+    engine.run(until=0.01)
+    switch.inject(p_in, EthernetFrame(addr(1, 2), addr(1, 1),
+                                      TYPHOON_ETHERTYPE, b"a"))
+    switch.inject(p_in, EthernetFrame(addr(2, 2), addr(2, 1),
+                                      TYPHOON_ETHERTYPE, b"b"))
+    engine.run(until=0.05)
+    assert [f.payload for f in got_a] == [b"a"]
+    assert [f.payload for f in got_b] == [b"b"]

@@ -1,0 +1,118 @@
+"""Unit + property tests for the tuple codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import DEFAULT_COSTS
+from repro.streaming import (
+    Anchor,
+    SerializationError,
+    StreamTuple,
+    decode_tuple,
+    deserialize_cost,
+    encode_tuple,
+    encode_values,
+    serialize_cost,
+)
+from repro.streaming.serialize import _decode_value, _encode_value
+
+
+def roundtrip(stream_tuple):
+    return decode_tuple(encode_tuple(stream_tuple))
+
+
+def test_simple_roundtrip():
+    original = StreamTuple(("hello", 42), stream=0, source_worker=7)
+    decoded = roundtrip(original)
+    assert decoded.values == ("hello", 42)
+    assert decoded.stream == 0
+    assert decoded.source_worker == 7
+    assert decoded.anchor is None
+
+
+def test_anchor_roundtrip():
+    original = StreamTuple(("x",), anchor=Anchor(12345678901234567890 % 2**64,
+                                                 987654321))
+    decoded = roundtrip(original)
+    assert decoded.anchor == original.anchor
+
+
+def test_all_value_types():
+    values = (None, True, False, 17, -3, 2.5, "text", b"raw",
+              [1, "two", [3]], {"k": "v", "n": 1})
+    decoded = roundtrip(StreamTuple(values))
+    assert decoded.values[0] is None
+    assert decoded.values[1] is True
+    assert decoded.values[2] is False
+    assert decoded.values[3:8] == (17, -3, 2.5, "text", b"raw")
+    assert decoded.values[8] == [1, "two", [3]]
+    assert decoded.values[9] == {"k": "v", "n": 1}
+
+
+def test_unicode_strings():
+    decoded = roundtrip(StreamTuple(("héllo wörld 東京",)))
+    assert decoded.values == ("héllo wörld 東京",)
+
+
+def test_unserializable_value_rejected():
+    with pytest.raises(SerializationError):
+        encode_values((object(),))
+
+
+def test_truncated_data_rejected():
+    data = encode_tuple(StreamTuple(("hello",)))
+    with pytest.raises(SerializationError):
+        decode_tuple(data[:-2])
+    with pytest.raises(SerializationError):
+        decode_tuple(data[:3])
+
+
+def test_trailing_bytes_rejected():
+    data = encode_tuple(StreamTuple(("hello",)))
+    with pytest.raises(SerializationError):
+        decode_tuple(data + b"junk")
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(SerializationError):
+        _decode_value(b"\xee", 0)
+
+
+def test_costs_scale_with_size():
+    small = serialize_cost(DEFAULT_COSTS, 10)
+    large = serialize_cost(DEFAULT_COSTS, 10_000)
+    assert large > small
+    assert deserialize_cost(DEFAULT_COSTS, 10) > 0
+
+
+json_like = st.recursive(
+    st.none() | st.booleans()
+    | st.integers(min_value=-(2**80), max_value=2**80)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40) | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=150)
+@given(st.lists(json_like, max_size=6), st.integers(0, 0xFFFF),
+       st.integers(-1, 1000))
+def test_roundtrip_property(values, stream, source_worker):
+    original = StreamTuple(tuple(values), stream=stream,
+                           source_worker=source_worker)
+    decoded = roundtrip(original)
+    assert list(decoded.values) == [
+        list(v) if isinstance(v, tuple) else v for v in original.values
+    ]
+    assert decoded.stream == stream
+    assert decoded.source_worker == source_worker
+
+
+@settings(max_examples=80)
+@given(st.lists(json_like, max_size=4))
+def test_encoding_is_deterministic(values):
+    first = encode_values(tuple(values))
+    second = encode_values(tuple(values))
+    assert first == second

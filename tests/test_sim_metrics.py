@@ -1,0 +1,129 @@
+"""Unit tests for metrics (rate meters, distributions, time series)."""
+
+import pytest
+
+from repro.sim import Distribution, Engine, MetricsRegistry, RateMeter, TimeSeries
+
+
+def test_timeseries_ordering_enforced():
+    series = TimeSeries("t")
+    series.record(1.0, 10)
+    series.record(2.0, 20)
+    with pytest.raises(ValueError):
+        series.record(1.5, 15)
+
+
+def test_timeseries_value_at():
+    series = TimeSeries("t")
+    series.record(1.0, 10)
+    series.record(3.0, 30)
+    assert series.value_at(0.5) == 0.0
+    assert series.value_at(1.0) == 10
+    assert series.value_at(2.9) == 10
+    assert series.value_at(3.5) == 30
+
+
+def test_timeseries_window_and_stats():
+    series = TimeSeries("t")
+    for t in range(10):
+        series.record(float(t), t * 2.0)
+    window = series.window(3.0, 6.0)
+    assert window.times == [3.0, 4.0, 5.0, 6.0]
+    assert window.mean() == pytest.approx(9.0)
+    assert window.max() == 12.0
+    assert window.min() == 6.0
+
+
+def test_rate_meter_buckets(engine):
+    meter = RateMeter(engine, interval=1.0)
+
+    def producer():
+        for _ in range(30):
+            meter.mark()
+            yield 0.1
+
+    engine.process(producer())
+    engine.run()
+    series = meter.series(0, 3)
+    assert len(series) == 3
+    assert sum(v for _t, v in series) == pytest.approx(30.0)
+    assert meter.total == 30
+
+
+def test_rate_meter_rate_window(engine):
+    meter = RateMeter(engine)
+
+    def producer():
+        yield 1.0
+        for _ in range(100):
+            meter.mark()
+            yield 0.01
+
+    engine.process(producer())
+    engine.run()
+    assert meter.rate(1.0, 2.0) == pytest.approx(100.0, rel=0.05)
+    assert meter.rate(3.0, 4.0) == 0.0
+
+
+def test_rate_meter_empty_buckets_are_zero(engine):
+    meter = RateMeter(engine)
+    meter.mark(5)
+    engine.schedule(4.0, lambda: None)
+    engine.run()
+    series = meter.series(0, 4)
+    assert [v for _t, v in series] == [5.0, 0.0, 0.0, 0.0]
+
+
+def test_distribution_percentiles():
+    dist = Distribution("lat")
+    dist.extend(float(v) for v in range(1, 101))
+    assert dist.percentile(0) == 1.0
+    assert dist.percentile(100) == 100.0
+    assert dist.median == pytest.approx(50.5)
+    assert dist.percentile(90) == pytest.approx(90.1)
+
+
+def test_distribution_cdf_monotone():
+    dist = Distribution("lat")
+    dist.extend([5.0, 1.0, 3.0, 2.0, 4.0])
+    cdf = dist.cdf()
+    values = [v for v, _f in cdf]
+    fractions = [f for _v, f in cdf]
+    assert values == sorted(values)
+    assert fractions[-1] == pytest.approx(1.0)
+    assert all(f1 <= f2 for f1, f2 in zip(fractions, fractions[1:]))
+
+
+def test_distribution_cdf_downsamples():
+    dist = Distribution("lat")
+    dist.extend(float(v) for v in range(1000))
+    cdf = dist.cdf(points=50)
+    assert len(cdf) <= 50
+    assert cdf[-1][1] == pytest.approx(1.0)
+
+
+def test_distribution_fraction_below():
+    dist = Distribution("lat")
+    dist.extend([1.0, 2.0, 3.0, 4.0])
+    assert dist.fraction_below(2.5) == 0.5
+    assert dist.fraction_below(0.5) == 0.0
+    assert dist.fraction_below(10.0) == 1.0
+
+
+def test_distribution_errors():
+    dist = Distribution("lat")
+    with pytest.raises(ValueError):
+        dist.percentile(50)
+    dist.record(1.0)
+    with pytest.raises(ValueError):
+        dist.percentile(101)
+
+
+def test_registry_reuses_instances(engine):
+    registry = MetricsRegistry(engine)
+    assert registry.meter("m") is registry.meter("m")
+    assert registry.counter("c") is registry.counter("c")
+    assert registry.distribution("d") is registry.distribution("d")
+    assert registry.timeseries("t") is registry.timeseries("t")
+    registry.counter("c").add(3)
+    assert registry.counter("c").value == 3

@@ -1,0 +1,95 @@
+"""Property-based tests on kernel invariants (determinism, causality,
+queue conservation) under randomized workloads."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Engine, Store
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0.001, max_value=10),
+                          st.integers(0, 5)),
+                min_size=1, max_size=30))
+def test_events_fire_in_nondecreasing_time_order(jobs):
+    engine = Engine()
+    fired = []
+    for delay, payload in jobs:
+        engine.schedule(delay, lambda p=payload: fired.append(
+            (engine.now, p)))
+    engine.run()
+    times = [t for t, _p in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(jobs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.01, max_value=5),
+                min_size=1, max_size=15),
+       st.integers(1, 5))
+def test_process_sleep_times_accumulate(delays, repeat):
+    engine = Engine()
+    wakeups = []
+
+    def sleeper():
+        for delay in delays:
+            yield delay
+            wakeups.append(engine.now)
+
+    engine.process(sleeper())
+    engine.run()
+    expected = 0.0
+    for delay, at in zip(delays, wakeups):
+        expected += delay
+        assert abs(at - expected) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1000), max_size=50))
+def test_store_is_fifo_and_conserving(items):
+    engine = Engine()
+    store = Store(engine)
+    received = []
+
+    def consumer():
+        for _ in range(len(items)):
+            value = yield store.get()
+            received.append(value)
+
+    engine.process(consumer())
+    for index, item in enumerate(items):
+        engine.schedule(0.001 * (index + 1), store.put, item)
+    engine.run()
+    assert received == items
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 20), st.integers(1, 10))
+def test_bounded_store_never_exceeds_capacity(count, capacity):
+    engine = Engine()
+    store = Store(engine, capacity=capacity)
+    accepted = sum(1 for _ in range(count) if store.put("x") is True)
+    assert accepted == min(count, capacity)
+    assert len(store) <= capacity
+    assert store.drop_count == max(0, count - capacity)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("abc"),
+                          st.floats(min_value=0.01, max_value=3)),
+                min_size=2, max_size=20))
+def test_multi_process_interleaving_deterministic(spec):
+    def run_once():
+        engine = Engine()
+        log = []
+
+        def worker(tag, delay):
+            for step in range(3):
+                yield delay
+                log.append((round(engine.now, 9), tag, step))
+
+        for tag, delay in spec:
+            engine.process(worker(tag, delay))
+        engine.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,149 @@
+"""Unit tests for Store queues."""
+
+import pytest
+
+from repro.sim import BLOCK, DROP, Engine, Store
+
+
+def test_put_get_roundtrip(engine):
+    store = Store(engine)
+    store.put("a")
+    store.put("b")
+    received = []
+
+    def consumer():
+        for _ in range(2):
+            item = yield store.get()
+            received.append(item)
+
+    engine.process(consumer())
+    engine.run()
+    assert received == ["a", "b"]
+
+
+def test_get_blocks_until_put(engine):
+    store = Store(engine)
+    received = []
+
+    def consumer():
+        item = yield store.get()
+        received.append((engine.now, item))
+
+    engine.process(consumer())
+    engine.schedule(2.0, store.put, "late")
+    engine.run()
+    assert received == [(2.0, "late")]
+
+
+def test_capacity_drop_policy(engine):
+    store = Store(engine, capacity=2, overflow=DROP)
+    assert store.put(1) is True
+    assert store.put(2) is True
+    assert store.put(3) is False
+    assert store.drop_count == 1
+    assert len(store) == 2
+
+
+def test_capacity_block_policy(engine):
+    store = Store(engine, capacity=1, overflow=BLOCK)
+    assert store.put("first") is True
+    gate = store.put("second")
+    assert hasattr(gate, "add_callback")  # pending event
+    delivered = []
+
+    def producer():
+        yield gate
+        delivered.append("unblocked")
+
+    def consumer():
+        yield 1.0
+        item = yield store.get()
+        delivered.append(item)
+        item = yield store.get()
+        delivered.append(item)
+
+    engine.process(producer())
+    engine.process(consumer())
+    engine.run()
+    assert "unblocked" in delivered
+    assert delivered.count("first") == 1
+    assert delivered.count("second") == 1
+
+
+def test_get_nowait(engine):
+    store = Store(engine)
+    ok, item = store.get_nowait()
+    assert not ok and item is None
+    store.put("x")
+    ok, item = store.get_nowait()
+    assert ok and item == "x"
+
+
+def test_bytes_tracking_with_sizer(engine):
+    store = Store(engine, sizer=len)
+    store.put("abcd")
+    store.put("ef")
+    assert store.bytes_queued == 6
+    ok, _item = store.get_nowait()
+    assert ok
+    assert store.bytes_queued == 2
+
+
+def test_peak_depth(engine):
+    store = Store(engine)
+    for value in range(5):
+        store.put(value)
+    store.get_nowait()
+    store.put(99)
+    assert store.peak_depth == 5
+
+
+def test_drain_returns_everything(engine):
+    store = Store(engine)
+    for value in range(4):
+        store.put(value)
+    items = store.drain()
+    assert items == [0, 1, 2, 3]
+    assert len(store) == 0
+
+
+def test_cancel_waiters_fails_getters(engine):
+    store = Store(engine)
+    outcome = []
+
+    def consumer():
+        try:
+            yield store.get()
+        except RuntimeError:
+            outcome.append("failed")
+
+    engine.process(consumer())
+    engine.schedule(1.0, store.cancel_waiters)
+    engine.run()
+    assert outcome == ["failed"]
+
+
+def test_fifo_order_preserved_under_interleaving(engine):
+    store = Store(engine)
+    received = []
+
+    def consumer():
+        while True:
+            item = yield store.get()
+            received.append(item)
+            if item == 9:
+                return
+
+    engine.process(consumer())
+    for value in range(10):
+        engine.schedule(0.1 * (value + 1), store.put, value)
+    engine.run()
+    assert received == list(range(10))
+
+
+def test_invalid_configurations():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        Store(engine, capacity=0)
+    with pytest.raises(ValueError):
+        Store(engine, overflow="bounce")

@@ -1,0 +1,147 @@
+"""Focused unit tests for the Storm TCP transport."""
+
+import pytest
+
+from repro.sim import DEFAULT_COSTS, Engine, MetricsRegistry
+from repro.sim.rng import SeedFactory
+from repro.streaming import (
+    Delivery,
+    LogicalNode,
+    StreamTuple,
+    TopologyConfig,
+    WorkerAssignment,
+    WorkerExecutor,
+)
+from repro.streaming.storm import StormTransport, WorkerRegistry
+from repro.streaming.topology import BOLT, Bolt
+
+
+class Sink(Bolt):
+    def execute(self, stream_tuple, collector):
+        pass
+
+
+def make_executor(engine, registry, worker_id, hostname="host-0"):
+    executor = WorkerExecutor(
+        engine=engine, costs=DEFAULT_COSTS,
+        assignment=WorkerAssignment(worker_id, "c", 0, hostname),
+        node=LogicalNode("c", BOLT, Sink), config=TopologyConfig(),
+        transport=StormTransport(engine, DEFAULT_COSTS, worker_id, hostname,
+                                 registry),
+        routers={}, metrics=MetricsRegistry(engine),
+        rng=SeedFactory(0).rng("w%d" % worker_id), topology_id="t",
+    )
+    registry.register(executor, hostname)
+    executor.start()
+    return executor
+
+
+def make_sender(engine, registry, hostname="host-0", batch=2):
+    return StormTransport(engine, DEFAULT_COSTS, 100, hostname, registry,
+                          batch_size=batch)
+
+
+def test_batched_delivery(engine):
+    registry = WorkerRegistry()
+    receiver = make_executor(engine, registry, 1)
+    sender = make_sender(engine, registry, batch=2)
+    engine.run(until=0.01)
+    cost = sender.send(StreamTuple(("a",)), [1])
+    cost += sender.send(StreamTuple(("b",)), [1])  # triggers flush
+    assert cost > 0
+    engine.run(until=0.1)
+    assert receiver.stats.processed == 2
+
+
+def test_flush_partial_batch(engine):
+    registry = WorkerRegistry()
+    receiver = make_executor(engine, registry, 1)
+    sender = make_sender(engine, registry, batch=100)
+    engine.run(until=0.01)
+    sender.send(StreamTuple(("only",)), [1])
+    engine.run(until=0.1)
+    assert receiver.stats.processed == 0  # still buffered
+    sender.flush()
+    engine.run(until=0.2)
+    assert receiver.stats.processed == 1
+
+
+def test_send_to_dead_worker_counts_lost(engine):
+    registry = WorkerRegistry()
+    receiver = make_executor(engine, registry, 1)
+    sender = make_sender(engine, registry, batch=1)
+    engine.run(until=0.01)
+    receiver.kill()
+    engine.run(until=0.02)
+    sender.send(StreamTuple(("gone",)), [1])
+    engine.run(until=0.1)
+    assert registry.lost_tuples == 1
+
+
+def test_send_to_unknown_worker_counts_lost(engine):
+    registry = WorkerRegistry()
+    sender = make_sender(engine, registry, batch=1)
+    sender.send(StreamTuple(("nowhere",)), [404])
+    assert registry.lost_tuples == 1
+
+
+def test_relocation_reroutes_via_registry(engine):
+    registry = WorkerRegistry()
+    first = make_executor(engine, registry, 1, hostname="host-0")
+    sender = make_sender(engine, registry, batch=1)
+    engine.run(until=0.01)
+    sender.send(StreamTuple(("before",)), [1])
+    engine.run(until=0.1)
+    assert first.stats.processed == 1
+    # Relocate worker 1: new executor on another host, same id.
+    first.kill()
+    second = make_executor(engine, registry, 1, hostname="host-1")
+    engine.run(until=0.2)
+    sender.send(StreamTuple(("after",)), [1])
+    engine.run(until=0.4)
+    assert second.stats.processed == 1
+    assert registry.lost_tuples == 0
+
+
+def test_per_destination_channels_are_cached(engine):
+    registry = WorkerRegistry()
+    make_executor(engine, registry, 1)
+    make_executor(engine, registry, 2)
+    sender = make_sender(engine, registry, batch=1)
+    engine.run(until=0.01)
+    for _ in range(3):
+        sender.send(StreamTuple(("x",)), [1])
+        sender.send(StreamTuple(("x",)), [2])
+    assert len(sender._channels) == 2
+
+
+def test_closed_transport_drops_sends(engine):
+    registry = WorkerRegistry()
+    make_executor(engine, registry, 1)
+    sender = make_sender(engine, registry, batch=1)
+    sender.close()
+    assert sender.send(StreamTuple(("late",)), [1]) == 0.0
+    assert sender.tuples_sent == 0
+
+
+def test_broadcast_serializes_per_destination(engine):
+    registry = WorkerRegistry()
+    for worker_id in (1, 2, 3):
+        make_executor(engine, registry, worker_id)
+    sender = make_sender(engine, registry, batch=10)
+    engine.run(until=0.01)
+    sender.send_broadcast(StreamTuple(("fanout",)), [1, 2, 3])
+    assert sender.serializations == 3  # the Storm broadcast penalty
+
+
+def test_offloaded_falls_back_to_round_robin(engine):
+    registry = WorkerRegistry()
+    a = make_executor(engine, registry, 1)
+    b = make_executor(engine, registry, 2)
+    sender = make_sender(engine, registry, batch=1)
+    engine.run(until=0.01)
+    for _ in range(4):
+        sender.send_offloaded(StreamTuple(("x",)), ("edge", 0), [1, 2])
+    engine.run(until=0.2)
+    assert a.stats.processed == 2
+    assert b.stats.processed == 2

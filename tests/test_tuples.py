@@ -1,0 +1,64 @@
+"""Unit tests for the tuple model and stream identifiers."""
+
+import pytest
+
+from repro.streaming.tuples import (
+    ACK_STREAM,
+    CONTROL_STREAM,
+    DEFAULT_STREAM,
+    SIGNAL_STREAM,
+    Anchor,
+    StreamTuple,
+    is_control_stream,
+    is_signal_stream,
+    signal_tuple,
+)
+
+
+def test_values_coerced_to_tuple():
+    stream_tuple = StreamTuple(["a", 1])
+    assert stream_tuple.values == ("a", 1)
+    assert isinstance(stream_tuple.values, tuple)
+
+
+def test_indexing_and_len():
+    stream_tuple = StreamTuple(("x", "y", "z"))
+    assert stream_tuple[0] == "x"
+    assert stream_tuple[2] == "z"
+    assert len(stream_tuple) == 3
+
+
+def test_with_values_preserves_metadata():
+    original = StreamTuple(("a",), stream=7, source_component="comp",
+                           source_worker=3, anchor=Anchor(1, 2))
+    replaced = original.with_values(("b", "c"))
+    assert replaced.values == ("b", "c")
+    assert replaced.stream == 7
+    assert replaced.source_component == "comp"
+    assert replaced.source_worker == 3
+    assert replaced.anchor == original.anchor
+
+
+def test_stream_id_predicates():
+    assert is_control_stream(CONTROL_STREAM)
+    assert not is_control_stream(DEFAULT_STREAM)
+    assert is_signal_stream(SIGNAL_STREAM)
+    assert not is_signal_stream(ACK_STREAM)
+
+
+def test_well_known_streams_are_distinct():
+    streams = {DEFAULT_STREAM, SIGNAL_STREAM, ACK_STREAM, CONTROL_STREAM}
+    assert len(streams) == 4
+
+
+def test_signal_tuple_shape():
+    signal = signal_tuple("flush", source_worker=9)
+    assert signal.stream == SIGNAL_STREAM
+    assert signal.values == ("flush",)
+    assert signal.source_worker == 9
+
+
+def test_anchor_is_frozen():
+    anchor = Anchor(10, 20)
+    with pytest.raises(Exception):
+        anchor.root_id = 99

@@ -1,0 +1,126 @@
+"""Unit + property tests for the windowing helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.streaming.windows import (
+    SlidingWindow,
+    TumblingWindow,
+    WindowSpan,
+    WindowedCounter,
+)
+
+
+def test_tumbling_assignment():
+    window = TumblingWindow(10.0)
+    (span,) = window.assign(0.0)
+    assert span == WindowSpan(0.0, 10.0)
+    (span,) = window.assign(9.999)
+    assert span == WindowSpan(0.0, 10.0)
+    (span,) = window.assign(10.0)
+    assert span == WindowSpan(10.0, 20.0)
+
+
+def test_tumbling_validation():
+    with pytest.raises(ValueError):
+        TumblingWindow(0)
+
+
+def test_sliding_assignment_overlap():
+    window = SlidingWindow(size=10.0, slide=5.0)
+    spans = window.assign(12.0)
+    assert WindowSpan(5.0, 15.0) in spans
+    assert WindowSpan(10.0, 20.0) in spans
+    assert len(spans) == 2
+    assert all(s.contains(12.0) for s in spans)
+
+
+def test_sliding_validation():
+    with pytest.raises(ValueError):
+        SlidingWindow(5.0, 10.0)  # slide > size
+    with pytest.raises(ValueError):
+        SlidingWindow(0, 1)
+
+
+def test_counter_counts_per_key_and_window():
+    counter = WindowedCounter(TumblingWindow(10.0))
+    counter.add("a", 1.0)
+    counter.add("a", 2.0)
+    counter.add("b", 3.0)
+    assert counter.value("a", 5.0) == 2
+    assert counter.value("b", 5.0) == 1
+    assert counter.value("a", 15.0) == 0
+
+
+def test_counter_closes_on_watermark():
+    closed = []
+    counter = WindowedCounter(
+        TumblingWindow(10.0),
+        on_close=lambda key, span, count: closed.append((key, span.start,
+                                                         count)))
+    counter.add("a", 1.0)
+    counter.add("a", 9.0)
+    assert closed == []
+    counter.add("a", 10.5)  # watermark passes the first window's end
+    assert closed == [("a", 0.0, 2)]
+    assert counter.value("a", 12.0) == 1
+
+
+def test_counter_flush_closes_everything():
+    counter = WindowedCounter(TumblingWindow(10.0))
+    counter.add("a", 1.0)
+    counter.add("b", 5.0)  # same (still open) window
+    flushed = counter.flush()
+    assert len(flushed) == 2
+    assert len(counter) == 0
+    assert counter.closed_windows == 2
+    assert counter.flush() == []  # idempotent when empty
+
+
+def test_counter_sliding_counts_overlap():
+    counter = WindowedCounter(SlidingWindow(10.0, 5.0))
+    counter.add("k", 7.0)  # lands in [0,10) and [5,15)
+    assert counter.value("k", 7.0) == 2  # both containing windows counted
+    assert len(counter) == 2
+
+
+def test_closed_windows_ordered_by_start():
+    closed = []
+    counter = WindowedCounter(
+        TumblingWindow(5.0),
+        on_close=lambda key, span, count: closed.append(span.start))
+    counter.add("a", 1.0)
+    counter.add("a", 6.0)
+    counter.add("a", 20.0)  # closes both earlier windows
+    assert closed == [0.0, 5.0]
+
+
+@settings(max_examples=100)
+@given(st.lists(st.tuples(st.sampled_from("abc"),
+                          st.floats(min_value=0, max_value=1000)),
+                max_size=60),
+       st.floats(min_value=0.5, max_value=50))
+def test_conservation_property(events, size):
+    """Every added event is counted in exactly one closed tumbling
+    window (after a final flush)."""
+    totals = {}
+
+    def on_close(key, span, count):
+        totals[key] = totals.get(key, 0) + count
+
+    counter = WindowedCounter(TumblingWindow(size), on_close=on_close)
+    expected = {}
+    for key, timestamp in events:
+        counter.add(key, timestamp)
+        expected[key] = expected.get(key, 0) + 1
+    counter.flush()
+    assert totals == expected
+
+
+@settings(max_examples=60)
+@given(st.floats(min_value=0, max_value=10_000),
+       st.floats(min_value=0.5, max_value=100))
+def test_tumbling_windows_partition_time(timestamp, size):
+    (span,) = TumblingWindow(size).assign(timestamp)
+    assert span.contains(timestamp)
+    assert span.end - span.start == pytest.approx(size)

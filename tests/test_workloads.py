@@ -1,0 +1,157 @@
+"""Unit tests for workload generators and components."""
+
+import random
+
+import pytest
+
+from repro.ext import KafkaBroker, RedisStore
+from repro.sim import Engine
+from repro.streaming import StreamTuple, signal_tuple
+from repro.workloads import (
+    AdEventGenerator,
+    CAMPAIGN_KEY_PREFIX,
+    CountBolt,
+    EVENT_TYPES,
+    EVENTS_TOPIC,
+    FaultySplitBolt,
+    InjectedFault,
+    SplitBolt,
+    Vocabulary,
+    produce_events,
+    broadcast_topology,
+    forwarding_topology,
+    word_count_topology,
+)
+from repro.streaming.topology import ComponentContext
+
+
+class FakeCollector:
+    def __init__(self):
+        self.emitted = []
+        self.charged = 0.0
+
+    def emit(self, values, stream=0, anchor=None, message_id=None):
+        self.emitted.append(tuple(values))
+
+    def charge(self, seconds):
+        self.charged += seconds
+
+
+def ctx(task_index=0, services=None, rng=None):
+    return ComponentContext(topology_id="t", component="c", worker_id=1,
+                            task_index=task_index, parallelism=1,
+                            rng=rng or random.Random(0),
+                            services=services or {})
+
+
+def test_vocabulary_uniform_sampling():
+    vocabulary = Vocabulary(100)
+    rng = random.Random(1)
+    words = {vocabulary.sample(rng) for _ in range(500)}
+    assert len(words) > 50
+    sentence = vocabulary.sentence(rng, 5)
+    assert len(sentence.split()) == 5
+
+
+def test_vocabulary_zipf_skews_head():
+    vocabulary = Vocabulary(100, skew=1.5)
+    rng = random.Random(1)
+    samples = [vocabulary.sample(rng) for _ in range(2000)]
+    head_fraction = sum(1 for w in samples if w == "word0000") / len(samples)
+    assert head_fraction > 0.2  # rank-1 word dominates
+
+
+def test_vocabulary_validation():
+    with pytest.raises(ValueError):
+        Vocabulary(0)
+    with pytest.raises(ValueError):
+        Vocabulary(10, skew=-1)
+
+
+def test_split_bolt_emits_word_pairs():
+    bolt = SplitBolt(work_cost=1e-4)
+    collector = FakeCollector()
+    bolt.execute(StreamTuple(("the quick fox",)), collector)
+    assert collector.emitted == [("the", 1), ("quick", 1), ("fox", 1)]
+    assert collector.charged == pytest.approx(1e-4)
+
+
+def test_faulty_split_throws_after_fault_time():
+    now = [0.0]
+    services = {"now": lambda: now[0]}
+    bolt = FaultySplitBolt(fault_time=10.0, faulty_task_index=0)
+    bolt.open(ctx(task_index=0, services=services))
+    collector = FakeCollector()
+    bolt.execute(StreamTuple(("ok",)), collector)  # before fault time
+    now[0] = 11.0
+    with pytest.raises(InjectedFault):
+        bolt.execute(StreamTuple(("boom",)), collector)
+
+
+def test_faulty_split_only_on_matching_task():
+    services = {"now": lambda: 100.0}
+    bolt = FaultySplitBolt(fault_time=10.0, faulty_task_index=0)
+    bolt.open(ctx(task_index=1, services=services))
+    bolt.execute(StreamTuple(("fine",)), FakeCollector())  # healthy task
+
+
+def test_count_bolt_flush_on_signal():
+    bolt = CountBolt()
+    collector = FakeCollector()
+    for word in ("a", "b", "a"):
+        bolt.execute(StreamTuple((word, 1)), collector)
+    assert bolt.counts == {"a": 2, "b": 1}
+    bolt.on_signal(signal_tuple(), collector)
+    assert not bolt.counts
+    assert ("a", 2) in collector.emitted
+    assert bolt.flushes == 1
+
+
+def test_topology_builders_validate():
+    assert forwarding_topology().total_workers() == 2
+    assert broadcast_topology(sinks=4).total_workers() == 5
+    with pytest.raises(ValueError):
+        broadcast_topology(sinks=0)
+    wc = word_count_topology(splits=3, counts=5)
+    assert wc.node("split").parallelism == 3
+    assert wc.node("count").stateful
+
+
+def test_ad_event_generator_schema():
+    generator = AdEventGenerator(random.Random(3), num_campaigns=5,
+                                 ads_per_campaign=2)
+    event = generator.make_event(now=12.5)
+    assert len(event) == 7
+    user, page, ad, ad_type, event_type, when, ip = event
+    assert event_type in EVENT_TYPES
+    assert when == 12.5
+    assert ad in generator.ad_to_campaign
+    assert ip.startswith("10.0.")
+
+
+def test_ad_campaign_mapping_seeded_to_redis():
+    generator = AdEventGenerator(random.Random(3), num_campaigns=3,
+                                 ads_per_campaign=2)
+    store = RedisStore()
+    generator.seed_redis(store)
+    for ad_id, campaign in generator.ad_to_campaign.items():
+        assert store.get(CAMPAIGN_KEY_PREFIX + ad_id) == campaign
+    assert len(generator.ads) == 6
+
+
+def test_produce_events_rate(engine):
+    broker = KafkaBroker(engine, num_partitions=2)
+    broker.create_topic(EVENTS_TOPIC)
+    generator = AdEventGenerator(random.Random(5))
+    produce_events(engine, broker, EVENTS_TOPIC, generator, rate=1000,
+                   until=4.0)
+    engine.run(until=5.0)
+    assert broker.records_produced == pytest.approx(4000, rel=0.05)
+
+
+def test_produce_events_rejects_bad_rate(engine):
+    broker = KafkaBroker(engine)
+    broker.create_topic(EVENTS_TOPIC)
+    generator = AdEventGenerator(random.Random(5))
+    with pytest.raises(ValueError):
+        produce_events(engine, broker, EVENTS_TOPIC, generator, rate=0)

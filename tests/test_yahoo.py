@@ -1,0 +1,127 @@
+"""Integration tests for the Yahoo ad-analytics pipeline (Fig. 13)."""
+
+import pytest
+
+from repro.core import TyphoonCluster
+from repro.ext import KafkaBroker, RedisStore
+from repro.sim import Engine
+from repro.sim.rng import SeedFactory
+from repro.streaming import StormCluster, TopologyConfig
+from repro.workloads import (
+    AdEventGenerator,
+    EVENTS_TOPIC,
+    make_filter_factory,
+    produce_events,
+    yahoo_topology,
+)
+
+
+def launch(cluster_class, engine, rate=2000, allowed=("view",), seed=11):
+    cluster = cluster_class(engine, num_hosts=3)
+    broker = KafkaBroker(engine, num_partitions=4)
+    broker.create_topic(EVENTS_TOPIC)
+    store = RedisStore()
+    generator = AdEventGenerator(SeedFactory(seed).rng("ads"),
+                                 num_campaigns=10, ads_per_campaign=3)
+    generator.seed_redis(store)
+    cluster.services["kafka"] = broker
+    cluster.services["redis"] = store
+    produce_events(engine, broker, EVENTS_TOPIC, generator, rate=rate)
+    config = TopologyConfig(batch_size=50)
+    cluster.submit(yahoo_topology("yahoo", config, allowed_events=allowed))
+    return cluster, broker, store, generator
+
+
+def test_pipeline_structure_matches_fig13():
+    topology = yahoo_topology()
+    parallelism = {name: node.parallelism
+                   for name, node in topology.nodes.items()}
+    assert parallelism == {"kafka-client": 1, "parse": 1, "filter": 3,
+                           "projection": 3, "join": 3, "store": 1}
+    assert topology.node("join").stateful
+    assert topology.node("store").stateful
+    joins = topology.incoming("join")[0]
+    assert joins.grouping.kind == "fields"
+
+
+def test_typhoon_end_to_end_counts_views_only():
+    engine = Engine()
+    cluster, broker, store, generator = launch(TyphoonCluster, engine)
+    engine.run(until=45.0)
+    stores = cluster.executors_for("yahoo", "store")
+    aggregator = stores[0].component
+    assert aggregator.emitted_windows > 0
+    # All closed windows were persisted to Redis.
+    window_keys = store.keys("window:")
+    assert len(window_keys) >= aggregator.emitted_windows
+    filters = cluster.executors_for("yahoo", "filter")
+    passed = sum(f.component.passed for f in filters)
+    dropped = sum(f.component.dropped for f in filters)
+    # One of three event types admitted.
+    assert passed / (passed + dropped) == pytest.approx(1 / 3, abs=0.05)
+
+
+def test_join_cache_effectiveness():
+    engine = Engine()
+    cluster, broker, store, generator = launch(TyphoonCluster, engine)
+    engine.run(until=30.0)
+    joins = cluster.executors_for("yahoo", "join")
+    hits = sum(j.component.cache_hits for j in joins)
+    misses = sum(j.component.cache_misses for j in joins)
+    assert misses <= len(generator.ads)  # each ad resolved at most once
+    assert hits > misses
+    assert sum(j.component.unjoined for j in joins) == 0
+
+
+def test_key_routing_keeps_ad_on_one_join_worker():
+    engine = Engine()
+    cluster, _broker, _store, generator = launch(TyphoonCluster, engine)
+    engine.run(until=30.0)
+    joins = cluster.executors_for("yahoo", "join")
+    seen = {}
+    for executor in joins:
+        for ad_id in executor.component.cache:
+            assert ad_id not in seen, "ad resolved on two join workers"
+            seen[ad_id] = executor.worker_id
+    assert seen
+
+
+def test_windowed_counts_sum_to_filtered_events():
+    engine = Engine()
+    cluster, broker, store, _generator = launch(TyphoonCluster, engine,
+                                                rate=1000)
+    engine.run(until=40.0)
+    cluster.deactivate("yahoo")
+    engine.run(until=45.0)
+    aggregator = cluster.executors_for("yahoo", "store")[0].component
+    total_windowed = (sum(aggregator.windows.values())
+                      + sum(int(store.get(k)) for k in store.keys("window:")))
+    filters = cluster.executors_for("yahoo", "filter")
+    passed = sum(f.component.passed for f in filters)
+    assert total_windowed == passed
+
+
+def test_storm_baseline_runs_same_pipeline():
+    engine = Engine()
+    cluster, broker, store, _generator = launch(StormCluster, engine,
+                                                rate=1000)
+    engine.run(until=30.0)
+    stores = cluster.executors_for("yahoo", "store")
+    assert stores[0].stats.processed > 0
+    assert stores[0].component.emitted_windows > 0
+
+
+def test_filter_hot_swap_doubles_downstream_rate():
+    engine = Engine()
+    cluster, broker, store, _generator = launch(TyphoonCluster, engine,
+                                                rate=2000)
+    engine.run(until=40.0)
+    cluster.replace_computation("yahoo", "filter",
+                                make_filter_factory(("view", "click")))
+    engine.run(until=80.0)
+    record = cluster.manager.topologies["yahoo"]
+    store_id = record.physical.worker_ids_for("store")[0]
+    meter = cluster.metrics.meter("yahoo.store.%d.processed" % store_id)
+    before = meter.rate(20, 38)
+    after = meter.rate(55, 78)
+    assert after / before == pytest.approx(2.0, rel=0.2)
