@@ -9,7 +9,9 @@ Usage::
 
 ``experiment`` regenerates one of the paper's figures/tables and prints
 the same rows/series the benchmark harness reports; ``wordcount`` runs
-the Fig. 2 pipeline end to end and prints a topology summary.
+the Fig. 2 pipeline end to end and prints a topology summary; ``audit``
+runs a scenario, quiesces the cluster and prints the per-layer tuple
+conservation table (exit status 1 if any tuple is unaccounted for).
 """
 
 from __future__ import annotations
@@ -69,6 +71,25 @@ def build_parser() -> argparse.ArgumentParser:
     wordcount.add_argument("--splits", type=int, default=2)
     wordcount.add_argument("--counts", type=int, default=4)
     wordcount.add_argument("--seed", type=int, default=0)
+
+    audit = commands.add_parser(
+        "audit",
+        help="run a scenario and print the tuple-conservation table")
+    audit.add_argument("--system", choices=("typhoon", "storm"),
+                       default="typhoon")
+    audit.add_argument("--rate", type=float, default=2000.0,
+                       help="sentences/second")
+    audit.add_argument("--duration", type=float, default=20.0,
+                       help="virtual seconds to run before auditing")
+    audit.add_argument("--hosts", type=int, default=3)
+    audit.add_argument("--splits", type=int, default=2)
+    audit.add_argument("--counts", type=int, default=4)
+    audit.add_argument("--fault-time", type=float, default=None,
+                       help="crash one split worker at this virtual time "
+                            "(the Fig. 10 failure)")
+    audit.add_argument("--settle", type=float, default=2.0,
+                       help="drain time after deactivation")
+    audit.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -111,6 +132,25 @@ def cmd_wordcount(system: str, rate: float, duration: float, hosts: int,
     return 0
 
 
+def cmd_audit(system: str, rate: float, duration: float, hosts: int,
+              splits: int, counts: int, fault_time: Optional[float],
+              settle: float, seed: int, out=sys.stdout) -> int:
+    from .core.audit import verify_conservation
+
+    engine = Engine()
+    cluster_class = TyphoonCluster if system == "typhoon" else StormCluster
+    cluster = cluster_class(engine, num_hosts=hosts, seed=seed)
+    config = TopologyConfig(batch_size=100, max_spout_rate=rate)
+    cluster.submit(word_count_topology(
+        "wc", config, splits=splits, counts=counts, fault_time=fault_time))
+    engine.run(until=duration)
+    report = verify_conservation(cluster, settle=settle, strict=False)
+    out.write("system: %s\n" % system)
+    out.write(report.render())
+    out.write("\n")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list-experiments":
@@ -121,4 +161,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return cmd_wordcount(args.system, args.rate, args.duration,
                              args.hosts, args.splits, args.counts,
                              args.seed, out)
+    if args.command == "audit":
+        return cmd_audit(args.system, args.rate, args.duration, args.hosts,
+                         args.splits, args.counts, args.fault_time,
+                         args.settle, args.seed, out)
     return 2

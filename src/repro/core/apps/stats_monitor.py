@@ -187,4 +187,14 @@ class StatsMonitor(ControllerApp):
             lines.append("  w%d -> %-10s on %-8s packets=%d bytes=%d"
                          % (stats.src_worker, dst, stats.dpid,
                             stats.packets, stats.bytes))
+        ledger = getattr(self.cluster, "ledger", None)
+        if ledger is not None:
+            lines.append("-- tuple drops (delivery ledger) --")
+            rows = ledger.drop_rows()
+            if rows:
+                for topology, layer, reason, count in rows:
+                    lines.append("  %-12s %-12s %-20s %d"
+                                 % (topology, layer, reason, count))
+            else:
+                lines.append("  (none)")
         return "\n".join(lines)

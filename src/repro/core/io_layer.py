@@ -24,6 +24,16 @@ from ..net.ethernet import DEFAULT_MTU, EthernetFrame
 from ..net.hosts import Cluster
 from ..net.tcp import TcpTunnel
 from ..sdn.switch import SoftwareSwitch, SwitchPort
+from ..sim.audit import (
+    LAYER_FABRIC,
+    LAYER_REASSEMBLY,
+    LAYER_TRANSPORT,
+    R_AFTER_CLOSE,
+    R_CLOSED_PORT,
+    R_DELIVER_REJECTED,
+    R_TUNNEL_UNROUTABLE,
+    DeliveryLedger,
+)
 from ..sim.costs import CostModel
 from ..sim.engine import Engine
 from ..streaming.serialize import (
@@ -40,11 +50,14 @@ from .packets import Fragment, Reassembler, pack_tuples, unpack_payload
 class HostFabric:
     """One host's data plane: its software switch plus tunnel endpoints."""
 
-    def __init__(self, engine: Engine, costs: CostModel, hostname: str):
+    def __init__(self, engine: Engine, costs: CostModel, hostname: str,
+                 ledger: Optional[DeliveryLedger] = None):
         self.engine = engine
         self.costs = costs
         self.hostname = hostname
-        self.switch = SoftwareSwitch(engine, costs, dpid=hostname)
+        self.ledger = ledger
+        self.switch = SoftwareSwitch(engine, costs, dpid=hostname,
+                                     ledger=ledger)
         self.tunnels: Dict[str, TcpTunnel] = {}
         self.tunnel_drops = 0
         self.tunnel_port = self.switch.add_port(
@@ -55,6 +68,9 @@ class HostFabric:
         tunnel = self.tunnels.get(tun_dst) if tun_dst else None
         if tunnel is None:
             self.tunnel_drops += 1
+            if self.ledger is not None:
+                self.ledger.record_frame_drop(LAYER_FABRIC,
+                                              R_TUNNEL_UNROUTABLE, frame)
             return
         tunnel.send_from(self.hostname, frame.pack())
 
@@ -65,11 +81,14 @@ class HostFabric:
 class TyphoonFabric:
     """Cluster-wide data plane: one fabric per host, full tunnel mesh."""
 
-    def __init__(self, engine: Engine, costs: CostModel, cluster: Cluster):
+    def __init__(self, engine: Engine, costs: CostModel, cluster: Cluster,
+                 ledger: Optional[DeliveryLedger] = None):
         self.engine = engine
         self.costs = costs
+        self.ledger = ledger
         self.hosts: Dict[str, HostFabric] = {
-            host.name: HostFabric(engine, costs, host.name) for host in cluster
+            host.name: HostFabric(engine, costs, host.name, ledger=ledger)
+            for host in cluster
         }
         names = sorted(self.hosts)
         for i, name_a in enumerate(names):
@@ -80,6 +99,7 @@ class TyphoonFabric:
                     engine, costs, name_a, name_b,
                     deliver_to_a=fabric_a.receive_from_tunnel,
                     deliver_to_b=fabric_b.receive_from_tunnel,
+                    ledger=ledger,
                 )
                 fabric_a.tunnels[name_b] = tunnel
                 fabric_b.tunnels[name_a] = tunnel
@@ -110,6 +130,7 @@ class TyphoonTransport(Transport):
         host_fabric: HostFabric,
         batch_size: int = 100,
         mtu: int = DEFAULT_MTU,
+        ledger: Optional[DeliveryLedger] = None,
     ):
         self.engine = engine
         self.costs = costs
@@ -118,15 +139,19 @@ class TyphoonTransport(Transport):
         self.fabric = host_fabric
         self.batch_size = max(1, batch_size)
         self.mtu = mtu
+        self.ledger = ledger if ledger is not None else host_fabric.ledger
         self.address = WorkerAddress(app_id, worker_id)
         self.port_no: Optional[int] = None
         self.deliver: Optional[Callable[[Delivery], bool]] = None
         self.select_addresses: Dict[Tuple[str, int], WorkerAddress] = {}
         self._buffers: Dict[WorkerAddress, List[bytes]] = {}
         self._frag_id = 0
-        self._rr_counter = 0
+        # Round-robin fallback state for offloaded edges, per edge key —
+        # a shared counter would skew the distribution whenever one
+        # worker feeds several offloaded edges.
+        self._rr_counters: Dict[Tuple, int] = {}
         self._pending_recv_cost = 0.0
-        self._reassembler = Reassembler()
+        self._reassembler = Reassembler(on_drop=self._on_reassembly_drop)
         self.closed = False
         self.tuples_sent = 0
         self.serializations = 0
@@ -157,6 +182,34 @@ class TyphoonTransport(Transport):
         if self.port_no is not None:
             self.switch.remove_port(self.port_no)
             self.port_no = None
+        # Drain outbound buffers and partial reassembly so a retired
+        # transport leaves no unaccounted residue behind.
+        for buffer in self._buffers.values():
+            if buffer:
+                self.dropped_after_close += len(buffer)
+                if self.ledger is not None:
+                    self.ledger.record_drop(self.app_id, LAYER_TRANSPORT,
+                                            R_AFTER_CLOSE, len(buffer))
+        self._buffers.clear()
+        self._reassembler.drain()
+
+    def _on_reassembly_drop(self, key, reason: str) -> None:
+        if self.ledger is None:
+            return
+        # Keys are ((src_app_id, src_worker_id), frag_id); attribute the
+        # lost tuple to the sending application.
+        source = key[0]
+        scope = source[0] if isinstance(source, tuple) else self.app_id
+        self.ledger.record_drop(scope, LAYER_REASSEMBLY, reason)
+
+    def pending_tuples(self) -> int:
+        """Tuples sitting in outbound batch buffers (conservation term)."""
+        return sum(len(buffer) for buffer in self._buffers.values())
+
+    @property
+    def pending_reassembly(self) -> int:
+        """Partially reassembled inbound tuples (conservation term)."""
+        return self._reassembler.pending_count
 
     # -- outbound (northbound -> southbound -> switch) -----------------------
 
@@ -169,6 +222,8 @@ class TyphoonTransport(Transport):
         buffer = self._buffers.setdefault(address, [])
         buffer.append(encoded)
         self.tuples_sent += 1
+        if self.ledger is not None:
+            self.ledger.record_sent(self.app_id)
         cost = self.costs.typhoon_enqueue_per_tuple
         if len(buffer) >= self.batch_size:
             cost += self._flush_address(address)
@@ -208,8 +263,9 @@ class TyphoonTransport(Transport):
         if address is None:
             if not dst_worker_ids:
                 return 0.0
-            index = self._rr_counter % len(dst_worker_ids)
-            self._rr_counter += 1
+            counter = self._rr_counters.get(edge_key, 0)
+            self._rr_counters[edge_key] = counter + 1
+            index = counter % len(dst_worker_ids)
             return self.send(stream_tuple, [dst_worker_ids[index]])
         encoded = encode_tuple(stream_tuple)
         cost = serialize_cost(self.costs, len(encoded))
@@ -238,10 +294,19 @@ class TyphoonTransport(Transport):
         buffer = self._buffers.get(address)
         if not buffer:
             return 0.0
-        self._buffers[address] = []
-        if self.port_no is None or self.closed:
+        if self.closed:
+            self._buffers[address] = []
             self.dropped_after_close += len(buffer)
+            if self.ledger is not None:
+                self.ledger.record_drop(self.app_id, LAYER_TRANSPORT,
+                                        R_AFTER_CLOSE, len(buffer))
             return 0.0
+        if self.port_no is None:
+            # Live but not (yet) attached to a switch port: hold the
+            # batch — the periodic flusher retries after attach. Only a
+            # closed transport may discard.
+            return 0.0
+        self._buffers[address] = []
         payloads, self._frag_id = pack_tuples(buffer, self.mtu, self._frag_id)
         # One JNI crossing per batch handed to the southbound library.
         cost = self.costs.jni_call_overhead
@@ -260,8 +325,19 @@ class TyphoonTransport(Transport):
 
     # -- inbound (switch -> southbound -> northbound) ---------------------------
 
+    def _frame_scope(self, frame: EthernetFrame) -> int:
+        """Application a frame's tuples belong to. Control frames carry
+        the controller/broadcast pseudo-app in ``src``; attribute those
+        to the destination's application instead."""
+        if frame.src.is_controller or frame.src.is_broadcast:
+            return frame.dst.app_id
+        return frame.src.app_id
+
     def _on_frame(self, frame: EthernetFrame, _tun_dst: Optional[str]) -> None:
         if self.closed or self.deliver is None:
+            if self.ledger is not None:
+                self.ledger.record_frame_drop(LAYER_TRANSPORT,
+                                              R_CLOSED_PORT, frame)
             return
         self.frames_received += 1
         cost = (self.costs.ring_op_per_packet
@@ -271,7 +347,10 @@ class TyphoonTransport(Transport):
         decoded = unpack_payload(frame.payload)
         records: List[bytes]
         if isinstance(decoded, Fragment):
-            complete = self._reassembler.feed(frame.src.worker_id, decoded)
+            # Key by (app, worker): same-numbered workers of different
+            # applications must never share a reassembly stream.
+            source = (frame.src.app_id, frame.src.worker_id)
+            complete = self._reassembler.feed(source, decoded)
             if complete is None:
                 # Partial tuple: bank the cost against the next delivery.
                 self._pending_recv_cost += cost
@@ -285,4 +364,11 @@ class TyphoonTransport(Transport):
             cost += deserialize_cost(self.costs, len(data))
         cost += self._pending_recv_cost
         self._pending_recv_cost = 0.0
-        self.deliver(Delivery(tuples=tuples, cost=cost))
+        accepted = self.deliver(Delivery(tuples=tuples, cost=cost))
+        if self.ledger is not None:
+            scope = self._frame_scope(frame)
+            if accepted:
+                self.ledger.record_delivered(scope, len(tuples))
+            else:
+                self.ledger.record_drop(scope, LAYER_TRANSPORT,
+                                        R_DELIVER_REJECTED, len(tuples))

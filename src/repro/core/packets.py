@@ -21,7 +21,13 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Hashable, List, Optional, Tuple, Union
+
+from ..sim.audit import (
+    R_PENDING_AT_CLOSE,
+    R_REASSEMBLY_EVICTED,
+    R_REASSEMBLY_GAP,
+)
 
 KIND_MULTI = 0
 KIND_FRAGMENT = 1
@@ -127,39 +133,79 @@ def unpack_payload(payload: bytes) -> Union[List[bytes], Fragment]:
 
 
 class Reassembler:
-    """Reassembles fragmented tuples, keyed by (source worker, frag id).
+    """Reassembles fragmented tuples, keyed by (source, frag id).
 
     Fragments of one tuple arrive in order on a FIFO path, but fragments
-    of different tuples from different sources may interleave.
+    of different tuples from different sources may interleave. ``source``
+    is any hashable naming the sender; the I/O layer keys by
+    ``(app_id, worker_id)`` so same-numbered workers of different
+    applications can never collide.
+
+    Accounting contract (the audit layer depends on it): ``dropped``
+    counts *partial tuples discarded here* — one per non-empty buffer
+    lost to a gap, a bounded-buffer eviction, or :meth:`drain`. A
+    fragment that arrives with no buffer and a non-zero offset is a
+    headless orphan: its tuple died wherever the head fragment was
+    dropped and was already accounted there, so orphans are tallied in
+    ``orphan_fragments`` (diagnostic) without touching ``dropped``.
+    ``on_drop(key, reason)`` fires once per discarded partial tuple —
+    ``key`` is the ``(source, frag_id)`` pair — so the owner can forward
+    the loss to a delivery ledger with proper attribution.
     """
 
-    def __init__(self, max_pending: int = 1024):
-        self._pending: Dict[Tuple[int, int], bytearray] = {}
+    def __init__(self, max_pending: int = 1024,
+                 on_drop: Optional[Callable[[Tuple[Hashable, int], str],
+                                            None]] = None):
+        self._pending: Dict[Tuple[Hashable, int], bytearray] = {}
         self.max_pending = max_pending
         self.dropped = 0
+        self.evictions = 0
+        self.orphan_fragments = 0
+        self.on_drop = on_drop
 
-    def feed(self, src_worker: int, fragment: Fragment) -> Optional[bytes]:
+    def _discard(self, key: Tuple[Hashable, int], reason: str) -> None:
+        del self._pending[key]
+        self.dropped += 1
+        if self.on_drop is not None:
+            self.on_drop(key, reason)
+
+    def feed(self, source: Hashable, fragment: Fragment) -> Optional[bytes]:
         """Absorb a fragment; returns the full tuple bytes when complete."""
-        key = (src_worker, fragment.frag_id)
+        key = (source, fragment.frag_id)
         buffer = self._pending.get(key)
-        if buffer is None:
-            if fragment.offset != 0:
-                self.dropped += 1  # lost head-of-tuple fragment
-                return None
+        if fragment.offset == 0:
+            if buffer is not None:
+                # Frag-id reuse: the previous tuple under this key never
+                # completed and never will.
+                self._discard(key, R_REASSEMBLY_GAP)
             if len(self._pending) >= self.max_pending:
-                self._pending.clear()  # defensive reset
+                # Bounded buffer: evict only the oldest partial tuple
+                # (dict preserves insertion order) and account for it —
+                # never wipe every other source's progress.
+                self.evictions += 1
+                self._discard(next(iter(self._pending)),
+                              R_REASSEMBLY_EVICTED)
             buffer = bytearray()
             self._pending[key] = buffer
+        elif buffer is None:
+            self.orphan_fragments += 1
+            return None
         if fragment.offset != len(buffer):
             # Out-of-order / missing chunk: discard the partial tuple.
-            del self._pending[key]
-            self.dropped += 1
+            self._discard(key, R_REASSEMBLY_GAP)
             return None
         buffer.extend(fragment.chunk)
         if len(buffer) == fragment.total_len:
             del self._pending[key]
             return bytes(buffer)
         return None
+
+    def drain(self, reason: str = R_PENDING_AT_CLOSE) -> int:
+        """Discard every partial tuple (owner closing), counting each."""
+        count = len(self._pending)
+        for key in list(self._pending):
+            self._discard(key, reason)
+        return count
 
     @property
     def pending_count(self) -> int:

@@ -21,6 +21,7 @@ POST   /topologies/{id}/components/{c}/debug            tap (live debugger)
 DELETE /topologies/{id}/components/{c}/debug            untap
 GET    /topologies/{id}/components/{c}/debug            captured window
 GET    /cluster                                         data-plane summary
+GET    /audit                                           delivery-conservation ledger
 ====== =============================================== ==================
 
 Computation-logic replacement needs code, which does not travel over
@@ -35,6 +36,7 @@ import re
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..streaming.topology import Grouping, TopologyError
+from .audit import conservation_report
 from .topology_manager import ReconfigurationError
 
 Response = Tuple[int, Dict[str, Any]]
@@ -79,6 +81,7 @@ class RestApi:
                 r"^/topologies/(?P<tid>[\w-]+)/components/(?P<comp>[\w-]+)"
                 r"/debug$"), self._debug_window),
             ("GET", re.compile(r"^/cluster$"), self._cluster_summary),
+            ("GET", re.compile(r"^/audit$"), self._audit),
         ]
 
     # -- plumbing ----------------------------------------------------------
@@ -252,3 +255,9 @@ class RestApi:
                 "rules_installed": self.cluster.app.rules_installed,
             },
         }
+
+    def _audit(self, body) -> Response:
+        """Live view of the delivery-accounting ledger. In-flight tuples
+        make ``unattributed`` non-zero on a running cluster; quiesce (or
+        use ``verify_conservation``) for a strict check."""
+        return 200, conservation_report(self.cluster).to_dict()

@@ -34,9 +34,11 @@ from ..streaming.agent import WorkerAgent
 from ..streaming.executor import WorkerExecutor
 from ..streaming.manager import StreamingManager, TopologyRecord
 from ..streaming.physical import PhysicalTopology, WorkerAssignment
+from ..sim.audit import DeliveryLedger
 from ..streaming.storm import _with_ackers, build_routers
 from ..streaming.topology import LogicalTopology
 from . import control as ct
+from .audit import typhoon_frame_tuples
 from .controller import TyphoonControllerApp
 from .framework_layer import handle_control_tuple
 from .io_layer import TyphoonFabric, TyphoonTransport
@@ -69,7 +71,9 @@ class TyphoonCluster:
         self.coordinator = Coordinator(engine, costs)
         self.state = GlobalState(self.coordinator)
         self.metrics = MetricsRegistry(engine)
-        self.fabric = TyphoonFabric(engine, costs, self.cluster)
+        self.ledger = DeliveryLedger(inspector=typhoon_frame_tuples)
+        self.fabric = TyphoonFabric(engine, costs, self.cluster,
+                                    ledger=self.ledger)
         self.sdn = SdnController(engine, costs, name="typhoon-floodlight")
         self.app = TyphoonControllerApp(self.state, self.fabric)
         self.sdn.register_app(self.app)
@@ -94,6 +98,7 @@ class TyphoonCluster:
         """Deploy a topology (steps i–v of §3.2)."""
         logical = _with_ackers(logical)
         physical = self.manager.submit(logical)
+        self.ledger.name_scope(physical.app_id, logical.topology_id)
         self.app.manage(logical.topology_id)
         return physical
 

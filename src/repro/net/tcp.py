@@ -16,8 +16,9 @@ delays would reorder them.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
+from ..sim.audit import LAYER_CHANNEL, R_CHANNEL_CLOSED, DeliveryLedger
 from ..sim.costs import CostModel, transmission_delay
 from ..sim.engine import Engine
 
@@ -43,6 +44,7 @@ class TcpChannel:
         remote: bool,
         name: str = "",
         extra_delay: float = 0.0,
+        ledger: Optional[DeliveryLedger] = None,
     ):
         self.engine = engine
         self.costs = costs
@@ -50,9 +52,12 @@ class TcpChannel:
         self.remote = remote
         self.name = name
         self.extra_delay = extra_delay
+        self.ledger = ledger
         self.closed = False
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
         self._last_delivery = 0.0
 
     def send(self, data: bytes) -> None:
@@ -67,11 +72,20 @@ class TcpChannel:
         self.engine.schedule(deliver_at - self.engine.now, self._deliver, data)
 
     def _deliver(self, data: bytes) -> None:
-        if not self.closed:
-            self.on_receive(data)
+        if self.closed:
+            # In-flight data on a torn-down connection: account it so
+            # the tuples it carried don't silently vanish.
+            self.messages_dropped += 1
+            if self.ledger is not None:
+                self.ledger.record_frame_drop(LAYER_CHANNEL,
+                                              R_CHANNEL_CLOSED, data)
+            return
+        self.messages_delivered += 1
+        self.on_receive(data)
 
     def close(self) -> None:
-        """Close the channel; in-flight and future messages are dropped."""
+        """Close the channel; in-flight and future messages are dropped
+        (and counted in ``messages_dropped`` as they land)."""
         self.closed = True
 
 
@@ -90,6 +104,7 @@ class TcpTunnel:
         host_b: str,
         deliver_to_a: Callable[[bytes], None],
         deliver_to_b: Callable[[bytes], None],
+        ledger: Optional[DeliveryLedger] = None,
     ):
         if host_a == host_b:
             raise ValueError("tunnel endpoints must differ")
@@ -98,10 +113,12 @@ class TcpTunnel:
         self._a_to_b = TcpChannel(
             engine, costs, deliver_to_b, remote=True,
             name="tunnel:%s->%s" % (host_a, host_b),
+            ledger=ledger,
         )
         self._b_to_a = TcpChannel(
             engine, costs, deliver_to_a, remote=True,
             name="tunnel:%s->%s" % (host_b, host_a),
+            ledger=ledger,
         )
 
     def send_from(self, host: str, data: bytes) -> None:

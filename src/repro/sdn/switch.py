@@ -17,6 +17,15 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from ..net.ethernet import EthernetFrame
+from ..sim.audit import (
+    LAYER_SWITCH,
+    R_BACKLOG_OVERFLOW,
+    R_NO_CONTROLLER,
+    R_NO_OUTPUT,
+    R_PORT_DOWN,
+    R_TABLE_MISS,
+    DeliveryLedger,
+)
 from ..sim.costs import CostModel
 from ..sim.engine import Engine
 from .flow import (
@@ -92,6 +101,27 @@ class SwitchPort:
         )
 
 
+class _FrameAccount:
+    """Dispositions of one frame traversal, for replication accounting.
+
+    A frame entering the switch is one copy; action processing emits it
+    to ``emitted + controller + dropped`` final dispositions. Anything
+    above one is switch-level replication (broadcast, mirror rules);
+    zero means the frame died without any output at all.
+    """
+
+    __slots__ = ("emitted", "controller", "dropped")
+
+    def __init__(self) -> None:
+        self.emitted = 0
+        self.controller = 0
+        self.dropped = 0
+
+    @property
+    def total(self) -> int:
+        return self.emitted + self.controller + self.dropped
+
+
 class SoftwareSwitch:
     """Flow-rule driven frame forwarding on one host."""
 
@@ -100,10 +130,12 @@ class SoftwareSwitch:
     MAX_BACKLOG_SECONDS = 0.005
 
     def __init__(self, engine: Engine, costs: CostModel, dpid: str,
-                 idle_sweep_interval: float = 1.0):
+                 idle_sweep_interval: float = 1.0,
+                 ledger: Optional[DeliveryLedger] = None):
         self.engine = engine
         self.costs = costs
         self.dpid = dpid
+        self.ledger = ledger
         self.flows = FlowTable()
         self.groups = GroupTable()
         self.ports: Dict[int, SwitchPort] = {}
@@ -210,8 +242,25 @@ class SoftwareSwitch:
             self.groups.remove(mod.group_id)
 
     def _apply_packet_out(self, message: PacketOut) -> None:
+        # Controller-injected frames enter the data plane here without
+        # passing any transport's send path: count them as inputs.
+        account: Optional[_FrameAccount] = None
+        if self.ledger is not None:
+            self.ledger.record_frame_injected(message.frame)
+            account = _FrameAccount()
         self._run_actions(message.frame, message.actions, message.in_port,
-                          tun_dst=None)
+                          tun_dst=None, account=account)
+        self._settle_account(message.frame, account)
+
+    def _settle_account(self, frame: EthernetFrame,
+                        account: Optional[_FrameAccount]) -> None:
+        """Balance one frame traversal: one copy in, ``total`` out."""
+        if account is None or self.ledger is None:
+            return
+        if account.total == 0:
+            self.ledger.record_frame_drop(LAYER_SWITCH, R_NO_OUTPUT, frame)
+        else:
+            self.ledger.record_frame_replicated(frame, account.total - 1)
 
     def _reply_flow_stats(self, request: FlowStatsRequest) -> None:
         entries = [
@@ -249,11 +298,17 @@ class SoftwareSwitch:
         backlog = self._busy_until - self.engine.now
         if backlog > self.MAX_BACKLOG_SECONDS:
             self.packets_dropped += 1
+            if self.ledger is not None:
+                self.ledger.record_frame_drop(LAYER_SWITCH,
+                                              R_BACKLOG_OVERFLOW, frame)
             return False
 
         entry = self.flows.lookup(frame, in_port)
         if entry is None:
             self.table_misses += 1
+            if self.ledger is not None:
+                self.ledger.record_frame_drop(LAYER_SWITCH,
+                                              R_TABLE_MISS, frame)
             return False
         entry.touch(self.engine.now, len(frame))
 
@@ -262,8 +317,10 @@ class SoftwareSwitch:
         finish = start + cost
         self._busy_until = finish
         self.packets_forwarded += 1
+        account = _FrameAccount() if self.ledger is not None else None
         self._run_actions(frame, entry.actions, in_port, tun_dst=None,
-                          ready_at=finish)
+                          ready_at=finish, account=account)
+        self._settle_account(frame, account)
         return True
 
     def _run_actions(
@@ -273,6 +330,7 @@ class SoftwareSwitch:
         in_port: int,
         tun_dst: Optional[str],
         ready_at: Optional[float] = None,
+        account: Optional[_FrameAccount] = None,
     ) -> None:
         """Execute an action list; copies pay per-output switch time."""
         if ready_at is None:
@@ -287,10 +345,10 @@ class SoftwareSwitch:
                 group = self.groups.get(action.group_id)
                 for bucket in group.select_buckets():
                     self._run_actions(current, bucket.actions, in_port,
-                                      tun_dst, ready_at)
+                                      tun_dst, ready_at, account)
             elif isinstance(action, Output):
                 ready_at = self._output(current, action.port, in_port,
-                                        tun_dst, ready_at)
+                                        tun_dst, ready_at, account)
             else:
                 raise TypeError("unknown action %r" % (action,))
 
@@ -301,6 +359,7 @@ class SoftwareSwitch:
         in_port: int,
         tun_dst: Optional[str],
         ready_at: float,
+        account: Optional[_FrameAccount] = None,
     ) -> float:
         copy_cost = (
             self.costs.switch_copy_per_output
@@ -310,6 +369,17 @@ class SoftwareSwitch:
         self._busy_until = finish
 
         if out_port == OFPP_CONTROLLER:
+            if self._to_controller is None:
+                if account is not None:
+                    account.dropped += 1
+                if self.ledger is not None:
+                    self.ledger.record_frame_drop(LAYER_SWITCH,
+                                                  R_NO_CONTROLLER, frame)
+                return finish
+            if account is not None:
+                account.controller += 1
+            if self.ledger is not None:
+                self.ledger.record_frame_controller_delivered(frame)
             self._notify_controller(
                 PacketIn(self.dpid, frame, in_port, REASON_ACTION),
                 (finish - self.engine.now) + self.costs.openflow_rtt / 2,
@@ -319,15 +389,28 @@ class SoftwareSwitch:
             entry = self.flows.lookup(frame, in_port)
             if entry is None:
                 self.table_misses += 1
+                if account is not None:
+                    account.dropped += 1
+                if self.ledger is not None:
+                    self.ledger.record_frame_drop(LAYER_SWITCH,
+                                                  R_TABLE_MISS, frame)
                 return finish
             entry.touch(self.engine.now, len(frame))
-            self._run_actions(frame, entry.actions, in_port, tun_dst, finish)
+            self._run_actions(frame, entry.actions, in_port, tun_dst, finish,
+                              account)
             return self._busy_until
 
         port = self.ports.get(out_port)
         if port is None or not port.up:
             self.packets_dropped += 1
+            if account is not None:
+                account.dropped += 1
+            if self.ledger is not None:
+                self.ledger.record_frame_drop(LAYER_SWITCH,
+                                              R_PORT_DOWN, frame)
             return finish
+        if account is not None:
+            account.emitted += 1
         port.tx_packets += 1
         port.tx_bytes += len(frame)
         delay = (finish - self.engine.now) + self.costs.loopback_latency

@@ -1,0 +1,319 @@
+"""Cluster-wide tuple delivery accounting (the loss-audit layer).
+
+Typhoon's central claim (§3.3.1, §3.5) is that routing reconfiguration
+and switch-level replication happen *without tuple loss*. The data plane
+nevertheless has legitimate drop sites (ports vanish during faults,
+reassembly buffers are bounded, channels close mid-flight), and before
+this module each of them incremented a private counter that nothing ever
+cross-checked. The :class:`DeliveryLedger` gives every drop and delivery
+site one place to report into, keyed by ``(scope, layer, reason)``, so a
+finished run can be audited with a conservation identity instead of an
+assertion of faith:
+
+    sent + injected + replicated
+        == delivered + controller_delivered + drops
+           + buffered + pending_reassembly          (once in-flight = 0)
+
+* ``sent`` — tuples a worker transport accepted for transmission (one
+  per destination enqueue; a broadcast counts once at the sender).
+* ``injected`` — tuples the controller pushed into the data plane via
+  PacketOut (control tuples never pass a transport's send path).
+* ``replicated`` — extra copies the switches created: a frame forwarded
+  to *k* outputs adds ``k - 1`` copies of its payload tuples.
+* ``delivered`` / ``controller_delivered`` — tuples handed to a worker
+  executor / lifted to the controller via PacketIn.
+* ``drops`` — itemized by (scope, layer, reason); see the ``R_*``
+  reason constants below for the taxonomy.
+* ``buffered`` / ``pending_reassembly`` — snapshot terms contributed by
+  the auditor (tuples still in sender batch buffers / partially
+  reassembled at receivers).
+
+The *scope* is the 16-bit Typhoon application id (one per submitted
+topology); :meth:`DeliveryLedger.name_scope` maps it back to the
+topology id for rendering. Components hold an optional ledger reference
+and report only when one is wired — the ledger itself imports nothing
+above the simulation kernel, so every layer (net, sdn, core, streaming)
+can use it without import cycles. Frame-carrying layers do not know how
+many tuples a payload holds; the cluster runtime installs an
+``inspector`` callback that maps an opaque frame/message to
+``(scope, tuple_count)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+# -- layer names ----------------------------------------------------------
+
+LAYER_TRANSPORT = "transport"      #: worker I/O library (north/southbound)
+LAYER_SWITCH = "switch"            #: host software SDN switch
+LAYER_FABRIC = "fabric"            #: host fabric / tunnel selection
+LAYER_CHANNEL = "channel"          #: TCP channels (tunnels, Storm links)
+LAYER_REASSEMBLY = "reassembly"    #: fragment reassembly at receivers
+LAYER_REGISTRY = "registry"        #: Storm worker registry lookups
+
+# -- drop reasons ---------------------------------------------------------
+
+R_TUNNEL_UNROUTABLE = "tunnel-unroutable"   #: no tunnel to the peer host
+R_CLOSED_PORT = "closed-port"               #: frame reached a closed transport
+R_REASSEMBLY_GAP = "reassembly-gap"         #: missing/out-of-order fragment
+R_REASSEMBLY_EVICTED = "reassembly-evicted"  #: bounded-buffer eviction
+R_CHANNEL_CLOSED = "channel-closed"         #: in-flight data on a closed channel
+R_AFTER_CLOSE = "after-close"               #: buffered tuples on a closed transport
+R_PENDING_AT_CLOSE = "pending-at-close"     #: partial reassembly on a closed transport
+R_DELIVER_REJECTED = "deliver-rejected"     #: executor refused the delivery
+R_BACKLOG_OVERFLOW = "backlog-overflow"     #: switch forwarding backlog
+R_TABLE_MISS = "table-miss"                 #: no matching flow rule
+R_PORT_DOWN = "port-down"                   #: output port missing or down
+R_NO_OUTPUT = "no-output"                   #: matched rule with no live output
+R_NO_CONTROLLER = "no-controller"           #: PacketIn with no controller attached
+R_UNRESOLVED = "unresolved-worker"          #: Storm registry lookup failed
+
+#: Scope used when the reporting site cannot attribute an application.
+UNKNOWN_SCOPE = -1
+
+
+def _bump(table: Dict, key, count: int) -> None:
+    table[key] = table.get(key, 0) + count
+
+
+class DeliveryLedger:
+    """Append-only delivery/drop accounting shared by every data-plane layer.
+
+    All ``record_*`` methods are cheap dictionary bumps; the ledger is
+    safe to leave wired in production runs. ``inspector`` is an optional
+    ``Callable[[object], Optional[Tuple[int, int]]]`` returning
+    ``(scope, tuple_count)`` for an opaque frame/batch, installed by the
+    cluster runtime (see :func:`repro.core.audit.typhoon_frame_tuples`).
+    """
+
+    def __init__(self,
+                 inspector: Optional[Callable[[object],
+                                              Optional[Tuple[int, int]]]] = None):
+        self.inspector = inspector
+        self.scope_names: Dict[int, str] = {}
+        self.sent: Dict[int, int] = {}
+        self.injected: Dict[int, int] = {}
+        self.replicated: Dict[int, int] = {}
+        self.delivered: Dict[int, int] = {}
+        self.controller_delivered: Dict[int, int] = {}
+        self.drops: Dict[Tuple[int, str, str], int] = {}
+        #: Frames whose payload the inspector could not attribute —
+        #: diagnostic only; their tuples are invisible to the ledger.
+        self.unattributable_frames = 0
+
+    # -- scope naming -----------------------------------------------------
+
+    def name_scope(self, scope: int, name: str) -> None:
+        """Label a scope (application id) with its topology id."""
+        self.scope_names[scope] = name
+
+    def scope_name(self, scope: int) -> str:
+        if scope == UNKNOWN_SCOPE:
+            return "(unknown)"
+        return self.scope_names.get(scope, "app-%d" % scope)
+
+    # -- tuple-count reporting sites --------------------------------------
+
+    def record_sent(self, scope: int, count: int = 1) -> None:
+        _bump(self.sent, scope, count)
+
+    def record_injected(self, scope: int, count: int = 1) -> None:
+        _bump(self.injected, scope, count)
+
+    def record_replicated(self, scope: int, count: int = 1) -> None:
+        _bump(self.replicated, scope, count)
+
+    def record_delivered(self, scope: int, count: int = 1) -> None:
+        _bump(self.delivered, scope, count)
+
+    def record_controller_delivered(self, scope: int, count: int = 1) -> None:
+        _bump(self.controller_delivered, scope, count)
+
+    def record_drop(self, scope: int, layer: str, reason: str,
+                    count: int = 1) -> None:
+        if count:
+            _bump(self.drops, (scope, layer, reason), count)
+
+    # -- frame-level reporting sites (need the inspector) -----------------
+
+    def inspect(self, frame: object) -> Optional[Tuple[int, int]]:
+        if self.inspector is None:
+            return None
+        try:
+            return self.inspector(frame)
+        except Exception:
+            return None
+
+    def record_frame_drop(self, layer: str, reason: str, frame: object,
+                          copies: int = 1) -> None:
+        """Attribute a dropped frame's payload tuples to (layer, reason)."""
+        info = self.inspect(frame)
+        if info is None:
+            self.unattributable_frames += 1
+            return
+        scope, tuples = info
+        self.record_drop(scope, layer, reason, tuples * copies)
+
+    def record_frame_replicated(self, frame: object, extra_copies: int) -> None:
+        """A switch emitted ``extra_copies`` additional copies of a frame."""
+        if extra_copies <= 0:
+            return
+        info = self.inspect(frame)
+        if info is None:
+            self.unattributable_frames += 1
+            return
+        scope, tuples = info
+        if tuples:
+            self.record_replicated(scope, tuples * extra_copies)
+
+    def record_frame_injected(self, frame: object) -> None:
+        info = self.inspect(frame)
+        if info is None:
+            self.unattributable_frames += 1
+            return
+        scope, tuples = info
+        if tuples:
+            self.record_injected(scope, tuples)
+
+    def record_frame_controller_delivered(self, frame: object) -> None:
+        info = self.inspect(frame)
+        if info is None:
+            self.unattributable_frames += 1
+            return
+        scope, tuples = info
+        if tuples:
+            self.record_controller_delivered(scope, tuples)
+
+    # -- aggregate views ---------------------------------------------------
+
+    def scopes(self) -> List[int]:
+        seen = set(self.sent) | set(self.delivered) | set(self.injected)
+        seen |= set(self.replicated) | set(self.controller_delivered)
+        seen |= {scope for scope, _layer, _reason in self.drops}
+        return sorted(seen)
+
+    def total_sent(self) -> int:
+        return sum(self.sent.values())
+
+    def total_delivered(self) -> int:
+        return sum(self.delivered.values())
+
+    def total_drops(self, scope: Optional[int] = None) -> int:
+        return sum(count for (s, _l, _r), count in self.drops.items()
+                   if scope is None or s == scope)
+
+    def drops_by_reason(self) -> Dict[Tuple[str, str], int]:
+        """Aggregate drops over scopes: (layer, reason) -> count."""
+        out: Dict[Tuple[str, str], int] = {}
+        for (_scope, layer, reason), count in self.drops.items():
+            _bump(out, (layer, reason), count)
+        return out
+
+    def drop_rows(self) -> List[Tuple[str, str, str, int]]:
+        """Render-ready rows: (topology, layer, reason, tuples)."""
+        rows = []
+        for (scope, layer, reason), count in sorted(
+                self.drops.items(),
+                key=lambda item: (item[0][0], item[0][1], item[0][2])):
+            rows.append((self.scope_name(scope), layer, reason, count))
+        return rows
+
+
+@dataclass
+class ConservationReport:
+    """Snapshot of the conservation identity over one cluster run.
+
+    ``unattributed`` is the residual of the identity: positive means
+    tuples vanished without an attributed drop (a leak); negative means
+    double counting (delivered or dropped more than was ever sent).
+    A quiesced, leak-free run reports ``unattributed == 0``.
+    """
+
+    sent: int = 0
+    injected: int = 0
+    replicated: int = 0
+    delivered: int = 0
+    controller_delivered: int = 0
+    drops: int = 0
+    buffered: int = 0
+    pending_reassembly: int = 0
+    drop_rows: List[Tuple[str, str, str, int]] = field(default_factory=list)
+    unattributable_frames: int = 0
+
+    @property
+    def inputs(self) -> int:
+        return self.sent + self.injected + self.replicated
+
+    @property
+    def accounted(self) -> int:
+        return (self.delivered + self.controller_delivered + self.drops
+                + self.buffered + self.pending_reassembly)
+
+    @property
+    def unattributed(self) -> int:
+        return self.inputs - self.accounted
+
+    @property
+    def ok(self) -> bool:
+        return self.unattributed == 0 and self.unattributable_frames == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sent": self.sent,
+            "injected": self.injected,
+            "replicated": self.replicated,
+            "delivered": self.delivered,
+            "controller_delivered": self.controller_delivered,
+            "drops": self.drops,
+            "buffered": self.buffered,
+            "pending_reassembly": self.pending_reassembly,
+            "unattributed": self.unattributed,
+            "ok": self.ok,
+            "drop_rows": [
+                {"topology": topology, "layer": layer, "reason": reason,
+                 "tuples": count}
+                for topology, layer, reason, count in self.drop_rows
+            ],
+        }
+
+    def render(self) -> str:
+        """Aligned per-layer conservation table (the ``repro audit`` view)."""
+        lines = ["delivery conservation audit",
+                 "---------------------------"]
+        if self.drop_rows:
+            widths = [max(len(str(row[i])) for row in
+                          [("topology", "layer", "reason", "tuples")]
+                          + self.drop_rows)
+                      for i in range(4)]
+            header = ("topology", "layer", "reason", "tuples")
+            lines.append("  ".join(str(cell).ljust(width)
+                                   for cell, width in zip(header, widths)))
+            lines.append("  ".join("-" * width for width in widths))
+            for row in self.drop_rows:
+                lines.append("  ".join(str(cell).ljust(width)
+                                       for cell, width in zip(row, widths)))
+        else:
+            lines.append("(no drops recorded)")
+        lines.append("")
+        lines.append("sent=%d injected=%d replicated=%d" %
+                     (self.sent, self.injected, self.replicated))
+        lines.append("delivered=%d to-controller=%d drops=%d "
+                     "buffered=%d pending-reassembly=%d" %
+                     (self.delivered, self.controller_delivered, self.drops,
+                      self.buffered, self.pending_reassembly))
+        if self.unattributable_frames:
+            lines.append("unattributable frames=%d"
+                         % self.unattributable_frames)
+        lines.append("unattributed loss=%d -> %s"
+                     % (self.unattributed, "OK" if self.ok else "LEAK"))
+        return "\n".join(lines)
+
+
+class ConservationError(AssertionError):
+    """Raised when a run's delivery accounting does not balance."""
+
+    def __init__(self, report: ConservationReport):
+        super().__init__("tuple conservation violated\n" + report.render())
+        self.report = report

@@ -22,6 +22,14 @@ from ..coordination.schema import GlobalState
 from ..coordination.store import Coordinator
 from ..net.hosts import Cluster
 from ..net.tcp import TcpChannel
+from ..sim.audit import (
+    LAYER_REGISTRY,
+    LAYER_TRANSPORT,
+    R_AFTER_CLOSE,
+    R_DELIVER_REJECTED,
+    R_UNRESOLVED,
+    DeliveryLedger,
+)
 from ..sim.costs import DEFAULT_COSTS, CostModel
 from ..sim.engine import Engine
 from ..sim.metrics import MetricsRegistry
@@ -48,14 +56,23 @@ from .tuples import StreamTuple
 class _WireBatch:
     """A batch of tuples on a TCP channel; ``len()`` is its wire size."""
 
-    __slots__ = ("tuples", "nbytes")
+    __slots__ = ("tuples", "nbytes", "scope")
 
-    def __init__(self, tuples: List[Tuple[StreamTuple, int]], nbytes: int):
+    def __init__(self, tuples: List[Tuple[StreamTuple, int]], nbytes: int,
+                 scope: int = 0):
         self.tuples = tuples
         self.nbytes = nbytes
+        self.scope = scope
 
     def __len__(self) -> int:
         return self.nbytes
+
+
+def storm_batch_tuples(batch: object) -> Optional[Tuple[int, int]]:
+    """Ledger inspector for the Storm wire format."""
+    if isinstance(batch, _WireBatch):
+        return batch.scope, len(batch.tuples)
+    return None
 
 
 class WorkerRegistry:
@@ -80,17 +97,21 @@ class StormTransport(Transport):
 
     def __init__(self, engine: Engine, costs: CostModel, worker_id: int,
                  hostname: str, registry: WorkerRegistry,
-                 batch_size: int = 100):
+                 batch_size: int = 100,
+                 ledger: Optional[DeliveryLedger] = None, scope: int = 0):
         self.engine = engine
         self.costs = costs
         self.worker_id = worker_id
         self.hostname = hostname
         self.registry = registry
         self.batch_size = batch_size
+        self.ledger = ledger
+        self.scope = scope
         self._buffers: Dict[int, List[Tuple[StreamTuple, int]]] = {}
         self._channels: Dict[Tuple[int, str], TcpChannel] = {}
         self.tuples_sent = 0
         self.serializations = 0
+        self.dropped_after_close = 0
         self.closed = False
 
     # -- outbound ---------------------------------------------------------
@@ -110,6 +131,8 @@ class StormTransport(Transport):
             buffer = self._buffers.setdefault(dst, [])
             buffer.append((stream_tuple, nbytes))
             self.tuples_sent += 1
+            if self.ledger is not None:
+                self.ledger.record_sent(self.scope)
             if len(buffer) >= self.batch_size:
                 cost += self._flush_destination(dst)
         return cost
@@ -144,10 +167,13 @@ class StormTransport(Transport):
         resolved = self.registry.resolve(dst)
         if resolved is None:
             self.registry.lost_tuples += len(buffer)
+            if self.ledger is not None:
+                self.ledger.record_drop(self.scope, LAYER_REGISTRY,
+                                        R_UNRESOLVED, len(buffer))
             return cost
         _executor, dst_host = resolved
         channel = self._channel_to(dst, dst_host)
-        channel.send(_WireBatch(buffer, payload))
+        channel.send(_WireBatch(buffer, payload, self.scope))
         return cost
 
     def _channel_to(self, dst: int, dst_host: str) -> TcpChannel:
@@ -160,6 +186,7 @@ class StormTransport(Transport):
                 remote=dst_host != self.hostname,
                 name="tcp:%d->%d" % (self.worker_id, dst),
                 extra_delay=self.costs.storm_pipeline_delay,
+                ledger=self.ledger,
             )
             self._channels[key] = channel
         return channel
@@ -170,6 +197,9 @@ class StormTransport(Transport):
         resolved = self.registry.resolve(dst)
         if resolved is None:
             self.registry.lost_tuples += len(batch.tuples)
+            if self.ledger is not None:
+                self.ledger.record_drop(batch.scope, LAYER_REGISTRY,
+                                        R_UNRESOLVED, len(batch.tuples))
             return
         executor, _host = resolved
         cost = (self.costs.tcp_recv_per_message
@@ -179,14 +209,35 @@ class StormTransport(Transport):
         delivered = executor.deliver(Delivery(
             tuples=[t for t, _n in batch.tuples], cost=cost,
         ))
+        if self.ledger is not None:
+            if delivered:
+                self.ledger.record_delivered(batch.scope, len(batch.tuples))
+            else:
+                self.ledger.record_drop(batch.scope, LAYER_TRANSPORT,
+                                        R_DELIVER_REJECTED, len(batch.tuples))
         if not delivered:
             self.registry.lost_tuples += len(batch.tuples)
 
     def set_batch_size(self, batch_size: int) -> None:
         self.batch_size = max(1, batch_size)
 
+    def pending_tuples(self) -> int:
+        """Tuples sitting in outbound batch buffers (conservation term)."""
+        return sum(len(buffer) for buffer in self._buffers.values())
+
     def close(self) -> None:
+        if self.closed:
+            return
         self.closed = True
+        # Drain outbound buffers so a retired transport leaves no
+        # unaccounted residue (matches TyphoonTransport.close()).
+        for buffer in self._buffers.values():
+            if buffer:
+                self.dropped_after_close += len(buffer)
+                if self.ledger is not None:
+                    self.ledger.record_drop(self.scope, LAYER_TRANSPORT,
+                                            R_AFTER_CLOSE, len(buffer))
+        self._buffers.clear()
         for channel in self._channels.values():
             channel.close()
 
@@ -215,6 +266,8 @@ class StormCluster:
         self.state = GlobalState(self.coordinator)
         self.metrics = MetricsRegistry(engine)
         self.registry = WorkerRegistry()
+        self.ledger = DeliveryLedger(inspector=storm_batch_tuples)
+        self.transports: Dict[int, StormTransport] = {}
         self.services: Dict[str, object] = {"now": lambda: engine.now}
         self.manager = StormManager(engine, costs, self.cluster, self.state,
                                     RoundRobinScheduler())
@@ -230,7 +283,9 @@ class StormCluster:
 
     def submit(self, logical: LogicalTopology) -> PhysicalTopology:
         logical = _with_ackers(logical)
-        return self.manager.submit(logical)
+        physical = self.manager.submit(logical)
+        self.ledger.name_scope(physical.app_id, logical.topology_id)
+        return physical
 
     def kill_topology(self, topology_id: str) -> None:
         self.manager.kill_topology(topology_id)
@@ -312,6 +367,7 @@ class StormCluster:
         transport = StormTransport(
             self.engine, self.costs, assignment.worker_id, hostname,
             self.registry, batch_size=logical.config.batch_size,
+            ledger=self.ledger, scope=physical.app_id,
         )
         executor = WorkerExecutor(
             engine=self.engine,
@@ -328,6 +384,7 @@ class StormCluster:
             services=getattr(self, "services", {}),
         )
         self.registry.register(executor, hostname)
+        self.transports[assignment.worker_id] = transport
         return executor
 
     def _record_of(self, assignment: WorkerAssignment) -> TopologyRecord:

@@ -55,7 +55,18 @@ def delivery_bytes(delivery: Delivery) -> int:
 
 
 class Transport:
-    """Outbound side of a worker's communication stack."""
+    """Outbound side of a worker's communication stack.
+
+    Delivery accounting contract: implementations that hold a
+    :class:`repro.sim.audit.DeliveryLedger` must report every tuple
+    accepted for transmission (``record_sent``), every tuple handed to
+    an executor (``record_delivered``) and every loss with a typed
+    (layer, reason) drop, and must expose :meth:`pending_tuples` so the
+    auditor can count what is still buffered. The conservation identity
+    ``sent + injected + replicated == delivered + controller_delivered +
+    drops + buffered + pending_reassembly`` is then checked by
+    :func:`repro.core.audit.verify_conservation` after each run.
+    """
 
     def send(self, stream_tuple: StreamTuple, dst_worker_ids: Sequence[int]) -> float:
         """Route one tuple to explicit destinations; returns CPU cost."""
@@ -81,5 +92,10 @@ class Transport:
     def set_batch_size(self, batch_size: int) -> None:
         """Adjust batching (Typhoon BATCH_SIZE control tuples)."""
 
+    def pending_tuples(self) -> int:
+        """Tuples buffered for sending but not yet on the wire."""
+        return 0
+
     def close(self) -> None:
-        """Tear down connections/ports."""
+        """Tear down connections/ports, draining (and accounting) any
+        still-buffered tuples."""

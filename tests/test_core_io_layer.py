@@ -6,6 +6,7 @@ from repro.core.io_layer import HostFabric, TyphoonFabric, TyphoonTransport
 from repro.net import BROADCAST, Cluster, EthernetFrame, TYPHOON_ETHERTYPE, WorkerAddress
 from repro.sdn import ADD, FlowMod, Match, Output, SetTunnelDst
 from repro.sim import DEFAULT_COSTS, Engine
+from repro.sim.audit import DeliveryLedger
 from repro.streaming import StreamTuple
 
 
@@ -169,3 +170,132 @@ def test_set_batch_size_floor(engine, fabric):
     assert sender.batch_size == 1
     sender.set_batch_size(64)
     assert sender.batch_size == 64
+
+
+def _fragment_frames(src, dst, data, mtu=1500):
+    from repro.core.packets import pack_tuples
+
+    payloads, _ = pack_tuples([data], mtu)
+    assert len(payloads) > 1
+    return [EthernetFrame(dst=dst, src=src, ethertype=TYPHOON_ETHERTYPE,
+                          payload=payload) for payload in payloads]
+
+
+def test_cross_topology_fragments_do_not_collide(engine, fabric):
+    """Same worker id, same frag ids, *different applications*: the
+    reassembler must keep the two streams apart (it is keyed by
+    (app_id, worker_id), not worker id alone)."""
+    from repro.streaming.serialize import encode_tuple
+
+    receiver, received = make_transport(engine, fabric, 9)
+    data_a = encode_tuple(StreamTuple(("a" * 4000,)))
+    data_b = encode_tuple(StreamTuple(("b" * 4000,)))
+    frames_a = _fragment_frames(WorkerAddress(1, 5), receiver.address, data_a)
+    frames_b = _fragment_frames(WorkerAddress(2, 5), receiver.address, data_b)
+    # Interleave fragment-for-fragment: identical frag_id=0 on both.
+    for frame_a, frame_b in zip(frames_a, frames_b):
+        receiver._on_frame(frame_a, None)
+        receiver._on_frame(frame_b, None)
+    assert len(received) == 2
+    values = sorted(d.tuples[0].values[0][0] for d in received)
+    assert values == ["a", "b"]
+    assert receiver._reassembler.dropped == 0
+
+
+def test_reassembly_eviction_is_counted_in_ledger(engine):
+    from repro.sim.audit import R_REASSEMBLY_EVICTED
+    from repro.streaming.serialize import encode_tuple
+
+    ledger = DeliveryLedger()
+    fabric = TyphoonFabric(engine, DEFAULT_COSTS, Cluster.of_size(1),
+                           ledger=ledger)
+    receiver, received = make_transport(engine, fabric, 9)
+    receiver._reassembler.max_pending = 2
+    # Three concurrent partial tuples from three different apps: starting
+    # the third must evict only the oldest (app 1), not wipe the table.
+    heads = {}
+    for app_id in (1, 2, 3):
+        data = encode_tuple(StreamTuple(("z" * 4000, app_id)))
+        heads[app_id] = _fragment_frames(WorkerAddress(app_id, 5),
+                                         receiver.address, data)
+    for app_id in (1, 2, 3):
+        receiver._on_frame(heads[app_id][0], None)
+    assert receiver._reassembler.evictions == 1
+    assert receiver._reassembler.pending_count == 2
+    assert ledger.drops == {(1, "reassembly", R_REASSEMBLY_EVICTED): 1}
+    # The survivors still complete.
+    for app_id in (2, 3):
+        for frame in heads[app_id][1:]:
+            receiver._on_frame(frame, None)
+    assert len(received) == 2
+    assert receiver.pending_reassembly == 0
+
+
+def test_offloaded_round_robin_is_fair_per_edge(engine, fabric):
+    """Two offloaded edges sharing one transport must each see an even
+    round robin — a shared counter would skew both distributions."""
+    sender, _ = make_transport(engine, fabric, 1, batch=1000)
+    destinations = [2, 3]
+    picks = {"edge-a": [], "edge-b": []}
+    original_send = sender.send
+
+    def spy(stream_tuple, dst_worker_ids):
+        spy.last = list(dst_worker_ids)
+        return original_send(stream_tuple, dst_worker_ids)
+
+    sender.send = spy
+    for i in range(4):
+        # Interleave the two edges the way a worker feeding two
+        # downstream components would.
+        sender.send_offloaded(StreamTuple(("t", i)), "edge-a", destinations)
+        picks["edge-a"].append(spy.last[0])
+        sender.send_offloaded(StreamTuple(("t", i)), "edge-b", destinations)
+        picks["edge-b"].append(spy.last[0])
+    assert picks["edge-a"] == [2, 3, 2, 3]
+    assert picks["edge-b"] == [2, 3, 2, 3]
+
+
+def test_detached_live_transport_holds_buffer(engine, fabric):
+    """A live transport that is (temporarily) not attached to a switch
+    port must *hold* buffered tuples for the retry after re-attach —
+    only a closed transport may discard."""
+    sender, _ = make_transport(engine, fabric, 1, batch=1000)
+    receiver, received = make_transport(engine, fabric, 2)
+    sender.send(StreamTuple(("early",)), [2])
+    # Detach (fault/migration window) without closing.
+    sender.switch.remove_port(sender.port_no)
+    sender.port_no = None
+    assert sender.flush() == 0.0
+    assert sender.pending_tuples() == 1
+    assert sender.dropped_after_close == 0
+    # Re-attach: the held batch goes out on the next flush.
+    sender.attach()
+    install_unicast(fabric, "host-0", sender.port_no, 1, 2, receiver.port_no)
+    engine.run(until=0.01)
+    assert sender.flush() > 0
+    engine.run(until=0.05)
+    assert len(received) == 1
+    assert received[0].tuples[0].values == ("early",)
+
+
+def test_close_drains_buffers_and_reassembly_into_ledger(engine):
+    from repro.sim.audit import R_AFTER_CLOSE, R_PENDING_AT_CLOSE
+    from repro.streaming.serialize import encode_tuple
+
+    ledger = DeliveryLedger()
+    fabric = TyphoonFabric(engine, DEFAULT_COSTS, Cluster.of_size(1),
+                           ledger=ledger)
+    sender, _ = make_transport(engine, fabric, 1, batch=1000)
+    sender.send(StreamTuple(("stuck",)), [2])
+    data = encode_tuple(StreamTuple(("w" * 4000,)))
+    head = _fragment_frames(WorkerAddress(2, 7), sender.address, data)[0]
+    sender._on_frame(head, None)
+    assert sender.pending_reassembly == 1
+    sender.close()
+    assert sender.dropped_after_close == 1
+    assert sender.pending_tuples() == 0
+    assert sender.pending_reassembly == 0
+    assert ledger.drops == {
+        (1, "transport", R_AFTER_CLOSE): 1,
+        (2, "reassembly", R_PENDING_AT_CLOSE): 1,
+    }

@@ -75,13 +75,15 @@ def test_interleaved_fragments_from_different_sources():
     assert result_b == big_b
 
 
-def test_missing_head_fragment_dropped():
+def test_missing_head_fragment_is_orphan_not_drop():
     big = b"c" * 4000
     fragments = [unpack_payload(p) for p in pack_tuples([big], 1500)[0]]
     reassembler = Reassembler()
-    # Feed without the first fragment: partial tuple must be discarded.
+    # Without the head fragment the tuple died upstream (wherever the
+    # head was lost); trailing chunks are orphans, not fresh drops.
     assert reassembler.feed(1, fragments[1]) is None
-    assert reassembler.dropped == 1
+    assert reassembler.dropped == 0
+    assert reassembler.orphan_fragments == 1
 
 
 def test_gap_in_fragments_discards_partial():
