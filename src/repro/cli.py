@@ -11,7 +11,9 @@ Usage::
 the same rows/series the benchmark harness reports; ``wordcount`` runs
 the Fig. 2 pipeline end to end and prints a topology summary; ``audit``
 runs a scenario, quiesces the cluster and prints the per-layer tuple
-conservation table (exit status 1 if any tuple is unaccounted for).
+conservation table (exit status 1 if any tuple is unaccounted for);
+``chaos`` runs a seeded random fault scenario against the chaos workload
+and checks the four chaos invariants (exit status 1 on any violation).
 """
 
 from __future__ import annotations
@@ -90,6 +92,21 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--settle", type=float, default=2.0,
                        help="drain time after deactivation")
     audit.add_argument("--seed", type=int, default=0)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a seeded fault scenario and check the chaos invariants")
+    chaos.add_argument("--system", choices=("typhoon", "storm", "both"),
+                       default="typhoon")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="scenario seed (same seed => identical report)")
+    chaos.add_argument("--hosts", type=int, default=3)
+    chaos.add_argument("--duration", type=float, default=16.0,
+                       help="virtual seconds of faulted run")
+    chaos.add_argument("--faults", type=int, default=6,
+                       help="number of injected faults")
+    chaos.add_argument("--rate", type=float, default=1500.0,
+                       help="tuples/second from the chaos source")
     return parser
 
 
@@ -151,6 +168,24 @@ def cmd_audit(system: str, rate: float, duration: float, hosts: int,
     return 0 if report.ok else 1
 
 
+def cmd_chaos(system: str, seed: int, hosts: int, duration: float,
+              faults: int, rate: float, out=sys.stdout) -> int:
+    from .core.chaos import run_chaos
+
+    systems = ("typhoon", "storm") if system == "both" else (system,)
+    status = 0
+    for index, name in enumerate(systems):
+        if index:
+            out.write("\n")
+        result = run_chaos(name, seed=seed, hosts=hosts, duration=duration,
+                           faults=faults, rate=rate)
+        out.write(result.render())
+        out.write("\n")
+        if not result.ok:
+            status = 1
+    return status
+
+
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list-experiments":
@@ -165,4 +200,7 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return cmd_audit(args.system, args.rate, args.duration, args.hosts,
                          args.splits, args.counts, args.fault_time,
                          args.settle, args.seed, out)
+    if args.command == "chaos":
+        return cmd_chaos(args.system, args.seed, args.hosts, args.duration,
+                         args.faults, args.rate, out)
     return 2

@@ -1,0 +1,338 @@
+"""Chaos harness: seeded fault scenarios + post-mortem invariant checks.
+
+Typhoon's headline claims are *lossless* operation under reconfiguration
+(§3.5, Fig. 6, Table 4) and SDN-driven fault recovery (§4, Fig. 10).
+This module turns those claims into machine-checked invariants over
+randomized fault scenarios:
+
+1. **delivery conservation** — PR 1's ledger identity balances after the
+   cluster quiesces (no tuple vanished without an attributed drop);
+2. **flow consistency** — every rule the controller's coordinator state
+   implies (Table 3) is actually present in the switches' flow tables
+   with the right actions (switch crashes lose tables; the re-sync must
+   have fully repaired them);
+3. **no duplicate delivery** — the stateful sink's dedup registry saw
+   every ``(source, seq)`` at most once across all reconfigurations;
+4. **fault-detector convergence** — no worker is still redirected-around
+   and no live worker routes to a dead one once faults stop.
+
+:func:`run_chaos` wires a cluster + the chaos workload + a seeded
+:class:`~repro.sim.faults.ChaosSchedule` together and produces a fully
+deterministic :class:`ChaosRunResult`: the same seed renders the same
+report byte for byte, so scenarios are replayable and diffable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim.audit import ConservationReport
+from ..sim.engine import Engine
+from ..sim.faults import STORM_KINDS, TYPHOON_KINDS, ChaosSchedule, FaultPlan
+from ..streaming.storm import StormCluster
+from ..streaming.topology import TopologyConfig
+from ..workloads.chaosflow import DEDUP_SERVICE, DedupRegistry, chaos_topology
+from .apps.fault_detector import FaultDetector
+from .audit import conservation_report, quiesce
+from .runtime import TyphoonCluster
+
+PASS = "PASS"
+FAIL = "FAIL"
+SKIP = "SKIP"
+
+I_CONSERVATION = "delivery-conservation"
+I_FLOW_CONSISTENCY = "flow-consistency"
+I_NO_DUPLICATES = "no-duplicate-delivery"
+I_DETECTOR = "fault-detector-convergence"
+
+
+@dataclass
+class InvariantResult:
+    """Outcome of one invariant check."""
+
+    name: str
+    status: str
+    detail: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status != FAIL
+
+    def render(self) -> str:
+        return "[%s] %-26s %s" % (self.status, self.name, self.detail)
+
+
+@dataclass
+class InvariantReport:
+    """All four chaos invariants plus the conservation snapshot."""
+
+    results: List[InvariantResult]
+    conservation: ConservationReport
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def result(self, name: str) -> InvariantResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError("no invariant %r" % name)
+
+    def render(self) -> str:
+        lines = ["invariant report", "----------------"]
+        lines.extend(result.render() for result in self.results)
+        lines.append("verdict: %s" % ("OK" if self.ok else "VIOLATED"))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "invariants": [
+                {"name": r.name, "status": r.status, "detail": r.detail}
+                for r in self.results
+            ],
+            "conservation": self.conservation.to_dict(),
+        }
+
+
+class InvariantChecker:
+    """Quiesces a cluster and checks the four chaos invariants.
+
+    Works against both runtimes; the SDN-specific checks (flow
+    consistency, detector convergence) report SKIP on the Storm
+    baseline, deterministically, so same-seed reports stay comparable.
+    """
+
+    def __init__(self, cluster, settle: float = 2.0):
+        self.cluster = cluster
+        self.settle = settle
+
+    def run(self) -> InvariantReport:
+        quiesce(self.cluster, settle=self.settle)
+        conservation = conservation_report(self.cluster)
+        results = [
+            self._check_conservation(conservation),
+            self._check_flow_consistency(),
+            self._check_duplicates(),
+            self._check_detector(),
+        ]
+        return InvariantReport(results=results, conservation=conservation)
+
+    # -- (a) delivery conservation -----------------------------------------
+
+    def _check_conservation(self,
+                            report: ConservationReport) -> InvariantResult:
+        detail = ("sent=%d injected=%d delivered=%d drops=%d "
+                  "unattributed=%d" % (report.sent, report.injected,
+                                       report.delivered, report.drops,
+                                       report.unattributed))
+        return InvariantResult(I_CONSERVATION,
+                               PASS if report.ok else FAIL, detail)
+
+    # -- (b) flow-table vs. coordinator-state consistency ------------------
+
+    def _check_flow_consistency(self) -> InvariantResult:
+        app = getattr(self.cluster, "app", None)
+        sdn = getattr(self.cluster, "sdn", None)
+        if app is None or sdn is None:
+            return InvariantResult(I_FLOW_CONSISTENCY, SKIP,
+                                   "no SDN control plane")
+        checked = missing = mismatched = 0
+        for topology_id in sorted(app.managed):
+            desired = app.desired_rules(topology_id)
+            for (dpid, match), (priority, actions) in desired.items():
+                checked += 1
+                switch = sdn.switches.get(dpid)
+                if switch is None or not switch.up:
+                    missing += 1
+                    continue
+                entry = next((e for e in switch.flows
+                              if e.match == match
+                              and e.priority == priority), None)
+                if entry is None:
+                    missing += 1
+                elif tuple(entry.actions) != tuple(actions):
+                    mismatched += 1
+        # Subset check by design: switches legitimately hold rules the
+        # diff bookkeeping does not cover (worker->controller taps).
+        detail = ("rules=%d missing=%d mismatched=%d"
+                  % (checked, missing, mismatched))
+        ok = missing == 0 and mismatched == 0
+        return InvariantResult(I_FLOW_CONSISTENCY, PASS if ok else FAIL,
+                               detail)
+
+    # -- (c) no duplicate delivery to stateful workers ---------------------
+
+    def _check_duplicates(self) -> InvariantResult:
+        services = getattr(self.cluster, "services", {})
+        registry = services.get(DEDUP_SERVICE)
+        if not isinstance(registry, DedupRegistry):
+            return InvariantResult(I_NO_DUPLICATES, SKIP,
+                                   "no dedup registry deployed")
+        detail = ("tracked=%d duplicates=%d"
+                  % (registry.tracked, registry.duplicates))
+        if registry.duplicates:
+            keys = registry.duplicate_keys()[:5]
+            detail += " first=%s" % (",".join("%s#%d" % k for k in keys))
+        return InvariantResult(
+            I_NO_DUPLICATES,
+            PASS if registry.duplicates == 0 else FAIL, detail)
+
+    # -- (d) fault-detector convergence ------------------------------------
+
+    def _check_detector(self) -> InvariantResult:
+        sdn = getattr(self.cluster, "sdn", None)
+        if sdn is None:
+            return InvariantResult(I_DETECTOR, SKIP, "no SDN control plane")
+        detector = next((app for app in sdn.apps
+                         if isinstance(app, FaultDetector)), None)
+        if detector is None:
+            return InvariantResult(I_DETECTOR, SKIP,
+                                   "no fault detector deployed")
+        stale = 0
+        for worker_id in sorted(self.cluster.executors):
+            executor = self.cluster.executor(worker_id)
+            if executor is None:
+                continue
+            for key in sorted(executor.routers):
+                router = executor.routers[key]
+                stale += sum(1 for hop in router.next_hops
+                             if self.cluster.executor(hop) is None)
+        detail = ("redirected=%d stale-next-hops=%d detections=%d "
+                  "restores=%d" % (len(detector.redirected), stale,
+                                   detector.detections, detector.restores))
+        ok = not detector.redirected and stale == 0
+        return InvariantResult(I_DETECTOR, PASS if ok else FAIL, detail)
+
+
+# -- the chaos runner ----------------------------------------------------------
+
+
+@dataclass
+class ChaosRunResult:
+    """Everything one seeded chaos run produced, rendered reproducibly."""
+
+    system: str
+    seed: int
+    schedule: ChaosSchedule
+    plan: FaultPlan
+    invariants: InvariantReport
+
+    @property
+    def ok(self) -> bool:
+        return self.invariants.ok
+
+    def render(self) -> str:
+        sections = [
+            "chaos run system=%s seed=%d" % (self.system, self.seed),
+            self.schedule.describe(),
+            self.plan.render(),
+            self.invariants.render(),
+            self.invariants.conservation.render(),
+        ]
+        return "\n".join(sections)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = self.invariants.to_dict()
+        payload.update({
+            "system": self.system,
+            "seed": self.seed,
+            "specs": [spec.describe() for spec in self.schedule.specs],
+            "faults_fired": list(self.plan.fired),
+            "faults_clamped": list(self.plan.clamped),
+            "faults_unresolved": list(self.plan.unresolved),
+        })
+        return payload
+
+
+def run_chaos(system: str = "typhoon", seed: int = 0, hosts: int = 3,
+              duration: float = 16.0, faults: int = 6, rate: float = 1500.0,
+              warmup: float = 4.0, recovery: float = 5.0,
+              settle: float = 2.0, relays: int = 2,
+              sinks: int = 2) -> ChaosRunResult:
+    """One seeded chaos scenario end to end.
+
+    Timeline: deploy the chaos workload, warm up, arm a seeded fault
+    schedule inside ``[warmup, duration - 2]`` (every durable fault ends
+    before the horizon), run to ``duration`` plus a recovery window that
+    covers the slowest repair (supervisor restart ≈ 3 s), then quiesce
+    and check the four invariants.
+    """
+    if system not in ("typhoon", "storm"):
+        raise ValueError("system must be 'typhoon' or 'storm'")
+    engine = Engine()
+    if system == "typhoon":
+        cluster = TyphoonCluster(engine, num_hosts=hosts, seed=seed)
+        cluster.register_app(FaultDetector(cluster))
+        kinds = TYPHOON_KINDS
+    else:
+        cluster = StormCluster(engine, num_hosts=hosts, seed=seed)
+        kinds = STORM_KINDS
+    registry = DedupRegistry()
+    cluster.services[DEDUP_SERVICE] = registry
+
+    config = TopologyConfig(batch_size=50, max_spout_rate=rate)
+    physical = cluster.submit(chaos_topology("chaos", config, relays=relays,
+                                             sinks=sinks))
+    engine.run(until=warmup)
+
+    window = (warmup, max(warmup + 1.0, duration - 2.0))
+    schedule = ChaosSchedule(seed, kinds=kinds,
+                             workers=sorted(physical.assignments),
+                             hosts=sorted(cluster.manager.agents),
+                             window=window, count=faults)
+    plan = schedule.apply(cluster)
+    cluster.chaos_plan = plan
+
+    engine.run(until=duration + recovery)
+    invariants = InvariantChecker(cluster, settle=settle).run()
+    return ChaosRunResult(system=system, seed=seed, schedule=schedule,
+                          plan=plan, invariants=invariants)
+
+
+def chaos_snapshot(cluster) -> Dict[str, object]:
+    """Live (non-quiescing) chaos state for the ``GET /chaos`` route.
+
+    In-flight tuples make the conservation residual non-zero on a
+    running cluster; this is a dashboard view, not the oracle —
+    :class:`InvariantChecker` is the strict check.
+    """
+    snapshot: Dict[str, object] = {
+        "conservation": conservation_report(cluster).to_dict(),
+    }
+    registry = getattr(cluster, "services", {}).get(DEDUP_SERVICE)
+    if isinstance(registry, DedupRegistry):
+        snapshot["duplicates"] = {
+            "tracked": registry.tracked,
+            "duplicates": registry.duplicates,
+        }
+    sdn = getattr(cluster, "sdn", None)
+    if sdn is not None:
+        snapshot["controller"] = {
+            "up": sdn.up,
+            "outages": sdn.outages,
+            "control_dropped": sdn.control_dropped,
+        }
+        snapshot["switches"] = {
+            dpid: {"up": switch.up, "crashes": switch.crashes,
+                   "rules": len(switch.flows)}
+            for dpid, switch in sorted(sdn.switches.items())
+        }
+        detector = next((app for app in sdn.apps
+                         if isinstance(app, FaultDetector)), None)
+        if detector is not None:
+            snapshot["fault_detector"] = {
+                "detections": detector.detections,
+                "restores": detector.restores,
+                "redirected": sorted(detector.redirected),
+            }
+    plan = getattr(cluster, "chaos_plan", None)
+    if isinstance(plan, FaultPlan):
+        snapshot["faults"] = {
+            "fired": list(plan.fired),
+            "clamped": list(plan.clamped),
+            "unresolved": list(plan.unresolved),
+        }
+    return snapshot

@@ -252,7 +252,29 @@ class TyphoonControllerApp(ControllerApp):
                         rule_templates.PRIORITY_BROADCAST)
         return desired
 
+    def desired_rules(self, topology_id: str) -> Dict[_RuleKey, _RuleValue]:
+        """The Table 3 rule set the coordinator state currently implies.
+
+        Public so auditors (the chaos invariant checker) can compare the
+        controller's intent against actual switch flow tables."""
+        logical = self.state.read_logical(topology_id)
+        physical = self.state.read_physical(topology_id)
+        if logical is None or physical is None:
+            return {}
+        return self._compute_rules(logical, physical)
+
     # -- data-plane discovery -----------------------------------------------------
+
+    def on_switch_reconnect(self, dpid: str) -> None:
+        """A switch restarted and lost its tables: forget what we thought
+        was installed there, then re-sync every managed topology (the
+        per-port syncs that follow the restart's PORT_ADDs fill in rules
+        as worker locations are re-learned)."""
+        for installed in self._installed.values():
+            for key in [k for k in installed if k[0] == dpid]:
+                del installed[key]
+        for topology_id in sorted(self.managed):
+            self.sync_topology(topology_id)
 
     def on_port_status(self, message: PortStatus) -> None:
         worker_id = _worker_of_port(message.port_name)

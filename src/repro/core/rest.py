@@ -22,6 +22,7 @@ DELETE /topologies/{id}/components/{c}/debug            untap
 GET    /topologies/{id}/components/{c}/debug            captured window
 GET    /cluster                                         data-plane summary
 GET    /audit                                           delivery-conservation ledger
+GET    /chaos                                           chaos-harness state
 ====== =============================================== ==================
 
 Computation-logic replacement needs code, which does not travel over
@@ -82,6 +83,7 @@ class RestApi:
                 r"/debug$"), self._debug_window),
             ("GET", re.compile(r"^/cluster$"), self._cluster_summary),
             ("GET", re.compile(r"^/audit$"), self._audit),
+            ("GET", re.compile(r"^/chaos$"), self._chaos),
         ]
 
     # -- plumbing ----------------------------------------------------------
@@ -261,3 +263,10 @@ class RestApi:
         make ``unattributed`` non-zero on a running cluster; quiesce (or
         use ``verify_conservation``) for a strict check."""
         return 200, conservation_report(self.cluster).to_dict()
+
+    def _chaos(self, body) -> Response:
+        """Live chaos-harness state: controller/switch health, dedup
+        counters, armed fault plan. Non-quiescing, like ``/audit``."""
+        from .chaos import chaos_snapshot
+
+        return 200, chaos_snapshot(self.cluster)

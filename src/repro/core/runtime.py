@@ -84,6 +84,10 @@ class TyphoonCluster:
         self.executors: Dict[int, WorkerExecutor] = {}
         self.transports: Dict[int, TyphoonTransport] = {}
         self.services: Dict[str, object] = {"now": lambda: engine.now}
+        #: ``listener(topology_id, op, phase)`` callbacks fired at the
+        #: named phases of the Fig. 6 stable-update procedures (see
+        #: :mod:`repro.core.update`); the chaos harness injects here.
+        self.update_phase_listeners: List = []
         for host in self.cluster:
             agent = WorkerAgent(
                 engine, costs, host.name, self.state,

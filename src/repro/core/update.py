@@ -34,6 +34,27 @@ from .control import RoutingUpdate
 #: PacketOut delivery plus worker-side application of the update.
 _SETTLE = 0.05
 
+#: Named phases of the Fig. 6 stable-update procedures, announced to
+#: ``cluster.update_phase_listeners`` as ``listener(topology_id, op,
+#: phase)``. Not every procedure visits every phase (scale-down never
+#: launches; stateless updates never signal).
+PHASE_BEGIN = "begin"          #: state written, procedure starting
+PHASE_LAUNCHED = "launched"    #: new workers up and attached to switches
+PHASE_RULES = "rules"          #: controller-installed flow rules settled
+PHASE_SIGNALLED = "signalled"  #: SIGNAL flush of stateful caches settled
+PHASE_REROUTED = "rerouted"    #: predecessors' ROUTING state swapped
+PHASE_RETIRING = "retiring"    #: victims draining before removal
+PHASE_DONE = "done"            #: procedure finished
+
+UPDATE_PHASES = (PHASE_BEGIN, PHASE_LAUNCHED, PHASE_RULES, PHASE_SIGNALLED,
+                 PHASE_REROUTED, PHASE_RETIRING, PHASE_DONE)
+
+
+def _phase(cluster, topology_id: str, op: str, phase: str) -> None:
+    """Announce a named update phase (chaos hooks inject faults here)."""
+    for listener in list(getattr(cluster, "update_phase_listeners", ())):
+        listener(topology_id, op, phase)
+
 
 class ReconfigurationError(RuntimeError):
     """Raised when a runtime reconfiguration cannot proceed."""
@@ -148,22 +169,28 @@ def scale_up(cluster, topology_id: str, component: str, new_parallelism: int):
     record.logical = record.logical.with_parallelism(component,
                                                      new_parallelism)
     cluster.state.write_logical(topology_id, record.logical)
+    _phase(cluster, topology_id, "scale_up", PHASE_BEGIN)
 
     new_ids = _launch_new_workers(cluster, record, component, add_count,
                                   task_index_base=node.parallelism)
     yield from wait_for_ports(cluster, new_ids)
+    _phase(cluster, topology_id, "scale_up", PHASE_LAUNCHED)
     # Let the controller's PortStatus-triggered sync install the rules.
     yield cluster.costs.flow_install_latency + cluster.costs.openflow_rtt + _SETTLE
+    _phase(cluster, topology_id, "scale_up", PHASE_RULES)
 
     if node.stateful:
         # Re-partitioning changes the key mapping: flush existing caches.
         _signal_workers(cluster, topology_id, old_ids)
         yield _SETTLE
+        _phase(cluster, topology_id, "scale_up", PHASE_SIGNALLED)
 
     updates = predecessor_routing_updates(
         record.logical, record.physical, component, old_ids + new_ids)
     _push_routing(cluster, topology_id, updates)
     yield _SETTLE
+    _phase(cluster, topology_id, "scale_up", PHASE_REROUTED)
+    _phase(cluster, topology_id, "scale_up", PHASE_DONE)
     return new_ids
 
 
@@ -182,18 +209,23 @@ def scale_down(cluster, topology_id: str, component: str,
     record.logical = record.logical.with_parallelism(component,
                                                      new_parallelism)
     cluster.state.write_logical(topology_id, record.logical)
+    _phase(cluster, topology_id, "scale_down", PHASE_BEGIN)
 
     updates = predecessor_routing_updates(
         record.logical, record.physical, component, survivors)
     _push_routing(cluster, topology_id, updates)
     yield _SETTLE
+    _phase(cluster, topology_id, "scale_down", PHASE_REROUTED)
 
     if node.stateful:
         # Flush the victims' caches right before removal.
         _signal_workers(cluster, topology_id, victims)
         yield _SETTLE
+        _phase(cluster, topology_id, "scale_down", PHASE_SIGNALLED)
 
+    _phase(cluster, topology_id, "scale_down", PHASE_RETIRING)
     yield from _retire_workers(cluster, record, victims)
+    _phase(cluster, topology_id, "scale_down", PHASE_DONE)
     return victims
 
 
@@ -210,24 +242,31 @@ def replace_computation(cluster, topology_id: str, component: str, factory,
         logical = logical.with_parallelism(component, count)
     record.logical = logical
     cluster.state.write_logical(topology_id, logical)
+    _phase(cluster, topology_id, "replace_computation", PHASE_BEGIN)
 
     max_index = max((a.task_index for a in
                      record.physical.workers_for(component)), default=-1)
     new_ids = _launch_new_workers(cluster, record, component, count,
                                   task_index_base=max_index + 1)
     yield from wait_for_ports(cluster, new_ids)
+    _phase(cluster, topology_id, "replace_computation", PHASE_LAUNCHED)
     yield cluster.costs.flow_install_latency + cluster.costs.openflow_rtt + _SETTLE
+    _phase(cluster, topology_id, "replace_computation", PHASE_RULES)
 
     if node.stateful:
         _signal_workers(cluster, topology_id, old_ids)
         yield _SETTLE
+        _phase(cluster, topology_id, "replace_computation", PHASE_SIGNALLED)
 
     updates = predecessor_routing_updates(
         record.logical, record.physical, component, new_ids)
     _push_routing(cluster, topology_id, updates)
     yield _SETTLE
+    _phase(cluster, topology_id, "replace_computation", PHASE_REROUTED)
 
+    _phase(cluster, topology_id, "replace_computation", PHASE_RETIRING)
     yield from _retire_workers(cluster, record, old_ids)
+    _phase(cluster, topology_id, "replace_computation", PHASE_DONE)
     return new_ids
 
 

@@ -16,9 +16,14 @@ delays would reorder them.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
-from ..sim.audit import LAYER_CHANNEL, R_CHANNEL_CLOSED, DeliveryLedger
+from ..sim.audit import (
+    LAYER_CHANNEL,
+    R_CHANNEL_CLOSED,
+    R_LINK_LOSS,
+    DeliveryLedger,
+)
 from ..sim.costs import CostModel, transmission_delay
 from ..sim.engine import Engine
 
@@ -59,17 +64,50 @@ class TcpChannel:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self._last_delivery = 0.0
+        # Chaos-injection knobs (see repro.sim.faults). ``down`` models a
+        # partition: TCP keeps retransmitting, so writes queue losslessly
+        # until the link heals. ``loss_rate`` models an *application-level*
+        # lossy link (e.g. a saturated middlebox dropping whole writes);
+        # ``chaos_delay`` adds latency on top of the base transmission cost.
+        self.down = False
+        self.loss_rate = 0.0
+        self.loss_rng = None
+        self.chaos_delay = 0.0
+        self._backlog: List[bytes] = []
 
     def send(self, data: bytes) -> None:
         if self.closed:
             raise ChannelClosed("channel %s is closed" % self.name)
         self.messages_sent += 1
         self.bytes_sent += len(data)
+        if self.down:
+            self._backlog.append(data)
+            return
+        if (self.loss_rate > 0.0 and self.loss_rng is not None
+                and self.loss_rng.random() < self.loss_rate):
+            self.messages_dropped += 1
+            if self.ledger is not None:
+                self.ledger.record_frame_drop(LAYER_CHANNEL, R_LINK_LOSS,
+                                              data)
+            return
+        self._schedule_delivery(data)
+
+    def _schedule_delivery(self, data: bytes) -> None:
         delay = (transmission_delay(self.costs, len(data), self.remote)
-                 + self.extra_delay)
+                 + self.extra_delay + self.chaos_delay)
         deliver_at = max(self.engine.now + delay, self._last_delivery)
         self._last_delivery = deliver_at
         self.engine.schedule(deliver_at - self.engine.now, self._deliver, data)
+
+    def set_down(self, down: bool) -> None:
+        """Partition / heal the link. Healing replays the backlog in send
+        order; FIFO with pre-partition traffic is preserved by the
+        monotonic ``_last_delivery`` watermark."""
+        self.down = bool(down)
+        if not self.down and self._backlog:
+            backlog, self._backlog = self._backlog, []
+            for data in backlog:
+                self._schedule_delivery(data)
 
     def _deliver(self, data: bytes) -> None:
         if self.closed:
@@ -87,6 +125,12 @@ class TcpChannel:
         """Close the channel; in-flight and future messages are dropped
         (and counted in ``messages_dropped`` as they land)."""
         self.closed = True
+        backlog, self._backlog = self._backlog, []
+        for data in backlog:
+            self.messages_dropped += 1
+            if self.ledger is not None:
+                self.ledger.record_frame_drop(LAYER_CHANNEL,
+                                              R_CHANNEL_CLOSED, data)
 
 
 class TcpTunnel:
@@ -139,6 +183,24 @@ class TcpTunnel:
     @property
     def total_bytes(self) -> int:
         return self._a_to_b.bytes_sent + self._b_to_a.bytes_sent
+
+    # -- chaos knobs (both directions at once) -----------------------------
+
+    def set_down(self, down: bool) -> None:
+        """Partition or heal the host pair (lossless, TCP semantics)."""
+        self._a_to_b.set_down(down)
+        self._b_to_a.set_down(down)
+
+    def set_loss(self, rate: float, rng) -> None:
+        """Make the link drop whole writes with probability ``rate``."""
+        for channel in (self._a_to_b, self._b_to_a):
+            channel.loss_rate = rate
+            channel.loss_rng = rng if rate > 0.0 else None
+
+    def set_chaos_delay(self, extra: float) -> None:
+        """Add (or with 0.0, remove) extra one-way latency."""
+        self._a_to_b.chaos_delay = extra
+        self._b_to_a.chaos_delay = extra
 
     def close(self) -> None:
         self._a_to_b.close()

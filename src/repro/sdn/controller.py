@@ -34,6 +34,7 @@ from .openflow import (
     PortStatsReply,
     PortStatsRequest,
     PortStatus,
+    SwitchReconnect,
 )
 from .switch import SoftwareSwitch
 
@@ -66,6 +67,9 @@ class ControllerApp:
     def on_switch_connected(self, switch: SoftwareSwitch) -> None:
         pass
 
+    def on_switch_reconnect(self, dpid: str) -> None:
+        """The switch restarted with empty tables; re-sync any state."""
+
     def on_packet_in(self, message: PacketIn) -> None:
         pass
 
@@ -95,6 +99,19 @@ class SdnController:
         self._pending_stats: Dict[Tuple[str, type], Deque[Event]] = {}
         self.messages_sent = 0
         self.events_received = 0
+        # Chaos-injection state (see repro.sim.faults). While the
+        # controller is down both inbound events and outbound sends queue
+        # (switch connections buffer; apps are simply not running) and
+        # flush FIFO on recovery. ``control_*`` models a degraded control
+        # channel and applies only to PacketIn/PacketOut traffic.
+        self.up = True
+        self.outages = 0
+        self.control_dropped = 0
+        self.control_extra_delay = 0.0
+        self.control_drop_rate = 0.0
+        self.control_rng = None
+        self._event_backlog: List[Message] = []
+        self._send_backlog: List[Tuple[str, Message]] = []
 
     # -- topology ---------------------------------------------------------
 
@@ -123,9 +140,30 @@ class SdnController:
 
     def _receive(self, message: Message) -> None:
         self.events_received += 1
+        if not self.up:
+            self._event_backlog.append(message)
+            return
+        if isinstance(message, PacketIn):
+            # Control-channel faults hit the packet path, not the
+            # connection-level events (PortStatus etc. ride the reliable
+            # session the switch re-establishes on its own).
+            if (self.control_drop_rate > 0.0 and self.control_rng is not None
+                    and self.control_rng.random() < self.control_drop_rate):
+                self.control_dropped += 1
+                return
+            if self.control_extra_delay > 0.0:
+                self.engine.schedule(self.control_extra_delay,
+                                     self._dispatch, message)
+                return
+        self._dispatch(message)
+
+    def _dispatch(self, message: Message) -> None:
         if isinstance(message, PacketIn):
             for app in self.apps:
                 app.on_packet_in(message)
+        elif isinstance(message, SwitchReconnect):
+            for app in self.apps:
+                app.on_switch_reconnect(message.dpid)
         elif isinstance(message, PortStatus):
             for app in self.apps:
                 app.on_port_status(message)
@@ -157,9 +195,54 @@ class SdnController:
         if switch is None:
             raise KeyError("no switch %r connected" % dpid)
         self.messages_sent += 1
-        self.engine.schedule(
-            self.costs.openflow_rtt / 2, switch.handle_message, message
-        )
+        if not self.up:
+            self._send_backlog.append((dpid, message))
+            return
+        self._transmit(dpid, message)
+
+    def _transmit(self, dpid: str, message: Message) -> None:
+        switch = self.switches[dpid]
+        delay = self.costs.openflow_rtt / 2
+        if isinstance(message, PacketOut):
+            if (self.control_drop_rate > 0.0 and self.control_rng is not None
+                    and self.control_rng.random() < self.control_drop_rate):
+                self.control_dropped += 1
+                return
+            delay += self.control_extra_delay
+        self.engine.schedule(delay, switch.handle_message, message)
+
+    # -- chaos injection (see repro.sim.faults) ----------------------------
+
+    def fail(self) -> None:
+        """Controller outage: apps stop reacting, messages queue."""
+        if not self.up:
+            return
+        self.up = False
+        self.outages += 1
+
+    def recover(self) -> None:
+        """End an outage; drain queued events then queued sends, FIFO.
+
+        Backlogged PacketIns bypass the drop/delay knobs: those model
+        the degraded live channel, while the backlog arrives over the
+        freshly re-established sessions."""
+        if self.up:
+            return
+        self.up = True
+        events, self._event_backlog = self._event_backlog, []
+        sends, self._send_backlog = self._send_backlog, []
+        for message in events:
+            self._dispatch(message)
+        for dpid, message in sends:
+            if dpid in self.switches:
+                self._transmit(dpid, message)
+
+    def set_control_fault(self, extra_delay: float = 0.0,
+                          drop_rate: float = 0.0, rng=None) -> None:
+        """Degrade (or with defaults, heal) the PacketIn/PacketOut path."""
+        self.control_extra_delay = extra_delay
+        self.control_drop_rate = drop_rate
+        self.control_rng = rng if drop_rate > 0.0 else None
 
     def install_flow(
         self,

@@ -121,6 +121,18 @@ class FlowRemoved(Message):
 
 
 @dataclass
+class SwitchReconnect(Message):
+    """A crashed switch came back with an empty flow table.
+
+    Real controllers see this as the control channel re-establishing
+    (OpenFlow HELLO + feature reply); apps must assume all previously
+    installed state on ``dpid`` is gone and re-sync.
+    """
+
+    dpid: str
+
+
+@dataclass
 class FlowStatsRequest(Message):
     match: Match = field(default_factory=Match)
 

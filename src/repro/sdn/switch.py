@@ -23,6 +23,7 @@ from ..sim.audit import (
     R_NO_CONTROLLER,
     R_NO_OUTPUT,
     R_PORT_DOWN,
+    R_SWITCH_DOWN,
     R_TABLE_MISS,
     DeliveryLedger,
 )
@@ -59,6 +60,7 @@ from .openflow import (
     PortStatsReply,
     PortStatsRequest,
     PortStatus,
+    SwitchReconnect,
     REASON_ACTION,
     REASON_DELETE,
     REASON_IDLE_TIMEOUT,
@@ -141,6 +143,9 @@ class SoftwareSwitch:
         self.ports: Dict[int, SwitchPort] = {}
         self._next_port = 1
         self._busy_until = 0.0
+        self.up = True
+        self.crashes = 0
+        self.control_lost_while_down = 0
         self.packets_forwarded = 0
         self.packets_dropped = 0
         self.table_misses = 0
@@ -189,11 +194,55 @@ class SoftwareSwitch:
                 return port
         return None
 
+    # -- crash / restart (chaos injection) -----------------------------------
+
+    def crash(self) -> None:
+        """The switch process dies: flow and group tables are lost, the
+        data plane stops, and the controller sees every port vanish (the
+        same signal a worker death produces, but for the whole host).
+        Ports themselves survive in the model — attached workers keep
+        their ring buffers and re-appear on :meth:`restore`."""
+        if not self.up:
+            return
+        self.up = False
+        self.crashes += 1
+        self.flows = FlowTable()
+        self.groups = GroupTable()
+        self._busy_until = self.engine.now
+        for number in sorted(self.ports):
+            port = self.ports[number]
+            self._notify_controller(
+                PortStatus(self.dpid, number, port.name, PORT_DELETE),
+                self.costs.port_event_latency,
+            )
+
+    def restore(self) -> None:
+        """Restart the switch with an empty flow table. Announces the
+        reconnect first (so apps can invalidate bookkeeping for the lost
+        tables), then re-adds every surviving port; the controller
+        re-learns locations and re-installs rules per PORT_ADD."""
+        if self.up:
+            return
+        self.up = True
+        self._notify_controller(SwitchReconnect(self.dpid),
+                                self.costs.port_event_latency)
+        for number in sorted(self.ports):
+            port = self.ports[number]
+            self._notify_controller(
+                PortStatus(self.dpid, number, port.name, PORT_ADD),
+                self.costs.port_event_latency,
+            )
+
     # -- OpenFlow message handling -------------------------------------------
 
     def handle_message(self, message: Message) -> None:
         """Apply a controller message (already delivered over the control
         channel; FlowMods additionally pay the rule-installation latency)."""
+        if not self.up:
+            # The control channel to a dead switch is gone; the message
+            # is lost and the controller must reconcile after restart.
+            self.control_lost_while_down += 1
+            return
         if isinstance(message, FlowMod):
             self.engine.schedule(
                 self.costs.flow_install_latency, self._apply_flow_mod, message
@@ -212,6 +261,11 @@ class SoftwareSwitch:
             raise TypeError("switch cannot handle %r" % (message,))
 
     def _apply_flow_mod(self, mod: FlowMod) -> None:
+        if not self.up:
+            # The install latency straddled a crash: the mod dies with
+            # the switch process instead of landing in the fresh table.
+            self.control_lost_while_down += 1
+            return
         if mod.command == ADD or mod.command == MODIFY:
             entry = FlowEntry(
                 match=mod.match,
@@ -233,6 +287,9 @@ class SoftwareSwitch:
                 )
 
     def _apply_group_mod(self, mod: GroupMod) -> None:
+        if not self.up:
+            self.control_lost_while_down += 1
+            return
         if mod.command == ADD:
             self.groups.add(GroupEntry(mod.group_id, mod.group_type,
                                        list(mod.buckets)))
@@ -290,6 +347,12 @@ class SoftwareSwitch:
 
         Returns False when the frame was dropped (backlog or table miss).
         """
+        if not self.up:
+            self.packets_dropped += 1
+            if self.ledger is not None:
+                self.ledger.record_frame_drop(LAYER_SWITCH,
+                                              R_SWITCH_DOWN, frame)
+            return False
         port = self.ports.get(in_port)
         if port is not None:
             port.rx_packets += 1

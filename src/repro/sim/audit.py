@@ -69,6 +69,8 @@ R_PORT_DOWN = "port-down"                   #: output port missing or down
 R_NO_OUTPUT = "no-output"                   #: matched rule with no live output
 R_NO_CONTROLLER = "no-controller"           #: PacketIn with no controller attached
 R_UNRESOLVED = "unresolved-worker"          #: Storm registry lookup failed
+R_LINK_LOSS = "link-loss"                   #: injected lossy-link drop
+R_SWITCH_DOWN = "switch-down"               #: frame hit a crashed switch
 
 #: Scope used when the reporting site cannot attribute an application.
 UNKNOWN_SCOPE = -1

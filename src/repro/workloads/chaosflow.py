@@ -1,0 +1,139 @@
+"""Chaos-harness workload: a pipeline instrumented for exactness checks.
+
+The random fault scenarios (:mod:`repro.sim.faults`) need a topology
+whose *correctness* — not just throughput — is checkable after arbitrary
+worker restarts and reconfigurations. This module provides one:
+
+    source (seq spout) -> relay (shuffle) -> state (key-based, stateful)
+
+with a :class:`DedupRegistry` standing in for the external storage §8
+prescribes for stateful workers. The registry lives in
+``cluster.services`` so it survives worker crashes and relaunches:
+
+* sources draw their sequence numbers *from the registry*, so a
+  restarted spout continues the stream instead of re-emitting old
+  sequence numbers (the model of a source reading from a durable queue
+  offset — re-emission would be indistinguishable from duplication);
+* the stateful sink records every ``(source, seq)`` it applies, so any
+  tuple applied twice — e.g. re-delivered across a reconfiguration —
+  shows up as a duplicate, which invariant (c) of the chaos harness
+  asserts is zero.
+
+With acking disabled (the default config) nothing is ever replayed, so
+a duplicate here is always a real routing/delivery bug.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..streaming.topology import (
+    Bolt,
+    ComponentContext,
+    EmitterApi,
+    LogicalTopology,
+    Spout,
+    TopologyBuilder,
+    TopologyConfig,
+)
+from ..streaming.tuples import StreamTuple
+
+#: The cluster-services key the chaos components look the registry up by.
+DEDUP_SERVICE = "chaos_dedup"
+
+
+class DedupRegistry:
+    """External-storage stand-in: durable sequence counters + seen-set.
+
+    Shared by every chaos-workload component via ``cluster.services``;
+    deliberately not billed as a costed service (it models state that
+    survives crashes, not a remote round trip per tuple).
+    """
+
+    def __init__(self) -> None:
+        self._sequences: Dict[str, int] = {}
+        self._seen: Dict[Tuple[str, int], int] = {}
+        self.tracked = 0
+        self.duplicates = 0
+
+    def next_seq(self, source: str) -> int:
+        """Durably allocate the next sequence number for one source."""
+        value = self._sequences.get(source, 0)
+        self._sequences[source] = value + 1
+        return value
+
+    def record(self, source: str, seq: int) -> None:
+        """Note one stateful application of ``(source, seq)``."""
+        key = (source, seq)
+        count = self._seen.get(key, 0)
+        self._seen[key] = count + 1
+        self.tracked += 1
+        if count:
+            self.duplicates += 1
+
+    def duplicate_keys(self) -> List[Tuple[str, int]]:
+        return sorted(key for key, count in self._seen.items() if count > 1)
+
+
+class ChaosSequenceSpout(Spout):
+    """Emits ``(payload, seq, source_key)`` with registry-backed seqs."""
+
+    def __init__(self, payload: str = "chaos-harness-payload"):
+        self.payload = payload
+        self._registry: Optional[DedupRegistry] = None
+        self._key = "source:?"
+        self._local_seq = 0
+
+    def open(self, ctx: ComponentContext) -> None:
+        self._registry = ctx.services.get(DEDUP_SERVICE)
+        self._key = "source:%d" % ctx.task_index
+
+    def next_tuple(self, collector: EmitterApi) -> None:
+        if self._registry is not None:
+            seq = self._registry.next_seq(self._key)
+        else:
+            seq = self._local_seq
+            self._local_seq += 1
+        collector.emit((self.payload, seq, self._key), message_id=seq)
+
+
+class RelayBolt(Bolt):
+    """Stateless pass-through (gives the pipeline a routed middle hop)."""
+
+    def execute(self, stream_tuple: StreamTuple,
+                collector: EmitterApi) -> None:
+        collector.emit(tuple(stream_tuple.values), anchor=stream_tuple)
+
+
+class DedupSinkBolt(Bolt):
+    """Stateful sink: applies each tuple to the dedup registry."""
+
+    def __init__(self) -> None:
+        self.processed = 0
+        self._registry: Optional[DedupRegistry] = None
+
+    def open(self, ctx: ComponentContext) -> None:
+        self._registry = ctx.services.get(DEDUP_SERVICE)
+
+    def execute(self, stream_tuple: StreamTuple,
+                collector: EmitterApi) -> None:
+        self.processed += 1
+        if self._registry is not None:
+            self._registry.record(stream_tuple[2], stream_tuple[1])
+
+
+def chaos_topology(topology_id: str = "chaos",
+                   config: Optional[TopologyConfig] = None,
+                   sources: int = 1, relays: int = 2,
+                   sinks: int = 2) -> LogicalTopology:
+    """The chaos-harness pipeline: source -> relay -> stateful sink.
+
+    The sink is key-grouped on the sequence number, spreading load over
+    all sink workers while satisfying the Table 4 stateful-routing rule.
+    """
+    builder = TopologyBuilder(topology_id, config)
+    builder.set_spout("source", ChaosSequenceSpout, sources)
+    builder.set_bolt("relay", RelayBolt, relays).shuffle_grouping("source")
+    builder.set_bolt("state", DedupSinkBolt, sinks,
+                     stateful=True).fields_grouping("relay", [1])
+    return builder.build()

@@ -1,0 +1,257 @@
+"""Chaos subsystem tests: injectors, schedules, invariants, surfaces.
+
+The headline property under test is *seeded determinism*: one seed must
+reproduce an entire fault scenario — schedule, injections, recovery and
+the final invariant report — byte for byte, on both runtimes. The rest
+of the file unit-tests each injector's semantics (lossless partitions,
+accounted lossy links, flow-table re-sync after switch crashes,
+controller outage buffering) and the CLI/REST surfaces.
+"""
+
+import io
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.core import TyphoonCluster
+from repro.core.apps import FaultDetector
+from repro.core.audit import conservation_report
+from repro.core.chaos import (
+    I_DETECTOR,
+    I_FLOW_CONSISTENCY,
+    InvariantChecker,
+    run_chaos,
+)
+from repro.core.rest import RestApi
+from repro.sim import Engine
+from repro.sim.audit import R_LINK_LOSS
+from repro.sim.faults import (
+    STORM_KINDS,
+    TYPHOON_KINDS,
+    ChaosSchedule,
+    kill_worker_at,
+    set_control_fault,
+    set_controller_down,
+    set_link_down,
+    set_link_loss,
+    set_switch_down,
+)
+from repro.streaming import TopologyConfig
+from repro.workloads import DEDUP_SERVICE, DedupRegistry, chaos_topology
+
+
+def start(hosts=3, rate=1200.0, warmup=4.0):
+    engine = Engine()
+    cluster = TyphoonCluster(engine, num_hosts=hosts, seed=0)
+    cluster.register_app(FaultDetector(cluster))
+    cluster.services[DEDUP_SERVICE] = DedupRegistry()
+    config = TopologyConfig(batch_size=50, max_spout_rate=rate)
+    cluster.submit(chaos_topology("chaos", config))
+    engine.run(until=warmup)
+    return engine, cluster
+
+
+# -- seeded determinism (the tentpole acceptance criterion) -----------------
+
+
+@pytest.mark.parametrize("system", ["typhoon", "storm"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_chaos_run_deterministic_and_invariants_hold(system, seed):
+    first = run_chaos(system, seed=seed, duration=12.0, faults=4, rate=800.0)
+    second = run_chaos(system, seed=seed, duration=12.0, faults=4, rate=800.0)
+    # Same seed => byte-identical report and ledger snapshot.
+    assert first.render() == second.render()
+    assert (first.invariants.conservation.to_dict()
+            == second.invariants.conservation.to_dict())
+    # Every built-in scenario passes all four invariants.
+    assert first.ok, first.render()
+    # Every injected fault fired and every durable one was restored.
+    assert len(first.plan.fired) == 4
+    assert first.plan.unresolved == []
+
+
+def test_chaos_runs_differ_across_seeds():
+    reports = {run_chaos("typhoon", seed=seed, duration=12.0, faults=4,
+                         rate=800.0).render() for seed in (0, 1, 2)}
+    assert len(reports) == 3
+
+
+def test_storm_report_skips_sdn_invariants():
+    result = run_chaos("storm", seed=0, duration=12.0, faults=3, rate=800.0)
+    assert result.invariants.result(I_FLOW_CONSISTENCY).status == "SKIP"
+    assert result.invariants.result(I_DETECTOR).status == "SKIP"
+    assert result.ok
+
+
+# -- the schedule generator -------------------------------------------------
+
+
+def test_chaos_schedule_is_seed_deterministic():
+    def make(seed):
+        return ChaosSchedule(seed, kinds=TYPHOON_KINDS, workers=[1, 2, 3],
+                             hosts=["host-0", "host-1", "host-2"],
+                             window=(4.0, 14.0), count=8)
+
+    assert make(5).describe() == make(5).describe()
+    assert make(5).describe() != make(6).describe()
+    specs = make(5).specs
+    assert len(specs) == 8
+    assert all(4.0 <= spec.when <= 14.0 for spec in specs)
+    assert all(spec.when + spec.duration <= 14.0 + 1e-9 for spec in specs)
+    assert [s.when for s in specs] == sorted(s.when for s in specs)
+
+
+def test_chaos_schedule_respects_kind_subset():
+    schedule = ChaosSchedule(1, kinds=STORM_KINDS, workers=[1],
+                             hosts=["host-0"], window=(1.0, 5.0), count=10)
+    assert {spec.kind for spec in schedule.specs} <= set(STORM_KINDS)
+
+
+def test_chaos_schedule_rejects_bad_window():
+    with pytest.raises(ValueError):
+        ChaosSchedule(1, kinds=TYPHOON_KINDS, workers=[1], hosts=["host-0"],
+                      window=(5.0, 5.0), count=2)
+
+
+# -- injector semantics -----------------------------------------------------
+
+
+def test_link_partition_is_lossless():
+    engine, cluster = start()
+    baseline = conservation_report(cluster).drops
+    set_link_down(cluster, "host-0", "host-1", True)
+    engine.run(until=engine.now + 1.0)
+    set_link_down(cluster, "host-0", "host-1", False)
+    engine.run(until=engine.now + 1.0)
+    report = conservation_report(cluster)
+    # TCP semantics: a partition buffers, it never drops.
+    assert report.drops == baseline
+    InvariantChecker(cluster).run()
+    assert conservation_report(cluster).ok
+
+
+def test_lossy_link_drops_are_attributed():
+    engine, cluster = start()
+    set_link_loss(cluster, "host-0", "host-1", 0.5, random.Random(7))
+    engine.run(until=engine.now + 1.0)
+    set_link_loss(cluster, "host-0", "host-1", 0.0)
+    report = InvariantChecker(cluster).run()
+    assert report.ok, report.render()
+    loss = {(layer, reason): count for _t, layer, reason, count
+            in report.conservation.drop_rows}
+    assert loss.get(("channel", R_LINK_LOSS), 0) > 0
+
+
+def test_switch_crash_loses_rules_and_resync_restores_them():
+    engine, cluster = start()
+    switch = cluster.fabric.host("host-0").switch
+    assert len(switch.flows) > 0
+    set_switch_down(cluster, "host-0", True)
+    assert len(switch.flows) == 0 and not switch.up
+    engine.run(until=engine.now + 0.5)
+    set_switch_down(cluster, "host-0", False)
+    engine.run(until=engine.now + 1.0)
+    assert switch.up and switch.crashes == 1
+    # The controller purged its diff bookkeeping and re-installed
+    # every rule its coordinator state implies for this dpid.
+    for (dpid, match), (priority, actions) in \
+            cluster.app.desired_rules("chaos").items():
+        if dpid != switch.dpid:
+            continue
+        entry = next((e for e in switch.flows
+                      if e.match == match and e.priority == priority), None)
+        assert entry is not None and tuple(entry.actions) == tuple(actions)
+    report = InvariantChecker(cluster).run()
+    assert report.ok, report.render()
+
+
+def test_controller_outage_buffers_port_events():
+    engine, cluster = start()
+    record = cluster.manager.topologies["chaos"]
+    victim = record.physical.worker_ids_for("relay")[0]
+    set_controller_down(cluster, True)
+    assert cluster.sdn.outages == 1
+    kill_worker_at(cluster, victim, when=engine.now)
+    engine.run(until=engine.now + 1.0)
+    # The PORT_DELETE is queued, not processed: the app still maps the
+    # dead worker to a host.
+    assert victim in cluster.app.worker_host
+    set_controller_down(cluster, False)
+    engine.run(until=engine.now + 6.0)  # backlog drains, worker restarts
+    assert victim in cluster.app.worker_host  # re-added by the restart
+    report = InvariantChecker(cluster).run()
+    assert report.ok, report.render()
+
+
+def test_control_channel_drop_counts_and_conserves():
+    engine, cluster = start()
+    set_control_fault(cluster, drop_rate=1.0, rng=random.Random(3))
+    record = cluster.manager.topologies["chaos"]
+    victim = record.physical.worker_ids_for("relay")[0]
+    kill_worker_at(cluster, victim, when=engine.now)
+    engine.run(until=engine.now + 1.0)
+    assert cluster.sdn.control_dropped > 0
+    set_control_fault(cluster)  # heal
+    engine.run(until=engine.now + 5.0)
+    report = InvariantChecker(cluster).run()
+    assert report.ok, report.render()
+
+
+def test_mid_update_fault_via_phase_trigger():
+    from repro.core.update import PHASE_RULES
+    from repro.sim.faults import FaultPlan
+
+    engine, cluster = start()
+    seen = []
+    plan = (FaultPlan(cluster)
+            .at_phase("chaos", "scale_up", PHASE_RULES,
+                      lambda: seen.append(engine.now),
+                      description="probe at rules phase")
+            .arm())
+    cluster.set_parallelism("chaos", "relay", 3)
+    engine.run(until=engine.now + 8.0)
+    assert len(seen) == 1
+    assert "probe at rules phase" in plan.fired
+
+
+# -- surfaces ---------------------------------------------------------------
+
+
+def test_rest_chaos_route_reports_live_state():
+    engine, cluster = start()
+    api = RestApi(cluster)
+    status, payload = api.handle("GET", "/chaos")
+    assert status == 200
+    assert payload["controller"]["up"] is True
+    assert payload["duplicates"]["duplicates"] == 0
+    assert set(payload["switches"]) == {"host-0", "host-1", "host-2"}
+    set_switch_down(cluster, "host-1", True)
+    status, payload = api.handle("GET", "/chaos")
+    assert payload["switches"]["host-1"]["up"] is False
+    assert payload["switches"]["host-1"]["crashes"] == 1
+
+
+def test_cli_chaos_is_reproducible_and_exits_zero():
+    def run():
+        out = io.StringIO()
+        code = main(["chaos", "--seed", "2", "--duration", "12",
+                     "--faults", "3", "--rate", "800"], out=out)
+        return code, out.getvalue()
+
+    code_a, text_a = run()
+    code_b, text_b = run()
+    assert code_a == code_b == 0
+    assert text_a == text_b
+    assert "invariant report" in text_a
+    assert "verdict: OK" in text_a
+
+
+def test_cli_chaos_both_systems():
+    out = io.StringIO()
+    code = main(["chaos", "--system", "both", "--seed", "1",
+                 "--duration", "10", "--faults", "2", "--rate", "600"],
+                out=out)
+    text = out.getvalue()
+    assert code == 0
+    assert "system=typhoon" in text and "system=storm" in text

@@ -1,7 +1,5 @@
 """Tests for external fault injection and the cluster inspector."""
 
-import pytest
-
 from repro.core import TyphoonCluster
 from repro.core.apps import FaultDetector
 from repro.sim import Engine
@@ -41,10 +39,39 @@ def test_kill_worker_at_crashes_then_supervisor_restarts():
     assert executor.stats is not None
 
 
-def test_kill_worker_in_past_rejected():
+def test_kill_worker_in_past_fires_immediately():
     engine, cluster = start()
-    with pytest.raises(ValueError):
-        kill_worker_at(cluster, 1, when=1.0)
+    record = cluster.manager.topologies["wc"]
+    victim = record.physical.worker_ids_for("split")[0]
+    kill_worker_at(cluster, victim, when=1.0)  # already past at t=6
+    engine.run(until=6.3)
+    executor = cluster.executor(victim)
+    assert executor is None or not executor.alive
+
+
+def test_fault_plan_records_clamped_injections():
+    engine, cluster = start()
+    record = cluster.manager.topologies["wc"]
+    victim = record.physical.worker_ids_for("split")[0]
+    plan = FaultPlan(cluster).kill_worker(victim, when=2.0).arm()
+    label = "kill worker %d" % victim
+    assert label in plan.clamped
+    engine.run(until=6.5)
+    assert label in plan.fired
+    executor = cluster.executor(victim)
+    assert executor is None or not executor.alive
+
+
+def test_crash_loop_watchdog_stops_recheck_process():
+    engine, cluster = start()
+    record = cluster.manager.topologies["wc"]
+    victim = record.physical.worker_ids_for("split")[0]
+    task = crash_loop(cluster, victim, start=8.0, until=12.0)
+    engine.run(until=12.5)
+    assert not task.alive  # watchdog cancelled the recheck process
+    engine.run(until=20.0)  # loop over: the supervisor restart sticks
+    executor = cluster.executor(victim)
+    assert executor is not None and executor.alive
 
 
 def test_crash_loop_keeps_worker_down():
