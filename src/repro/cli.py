@@ -13,12 +13,17 @@ the Fig. 2 pipeline end to end and prints a topology summary; ``audit``
 runs a scenario, quiesces the cluster and prints the per-layer tuple
 conservation table (exit status 1 if any tuple is unaccounted for);
 ``chaos`` runs a seeded random fault scenario against the chaos workload
-and checks the four chaos invariants (exit status 1 on any violation).
+and checks the four chaos invariants (exit status 1 on any violation);
+``trace`` runs the Fig. 8 forwarding workload with hop-by-hop tracing
+enabled and prints the per-hop latency breakdown, verifying that every
+sampled tuple's hop segments sum exactly to the end-to-end latency the
+metrics registry recorded for it (exit status 1 on any mismatch).
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -107,6 +112,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of injected faults")
     chaos.add_argument("--rate", type=float, default=1500.0,
                        help="tuples/second from the chaos source")
+
+    trace = commands.add_parser(
+        "trace",
+        help="trace the forwarding workload hop by hop and print the "
+             "per-hop latency breakdown")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="same seed => byte-identical breakdown")
+    trace.add_argument("--sample-every", type=int, default=7,
+                       help="sample 1 in N tuples (0 disables tracing)")
+    trace.add_argument("--rate", type=float, default=50_000.0,
+                       help="tuples/second from the forwarding source")
+    trace.add_argument("--duration", type=float, default=0.5,
+                       help="virtual seconds of traced traffic")
+    trace.add_argument("--hosts", type=int, default=2)
     return parser
 
 
@@ -186,6 +205,44 @@ def cmd_chaos(system: str, seed: int, hosts: int, duration: float,
     return status
 
 
+def cmd_trace(seed: int, sample_every: int, rate: float, duration: float,
+              hosts: int, out=sys.stdout) -> int:
+    from .core.tracing import run_forwarding_trace
+
+    report, tracer, cluster = run_forwarding_trace(
+        seed=seed, sample_every=sample_every, rate=rate,
+        duration=duration, hosts=hosts)
+    out.write(report.render())
+    out.write("\n")
+    if sample_every == 0:
+        # Disabled tracing must be a true no-op: no spans recorded.
+        ok = tracer.span_events == 0 and not tracer.traces
+        out.write("tracing disabled: %s (span events=%d)\n"
+                  % ("OK" if ok else "FAIL", tracer.span_events))
+        return 0 if ok else 1
+    if report.delivered == 0:
+        out.write("hop-sum identity: FAIL (no delivered sampled tuples)\n")
+        return 1
+    dist = cluster.metrics.distribution("trace.e2e")
+    # Per-tuple: each delivered branch's hop segments re-sum exactly to
+    # the latency stored at delivery time (same fsum over the same walls).
+    per_branch_ok = all(
+        math.fsum(wall for _hop, wall, _cost, _event
+                  in trace.segments(branch)) == e2e
+        for trace in tracer.traces.values()
+        for branch, e2e in trace.delivered_branches.items())
+    # Aggregate: the report and the metrics registry hold the same e2e
+    # sample multiset, and their fsum-based totals agree to the last bit.
+    multiset_ok = sorted(report.e2e_values()) == sorted(dist.samples())
+    total_ok = report.e2e_sum == dist.total()
+    ok = per_branch_ok and multiset_ok and total_ok
+    out.write("hop-sum identity vs metrics trace.e2e: %s "
+              "(%d deliveries, per-tuple=%s multiset=%s total=%s)\n"
+              % ("OK" if ok else "FAIL", report.e2e_count,
+                 per_branch_ok, multiset_ok, total_ok))
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list-experiments":
@@ -203,4 +260,7 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     if args.command == "chaos":
         return cmd_chaos(args.system, args.seed, args.hosts, args.duration,
                          args.faults, args.rate, out)
+    if args.command == "trace":
+        return cmd_trace(args.seed, args.sample_every, args.rate,
+                         args.duration, args.hosts, out)
     return 2

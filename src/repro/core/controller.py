@@ -33,7 +33,8 @@ from ..sdn.openflow import PORT_ADD, PORT_DELETE, PacketIn, PacketOut, PortStatu
 from ..sim.engine import Event
 from ..streaming.acker import ACKER_COMPONENT
 from ..streaming.physical import PhysicalTopology
-from ..streaming.serialize import decode_tuple
+from ..sim.trace import KIND_CONTROL
+from ..streaming.serialize import decode_tuple, encode_tuple
 from ..streaming.topology import ALL, SDN_SELECT, LogicalTopology
 from ..streaming.tuples import CONTROL_STREAM
 from . import control as ct
@@ -321,7 +322,16 @@ class TyphoonControllerApp(ControllerApp):
         if location is None:
             return False
         dpid, port = location
-        payloads, _ = pack_tuples([message.encode()], DEFAULT_MTU)
+        # Build the stream tuple before encoding so the tracer can sample
+        # control traffic too — Fig. 6 update phases then show where a
+        # reconfiguration stalls, hop by hop, like any data tuple.
+        stream_tuple = message.to_stream_tuple()
+        tracer = self.fabric.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.maybe_trace(stream_tuple, kind=KIND_CONTROL,
+                               ctype=message.ctype, topology=topology_id,
+                               dst_worker=worker_id)
+        payloads, _ = pack_tuples([encode_tuple(stream_tuple)], DEFAULT_MTU)
         frame = EthernetFrame(
             dst=WorkerAddress(physical.app_id, worker_id),
             src=CONTROLLER_ADDRESS,

@@ -36,10 +36,22 @@ from ..sim.audit import (
 )
 from ..sim.costs import CostModel
 from ..sim.engine import Engine
+from ..sim.trace import (
+    H_BATCH,
+    H_DESERIALIZE,
+    H_REASSEMBLY,
+    H_SERIALIZE,
+    H_TUNNEL_RX,
+    H_TUNNEL_TX,
+    H_WIRE,
+    Tracer,
+    address_branch,
+)
 from ..streaming.serialize import (
     decode_tuple,
     deserialize_cost,
     encode_tuple,
+    peek_trace_id,
     serialize_cost,
 )
 from ..streaming.transport import Delivery, Transport
@@ -51,43 +63,64 @@ class HostFabric:
     """One host's data plane: its software switch plus tunnel endpoints."""
 
     def __init__(self, engine: Engine, costs: CostModel, hostname: str,
-                 ledger: Optional[DeliveryLedger] = None):
+                 ledger: Optional[DeliveryLedger] = None,
+                 tracer: Optional[Tracer] = None):
         self.engine = engine
         self.costs = costs
         self.hostname = hostname
         self.ledger = ledger
+        self.tracer = tracer
         self.switch = SoftwareSwitch(engine, costs, dpid=hostname,
-                                     ledger=ledger)
+                                     ledger=ledger, tracer=tracer)
         self.tunnels: Dict[str, TcpTunnel] = {}
         self.tunnel_drops = 0
         self.tunnel_port = self.switch.add_port(
             "tunnel", self._tunnel_sink, kind=SwitchPort.TUNNEL
         )
 
+    def _live_tracer(self) -> Optional[Tracer]:
+        tracer = self.tracer
+        if tracer is not None and tracer.has_active():
+            return tracer
+        return None
+
     def _tunnel_sink(self, frame: EthernetFrame, tun_dst: Optional[str]) -> None:
         tunnel = self.tunnels.get(tun_dst) if tun_dst else None
+        tracer = self._live_tracer()
         if tunnel is None:
             self.tunnel_drops += 1
             if self.ledger is not None:
                 self.ledger.record_frame_drop(LAYER_FABRIC,
                                               R_TUNNEL_UNROUTABLE, frame)
+            if tracer is not None:
+                tracer.frame_drop(frame, LAYER_FABRIC, R_TUNNEL_UNROUTABLE)
             return
+        if tracer is not None:
+            tracer.frame_event(frame, H_TUNNEL_TX, src=self.hostname,
+                               peer=tun_dst)
         tunnel.send_from(self.hostname, frame.pack())
 
     def receive_from_tunnel(self, data: bytes) -> None:
-        self.switch.inject(self.tunnel_port, EthernetFrame.unpack(data))
+        frame = EthernetFrame.unpack(data)
+        tracer = self._live_tracer()
+        if tracer is not None:
+            tracer.frame_event(frame, H_TUNNEL_RX, host=self.hostname)
+        self.switch.inject(self.tunnel_port, frame)
 
 
 class TyphoonFabric:
     """Cluster-wide data plane: one fabric per host, full tunnel mesh."""
 
     def __init__(self, engine: Engine, costs: CostModel, cluster: Cluster,
-                 ledger: Optional[DeliveryLedger] = None):
+                 ledger: Optional[DeliveryLedger] = None,
+                 tracer: Optional[Tracer] = None):
         self.engine = engine
         self.costs = costs
         self.ledger = ledger
+        self.tracer = tracer
         self.hosts: Dict[str, HostFabric] = {
-            host.name: HostFabric(engine, costs, host.name, ledger=ledger)
+            host.name: HostFabric(engine, costs, host.name, ledger=ledger,
+                                  tracer=tracer)
             for host in cluster
         }
         names = sorted(self.hosts)
@@ -99,7 +132,7 @@ class TyphoonFabric:
                     engine, costs, name_a, name_b,
                     deliver_to_a=fabric_a.receive_from_tunnel,
                     deliver_to_b=fabric_b.receive_from_tunnel,
-                    ledger=ledger,
+                    ledger=ledger, tracer=tracer,
                 )
                 fabric_a.tunnels[name_b] = tunnel
                 fabric_b.tunnels[name_a] = tunnel
@@ -131,6 +164,7 @@ class TyphoonTransport(Transport):
         batch_size: int = 100,
         mtu: int = DEFAULT_MTU,
         ledger: Optional[DeliveryLedger] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.engine = engine
         self.costs = costs
@@ -140,6 +174,7 @@ class TyphoonTransport(Transport):
         self.batch_size = max(1, batch_size)
         self.mtu = mtu
         self.ledger = ledger if ledger is not None else host_fabric.ledger
+        self.tracer = tracer if tracer is not None else host_fabric.tracer
         self.address = WorkerAddress(app_id, worker_id)
         self.port_no: Optional[int] = None
         self.deliver: Optional[Callable[[Delivery], bool]] = None
@@ -151,7 +186,10 @@ class TyphoonTransport(Transport):
         # worker feeds several offloaded edges.
         self._rr_counters: Dict[Tuple, int] = {}
         self._pending_recv_cost = 0.0
-        self._reassembler = Reassembler(on_drop=self._on_reassembly_drop)
+        self._reassembler = Reassembler(
+            on_drop=self._on_reassembly_drop,
+            on_discard_data=self._on_reassembly_discard,
+        )
         self.closed = False
         self.tuples_sent = 0
         self.serializations = 0
@@ -190,8 +228,26 @@ class TyphoonTransport(Transport):
                 if self.ledger is not None:
                     self.ledger.record_drop(self.app_id, LAYER_TRANSPORT,
                                             R_AFTER_CLOSE, len(buffer))
+                self._drop_buffered_traces(buffer, R_AFTER_CLOSE)
         self._buffers.clear()
         self._reassembler.drain()
+
+    def _live_tracer(self) -> Optional[Tracer]:
+        tracer = self.tracer
+        if tracer is not None and tracer.has_active():
+            return tracer
+        return None
+
+    def _drop_buffered_traces(self, buffer: Sequence[bytes],
+                              reason: str) -> None:
+        """Close spans of sampled tuples dying in an outbound buffer."""
+        tracer = self._live_tracer()
+        if tracer is None:
+            return
+        for encoded in buffer:
+            trace_id = peek_trace_id(encoded)
+            if trace_id is not None:
+                tracer.finish_drop(trace_id, LAYER_TRANSPORT, reason)
 
     def _on_reassembly_drop(self, key, reason: str) -> None:
         if self.ledger is None:
@@ -201,6 +257,17 @@ class TyphoonTransport(Transport):
         source = key[0]
         scope = source[0] if isinstance(source, tuple) else self.app_id
         self.ledger.record_drop(scope, LAYER_REASSEMBLY, reason)
+
+    def _on_reassembly_discard(self, key, reason: str, data: bytes) -> None:
+        # The partial buffer starts at offset 0, so the tuple's fixed
+        # header — and with it any embedded trace id — is intact.
+        tracer = self._live_tracer()
+        if tracer is None:
+            return
+        trace_id = peek_trace_id(data)
+        if trace_id is not None:
+            tracer.finish_drop(trace_id, LAYER_REASSEMBLY, reason,
+                               branch=self.worker_id)
 
     def pending_tuples(self) -> int:
         """Tuples sitting in outbound batch buffers (conservation term)."""
@@ -229,6 +296,15 @@ class TyphoonTransport(Transport):
             cost += self._flush_address(address)
         return cost
 
+    def _trace_serialized(self, stream_tuple: StreamTuple,
+                          nbytes: int, cost: float) -> None:
+        if stream_tuple.trace_id is None:
+            return
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event(stream_tuple.trace_id, H_SERIALIZE, cost=cost,
+                         nbytes=nbytes)
+
     def send(self, stream_tuple: StreamTuple,
              dst_worker_ids: Sequence[int]) -> float:
         if self.closed or not dst_worker_ids:
@@ -237,6 +313,7 @@ class TyphoonTransport(Transport):
         # Serialized once, no matter how many destinations.
         cost = serialize_cost(self.costs, len(encoded))
         self.serializations += 1
+        self._trace_serialized(stream_tuple, len(encoded), cost)
         for dst in dst_worker_ids:
             cost += self._enqueue(self._dst_address(dst), encoded)
         return cost
@@ -250,6 +327,7 @@ class TyphoonTransport(Transport):
         encoded = encode_tuple(stream_tuple)
         cost = serialize_cost(self.costs, len(encoded))
         self.serializations += 1
+        self._trace_serialized(stream_tuple, len(encoded), cost)
         cost += self._enqueue(BROADCAST, encoded)
         return cost
 
@@ -270,6 +348,7 @@ class TyphoonTransport(Transport):
         encoded = encode_tuple(stream_tuple)
         cost = serialize_cost(self.costs, len(encoded))
         self.serializations += 1
+        self._trace_serialized(stream_tuple, len(encoded), cost)
         cost += self._enqueue(address, encoded)
         return cost
 
@@ -280,6 +359,7 @@ class TyphoonTransport(Transport):
         encoded = encode_tuple(stream_tuple)
         cost = serialize_cost(self.costs, len(encoded))
         self.serializations += 1
+        self._trace_serialized(stream_tuple, len(encoded), cost)
         cost += self._enqueue(CONTROLLER_ADDRESS, encoded)
         cost += self._flush_address(CONTROLLER_ADDRESS)
         return cost
@@ -300,6 +380,7 @@ class TyphoonTransport(Transport):
             if self.ledger is not None:
                 self.ledger.record_drop(self.app_id, LAYER_TRANSPORT,
                                         R_AFTER_CLOSE, len(buffer))
+            self._drop_buffered_traces(buffer, R_AFTER_CLOSE)
             return 0.0
         if self.port_no is None:
             # Live but not (yet) attached to a switch port: hold the
@@ -307,6 +388,16 @@ class TyphoonTransport(Transport):
             # closed transport may discard.
             return 0.0
         self._buffers[address] = []
+        tracer = self._live_tracer()
+        if tracer is not None:
+            # The segment since each tuple's serialize checkpoint is the
+            # time it sat in this batch buffer waiting for the flush.
+            branch = address_branch(address)
+            for encoded in buffer:
+                trace_id = peek_trace_id(encoded)
+                if trace_id is not None:
+                    tracer.event(trace_id, H_BATCH, branch=branch,
+                                 batch=len(buffer))
         payloads, self._frag_id = pack_tuples(buffer, self.mtu, self._frag_id)
         # One JNI crossing per batch handed to the southbound library.
         cost = self.costs.jni_call_overhead
@@ -338,6 +429,9 @@ class TyphoonTransport(Transport):
             if self.ledger is not None:
                 self.ledger.record_frame_drop(LAYER_TRANSPORT,
                                               R_CLOSED_PORT, frame)
+            tracer = self._live_tracer()
+            if tracer is not None:
+                tracer.frame_drop(frame, LAYER_TRANSPORT, R_CLOSED_PORT)
             return
         self.frames_received += 1
         cost = (self.costs.ring_op_per_packet
@@ -346,6 +440,7 @@ class TyphoonTransport(Transport):
                 + self.costs.jni_call_overhead)
         decoded = unpack_payload(frame.payload)
         records: List[bytes]
+        reassembled = False
         if isinstance(decoded, Fragment):
             # Key by (app, worker): same-numbered workers of different
             # applications must never share a reassembly stream.
@@ -356,12 +451,25 @@ class TyphoonTransport(Transport):
                 self._pending_recv_cost += cost
                 return
             records = [complete]
+            reassembled = True
         else:
             records = decoded
         tuples = []
+        tracer = self._live_tracer()
         for data in records:
-            tuples.append(decode_tuple(data))
-            cost += deserialize_cost(self.costs, len(data))
+            stream_tuple = decode_tuple(data)
+            tuple_cost = deserialize_cost(self.costs, len(data))
+            cost += tuple_cost
+            if tracer is not None and stream_tuple.trace_id is not None:
+                tracer.event(stream_tuple.trace_id, H_WIRE,
+                             branch=self.worker_id)
+                if reassembled:
+                    tracer.event(stream_tuple.trace_id, H_REASSEMBLY,
+                                 branch=self.worker_id)
+                tracer.event(stream_tuple.trace_id, H_DESERIALIZE,
+                             branch=self.worker_id, cost=tuple_cost,
+                             nbytes=len(data))
+            tuples.append(stream_tuple)
         cost += self._pending_recv_cost
         self._pending_recv_cost = 0.0
         accepted = self.deliver(Delivery(tuples=tuples, cost=cost))
@@ -372,3 +480,9 @@ class TyphoonTransport(Transport):
             else:
                 self.ledger.record_drop(scope, LAYER_TRANSPORT,
                                         R_DELIVER_REJECTED, len(tuples))
+        if not accepted and tracer is not None:
+            for stream_tuple in tuples:
+                if stream_tuple.trace_id is not None:
+                    tracer.finish_drop(stream_tuple.trace_id, LAYER_TRANSPORT,
+                                       R_DELIVER_REJECTED,
+                                       branch=self.worker_id)

@@ -155,19 +155,29 @@ class Reassembler:
 
     def __init__(self, max_pending: int = 1024,
                  on_drop: Optional[Callable[[Tuple[Hashable, int], str],
-                                            None]] = None):
+                                            None]] = None,
+                 on_discard_data: Optional[
+                     Callable[[Tuple[Hashable, int], str, bytes],
+                              None]] = None):
         self._pending: Dict[Tuple[Hashable, int], bytearray] = {}
         self.max_pending = max_pending
         self.dropped = 0
         self.evictions = 0
         self.orphan_fragments = 0
         self.on_drop = on_drop
+        #: Like ``on_drop`` but also receives the partial buffer bytes.
+        #: The buffer always starts at offset 0, so the tuple's fixed
+        #: header (and with it any embedded trace id) is intact — the
+        #: tracing layer uses this to close spans of lost tuples.
+        self.on_discard_data = on_discard_data
 
     def _discard(self, key: Tuple[Hashable, int], reason: str) -> None:
-        del self._pending[key]
+        buffer = self._pending.pop(key)
         self.dropped += 1
         if self.on_drop is not None:
             self.on_drop(key, reason)
+        if self.on_discard_data is not None:
+            self.on_discard_data(key, reason, bytes(buffer))
 
     def feed(self, source: Hashable, fragment: Fragment) -> Optional[bytes]:
         """Absorb a fragment; returns the full tuple bytes when complete."""

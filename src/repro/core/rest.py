@@ -23,6 +23,7 @@ GET    /topologies/{id}/components/{c}/debug            captured window
 GET    /cluster                                         data-plane summary
 GET    /audit                                           delivery-conservation ledger
 GET    /chaos                                           chaos-harness state
+GET    /trace                                           hop-by-hop trace report
 ====== =============================================== ==================
 
 Computation-logic replacement needs code, which does not travel over
@@ -84,6 +85,7 @@ class RestApi:
             ("GET", re.compile(r"^/cluster$"), self._cluster_summary),
             ("GET", re.compile(r"^/audit$"), self._audit),
             ("GET", re.compile(r"^/chaos$"), self._chaos),
+            ("GET", re.compile(r"^/trace$"), self._trace),
         ]
 
     # -- plumbing ----------------------------------------------------------
@@ -270,3 +272,11 @@ class RestApi:
         from .chaos import chaos_snapshot
 
         return 200, chaos_snapshot(self.cluster)
+
+    def _trace(self, body) -> Response:
+        """Live hop-by-hop tracing state: per-hop latency breakdown,
+        critical path and drop terminations over the sampled tuples.
+        Non-quiescing — in-flight traces show up under ``open``."""
+        from .tracing import trace_snapshot
+
+        return 200, trace_snapshot(self.cluster)

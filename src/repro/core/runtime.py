@@ -35,10 +35,12 @@ from ..streaming.executor import WorkerExecutor
 from ..streaming.manager import StreamingManager, TopologyRecord
 from ..streaming.physical import PhysicalTopology, WorkerAssignment
 from ..sim.audit import DeliveryLedger
+from ..sim.trace import Tracer
 from ..streaming.storm import _with_ackers, build_routers
 from ..streaming.topology import LogicalTopology
 from . import control as ct
 from .audit import typhoon_frame_tuples
+from .tracing import frame_trace_ids
 from .controller import TyphoonControllerApp
 from .framework_layer import handle_control_tuple
 from .io_layer import TyphoonFabric, TyphoonTransport
@@ -72,8 +74,11 @@ class TyphoonCluster:
         self.state = GlobalState(self.coordinator)
         self.metrics = MetricsRegistry(engine)
         self.ledger = DeliveryLedger(inspector=typhoon_frame_tuples)
+        # Hop-by-hop tracing (disabled until ``tracer.configure(N)``).
+        self.tracer = Tracer(engine, metrics=self.metrics,
+                             frame_inspector=frame_trace_ids)
         self.fabric = TyphoonFabric(engine, costs, self.cluster,
-                                    ledger=self.ledger)
+                                    ledger=self.ledger, tracer=self.tracer)
         self.sdn = SdnController(engine, costs, name="typhoon-floodlight")
         self.app = TyphoonControllerApp(self.state, self.fabric)
         self.sdn.register_app(self.app)
@@ -238,6 +243,7 @@ class TyphoonCluster:
             ackers=physical.worker_ids_for(ACKER_COMPONENT),
             services=self.services,
             control_handler=handle_control_tuple,
+            tracer=self.tracer,
         )
         # Typhoon spouts deploy throttled; the controller ACTIVATEs them
         # once the topology's flow rules are installed (§3.2 step v).

@@ -26,6 +26,7 @@ from ..sim.audit import (
 )
 from ..sim.costs import CostModel, transmission_delay
 from ..sim.engine import Engine
+from ..sim.trace import Tracer
 
 
 class ChannelClosed(RuntimeError):
@@ -50,6 +51,7 @@ class TcpChannel:
         name: str = "",
         extra_delay: float = 0.0,
         ledger: Optional[DeliveryLedger] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.engine = engine
         self.costs = costs
@@ -58,6 +60,7 @@ class TcpChannel:
         self.name = name
         self.extra_delay = extra_delay
         self.ledger = ledger
+        self.tracer = tracer
         self.closed = False
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -89,6 +92,8 @@ class TcpChannel:
             if self.ledger is not None:
                 self.ledger.record_frame_drop(LAYER_CHANNEL, R_LINK_LOSS,
                                               data)
+            if self.tracer is not None:
+                self.tracer.frame_drop(data, LAYER_CHANNEL, R_LINK_LOSS)
             return
         self._schedule_delivery(data)
 
@@ -117,6 +122,8 @@ class TcpChannel:
             if self.ledger is not None:
                 self.ledger.record_frame_drop(LAYER_CHANNEL,
                                               R_CHANNEL_CLOSED, data)
+            if self.tracer is not None:
+                self.tracer.frame_drop(data, LAYER_CHANNEL, R_CHANNEL_CLOSED)
             return
         self.messages_delivered += 1
         self.on_receive(data)
@@ -131,6 +138,8 @@ class TcpChannel:
             if self.ledger is not None:
                 self.ledger.record_frame_drop(LAYER_CHANNEL,
                                               R_CHANNEL_CLOSED, data)
+            if self.tracer is not None:
+                self.tracer.frame_drop(data, LAYER_CHANNEL, R_CHANNEL_CLOSED)
 
 
 class TcpTunnel:
@@ -149,6 +158,7 @@ class TcpTunnel:
         deliver_to_a: Callable[[bytes], None],
         deliver_to_b: Callable[[bytes], None],
         ledger: Optional[DeliveryLedger] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if host_a == host_b:
             raise ValueError("tunnel endpoints must differ")
@@ -157,12 +167,12 @@ class TcpTunnel:
         self._a_to_b = TcpChannel(
             engine, costs, deliver_to_b, remote=True,
             name="tunnel:%s->%s" % (host_a, host_b),
-            ledger=ledger,
+            ledger=ledger, tracer=tracer,
         )
         self._b_to_a = TcpChannel(
             engine, costs, deliver_to_a, remote=True,
             name="tunnel:%s->%s" % (host_b, host_a),
-            ledger=ledger,
+            ledger=ledger, tracer=tracer,
         )
 
     def send_from(self, host: str, data: bytes) -> None:

@@ -29,6 +29,7 @@ from ..sim.audit import (
 )
 from ..sim.costs import CostModel
 from ..sim.engine import Engine
+from ..sim.trace import H_PACKET_IN, H_REPLICATE, H_SWITCH, Tracer
 from .flow import (
     OFPP_CONTROLLER,
     Action,
@@ -133,11 +134,13 @@ class SoftwareSwitch:
 
     def __init__(self, engine: Engine, costs: CostModel, dpid: str,
                  idle_sweep_interval: float = 1.0,
-                 ledger: Optional[DeliveryLedger] = None):
+                 ledger: Optional[DeliveryLedger] = None,
+                 tracer: Optional[Tracer] = None):
         self.engine = engine
         self.costs = costs
         self.dpid = dpid
         self.ledger = ledger
+        self.tracer = tracer
         self.flows = FlowTable()
         self.groups = GroupTable()
         self.ports: Dict[int, SwitchPort] = {}
@@ -163,6 +166,14 @@ class SoftwareSwitch:
         if self._to_controller is None:
             return
         self.engine.schedule(delay, self._to_controller, message)
+
+    def _live_tracer(self) -> Optional[Tracer]:
+        """The tracer, only while at least one sampled tuple is in
+        flight — keeps the per-frame hot path to one attribute test."""
+        tracer = self.tracer
+        if tracer is not None and tracer.has_active():
+            return tracer
+        return None
 
     # -- port management -----------------------------------------------------
 
@@ -305,6 +316,10 @@ class SoftwareSwitch:
         if self.ledger is not None:
             self.ledger.record_frame_injected(message.frame)
             account = _FrameAccount()
+        tracer = self._live_tracer()
+        if tracer is not None:
+            tracer.frame_event(message.frame, H_SWITCH, dpid=self.dpid,
+                               packet_out=True)
         self._run_actions(message.frame, message.actions, message.in_port,
                           tun_dst=None, account=account)
         self._settle_account(message.frame, account)
@@ -316,6 +331,9 @@ class SoftwareSwitch:
             return
         if account.total == 0:
             self.ledger.record_frame_drop(LAYER_SWITCH, R_NO_OUTPUT, frame)
+            tracer = self._live_tracer()
+            if tracer is not None:
+                tracer.frame_drop(frame, LAYER_SWITCH, R_NO_OUTPUT)
         else:
             self.ledger.record_frame_replicated(frame, account.total - 1)
 
@@ -347,11 +365,14 @@ class SoftwareSwitch:
 
         Returns False when the frame was dropped (backlog or table miss).
         """
+        tracer = self._live_tracer()
         if not self.up:
             self.packets_dropped += 1
             if self.ledger is not None:
                 self.ledger.record_frame_drop(LAYER_SWITCH,
                                               R_SWITCH_DOWN, frame)
+            if tracer is not None:
+                tracer.frame_drop(frame, LAYER_SWITCH, R_SWITCH_DOWN)
             return False
         port = self.ports.get(in_port)
         if port is not None:
@@ -364,6 +385,8 @@ class SoftwareSwitch:
             if self.ledger is not None:
                 self.ledger.record_frame_drop(LAYER_SWITCH,
                                               R_BACKLOG_OVERFLOW, frame)
+            if tracer is not None:
+                tracer.frame_drop(frame, LAYER_SWITCH, R_BACKLOG_OVERFLOW)
             return False
 
         entry = self.flows.lookup(frame, in_port)
@@ -372,8 +395,12 @@ class SoftwareSwitch:
             if self.ledger is not None:
                 self.ledger.record_frame_drop(LAYER_SWITCH,
                                               R_TABLE_MISS, frame)
+            if tracer is not None:
+                tracer.frame_drop(frame, LAYER_SWITCH, R_TABLE_MISS)
             return False
         entry.touch(self.engine.now, len(frame))
+        if tracer is not None:
+            tracer.frame_event(frame, H_SWITCH, dpid=self.dpid)
 
         cost = self.costs.switch_lookup_per_packet
         start = max(self.engine.now, self._busy_until)
@@ -406,7 +433,12 @@ class SoftwareSwitch:
                 current = current.with_dst(action.address)
             elif isinstance(action, GroupAction):
                 group = self.groups.get(action.group_id)
-                for bucket in group.select_buckets():
+                buckets = list(group.select_buckets())
+                tracer = self._live_tracer()
+                if tracer is not None and len(buckets) > 1:
+                    tracer.frame_event(current, H_REPLICATE, dpid=self.dpid,
+                                       copies=len(buckets))
+                for bucket in buckets:
                     self._run_actions(current, bucket.actions, in_port,
                                       tun_dst, ready_at, account)
             elif isinstance(action, Output):
@@ -431,6 +463,7 @@ class SoftwareSwitch:
         finish = max(ready_at, self._busy_until) + copy_cost
         self._busy_until = finish
 
+        tracer = self._live_tracer()
         if out_port == OFPP_CONTROLLER:
             if self._to_controller is None:
                 if account is not None:
@@ -438,11 +471,15 @@ class SoftwareSwitch:
                 if self.ledger is not None:
                     self.ledger.record_frame_drop(LAYER_SWITCH,
                                                   R_NO_CONTROLLER, frame)
+                if tracer is not None:
+                    tracer.frame_drop(frame, LAYER_SWITCH, R_NO_CONTROLLER)
                 return finish
             if account is not None:
                 account.controller += 1
             if self.ledger is not None:
                 self.ledger.record_frame_controller_delivered(frame)
+            if tracer is not None:
+                tracer.frame_event(frame, H_PACKET_IN, dpid=self.dpid)
             self._notify_controller(
                 PacketIn(self.dpid, frame, in_port, REASON_ACTION),
                 (finish - self.engine.now) + self.costs.openflow_rtt / 2,
@@ -457,6 +494,8 @@ class SoftwareSwitch:
                 if self.ledger is not None:
                     self.ledger.record_frame_drop(LAYER_SWITCH,
                                                   R_TABLE_MISS, frame)
+                if tracer is not None:
+                    tracer.frame_drop(frame, LAYER_SWITCH, R_TABLE_MISS)
                 return finish
             entry.touch(self.engine.now, len(frame))
             self._run_actions(frame, entry.actions, in_port, tun_dst, finish,
@@ -471,6 +510,8 @@ class SoftwareSwitch:
             if self.ledger is not None:
                 self.ledger.record_frame_drop(LAYER_SWITCH,
                                               R_PORT_DOWN, frame)
+            if tracer is not None:
+                tracer.frame_drop(frame, LAYER_SWITCH, R_PORT_DOWN)
             return finish
         if account is not None:
             account.emitted += 1

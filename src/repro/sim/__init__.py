@@ -20,6 +20,7 @@ from .engine import (
 from .metrics import Counter, Distribution, MetricsRegistry, RateMeter, TimeSeries
 from .queues import BLOCK, DROP, Store
 from .rng import SeedFactory, as_factory, derive_seed
+from .trace import Span, TraceEvent, TraceReport, Tracer, TupleTrace
 
 __all__ = [
     "BLOCK",
@@ -40,10 +41,15 @@ __all__ = [
     "RateMeter",
     "SeedFactory",
     "SimulationError",
+    "Span",
     "StopEngine",
     "Store",
     "TimeSeries",
     "Timer",
+    "TraceEvent",
+    "TraceReport",
+    "Tracer",
+    "TupleTrace",
     "as_factory",
     "crash_loop",
     "host_failure_at",

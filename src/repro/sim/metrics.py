@@ -165,6 +165,20 @@ class Distribution:
     def __len__(self) -> int:
         return len(self._samples)
 
+    def samples(self) -> List[float]:
+        """A copy of the recorded samples (sorted once any percentile /
+        CDF query has run; insertion order before that)."""
+        return list(self._samples)
+
+    def total(self) -> float:
+        """Sum of all recorded samples (0.0 when empty).
+
+        Uses :func:`math.fsum`, whose result is the correctly rounded
+        real sum and therefore independent of recording order — two
+        holders of the same sample multiset always agree exactly.
+        """
+        return math.fsum(self._samples)
+
     def _ensure_sorted(self) -> List[float]:
         if not self._sorted:
             self._samples.sort()
@@ -199,6 +213,8 @@ class Distribution:
 
     def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
         """Return up to ``points`` (value, cumulative_fraction) pairs."""
+        if points < 1:
+            raise ValueError("points must be >= 1, got %d" % points)
         data = self._ensure_sorted()
         if not data:
             return []

@@ -27,6 +27,7 @@ from ..sim.costs import CostModel
 from ..sim.engine import Engine, Event, Interrupt, Process
 from ..sim.metrics import MetricsRegistry, RateMeter
 from ..sim.queues import Store
+from ..sim.trace import H_CONTROL, H_QUEUE, Tracer
 from .grouping import Router
 from .physical import WorkerAssignment
 from .topology import (
@@ -175,6 +176,7 @@ class WorkerExecutor:
         control_handler: Optional[Callable[["WorkerExecutor", StreamTuple], float]] = None,
         on_crash: Optional[Callable[["WorkerExecutor", BaseException], None]] = None,
         emit_batch: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.engine = engine
         self.costs = costs
@@ -190,6 +192,7 @@ class WorkerExecutor:
         self.services = services or {}
         self.control_handler = control_handler
         self.on_crash = on_crash
+        self.tracer = tracer
 
         self.worker_id = assignment.worker_id
         self.component_name = assignment.component
@@ -378,6 +381,14 @@ class WorkerExecutor:
         yield  # pragma: no cover - makes this a generator for uniform use
 
     def _run_component(self, stream_tuple: StreamTuple, signal: bool) -> float:
+        tracer = self.tracer
+        traced = (tracer is not None and tracer.enabled
+                  and stream_tuple.trace_id is not None)
+        if traced:
+            # The tuple just left this worker's input queue; the segment
+            # since the last (wire/deserialize) checkpoint is queue wait.
+            tracer.event(stream_tuple.trace_id, H_QUEUE,
+                         branch=self.worker_id)
         self.collector.current_input = stream_tuple
         self.collector.child_xor = 0
         try:
@@ -398,6 +409,10 @@ class WorkerExecutor:
         self.collector.extra_cost = 0.0
         for service in self._billed_services:
             cost += service.drain_cost()
+        if traced:
+            tracer.finish_delivery(stream_tuple.trace_id,
+                                   branch=self.worker_id, cost=cost,
+                                   component=self.component_name)
         if not signal:
             self.stats.processed += 1
             self.processed_meter.mark()
@@ -516,7 +531,13 @@ class WorkerExecutor:
 
     def _dispatch_emissions(self) -> float:
         cost = 0.0
+        tracer = self.tracer
         for stream_tuple, direct_dst in self.collector.take():
+            if tracer is not None and tracer.enabled:
+                tracer.maybe_trace(stream_tuple,
+                                   component=self.component_name,
+                                   worker=self.worker_id,
+                                   stream=stream_tuple.stream)
             if direct_dst is not None:
                 cost += self.transport.send(stream_tuple, [direct_dst])
                 self.stats.emitted += 1
@@ -639,4 +660,14 @@ class WorkerExecutor:
         self.stats.control_tuples += 1
         if self.control_handler is None:
             return 0.0
-        return self.control_handler(self, stream_tuple)
+        cost = self.control_handler(self, stream_tuple)
+        tracer = self.tracer
+        if (tracer is not None and tracer.enabled
+                and stream_tuple.trace_id is not None):
+            tracer.event(stream_tuple.trace_id, H_QUEUE,
+                         branch=self.worker_id)
+            tracer.finish_delivery(stream_tuple.trace_id,
+                                   branch=self.worker_id, cost=cost,
+                                   hop=H_CONTROL,
+                                   component=self.component_name)
+        return cost

@@ -14,7 +14,7 @@ stand-in for Kryo/Java serialization in Storm, not a performance project.
 from __future__ import annotations
 
 import struct
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..sim.costs import CostModel
 from .tuples import Anchor, StreamTuple
@@ -37,10 +37,16 @@ _U32 = struct.Struct("!I")
 _I64 = struct.Struct("!q")
 _F64 = struct.Struct("!d")
 
-# Tuple envelope: stream(2) src_worker(4-signed) flags(1) [anchor 16] nvalues(2)
+# Tuple envelope:
+#   stream(2) src_worker(4-signed) flags(1) nvalues(2) [anchor 16] [trace 8]
 _ENVELOPE = struct.Struct("!HiBH")
 _ANCHOR = struct.Struct("!QQ")
+_TRACE = struct.Struct("!Q")
 _FLAG_ANCHORED = 0x01
+#: Set when the tuple was sampled by the tracer; an 8-byte trace id
+#: follows the (optional) anchor. Unsampled tuples carry neither the
+#: flag nor the bytes, so wire traffic is unchanged when tracing is off.
+_FLAG_TRACED = 0x02
 
 
 class SerializationError(ValueError):
@@ -147,12 +153,16 @@ def encode_values(values: Tuple[Any, ...]) -> bytes:
 def encode_tuple(stream_tuple: StreamTuple) -> bytes:
     """Serialize a full tuple (envelope + values) to bytes."""
     flags = _FLAG_ANCHORED if stream_tuple.anchor is not None else 0
+    if stream_tuple.trace_id is not None:
+        flags |= _FLAG_TRACED
     head = _ENVELOPE.pack(stream_tuple.stream, stream_tuple.source_worker,
                           flags, len(stream_tuple.values))
     body: List[bytes] = [head]
     if stream_tuple.anchor is not None:
         body.append(_ANCHOR.pack(stream_tuple.anchor.root_id,
                                  stream_tuple.anchor.edge_id))
+    if stream_tuple.trace_id is not None:
+        body.append(_TRACE.pack(stream_tuple.trace_id))
     body.append(encode_values(stream_tuple.values))
     return b"".join(body)
 
@@ -168,6 +178,10 @@ def decode_tuple(data: bytes, source_component: str = "") -> StreamTuple:
         root_id, edge_id = _ANCHOR.unpack_from(data, offset)
         anchor = Anchor(root_id, edge_id)
         offset += _ANCHOR.size
+    trace_id = None
+    if flags & _FLAG_TRACED:
+        (trace_id,) = _TRACE.unpack_from(data, offset)
+        offset += _TRACE.size
     values = []
     for _ in range(nvalues):
         value, offset = _decode_value(data, offset)
@@ -177,7 +191,28 @@ def decode_tuple(data: bytes, source_component: str = "") -> StreamTuple:
                                  % (len(data) - offset))
     return StreamTuple(values=tuple(values), stream=stream,
                        source_component=source_component,
-                       source_worker=source_worker, anchor=anchor)
+                       source_worker=source_worker, anchor=anchor,
+                       trace_id=trace_id)
+
+
+def peek_trace_id(data: bytes) -> Optional[int]:
+    """Trace id carried by serialized tuple bytes, without full decoding.
+
+    Tolerates truncation (fragment head chunks carry at least the fixed
+    header: envelope 9 + anchor 16 + trace 8 = 33 bytes in the worst
+    case, well under any MTU, but be defensive anyway)."""
+    if len(data) < _ENVELOPE.size:
+        return None
+    _stream, _src, flags, _nvalues = _ENVELOPE.unpack_from(data, 0)
+    if not flags & _FLAG_TRACED:
+        return None
+    offset = _ENVELOPE.size
+    if flags & _FLAG_ANCHORED:
+        offset += _ANCHOR.size
+    if len(data) < offset + _TRACE.size:
+        return None
+    (trace_id,) = _TRACE.unpack_from(data, offset)
+    return trace_id
 
 
 # -- cost helpers ----------------------------------------------------------------

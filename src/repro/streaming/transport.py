@@ -14,6 +14,14 @@ do:
 All CPU the transport consumes is *returned* from its methods as a
 virtual-time cost; the calling executor yields that amount, so the
 sender's clock advances by exactly the work it did.
+
+When hop-by-hop tracing is on (:mod:`repro.sim.trace`), the Typhoon
+transport additionally reports ``serialize`` / ``batch-wait`` / ``wire``
+/ ``reassembly`` / ``deserialize`` checkpoints for sampled tuples (the
+trace id rides inside the serialized envelope, so no side-channel is
+needed). The Storm baseline transport is left untraced on purpose: it
+is the comparison system, and its schedule must not depend on Typhoon
+observability features.
 """
 
 from __future__ import annotations

@@ -1,0 +1,139 @@
+"""Latency-regression locks on the Fig. 8 forwarding path.
+
+The traced forwarding run is fully deterministic, so these tests pin
+per-hop latency budgets (means derived from the cost model with bounded
+headroom), the end-to-end tail, the exact hop-sum identity against the
+``trace.e2e`` metrics distribution, byte-identical trace output for a
+fixed seed, and the near-zero overhead of disabled sampling. A change
+that slows a hop past its budget — or perturbs the deterministic
+schedule — fails here, naming the hop.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.core.tracing import run_forwarding_trace
+from repro.sim.trace import (
+    H_BATCH,
+    H_DESERIALIZE,
+    H_EXECUTE,
+    H_QUEUE,
+    H_SERIALIZE,
+    H_SWITCH,
+    H_TUNNEL_RX,
+    H_TUNNEL_TX,
+    H_WIRE,
+)
+
+US = 1e-6
+RUN_ARGS = dict(seed=0, sample_every=7, rate=50_000.0, duration=0.3,
+                hosts=2)
+
+#: Per-hop budget on the *mean* wall time of one delivered tuple's
+#: segment, in seconds. Derived from the default cost model (loopback
+#: latency 3us, per-tuple compute 0.1us, 1ms batch flush) with ~2-3x
+#: headroom — tight enough that a hot-path regression trips the hop
+#: that slowed down.
+HOP_BUDGETS = {
+    "emit": 0.0,                # opens the trace; never closes a segment
+    H_SERIALIZE: 5 * US,
+    H_BATCH: 1500 * US,         # bounded by the 1ms flush interval
+    H_SWITCH: 5 * US,
+    H_TUNNEL_TX: 15 * US,
+    H_TUNNEL_RX: 150 * US,      # tunnel transit dominates the path
+    H_WIRE: 15 * US,
+    H_DESERIALIZE: 5 * US,
+    H_QUEUE: 20 * US,
+    H_EXECUTE: 0.5 * US,
+}
+
+E2E_MEAN_BUDGET = 120 * US      # observed: ~60.33us
+E2E_P99_BUDGET = 200 * US       # observed: ~60.34us (tight distribution)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_forwarding_trace(**RUN_ARGS)
+
+
+def test_every_hop_stays_within_budget(traced_run):
+    report, _tracer, _cluster = traced_run
+    assert report.delivered > 100
+    over = []
+    for hop, _count, _wall, mean, _cost, _dominant in report.hop_rows():
+        budget = HOP_BUDGETS.get(hop)
+        assert budget is not None, "hop %r has no latency budget" % hop
+        if mean > budget:
+            over.append("%s: mean %.3fus > budget %.3fus"
+                        % (hop, mean / US, budget / US))
+    assert not over, "; ".join(over)
+
+
+def test_forwarding_path_has_no_detour_hops(traced_run):
+    """The happy path never lifts packets to the controller, replicates,
+    or reassembles fragments; a new hop showing up here means the
+    forwarding data path changed shape."""
+    report, _tracer, _cluster = traced_run
+    hops = {hop for hop, *_rest in report.hop_rows()}
+    assert hops <= set(HOP_BUDGETS)
+
+
+def test_execute_wall_matches_cost_model(traced_run):
+    """The execute segment is pure modelled compute, so its mean equals
+    ``app_compute_per_tuple`` exactly (modulo float accumulation)."""
+    report, _tracer, cluster = traced_run
+    stats = report.hops[H_EXECUTE]
+    assert stats.mean == pytest.approx(
+        cluster.costs.app_compute_per_tuple, rel=1e-9)
+    assert stats.cost == pytest.approx(
+        stats.count * cluster.costs.app_compute_per_tuple, rel=1e-9)
+
+
+def test_end_to_end_latency_budget(traced_run):
+    _report, _tracer, cluster = traced_run
+    dist = cluster.metrics.distribution("trace.e2e")
+    assert dist.mean() <= E2E_MEAN_BUDGET
+    assert dist.percentile(99) <= E2E_P99_BUDGET
+
+
+def test_hop_sum_equals_metrics_e2e_exactly(traced_run):
+    """The acceptance identity: the breakdown and ``sim/metrics``
+    describe the same sampled tuples with the same numbers."""
+    report, tracer, cluster = traced_run
+    dist = cluster.metrics.distribution("trace.e2e")
+    for trace in tracer.traces.values():
+        for branch, e2e in trace.delivered_branches.items():
+            assert math.fsum(
+                w for _h, w, _c, _e in trace.segments(branch)) == e2e
+    assert sorted(report.e2e_values()) == sorted(dist.samples())
+    assert report.e2e_sum == dist.total()
+
+
+def test_breakdown_is_byte_identical_for_fixed_seed(traced_run):
+    report, _tracer, _cluster = traced_run
+    again, _tracer2, _cluster2 = run_forwarding_trace(**RUN_ARGS)
+    assert again.render() == report.render()
+
+
+def test_disabled_sampling_has_negligible_overhead():
+    """Sampling off must record zero spans, and the run must not be
+    slower than the same workload with 1:1 sampling (coarse wall-clock
+    guard; the strict no-hook guarantee lives in test_trace.py)."""
+    args = dict(seed=0, rate=20_000.0, duration=0.2, hosts=2)
+    t0 = time.perf_counter()
+    _report_on, tracer_on, _c1 = run_forwarding_trace(
+        sample_every=1, **args)
+    enabled_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _report_off, tracer_off, _c2 = run_forwarding_trace(
+        sample_every=0, **args)
+    disabled_wall = time.perf_counter() - t0
+    assert tracer_on.span_events > 0
+    assert tracer_off.span_events == 0 and not tracer_off.traces
+    assert tracer_off._counter == 0
+    # 1:1 sampling does strictly more work; allow generous noise margin.
+    assert disabled_wall <= enabled_wall * 1.25

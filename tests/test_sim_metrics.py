@@ -127,3 +127,80 @@ def test_registry_reuses_instances(engine):
     assert registry.timeseries("t") is registry.timeseries("t")
     registry.counter("c").add(3)
     assert registry.counter("c").value == 3
+
+
+# -- edge cases locked in with the tracing work -------------------------------
+
+
+def test_distribution_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        Distribution("lat").percentile(0)
+
+
+def test_distribution_percentile_single_sample():
+    dist = Distribution("lat")
+    dist.record(7.5)
+    for p in (0, 25, 50, 99, 100):
+        assert dist.percentile(p) == 7.5
+
+
+def test_distribution_percentile_duplicates():
+    dist = Distribution("lat")
+    dist.extend([4.0, 4.0, 4.0, 4.0])
+    assert dist.percentile(0) == 4.0
+    assert dist.percentile(50) == 4.0
+    assert dist.percentile(100) == 4.0
+    dist.record(8.0)
+    assert dist.percentile(100) == 8.0
+    assert dist.percentile(50) == 4.0
+
+
+def test_distribution_percentile_interpolates():
+    dist = Distribution("lat")
+    dist.extend([1.0, 3.0])
+    assert dist.percentile(50) == pytest.approx(2.0)
+    assert dist.percentile(25) == pytest.approx(1.5)
+
+
+def test_distribution_cdf_rejects_nonpositive_points():
+    dist = Distribution("lat")
+    dist.extend([1.0, 2.0])
+    with pytest.raises(ValueError):
+        dist.cdf(points=0)
+    with pytest.raises(ValueError):
+        dist.cdf(points=-3)
+    assert dist.cdf(points=1)[-1][1] == pytest.approx(1.0)
+
+
+def test_distribution_cdf_empty_is_empty():
+    assert Distribution("lat").cdf() == []
+
+
+def test_distribution_samples_returns_copy():
+    dist = Distribution("lat")
+    dist.extend([2.0, 1.0])
+    samples = dist.samples()
+    samples.append(99.0)
+    assert len(dist) == 2
+    assert sorted(dist.samples()) == [1.0, 2.0]
+
+
+def test_distribution_total_is_order_independent():
+    values = [0.1, 0.2, 0.3, 1e-9, 1e9, -0.25]
+    forward, backward = Distribution("a"), Distribution("b")
+    forward.extend(values)
+    backward.extend(reversed(values))
+    assert forward.total() == backward.total()   # fsum: exact equality
+    assert Distribution("empty").total() == 0.0
+
+
+def test_timeseries_window_boundaries_inclusive():
+    series = TimeSeries("t")
+    for t in (1.0, 2.0, 3.0, 4.0):
+        series.record(t, t * 10)
+    # Both endpoints are included; outside samples are not.
+    assert series.window(2.0, 3.0).times == [2.0, 3.0]
+    assert series.window(2.0, 2.0).times == [2.0]
+    assert series.window(4.0, 9.0).times == [4.0]
+    assert series.window(4.5, 9.0).times == []
+    assert series.window(3.0, 2.0).times == []   # empty interval
