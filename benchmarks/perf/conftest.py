@@ -1,0 +1,16 @@
+"""Wall-clock hot-path benchmarks.
+
+Unlike the figure benchmarks one directory up — which measure
+deterministic *virtual-time* behaviour and therefore run exactly once —
+these measure how fast the reproduction itself executes on the host, so
+they use pytest-benchmark's normal statistical repetition.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+
+Each hot path is benchmarked twice, current vs. the pre-optimization
+reference implementation from :mod:`repro.bench.legacy`, in the same
+pytest-benchmark group, so ``--benchmark-group-by=group`` tables show
+the speedup directly.
+"""

@@ -1,0 +1,105 @@
+"""Hot-path wall-clock benchmarks: current implementations vs. the
+pre-optimization references (``repro.bench.legacy``).
+
+The same workloads back ``repro bench --perf``; this file exposes them
+to pytest-benchmark for statistical timing and keeps two deterministic
+gates (cache hit rate, combined speedup floor) runnable from CI.
+"""
+
+import pytest
+
+from repro.bench.legacy import (
+    LegacyFlowTable,
+    legacy_decode_tuple,
+    legacy_encode_tuple,
+)
+from repro.bench.perf import (
+    _lookup_frames,
+    _table_entries,
+    codec_corpus,
+    run_perf_bench,
+)
+from repro.sdn.flow import FlowTable
+from repro.streaming.serialize import decode_tuple, encode_tuple
+
+
+@pytest.fixture(scope="module")
+def lookup_workload():
+    table = FlowTable()
+    legacy = LegacyFlowTable()
+    for entry in _table_entries():
+        table.add(entry)
+    for entry in _table_entries():
+        legacy.add(entry)
+    return table, legacy, _lookup_frames()
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return codec_corpus(seed=0)
+
+
+@pytest.fixture(scope="module")
+def encoded(corpus):
+    return [encode_tuple(st) for st in corpus]
+
+
+@pytest.mark.benchmark(group="table-lookup")
+def test_lookup_current(benchmark, lookup_workload):
+    table, _legacy, frames = lookup_workload
+
+    def run():
+        for frame, in_port in frames:
+            table.lookup_cached(frame, in_port)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="table-lookup")
+def test_lookup_legacy_baseline(benchmark, lookup_workload):
+    _table, legacy, frames = lookup_workload
+
+    def run():
+        for frame, in_port in frames:
+            legacy.lookup(frame, in_port)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="encode")
+def test_encode_current(benchmark, corpus):
+    benchmark(lambda: [encode_tuple(st) for st in corpus])
+
+
+@pytest.mark.benchmark(group="encode")
+def test_encode_legacy_baseline(benchmark, corpus):
+    benchmark(lambda: [legacy_encode_tuple(st) for st in corpus])
+
+
+@pytest.mark.benchmark(group="decode")
+def test_decode_current(benchmark, encoded):
+    benchmark(lambda: [decode_tuple(data) for data in encoded])
+
+
+@pytest.mark.benchmark(group="decode")
+def test_decode_legacy_baseline(benchmark, encoded):
+    benchmark(lambda: [legacy_decode_tuple(data) for data in encoded])
+
+
+def test_cached_lookup_agrees_with_legacy(lookup_workload):
+    table, legacy, frames = lookup_workload
+    for frame, in_port in frames:
+        current = table.lookup_cached(frame, in_port)
+        reference = legacy.lookup(frame, in_port)
+        assert (current is None) == (reference is None)
+        if current is not None:
+            assert current.match == reference.match
+            assert current.priority == reference.priority
+
+
+def test_combined_speedup_floor():
+    """The headline gate, at a conservative floor for noisy CI hosts
+    (``repro bench --perf`` reports the full-resolution number)."""
+    result = run_perf_bench(seed=0, iterations=20_000, e2e=False)
+    assert result["ops"]["table_lookup"]["cache_hit_rate"] > 0.95
+    assert result["combined"]["speedup"] > 1.5

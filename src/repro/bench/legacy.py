@@ -1,0 +1,221 @@
+"""Pre-optimization reference implementations of the hot paths.
+
+These are faithful copies of the code that shipped before the hot-path
+performance overhaul (PR 4): the linearly-scanned flow table, the
+concatenation-per-value tuple encoder and the slice-copy decoder. They
+exist so ``repro bench --perf`` can measure the optimization's speedup
+*on the machine it runs on* — the baseline is re-measured every run
+instead of trusting numbers recorded on different hardware — and so the
+golden-bytes tests can assert the optimized codec is byte-for-byte
+compatible with the original.
+
+Nothing in the runtime imports this module; it is benchmark/test
+reference material only. Do not "optimize" it.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Optional, Tuple
+
+from ..net.ethernet import EthernetFrame
+from ..sdn.flow import FlowEntry
+from ..streaming.serialize import SerializationError
+from ..streaming.tuples import Anchor, StreamTuple
+
+# -- legacy flow-table lookup ------------------------------------------------
+
+
+class LegacyFlowTable:
+    """The pre-PR priority table: one flat list, sorted on every insert,
+    linearly scanned on every lookup, no exact-match cache."""
+
+    def __init__(self):
+        self._entries: List[FlowEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, entry: FlowEntry, now: float = 0.0) -> FlowEntry:
+        entry.installed_at = now
+        entry.last_used = now
+        for i, existing in enumerate(self._entries):
+            if existing.match == entry.match and existing.priority == entry.priority:
+                self._entries[i] = entry
+                return entry
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: (-e.priority, e.entry_id))
+        return entry
+
+    def lookup(self, frame: EthernetFrame, in_port: int) -> Optional[FlowEntry]:
+        for entry in self._entries:
+            if entry.match.matches(frame, in_port):
+                return entry
+        return None
+
+
+# -- legacy codec ------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_DICT = 0x08
+_T_BIGINT = 0x09
+
+_I64_MIN = -(2 ** 63)
+_I64_MAX = 2 ** 63 - 1
+
+_U32 = struct.Struct("!I")
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+
+_ENVELOPE = struct.Struct("!HiBH")
+_ANCHOR = struct.Struct("!QQ")
+_TRACE = struct.Struct("!Q")
+_FLAG_ANCHORED = 0x01
+_FLAG_TRACED = 0x02
+
+
+def _encode_value(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(bytes([_T_NONE]))
+    elif value is True:
+        out.append(bytes([_T_TRUE]))
+    elif value is False:
+        out.append(bytes([_T_FALSE]))
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(bytes([_T_INT]) + _I64.pack(value))
+        else:
+            magnitude = abs(value)
+            body = magnitude.to_bytes((magnitude.bit_length() + 8) // 8,
+                                      "big", signed=False)
+            sign = 1 if value < 0 else 0
+            out.append(bytes([_T_BIGINT, sign])
+                       + _U32.pack(len(body)) + body)
+    elif isinstance(value, float):
+        out.append(bytes([_T_FLOAT]) + _F64.pack(value))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(bytes([_T_STR]) + _U32.pack(len(data)) + data)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(bytes([_T_BYTES]) + _U32.pack(len(value)) + bytes(value))
+    elif isinstance(value, (list, tuple)):
+        out.append(bytes([_T_LIST]) + _U32.pack(len(value)))
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, dict):
+        out.append(bytes([_T_DICT]) + _U32.pack(len(value)))
+        for key, item in value.items():
+            _encode_value(key, out)
+            _encode_value(item, out)
+    else:
+        raise SerializationError("cannot serialize %r of type %s"
+                                 % (value, type(value).__name__))
+
+
+def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise SerializationError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        (value,) = _I64.unpack_from(data, offset)
+        return value, offset + 8
+    if tag == _T_BIGINT:
+        sign = data[offset]
+        offset += 1
+        (length,) = _U32.unpack_from(data, offset)
+        offset += 4
+        magnitude = int.from_bytes(data[offset:offset + length], "big")
+        return (-magnitude if sign else magnitude), offset + length
+    if tag == _T_FLOAT:
+        (value,) = _F64.unpack_from(data, offset)
+        return value, offset + 8
+    if tag == _T_STR:
+        (length,) = _U32.unpack_from(data, offset)
+        offset += 4
+        return data[offset:offset + length].decode("utf-8"), offset + length
+    if tag == _T_BYTES:
+        (length,) = _U32.unpack_from(data, offset)
+        offset += 4
+        return bytes(data[offset:offset + length]), offset + length
+    if tag == _T_LIST:
+        (length,) = _U32.unpack_from(data, offset)
+        offset += 4
+        items = []
+        for _ in range(length):
+            item, offset = _decode_value(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _T_DICT:
+        (length,) = _U32.unpack_from(data, offset)
+        offset += 4
+        mapping = {}
+        for _ in range(length):
+            key, offset = _decode_value(data, offset)
+            value, offset = _decode_value(data, offset)
+            mapping[key] = value
+        return mapping, offset
+    raise SerializationError("unknown type tag 0x%02x" % tag)
+
+
+def legacy_encode_values(values: Tuple[Any, ...]) -> bytes:
+    out: List[bytes] = []
+    for value in values:
+        _encode_value(value, out)
+    return b"".join(out)
+
+
+def legacy_encode_tuple(stream_tuple: StreamTuple) -> bytes:
+    flags = _FLAG_ANCHORED if stream_tuple.anchor is not None else 0
+    if stream_tuple.trace_id is not None:
+        flags |= _FLAG_TRACED
+    head = _ENVELOPE.pack(stream_tuple.stream, stream_tuple.source_worker,
+                          flags, len(stream_tuple.values))
+    body: List[bytes] = [head]
+    if stream_tuple.anchor is not None:
+        body.append(_ANCHOR.pack(stream_tuple.anchor.root_id,
+                                 stream_tuple.anchor.edge_id))
+    if stream_tuple.trace_id is not None:
+        body.append(_TRACE.pack(stream_tuple.trace_id))
+    body.append(legacy_encode_values(stream_tuple.values))
+    return b"".join(body)
+
+
+def legacy_decode_tuple(data: bytes, source_component: str = "") -> StreamTuple:
+    if len(data) < _ENVELOPE.size:
+        raise SerializationError("truncated tuple envelope")
+    stream, source_worker, flags, nvalues = _ENVELOPE.unpack_from(data, 0)
+    offset = _ENVELOPE.size
+    anchor = None
+    if flags & _FLAG_ANCHORED:
+        root_id, edge_id = _ANCHOR.unpack_from(data, offset)
+        anchor = Anchor(root_id, edge_id)
+        offset += _ANCHOR.size
+    trace_id = None
+    if flags & _FLAG_TRACED:
+        (trace_id,) = _TRACE.unpack_from(data, offset)
+        offset += _TRACE.size
+    values = []
+    for _ in range(nvalues):
+        value, offset = _decode_value(data, offset)
+        values.append(value)
+    if offset != len(data):
+        raise SerializationError("%d trailing bytes after tuple"
+                                 % (len(data) - offset))
+    return StreamTuple(values=tuple(values), stream=stream,
+                       source_component=source_component,
+                       source_worker=source_worker, anchor=anchor,
+                       trace_id=trace_id)

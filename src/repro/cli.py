@@ -17,7 +17,12 @@ and checks the four chaos invariants (exit status 1 on any violation);
 ``trace`` runs the Fig. 8 forwarding workload with hop-by-hop tracing
 enabled and prints the per-hop latency breakdown, verifying that every
 sampled tuple's hop segments sum exactly to the end-to-end latency the
-metrics registry recorded for it (exit status 1 on any mismatch).
+metrics registry recorded for it (exit status 1 on any mismatch);
+``bench --perf`` wall-clocks the hot paths (flow-table lookup, tuple
+encode/decode, fig8/fig9 end to end) against the pre-optimization
+reference implementations and optionally writes ``BENCH_hotpath.json``
+(exit status 1 if the fig8 steady-state cache hit rate drops below the
+perf-smoke gate).
 """
 
 from __future__ import annotations
@@ -126,6 +131,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--duration", type=float, default=0.5,
                        help="virtual seconds of traced traffic")
     trace.add_argument("--hosts", type=int, default=2)
+
+    bench_cmd = commands.add_parser(
+        "bench",
+        help="wall-clock benchmarks of the reproduction itself")
+    bench_cmd.add_argument("--perf", action="store_true",
+                           help="run the hot-path benchmark (flow lookup, "
+                                "tuple encode/decode, fig8/fig9 end to end) "
+                                "against the pre-optimization baselines")
+    bench_cmd.add_argument("--seed", type=int, default=0)
+    bench_cmd.add_argument("--iterations", type=int, default=50_000,
+                           help="target op count per micro-benchmark")
+    bench_cmd.add_argument("--no-e2e", action="store_true",
+                           help="skip the fig8/fig9 end-to-end runs "
+                                "(micro-benchmarks only)")
+    bench_cmd.add_argument("--output", default=None, metavar="PATH",
+                           help="also write the full report as JSON "
+                                "(e.g. BENCH_hotpath.json)")
     return parser
 
 
@@ -243,6 +265,26 @@ def cmd_trace(seed: int, sample_every: int, rate: float, duration: float,
     return 0 if ok else 1
 
 
+def cmd_bench(perf: bool, seed: int, iterations: int, e2e: bool,
+              output: Optional[str], out=sys.stdout) -> int:
+    from .bench.perf import check_gates, render_report, run_perf_bench, \
+        write_report
+
+    if not perf:
+        out.write("nothing to do: pass --perf\n")
+        return 2
+    result = run_perf_bench(seed=seed, iterations=iterations, e2e=e2e)
+    out.write(render_report(result))
+    out.write("\n")
+    if output:
+        write_report(result, output)
+        out.write("wrote %s\n" % output)
+    failures = check_gates(result)
+    for failure in failures:
+        out.write("GATE FAIL: %s\n" % failure)
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list-experiments":
@@ -263,4 +305,7 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     if args.command == "trace":
         return cmd_trace(args.seed, args.sample_every, args.rate,
                          args.duration, args.hosts, out)
+    if args.command == "bench":
+        return cmd_bench(args.perf, args.seed, args.iterations,
+                         not args.no_e2e, args.output, out)
     return 2

@@ -10,9 +10,10 @@ load balancer's weighted round robin).
 
 from __future__ import annotations
 
+import bisect
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..net.addresses import WorkerAddress
 from ..net.ethernet import EthernetFrame
@@ -38,6 +39,23 @@ class Match:
         if self.dl_dst is not None and frame.dst != self.dl_dst:
             return False
         if self.ether_type is not None and frame.ethertype != self.ether_type:
+            return False
+        return True
+
+    def matches_key(self, dl_dst: WorkerAddress, dl_src: WorkerAddress,
+                    in_port: int, ether_type: int) -> bool:
+        """Like :meth:`matches`, but against an exact-match cache key.
+
+        The key carries every field a :class:`Match` can constrain, so
+        this decides *exactly* whether a frame with these headers would
+        be matched — the property the exact-match cache relies on."""
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.dl_src is not None and dl_src != self.dl_src:
+            return False
+        if self.dl_dst is not None and dl_dst != self.dl_dst:
+            return False
+        if self.ether_type is not None and ether_type != self.ether_type:
             return False
         return True
 
@@ -140,42 +158,166 @@ class FlowEntry:
         )
 
 
-class FlowTable:
-    """Priority-ordered flow rules with exact-overlap replacement.
+#: Exact-match cache key: every header field a :class:`Match` can
+#: constrain — ``(dl_dst, dl_src, in_port, ether_type)``. Because the
+#: key covers the full match space, two frames with equal keys always
+#: resolve to the same table entry.
+CacheKey = Tuple[WorkerAddress, WorkerAddress, int, int]
 
-    Lookup returns the highest-priority matching entry; among equal
-    priorities the earliest-installed wins (deterministic). Adding an
-    entry whose match and priority equal an existing entry replaces it
-    (OpenFlow ADD semantics).
+
+class ExactMatchCache:
+    """Megaflow-style exact-match cache in front of the priority table.
+
+    The priority table is authoritative; the cache memoizes its answer
+    (the matched :class:`FlowEntry`, or ``None`` for a table miss) per
+    exact header key. Invalidation is *overlapping-priority aware*:
+
+    * an ADD drops exactly the keys whose answer the new entry could
+      change — keys the new match covers where the cached answer is a
+      miss or an entry of equal-or-lower priority (equal priority also
+      covers OpenFlow ADD's replace-in-place semantics);
+    * a delete/expiry drops the keys whose cached answer *is* one of
+      the removed entries (a removal can never create a better match
+      for a key it did not answer);
+    * table loss or environment changes (switch crash, GroupMod,
+      PortStatus, SwitchReconnect) clear the whole cache.
+
+    Hit/miss/invalidation counters feed the perf benchmarks; the cache
+    never affects which entry a lookup returns, so virtual-time results
+    and flow counters are identical with or without it.
+    """
+
+    #: Bound on cached keys; on overflow the cache is simply cleared
+    #: (rare: the key space is per-(app, worker) pairs actually seen).
+    MAX_ENTRIES = 8192
+
+    def __init__(self):
+        self._cache: Dict[CacheKey, Optional[FlowEntry]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        if self._cache:
+            self.invalidations += len(self._cache)
+            self._cache.clear()
+
+    def invalidate_for_add(self, entry: FlowEntry) -> None:
+        match = entry.match
+        priority = entry.priority
+        stale = [key for key, cached in self._cache.items()
+                 if (cached is None or cached.priority <= priority)
+                 and match.matches_key(*key)]
+        for key in stale:
+            del self._cache[key]
+        self.invalidations += len(stale)
+
+    def invalidate_entries(self, removed: List[FlowEntry]) -> None:
+        if not removed:
+            return
+        gone = {id(entry) for entry in removed}
+        stale = [key for key, cached in self._cache.items()
+                 if cached is not None and id(cached) in gone]
+        for key in stale:
+            del self._cache[key]
+        self.invalidations += len(stale)
+
+
+class FlowTable:
+    """Priority-bucketed flow rules with exact-overlap replacement.
+
+    Entries live in per-priority buckets (insertion-ordered), so ADD
+    costs O(bucket) instead of a full re-sort, and lookup walks the
+    buckets from highest priority down, short-circuiting on the first
+    match. Among equal priorities the earliest-installed slot wins
+    (deterministic); adding an entry whose match and priority equal an
+    existing entry replaces it in place (OpenFlow ADD semantics).
+
+    An :class:`ExactMatchCache` memoizes :meth:`lookup_cached` answers;
+    every table mutation invalidates the affected keys.
     """
 
     def __init__(self):
-        self._entries: List[FlowEntry] = []
+        self._buckets: Dict[int, List[FlowEntry]] = {}
+        #: Bucket priorities, kept sorted descending.
+        self._priorities: List[int] = []
+        self.cache = ExactMatchCache()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(bucket) for bucket in self._buckets.values())
 
     def __iter__(self):
-        return iter(list(self._entries))
+        entries: List[FlowEntry] = []
+        for priority in self._priorities:
+            entries.extend(self._buckets[priority])
+        return iter(entries)
 
     def add(self, entry: FlowEntry, now: float = 0.0) -> FlowEntry:
         entry.installed_at = now
         entry.last_used = now
-        for i, existing in enumerate(self._entries):
-            if existing.match == entry.match and existing.priority == entry.priority:
-                self._entries[i] = entry
-                return entry
-        self._entries.append(entry)
-        # Keep sorted by (-priority, entry_id) so lookup is a linear scan
-        # over an already correctly ordered list.
-        self._entries.sort(key=lambda e: (-e.priority, e.entry_id))
+        bucket = self._buckets.get(entry.priority)
+        if bucket is None:
+            bucket = self._buckets[entry.priority] = []
+            position = bisect.bisect_left(
+                [-p for p in self._priorities], -entry.priority)
+            self._priorities.insert(position, entry.priority)
+            bucket.append(entry)
+        else:
+            for i, existing in enumerate(bucket):
+                if existing.match == entry.match:
+                    bucket[i] = entry
+                    break
+            else:
+                bucket.append(entry)
+        self.cache.invalidate_for_add(entry)
         return entry
 
     def lookup(self, frame: EthernetFrame, in_port: int) -> Optional[FlowEntry]:
-        for entry in self._entries:
-            if entry.match.matches(frame, in_port):
-                return entry
+        for priority in self._priorities:
+            for entry in self._buckets[priority]:
+                if entry.match.matches(frame, in_port):
+                    return entry
         return None
+
+    def lookup_cached(self, frame: EthernetFrame,
+                      in_port: int) -> Optional[FlowEntry]:
+        """Exact-match-cached lookup; same answer as :meth:`lookup`."""
+        cache = self.cache
+        key = (frame.dst, frame.src, in_port, frame.ethertype)
+        entry = cache._cache.get(key, _CACHE_ABSENT)
+        if entry is not _CACHE_ABSENT:
+            cache.hits += 1
+            return entry
+        cache.misses += 1
+        entry = self.lookup(frame, in_port)
+        if len(cache._cache) >= cache.MAX_ENTRIES:
+            cache.clear()
+        cache._cache[key] = entry
+        return entry
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached answer (environment changed: group tables,
+        port set, switch reconnect — anything outside the table)."""
+        self.cache.clear()
+
+    def _drop_bucket_entries(self, removed: List[FlowEntry]) -> None:
+        for entry in removed:
+            bucket = self._buckets.get(entry.priority)
+            if bucket is None:
+                continue
+            bucket.remove(entry)
+            if not bucket:
+                del self._buckets[entry.priority]
+                self._priorities.remove(entry.priority)
+        self.cache.invalidate_entries(removed)
 
     def remove(self, match: Match, strict: bool = False,
                priority: Optional[int] = None) -> List[FlowEntry]:
@@ -183,34 +325,35 @@ class FlowTable:
         match. Strict deletion also requires the priority to match when
         one is given (OpenFlow delete_strict semantics)."""
         if strict:
-            removed = [e for e in self._entries
+            removed = [e for e in self
                        if e.match == match
                        and (priority is None or e.priority == priority)]
         else:
-            removed = [e for e in self._entries if match.covers(e.match)]
-        for entry in removed:
-            self._entries.remove(entry)
+            removed = [e for e in self if match.covers(e.match)]
+        self._drop_bucket_entries(removed)
         return removed
 
     def remove_by_cookie(self, cookie: int) -> List[FlowEntry]:
-        removed = [e for e in self._entries if e.cookie == cookie]
-        for entry in removed:
-            self._entries.remove(entry)
+        removed = [e for e in self if e.cookie == cookie]
+        self._drop_bucket_entries(removed)
         return removed
 
     def expire_idle(self, now: float) -> List[FlowEntry]:
-        expired = [e for e in self._entries if e.idle_expired(now)]
-        for entry in expired:
-            self._entries.remove(entry)
+        expired = [e for e in self if e.idle_expired(now)]
+        self._drop_bucket_entries(expired)
         return expired
 
     def referencing_port(self, port: int) -> List[FlowEntry]:
         """Entries that match on or output to the given port."""
         hits = []
-        for entry in self._entries:
+        for entry in self:
             if entry.match.in_port == port:
                 hits.append(entry)
                 continue
             if any(isinstance(a, Output) and a.port == port for a in entry.actions):
                 hits.append(entry)
         return hits
+
+
+#: Sentinel distinguishing "cached miss" (None) from "not cached".
+_CACHE_ABSENT = object()

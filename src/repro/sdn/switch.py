@@ -157,6 +157,20 @@ class SoftwareSwitch:
         self._sweep_interval = idle_sweep_interval
         self._sweeper = engine.process(self._sweep_idle(), name="sweep:%s" % dpid)
 
+    # -- exact-match cache telemetry --------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return self.flows.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.flows.cache.misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.flows.cache.hit_rate
+
     # -- controller connectivity ------------------------------------------
 
     def connect_controller(self, deliver: Callable[[Message], None]) -> None:
@@ -182,6 +196,7 @@ class SoftwareSwitch:
         number = self._next_port
         self._next_port += 1
         self.ports[number] = SwitchPort(number, name, sink, kind)
+        self.flows.invalidate_cache()
         self._notify_controller(
             PortStatus(self.dpid, number, name, PORT_ADD),
             self.costs.port_event_latency,
@@ -194,6 +209,7 @@ class SoftwareSwitch:
         port = self.ports.pop(number, None)
         if port is None:
             return
+        self.flows.invalidate_cache()
         self._notify_controller(
             PortStatus(self.dpid, number, port.name, PORT_DELETE),
             self.costs.port_event_latency,
@@ -235,6 +251,9 @@ class SoftwareSwitch:
         if self.up:
             return
         self.up = True
+        # The reconnect hands the controller a blank table; any cached
+        # lookups from the previous incarnation must not survive it.
+        self.flows.invalidate_cache()
         self._notify_controller(SwitchReconnect(self.dpid),
                                 self.costs.port_event_latency)
         for number in sorted(self.ports):
@@ -308,6 +327,9 @@ class SoftwareSwitch:
             self.groups.get(mod.group_id).set_buckets(list(mod.buckets))
         elif mod.command == DELETE:
             self.groups.remove(mod.group_id)
+        # Group contents changed under existing rules: conservatively
+        # drop memoized lookups so no stale resolution can survive.
+        self.flows.invalidate_cache()
 
     def _apply_packet_out(self, message: PacketOut) -> None:
         # Controller-injected frames enter the data plane here without
@@ -389,7 +411,7 @@ class SoftwareSwitch:
                 tracer.frame_drop(frame, LAYER_SWITCH, R_BACKLOG_OVERFLOW)
             return False
 
-        entry = self.flows.lookup(frame, in_port)
+        entry = self.flows.lookup_cached(frame, in_port)
         if entry is None:
             self.table_misses += 1
             if self.ledger is not None:
@@ -398,6 +420,9 @@ class SoftwareSwitch:
             if tracer is not None:
                 tracer.frame_drop(frame, LAYER_SWITCH, R_TABLE_MISS)
             return False
+        # Cache hits and priority-table hits bump the same flow-entry
+        # counters: FlowStatsReply, the stats monitor and the
+        # auto-scaler see identical numbers either way.
         entry.touch(self.engine.now, len(frame))
         if tracer is not None:
             tracer.frame_event(frame, H_SWITCH, dpid=self.dpid)
@@ -486,7 +511,7 @@ class SoftwareSwitch:
             )
             return finish
         if out_port == OFPP_TABLE:
-            entry = self.flows.lookup(frame, in_port)
+            entry = self.flows.lookup_cached(frame, in_port)
             if entry is None:
                 self.table_misses += 1
                 if account is not None:

@@ -56,3 +56,24 @@ def test_wordcount_storm_runs():
                           "--splits", "1", "--counts", "1"])
     assert code == 0
     assert "system: storm" in text
+
+
+def test_bench_requires_perf_flag():
+    code, text = run_cli(["bench"])
+    assert code == 2
+    assert "--perf" in text
+
+
+def test_bench_perf_micro_runs_and_writes_json(tmp_path):
+    report = tmp_path / "hotpath.json"
+    code, text = run_cli(["bench", "--perf", "--no-e2e",
+                          "--iterations", "2000",
+                          "--output", str(report)])
+    assert code == 0
+    assert "table_lookup" in text
+    assert "combined" in text
+    import json
+    data = json.loads(report.read_text())
+    assert data["benchmark"] == "hotpath"
+    assert set(data["ops"]) == {"table_lookup", "encode", "decode"}
+    assert data["ops"]["table_lookup"]["cache_hit_rate"] > 0.95

@@ -161,3 +161,59 @@ def test_actions_are_immutable_dataclasses():
     assert GroupAction(5) != GroupAction(6)
     with pytest.raises(Exception):
         Output(1).port = 2
+
+
+# -- priority buckets (hot-path overhaul) ------------------------------------------
+
+
+def test_buckets_keep_priorities_sorted_descending():
+    table = FlowTable()
+    for priority in (10, 200, 50, 150, 50, 10):
+        table.add(FlowEntry(Match(in_port=priority), (Output(1),),
+                            priority=priority))
+    assert table._priorities == sorted(set((10, 200, 50, 150)),
+                                       reverse=True)
+    # Iteration walks priority groups high to low.
+    seen = [entry.priority for entry in table]
+    assert seen == sorted(seen, reverse=True)
+
+
+def test_empty_buckets_are_pruned_on_removal():
+    table = FlowTable()
+    table.add(FlowEntry(Match(in_port=1), (Output(1),), priority=50))
+    table.add(FlowEntry(Match(in_port=2), (Output(2),), priority=10))
+    table.remove(Match(in_port=1), strict=True, priority=50)
+    assert table._priorities == [10]
+    assert 50 not in table._buckets
+    # The pruned priority can be re-added cleanly.
+    table.add(FlowEntry(Match(in_port=3), (Output(3),), priority=50))
+    assert table._priorities == [50, 10]
+
+
+def test_equal_priority_insertion_order_preserved_in_bucket():
+    table = FlowTable()
+    first = table.add(FlowEntry(Match(), (Output(1),), priority=5))
+    second = table.add(FlowEntry(Match(in_port=1), (Output(2),), priority=5))
+    # Both match in_port=1 frames; the first-installed entry wins.
+    assert table.lookup(frame(), 1) is first
+    assert list(table) == [first, second]
+
+
+def test_replacement_keeps_bucket_slot():
+    table = FlowTable()
+    a = table.add(FlowEntry(Match(in_port=1), (Output(1),), priority=5))
+    b = table.add(FlowEntry(Match(in_port=2), (Output(2),), priority=5))
+    replacement = table.add(FlowEntry(Match(in_port=1), (Output(9),),
+                                      priority=5))
+    assert list(table) == [replacement, b]
+    assert a not in list(table)
+
+
+def test_miss_path_short_circuits_without_entries():
+    table = FlowTable()
+    assert table.lookup(frame(), 1) is None
+    table.add(FlowEntry(Match(in_port=99), (Output(1),), priority=7))
+    table.remove(Match(in_port=99), strict=True, priority=7)
+    # Table fully drained: no buckets left to scan.
+    assert table._buckets == {} and table._priorities == []
+    assert table.lookup(frame(), 1) is None
