@@ -13,7 +13,10 @@ the Fig. 2 pipeline end to end and prints a topology summary; ``audit``
 runs a scenario, quiesces the cluster and prints the per-layer tuple
 conservation table (exit status 1 if any tuple is unaccounted for);
 ``chaos`` runs a seeded random fault scenario against the chaos workload
-and checks the four chaos invariants (exit status 1 on any violation);
+and checks the chaos invariants (exit status 1 on any violation) —
+``--acked`` turns on the full reliability stack (acking, spout replay,
+checkpointing, reliable control) and additionally requires zero
+permanently-lost roots;
 ``trace`` runs the Fig. 8 forwarding workload with hop-by-hop tracing
 enabled and prints the per-hop latency breakdown, verifying that every
 sampled tuple's hop segments sum exactly to the end-to-end latency the
@@ -117,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of injected faults")
     chaos.add_argument("--rate", type=float, default=1500.0,
                        help="tuples/second from the chaos source")
+    chaos.add_argument("--acked", action="store_true",
+                       help="enable the reliability stack (acking + replay "
+                            "+ checkpointing + reliable control) and require "
+                            "zero permanently-lost roots")
 
     trace = commands.add_parser(
         "trace",
@@ -210,7 +217,8 @@ def cmd_audit(system: str, rate: float, duration: float, hosts: int,
 
 
 def cmd_chaos(system: str, seed: int, hosts: int, duration: float,
-              faults: int, rate: float, out=sys.stdout) -> int:
+              faults: int, rate: float, acked: bool = False,
+              out=sys.stdout) -> int:
     from .core.chaos import run_chaos
 
     systems = ("typhoon", "storm") if system == "both" else (system,)
@@ -219,7 +227,7 @@ def cmd_chaos(system: str, seed: int, hosts: int, duration: float,
         if index:
             out.write("\n")
         result = run_chaos(name, seed=seed, hosts=hosts, duration=duration,
-                           faults=faults, rate=rate)
+                           faults=faults, rate=rate, acked=acked)
         out.write(result.render())
         out.write("\n")
         if not result.ok:
@@ -301,7 +309,7 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                          args.settle, args.seed, out)
     if args.command == "chaos":
         return cmd_chaos(args.system, args.seed, args.hosts, args.duration,
-                         args.faults, args.rate, out)
+                         args.faults, args.rate, args.acked, out)
     if args.command == "trace":
         return cmd_trace(args.seed, args.sample_every, args.rate,
                          args.duration, args.hosts, out)

@@ -14,7 +14,7 @@ window), routing is restored to the full worker set.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ...sdn.controller import ControllerApp
 from ..update import predecessor_routing_updates
@@ -34,6 +34,12 @@ class FaultDetector(ControllerApp):
         self.detections = 0
         self.restores = 0
         self.detection_times: List[float] = []
+        #: Port deletions with no surviving worker to redirect to — the
+        #: detector can do nothing but wait for supervisor/heartbeat
+        #: recovery. Counted and recorded so the condition is observable
+        #: (``repro chaos`` / ``GET /chaos``) instead of silent.
+        self.dead_ends = 0
+        self.dead_end_events: List[Dict[str, Any]] = []
 
     def on_start(self) -> None:
         app = self.cluster.app
@@ -58,7 +64,18 @@ class FaultDetector(ControllerApp):
             if wid != worker_id and wid in app.worker_host
         ]
         if not survivors:
-            return  # nothing to redirect to; heartbeat recovery must act
+            # Nothing to redirect to: every worker of the component is
+            # down. Record the dead end — only heartbeat/supervisor
+            # recovery (and, for lost tuples, spout replay) can act.
+            self.dead_ends += 1
+            self.dead_end_events.append({
+                "time": round(self.controller.engine.now, 6),
+                "dpid": dpid,
+                "worker_id": worker_id,
+                "topology": topology_id,
+                "component": component,
+            })
+            return
         self.detections += 1
         self.detection_times.append(self.controller.engine.now)
         self.redirected[worker_id] = (topology_id, component)

@@ -14,7 +14,16 @@ randomized fault scenarios:
 3. **no duplicate delivery** — the stateful sink's dedup registry saw
    every ``(source, seq)`` at most once across all reconfigurations;
 4. **fault-detector convergence** — no worker is still redirected-around
-   and no live worker routes to a dead one once faults stop.
+   and no live worker routes to a dead one once faults stop;
+5. **replay conservation** (acked runs only) — every message a spout
+   ever tracked is accounted for: completed, still pending, or
+   retry-budget-exhausted — and after the recovery window *zero* are
+   exhausted, i.e. no root was permanently lost.
+
+The harness runs in two regimes: best-effort (the default — loss is
+attributed but not repaired) and ``acked=True``, which turns on the full
+reliability stack (acking + spout replay + checkpointing + the reliable
+control channel) and holds the run to the stricter §6.1 bar.
 
 :func:`run_chaos` wires a cluster + the chaos workload + a seeded
 :class:`~repro.sim.faults.ChaosSchedule` together and produces a fully
@@ -30,6 +39,9 @@ from typing import Dict, List
 from ..sim.audit import ConservationReport
 from ..sim.engine import Engine
 from ..sim.faults import STORM_KINDS, TYPHOON_KINDS, ChaosSchedule, FaultPlan
+from ..streaming.acker import ACKER_COMPONENT, AckerBolt
+from ..streaming.checkpoint import CHECKPOINT_SERVICE, CheckpointStore
+from ..streaming.replay import REPLAY_SERVICE, ReplayService
 from ..streaming.storm import StormCluster
 from ..streaming.topology import TopologyConfig
 from ..workloads.chaosflow import DEDUP_SERVICE, DedupRegistry, chaos_topology
@@ -45,6 +57,7 @@ I_CONSERVATION = "delivery-conservation"
 I_FLOW_CONSISTENCY = "flow-consistency"
 I_NO_DUPLICATES = "no-duplicate-delivery"
 I_DETECTOR = "fault-detector-convergence"
+I_REPLAY = "replay-conservation"
 
 
 @dataclass
@@ -65,7 +78,7 @@ class InvariantResult:
 
 @dataclass
 class InvariantReport:
-    """All four chaos invariants plus the conservation snapshot."""
+    """All five chaos invariants plus the conservation snapshot."""
 
     results: List[InvariantResult]
     conservation: ConservationReport
@@ -98,7 +111,7 @@ class InvariantReport:
 
 
 class InvariantChecker:
-    """Quiesces a cluster and checks the four chaos invariants.
+    """Quiesces a cluster and checks the five chaos invariants.
 
     Works against both runtimes; the SDN-specific checks (flow
     consistency, detector convergence) report SKIP on the Storm
@@ -117,6 +130,7 @@ class InvariantChecker:
             self._check_flow_consistency(),
             self._check_duplicates(),
             self._check_detector(),
+            self._check_replay(),
         ]
         return InvariantReport(results=results, conservation=conservation)
 
@@ -201,10 +215,31 @@ class InvariantChecker:
                 stale += sum(1 for hop in router.next_hops
                              if self.cluster.executor(hop) is None)
         detail = ("redirected=%d stale-next-hops=%d detections=%d "
-                  "restores=%d" % (len(detector.redirected), stale,
-                                   detector.detections, detector.restores))
+                  "restores=%d dead-ends=%d"
+                  % (len(detector.redirected), stale, detector.detections,
+                     detector.restores, detector.dead_ends))
         ok = not detector.redirected and stale == 0
         return InvariantResult(I_DETECTOR, PASS if ok else FAIL, detail)
+
+    # -- (e) replay conservation / zero permanent loss ---------------------
+
+    def _check_replay(self) -> InvariantResult:
+        """Acked runs only: the spout replay buffers' conservation
+        identity holds and the retry budget never ran dry — i.e. every
+        message the sources ever emitted either completed or is still
+        (benignly) in flight; none is permanently lost."""
+        services = getattr(self.cluster, "services", {})
+        service = services.get(REPLAY_SERVICE)
+        if not isinstance(service, ReplayService) or not service.buffers:
+            return InvariantResult(I_REPLAY, SKIP, "no replay buffers")
+        totals = service.totals()
+        detail = ("emitted=%d completed=%d in-flight=%d exhausted=%d "
+                  "replays=%d recovered=%d"
+                  % (totals["registered"], totals["completed"],
+                     totals["pending"], totals["exhausted"],
+                     totals["replays"], totals["recovered"]))
+        ok = service.conserved() and totals["exhausted"] == 0
+        return InvariantResult(I_REPLAY, PASS if ok else FAIL, detail)
 
 
 # -- the chaos runner ----------------------------------------------------------
@@ -219,6 +254,7 @@ class ChaosRunResult:
     schedule: ChaosSchedule
     plan: FaultPlan
     invariants: InvariantReport
+    acked: bool = False
 
     @property
     def ok(self) -> bool:
@@ -226,7 +262,8 @@ class ChaosRunResult:
 
     def render(self) -> str:
         sections = [
-            "chaos run system=%s seed=%d" % (self.system, self.seed),
+            "chaos run system=%s seed=%d acked=%s"
+            % (self.system, self.seed, self.acked),
             self.schedule.describe(),
             self.plan.render(),
             self.invariants.render(),
@@ -239,6 +276,7 @@ class ChaosRunResult:
         payload.update({
             "system": self.system,
             "seed": self.seed,
+            "acked": self.acked,
             "specs": [spec.describe() for spec in self.schedule.specs],
             "faults_fired": list(self.plan.fired),
             "faults_clamped": list(self.plan.clamped),
@@ -251,14 +289,20 @@ def run_chaos(system: str = "typhoon", seed: int = 0, hosts: int = 3,
               duration: float = 16.0, faults: int = 6, rate: float = 1500.0,
               warmup: float = 4.0, recovery: float = 5.0,
               settle: float = 2.0, relays: int = 2,
-              sinks: int = 2) -> ChaosRunResult:
+              sinks: int = 2, acked: bool = False) -> ChaosRunResult:
     """One seeded chaos scenario end to end.
 
     Timeline: deploy the chaos workload, warm up, arm a seeded fault
     schedule inside ``[warmup, duration - 2]`` (every durable fault ends
     before the horizon), run to ``duration`` plus a recovery window that
     covers the slowest repair (supervisor restart ≈ 3 s), then quiesce
-    and check the four invariants.
+    and check the five invariants.
+
+    ``acked=True`` turns on the full reliability stack — acking + spout
+    replay + checkpointed sinks + the reliable control channel — puts
+    the dedup registry in its idempotent at-least-once mode, and holds
+    the run to the replay-conservation invariant: zero permanently-lost
+    roots once recovery settles.
     """
     if system not in ("typhoon", "storm"):
         raise ValueError("system must be 'typhoon' or 'storm'")
@@ -270,10 +314,22 @@ def run_chaos(system: str = "typhoon", seed: int = 0, hosts: int = 3,
     else:
         cluster = StormCluster(engine, num_hosts=hosts, seed=seed)
         kinds = STORM_KINDS
-    registry = DedupRegistry()
+    registry = DedupRegistry(at_least_once=acked)
     cluster.services[DEDUP_SERVICE] = registry
 
-    config = TopologyConfig(batch_size=50, max_spout_rate=rate)
+    if acked:
+        # Every replayed tuple needs time to drain through backoff plus
+        # a possible supervisor restart before the loss check is fair.
+        recovery = max(recovery, 8.0)
+        config = TopologyConfig(
+            batch_size=50, max_spout_rate=rate,
+            acking=True, num_ackers=1, tuple_timeout=2.0, max_pending=48,
+            replay_enabled=True, replay_max_retries=12,
+            replay_backoff_base=0.25, replay_backoff_factor=2.0,
+            replay_backoff_max=1.0,
+            checkpoint_interval=0.5, reliable_control=True)
+    else:
+        config = TopologyConfig(batch_size=50, max_spout_rate=rate)
     physical = cluster.submit(chaos_topology("chaos", config, relays=relays,
                                              sinks=sinks))
     engine.run(until=warmup)
@@ -289,7 +345,7 @@ def run_chaos(system: str = "typhoon", seed: int = 0, hosts: int = 3,
     engine.run(until=duration + recovery)
     invariants = InvariantChecker(cluster, settle=settle).run()
     return ChaosRunResult(system=system, seed=seed, schedule=schedule,
-                          plan=plan, invariants=invariants)
+                          plan=plan, invariants=invariants, acked=acked)
 
 
 def chaos_snapshot(cluster) -> Dict[str, object]:
@@ -302,12 +358,32 @@ def chaos_snapshot(cluster) -> Dict[str, object]:
     snapshot: Dict[str, object] = {
         "conservation": conservation_report(cluster).to_dict(),
     }
-    registry = getattr(cluster, "services", {}).get(DEDUP_SERVICE)
+    services = getattr(cluster, "services", {})
+    registry = services.get(DEDUP_SERVICE)
     if isinstance(registry, DedupRegistry):
         snapshot["duplicates"] = {
             "tracked": registry.tracked,
             "duplicates": registry.duplicates,
+            "redelivered": registry.redelivered,
+            "at_least_once": registry.at_least_once,
         }
+    replay = services.get(REPLAY_SERVICE)
+    if isinstance(replay, ReplayService) and replay.buffers:
+        snapshot["replay"] = replay.totals()
+    checkpoints = services.get(CHECKPOINT_SERVICE)
+    if isinstance(checkpoints, CheckpointStore) and checkpoints.saves:
+        snapshot["checkpoints"] = checkpoints.stats()
+    ackers: Dict[str, object] = {}
+    manager = getattr(cluster, "manager", None)
+    if manager is not None and hasattr(cluster, "executors_for"):
+        for topology_id in sorted(manager.topologies):
+            for executor in cluster.executors_for(topology_id,
+                                                  ACKER_COMPONENT):
+                if isinstance(executor.component, AckerBolt):
+                    ackers["%s/%d" % (topology_id, executor.worker_id)] = (
+                        executor.component.stats())
+    if ackers:
+        snapshot["ackers"] = ackers
     sdn = getattr(cluster, "sdn", None)
     if sdn is not None:
         snapshot["controller"] = {
@@ -327,7 +403,14 @@ def chaos_snapshot(cluster) -> Dict[str, object]:
                 "detections": detector.detections,
                 "restores": detector.restores,
                 "redirected": sorted(detector.redirected),
+                "dead_ends": detector.dead_ends,
+                "dead_end_events": list(detector.dead_end_events),
             }
+        app = getattr(cluster, "app", None)
+        if app is not None and hasattr(app, "control_channel_stats"):
+            channel = app.control_channel_stats()
+            if channel.get("reliable_topologies"):
+                snapshot["control_channel"] = channel
     plan = getattr(cluster, "chaos_plan", None)
     if isinstance(plan, FaultPlan):
         snapshot["faults"] = {

@@ -15,6 +15,13 @@ PacketOut); METRIC_RESP flows worker -> controller (via PacketIn).
 | ACTIVATE          | unthrottle the first workers of a topology        |
 | DEACTIVATE        | throttle them                                     |
 | BATCH_SIZE        | adjust the I/O layer batch size                   |
+| CONTROL_ACK       | worker's receipt for a sequence-numbered tuple    |
+
+Reliable delivery: PacketOut gives no delivery guarantee, so with
+``TopologyConfig.reliable_control`` the controller stamps a ``_seq``
+payload key on each outgoing tuple, the worker replies CONTROL_ACK (via
+PacketIn) and applies each sequence at most once, and the controller
+retries unacked sequences with exponential backoff.
 """
 
 from __future__ import annotations
@@ -34,9 +41,15 @@ INPUT_RATE = "INPUT_RATE"
 ACTIVATE = "ACTIVATE"
 DEACTIVATE = "DEACTIVATE"
 BATCH_SIZE = "BATCH_SIZE"
+CONTROL_ACK = "CONTROL_ACK"
 
 CONTROL_TYPES = (ROUTING, SIGNAL, METRIC_REQ, METRIC_RESP, INPUT_RATE,
-                 ACTIVATE, DEACTIVATE, BATCH_SIZE)
+                 ACTIVATE, DEACTIVATE, BATCH_SIZE, CONTROL_ACK)
+
+#: Payload key carrying the reliable-delivery sequence number. Only
+#: present when the topology enables ``reliable_control`` (the default
+#: wire format is untouched).
+SEQ_KEY = "_seq"
 
 #: Source-worker id used by the controller in control tuples.
 CONTROLLER_WORKER_ID = -2
@@ -156,3 +169,9 @@ def deactivate(request_id: int = 0) -> ControlTuple:
 
 def batch_size(size: int, request_id: int = 0) -> ControlTuple:
     return ControlTuple(BATCH_SIZE, {"size": int(size)}, request_id)
+
+
+def control_ack(seq: int, worker_id: int) -> ControlTuple:
+    """Worker -> controller receipt for reliable control tuple ``seq``."""
+    return ControlTuple(CONTROL_ACK, {"seq": int(seq),
+                                      "worker_id": int(worker_id)})

@@ -16,7 +16,12 @@ Responsibilities:
 * inject control tuples into workers via PacketOut (Table 2);
 * collect application-layer worker statistics via METRIC_REQ/RESP
   (PacketIn), exposing them to other control-plane apps — the
-  cross-layer information §4 builds on.
+  cross-layer information §4 builds on;
+* for topologies that opt into ``reliable_control``, guarantee control
+  tuple delivery: each tuple carries a sequence number, workers return
+  CONTROL_ACK receipts, and unacked sequences are retried with
+  exponential backoff until a retry budget is spent — so routing
+  reconfigurations survive control-channel loss and delay faults.
 """
 
 from __future__ import annotations
@@ -47,6 +52,20 @@ _RuleKey = Tuple[str, Match]
 _RuleValue = Tuple[int, Tuple[Action, ...]]
 
 
+class _PendingControl:
+    """One reliable control tuple awaiting its CONTROL_ACK."""
+
+    __slots__ = ("topology_id", "worker_id", "message", "attempts", "delay")
+
+    def __init__(self, topology_id: str, worker_id: int,
+                 message: "ct.ControlTuple", delay: float):
+        self.topology_id = topology_id
+        self.worker_id = worker_id
+        self.message = message
+        self.attempts = 1
+        self.delay = delay
+
+
 def _worker_of_port(port_name: str) -> Optional[int]:
     if port_name.startswith("w") and port_name[1:].isdigit():
         return int(port_name[1:])
@@ -75,6 +94,18 @@ class TyphoonControllerApp(ControllerApp):
         self.rules_installed = 0
         self.rules_removed = 0
         self.control_tuples_sent = 0
+        #: Reliable control channel (topologies with ``reliable_control``).
+        self.reliable_topologies: Set[str] = set()
+        self._control_seq = itertools.count(1)
+        self._control_outstanding: Dict[int, _PendingControl] = {}
+        self.control_retry_timeout = 0.25   # first retry check (seconds)
+        self.control_backoff_factor = 2.0
+        self.control_retry_max = 2.0        # backoff ceiling (seconds)
+        self.control_retry_budget = 8       # total attempts per tuple
+        self.control_acked = 0
+        self.control_retries = 0
+        self.control_exhausted = 0
+        self.control_duplicate_acks = 0
         #: Spout workers that have been sent ACTIVATE (§3.2 step v gate:
         #: sources stay throttled until the data plane is programmed).
         self._spouts_activated: Set[int] = set()
@@ -85,10 +116,18 @@ class TyphoonControllerApp(ControllerApp):
         """Start managing a topology's data-plane rules."""
         self.managed.add(topology_id)
         self._installed.setdefault(topology_id, {})
+        logical = self.state.read_logical(topology_id)
+        if logical is not None and getattr(logical.config,
+                                           "reliable_control", False):
+            self.reliable_topologies.add(topology_id)
         self.sync_topology(topology_id)
 
     def unmanage(self, topology_id: str) -> None:
         self.managed.discard(topology_id)
+        self.reliable_topologies.discard(topology_id)
+        for seq in [s for s, p in self._control_outstanding.items()
+                    if p.topology_id == topology_id]:
+            del self._control_outstanding[seq]
         installed = self._installed.pop(topology_id, {})
         for (dpid, match), (priority, _actions) in installed.items():
             if self.controller and dpid in self.controller.switches:
@@ -314,7 +353,47 @@ class TyphoonControllerApp(ControllerApp):
 
     def send_control(self, topology_id: str, worker_id: int,
                      message: ct.ControlTuple) -> bool:
-        """Inject one control tuple into a worker via PacketOut."""
+        """Inject one control tuple into a worker via PacketOut.
+
+        For topologies that enabled ``reliable_control`` the tuple is
+        sequence-stamped and tracked until the worker's CONTROL_ACK
+        arrives; lost or delayed deliveries are retried with backoff."""
+        if topology_id in self.reliable_topologies:
+            seq = next(self._control_seq)
+            payload = dict(message.payload)
+            payload[ct.SEQ_KEY] = seq
+            tracked = ct.ControlTuple(message.ctype, payload,
+                                      message.request_id)
+            self._control_outstanding[seq] = _PendingControl(
+                topology_id, worker_id, tracked,
+                delay=self.control_retry_timeout)
+            sent = self._transmit_control(topology_id, worker_id, tracked)
+            self.controller.engine.schedule(
+                self.control_retry_timeout, self._check_control_ack, seq)
+            return sent
+        return self._transmit_control(topology_id, worker_id, message)
+
+    def _check_control_ack(self, seq: int) -> None:
+        pending = self._control_outstanding.get(seq)
+        if pending is None:
+            return  # acked (or its topology was unmanaged)
+        if (pending.topology_id not in self.managed
+                or pending.attempts >= self.control_retry_budget):
+            del self._control_outstanding[seq]
+            if pending.topology_id in self.managed:
+                self.control_exhausted += 1
+            return
+        pending.attempts += 1
+        self.control_retries += 1
+        pending.delay = min(pending.delay * self.control_backoff_factor,
+                            self.control_retry_max)
+        self._transmit_control(pending.topology_id, pending.worker_id,
+                               pending.message)
+        self.controller.engine.schedule(
+            pending.delay, self._check_control_ack, seq)
+
+    def _transmit_control(self, topology_id: str, worker_id: int,
+                          message: ct.ControlTuple) -> bool:
         physical = self.state.read_physical(topology_id)
         if physical is None:
             return False
@@ -343,6 +422,18 @@ class TyphoonControllerApp(ControllerApp):
         ))
         self.control_tuples_sent += 1
         return True
+
+    def control_channel_stats(self) -> Dict[str, int]:
+        """Reliable-control bookkeeping (chaos snapshot / dashboards)."""
+        return {
+            "reliable_topologies": len(self.reliable_topologies),
+            "sent": self.control_tuples_sent,
+            "acked": self.control_acked,
+            "retries": self.control_retries,
+            "exhausted": self.control_exhausted,
+            "outstanding": len(self._control_outstanding),
+            "duplicate_acks": self.control_duplicate_acks,
+        }
 
     def update_routing(self, topology_id: str, worker_id: int,
                        updates: Sequence[ct.RoutingUpdate]) -> bool:
@@ -390,6 +481,15 @@ class TyphoonControllerApp(ControllerApp):
             if stream_tuple.stream != CONTROL_STREAM:
                 continue
             control = ct.ControlTuple.from_stream_tuple(stream_tuple)
+            if control.ctype == ct.CONTROL_ACK:
+                seq = control.payload.get("seq")
+                if seq in self._control_outstanding:
+                    del self._control_outstanding[seq]
+                    self.control_acked += 1
+                else:
+                    # Receipt for a retry of an already-acked sequence.
+                    self.control_duplicate_acks += 1
+                continue
             if control.ctype != ct.METRIC_RESP:
                 continue
             worker_id = control.payload["worker_id"]

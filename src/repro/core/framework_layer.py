@@ -30,8 +30,33 @@ def _reset_rate_window(executor: WorkerExecutor) -> None:
 
 def handle_control_tuple(executor: WorkerExecutor,
                          stream_tuple: StreamTuple) -> float:
-    """Dispatch one control tuple; returns the virtual-time cost."""
+    """Dispatch one control tuple; returns the virtual-time cost.
+
+    Sequence-stamped tuples (reliable control channel) are acknowledged
+    back to the controller and applied at most once: the controller may
+    retry a delivery the PacketIn ack for which was lost, and blindly
+    re-applying e.g. a stale ROUTING update would undo newer state."""
     message = ct.ControlTuple.from_stream_tuple(stream_tuple)
+    transport = executor.transport
+    seq = message.payload.get(ct.SEQ_KEY)
+    if seq is not None:
+        cost = 0.0
+        if isinstance(transport, TyphoonTransport):
+            receipt = ct.control_ack(seq, executor.worker_id)
+            cost += transport.send_to_controller(
+                receipt.to_stream_tuple(executor.worker_id))
+        # METRIC_REQ is exempt from dedup: its whole effect is the
+        # response, and a retry means the previous response was lost.
+        if (message.ctype != ct.METRIC_REQ
+                and seq in executor.applied_control_seqs):
+            return cost + _RECONFIG_COST
+        executor.applied_control_seqs.add(seq)
+        return cost + _dispatch_control(executor, message, stream_tuple)
+    return _dispatch_control(executor, message, stream_tuple)
+
+
+def _dispatch_control(executor: WorkerExecutor, message: "ct.ControlTuple",
+                      stream_tuple: StreamTuple) -> float:
     transport = executor.transport
     if message.ctype == ct.ROUTING:
         return _apply_routing(executor, message)

@@ -31,6 +31,8 @@ from ..sim.metrics import MetricsRegistry
 from ..sim.rng import as_factory
 from ..streaming.acker import ACKER_COMPONENT
 from ..streaming.agent import WorkerAgent
+from ..streaming.checkpoint import CHECKPOINT_SERVICE, CheckpointStore
+from ..streaming.replay import REPLAY_SERVICE, ReplayService
 from ..streaming.executor import WorkerExecutor
 from ..streaming.manager import StreamingManager, TopologyRecord
 from ..streaming.physical import PhysicalTopology, WorkerAssignment
@@ -88,7 +90,11 @@ class TyphoonCluster:
                                       scheduler or TyphoonScheduler())
         self.executors: Dict[int, WorkerExecutor] = {}
         self.transports: Dict[int, TyphoonTransport] = {}
-        self.services: Dict[str, object] = {"now": lambda: engine.now}
+        self.services: Dict[str, object] = {
+            "now": lambda: engine.now,
+            REPLAY_SERVICE: ReplayService(),
+            CHECKPOINT_SERVICE: CheckpointStore(),
+        }
         #: ``listener(topology_id, op, phase)`` callbacks fired at the
         #: named phases of the Fig. 6 stable-update procedures (see
         #: :mod:`repro.core.update`); the chaos harness injects here.

@@ -1,0 +1,71 @@
+"""Stateful worker checkpoint/restore (§8's external storage, owned by
+the framework instead of the application).
+
+The Fig. 6 stable-update machinery already migrates state *between*
+workers during planned reconfigurations; this module covers the
+*unplanned* path: a stateful worker crashes, the supervisor relaunches
+it, and without help the replacement opens with empty state. With
+checkpointing enabled (``TopologyConfig.checkpoint_interval``) the
+executor periodically asks the component for a snapshot
+(:meth:`~repro.streaming.topology.Component.snapshot`) and persists it
+in a :class:`CheckpointStore` kept in ``cluster.services`` — the same
+durable-external-storage stand-in the chaos workload's dedup registry
+uses. On start, a worker whose store holds a snapshot restores it
+before processing anything.
+
+Exactly-once composition: when the topology also enables acking, the
+executor *defers* the acks of tuples a checkpointing component applied
+until the next snapshot is persisted. A crash therefore loses only
+tuples whose trees had not completed, and those are exactly the ones
+the spout replay layer (:mod:`.replay`) re-emits — the restored state
+never silently contains unacked work.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Optional, Tuple
+
+#: ``cluster.services`` key the executor looks the store up by.
+CHECKPOINT_SERVICE = "checkpoints"
+
+
+class CheckpointStore:
+    """Durable snapshot store keyed by worker id.
+
+    Snapshots are deep-copied on both save and load: the store models
+    external storage, so a component mutating its live state must never
+    reach back into a persisted snapshot (and vice versa)."""
+
+    def __init__(self):
+        self._snapshots: Dict[int, Tuple[float, Any]] = {}
+        self.saves = 0
+        self.restores = 0
+
+    def save(self, worker_id: int, state: Any, now: float) -> None:
+        self._snapshots[worker_id] = (now, copy.deepcopy(state))
+        self.saves += 1
+
+    def load(self, worker_id: int) -> Optional[Any]:
+        entry = self._snapshots.get(worker_id)
+        if entry is None:
+            return None
+        self.restores += 1
+        return copy.deepcopy(entry[1])
+
+    def has(self, worker_id: int) -> bool:
+        return worker_id in self._snapshots
+
+    def time_of(self, worker_id: int) -> Optional[float]:
+        entry = self._snapshots.get(worker_id)
+        return entry[0] if entry is not None else None
+
+    def discard(self, worker_id: int) -> None:
+        self._snapshots.pop(worker_id, None)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "workers": len(self._snapshots),
+            "saves": self.saves,
+            "restores": self.restores,
+        }

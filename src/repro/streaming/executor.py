@@ -28,8 +28,10 @@ from ..sim.engine import Engine, Event, Interrupt, Process
 from ..sim.metrics import MetricsRegistry, RateMeter
 from ..sim.queues import Store
 from ..sim.trace import H_CONTROL, H_QUEUE, Tracer
+from .checkpoint import CHECKPOINT_SERVICE, CheckpointStore
 from .grouping import Router
 from .physical import WorkerAssignment
+from .replay import R_EXHAUSTED, REPLAY_SERVICE, ReplayBuffer
 from .topology import (
     BOLT,
     SPOUT,
@@ -51,6 +53,7 @@ from .tuples import (
 ACK_INIT = "init"
 ACK_ACK = "ack"
 ACK_COMPLETE = "complete"
+ACK_FAIL = "fail"
 
 
 class WorkerCrashed(RuntimeError):
@@ -119,6 +122,9 @@ class _Collector(EmitterApi):
         if executor.acking:
             if executor.is_spout and message_id is not None:
                 out.anchor = executor._register_root(message_id)
+                if executor.replay is not None:
+                    executor.replay.register_root(
+                        out.anchor.root_id, message_id, out.values, stream)
             else:
                 src = anchor if anchor is not None else self.current_input
                 if src is not None and src.anchor is not None:
@@ -144,11 +150,13 @@ class _Collector(EmitterApi):
         pass
 
     def fail(self, stream_tuple: StreamTuple) -> None:
-        # Reporting a non-zero value that is not the tuple's edge id keeps
-        # the XOR ledger non-zero, so the root times out and is replayed.
+        # Explicit FAIL: the acker drops the ledger and notifies the
+        # originating spout immediately instead of waiting for the root
+        # to time out (the old scheme XORed a poison value into the
+        # ledger so the root could only fail by timeout).
         if stream_tuple.anchor is not None:
             self._executor._send_ack_message(
-                ACK_ACK, stream_tuple.anchor.root_id, 1
+                ACK_FAIL, stream_tuple.anchor.root_id, 0
             )
 
     def take(self) -> List[Tuple[StreamTuple, Any]]:
@@ -202,12 +210,28 @@ class WorkerExecutor:
         self.active = True            # ACTIVATE / DEACTIVATE (Table 2)
         self.input_rate_limit: Optional[float] = config.max_spout_rate
         self._emit_batch = emit_batch or max(1, config.batch_size)
+        # In-flight root cap: node-level setting wins over the topology
+        # default (backpressure for the replay path).
+        self.max_pending: Optional[int] = (
+            node.max_pending if node.max_pending is not None
+            else config.max_pending
+        )
 
         self.input_store = Store(engine, sizer=delivery_bytes)
         self.stats = WorkerStats()
         self.collector = _Collector(self)
         self.component = node.factory()
         self.pending_roots: Dict[int, _PendingRoot] = {}
+        #: Framework-level replay buffer (attached in ``start`` when the
+        #: topology enables it); None keeps the legacy fail-and-forget path.
+        self.replay: Optional[ReplayBuffer] = None
+        #: Checkpoint store (attached in ``start`` for stateful nodes
+        #: when the topology enables ``checkpoint_interval``).
+        self._checkpoints: Optional[CheckpointStore] = None
+        self._deferred_acks: List[Tuple[int, int]] = []
+        #: Sequence numbers of reliable control tuples already applied
+        #: (idempotent re-application under controller retries).
+        self.applied_control_seqs: set = set()
 
         base = "%s.%s.%d" % (topology_id, self.component_name, self.worker_id)
         self.processed_meter: RateMeter = metrics.meter(base + ".processed")
@@ -248,6 +272,20 @@ class WorkerExecutor:
             services=self.services,
         )
         self.component.open(context)
+        if self.acking and self.is_spout and self.config.replay_enabled:
+            service = self.services.get(REPLAY_SERVICE)
+            if service is not None:
+                self.replay = service.attach(self.worker_id, self.config)
+                # Messages in flight through a dead predecessor of this
+                # worker id are immediately due for replay.
+                self.replay.reschedule_open(self.engine.now)
+        if self.config.checkpoint_interval is not None and self.node.stateful:
+            store = self.services.get(CHECKPOINT_SERVICE)
+            if store is not None:
+                self._checkpoints = store
+                state = store.load(self.worker_id)
+                if state is not None:
+                    self.component.restore(state)
         loop = self._spout_loop() if self.is_spout else self._bolt_loop()
         self._main = self.engine.process(
             loop, name="worker:%d:%s" % (self.worker_id, self.component_name)
@@ -262,6 +300,10 @@ class WorkerExecutor:
         if self.acking and self.is_spout:
             self._aux.append(self.engine.process(
                 self._pending_sweeper(), name="pending:%d" % self.worker_id
+            ))
+        if self._checkpoints is not None:
+            self._aux.append(self.engine.process(
+                self._checkpoint_loop(), name="checkpoint:%d" % self.worker_id
             ))
 
     def kill(self, drain: bool = False) -> None:
@@ -355,7 +397,13 @@ class WorkerExecutor:
             cost = yield from self._process_delivery(delivery)
             if cost > 0:
                 yield cost
-        flush_cost = self.transport.flush()
+        # A draining stateful worker snapshots before retiring, so a
+        # planned relocation's replacement restores up-to-date state
+        # (and any deferred acks are released, completing their trees).
+        flush_cost = 0.0
+        if self._checkpoints is not None:
+            flush_cost += self._take_checkpoint()
+        flush_cost += self.transport.flush()
         if flush_cost > 0:
             yield flush_cost
         self._shutdown()
@@ -419,9 +467,17 @@ class WorkerExecutor:
         cost += self._dispatch_emissions()
         if (not signal and self.acking and stream_tuple.anchor is not None):
             ack_value = stream_tuple.anchor.edge_id ^ self.collector.child_xor
-            cost += self._send_ack_message(
-                ACK_ACK, stream_tuple.anchor.root_id, ack_value
-            )
+            if self._checkpoints is not None:
+                # Exactly-once composition: hold the ack until the state
+                # that absorbed this tuple is durably snapshotted. A crash
+                # before the snapshot leaves the tree incomplete, so the
+                # spout replays it against the restored (pre-tuple) state.
+                self._deferred_acks.append(
+                    (stream_tuple.anchor.root_id, ack_value))
+            else:
+                cost += self._send_ack_message(
+                    ACK_ACK, stream_tuple.anchor.root_id, ack_value
+                )
             self.stats.acked += 1
         return cost
 
@@ -442,8 +498,8 @@ class WorkerExecutor:
             # 2. Blocked states: deactivated, or ack window full.
             blocked = (
                 not self.active
-                or (self.acking and self.node.max_pending is not None
-                    and len(self.pending_roots) >= self.node.max_pending)
+                or (self.acking and self.max_pending is not None
+                    and len(self.pending_roots) >= self.max_pending)
             )
             if blocked:
                 # Wake on the next delivery (completion / control tuple)
@@ -504,9 +560,19 @@ class WorkerExecutor:
         cost = 0.0
         emitted = 0
         limit = self._emit_batch
-        if self.acking and self.node.max_pending is not None:
+        if self.acking and self.max_pending is not None:
             limit = min(limit,
-                        self.node.max_pending - len(self.pending_roots))
+                        self.max_pending - len(self.pending_roots))
+        # Due replays take priority over fresh input: they are older,
+        # and draining them first bounds the failure tail.
+        if self.replay is not None and limit > 0:
+            for entry in self.replay.take_due(self.engine.now, limit):
+                self.collector.emit(entry.values, stream=entry.stream,
+                                    message_id=entry.message_id)
+                cost += self.costs.app_compute_per_tuple
+                cost += self._dispatch_emissions()
+                emitted += 1
+            limit -= emitted
         for _ in range(max(0, limit)):
             try:
                 self.component.next_tuple(self.collector)
@@ -598,16 +664,57 @@ class WorkerExecutor:
         if kind == ACK_COMPLETE and self.is_spout:
             root_id = stream_tuple.values[1]
             pending = self.pending_roots.pop(root_id, None)
-            if pending is not None:
+            if self.replay is not None:
+                # The buffer arbitrates: only the first completion of a
+                # message (possibly via a root a *previous* incarnation
+                # emitted) acks the component; later completions of
+                # superseded roots are dropped silently.
+                message_id, first = self.replay.on_complete(root_id)
+                if first:
+                    if pending is not None:
+                        self.latency_dist.record(
+                            self.engine.now - pending.emit_time)
+                    try:
+                        self.component.ack(message_id)
+                    except Exception:
+                        pass
+            elif pending is not None:
                 self.latency_dist.record(self.engine.now - pending.emit_time)
                 try:
                     self.component.ack(pending.message_id)
                 except Exception:
                     pass
             return self.costs.ack_per_tuple
+        if kind == ACK_FAIL and self.is_spout:
+            root_id = stream_tuple.values[1]
+            pending = self.pending_roots.pop(root_id, None)
+            if pending is not None or (self.replay is not None
+                                       and self.replay.has_root(root_id)):
+                self._fail_root(root_id, pending)
+            return self.costs.ack_per_tuple
         # Non-spout workers receiving ack traffic = the acker component;
         # its logic lives in the component itself (see acker.py), so run it.
         return self._run_component(stream_tuple, signal=False)
+
+    def _fail_root(self, root_id: int, pending: Optional[_PendingRoot]) -> None:
+        """One root failed (timeout or explicit FAIL): replay the message
+        if the framework replay layer is on, otherwise fall back to the
+        component's own ``fail`` hook."""
+        self.stats.failed += 1
+        if self.replay is not None:
+            outcome, message_id, _due = self.replay.on_failed(
+                root_id, self.engine.now)
+            if outcome == R_EXHAUSTED:
+                try:
+                    self.component.fail(message_id)
+                except Exception:
+                    pass
+            return
+        if pending is not None:
+            try:
+                self.component.fail(pending.message_id)
+            except Exception:
+                pass
 
     def _pending_sweeper(self):
         while True:
@@ -620,11 +727,7 @@ class WorkerExecutor:
                        if p.emit_time <= deadline]
             for root in expired:
                 pending = self.pending_roots.pop(root)
-                self.stats.failed += 1
-                try:
-                    self.component.fail(pending.message_id)
-                except Exception:
-                    pass
+                self._fail_root(root, pending)
 
     # -- auxiliary processes ---------------------------------------------------------------
 
@@ -653,6 +756,42 @@ class WorkerExecutor:
                     % (self.worker_id, self.costs.worker_memory_limit_bytes)
                 ))
                 return
+
+    # -- checkpointing (stateful fault recovery) -----------------------------------------
+
+    def _checkpoint_loop(self):
+        interval = self.config.checkpoint_interval
+        while True:
+            try:
+                yield interval
+            except Interrupt:
+                return
+            cost = self._take_checkpoint()
+            if cost > 0:
+                try:
+                    yield cost
+                except Interrupt:
+                    return
+
+    def _take_checkpoint(self) -> float:
+        """Persist the component's state, then release the acks deferred
+        since the previous snapshot (they are now covered by it)."""
+        try:
+            state = self.component.snapshot()
+        except Exception:
+            state = None
+        if state is not None:
+            self._checkpoints.save(self.worker_id, state, self.engine.now)
+        return self._flush_deferred_acks()
+
+    def _flush_deferred_acks(self) -> float:
+        if not self._deferred_acks:
+            return 0.0
+        acks, self._deferred_acks = self._deferred_acks, []
+        cost = 0.0
+        for root_id, ack_value in acks:
+            cost += self._send_ack_message(ACK_ACK, root_id, ack_value)
+        return cost
 
     # -- control tuples (Typhoon hook) ---------------------------------------------------------
 

@@ -1,0 +1,235 @@
+"""Framework-level spout replay: the missing half of §6.1.
+
+Guaranteed processing as shipped by the acker (:mod:`.acker`) only
+*detects* tuple-tree failure: the spout times out a pending root and
+calls ``Spout.fail(message_id)``. Nothing re-emits the tuple unless the
+application builds its own replay logic. This module closes the loop at
+the framework layer, the way Storm's ``KafkaSpout`` does for real
+deployments:
+
+* every tracked spout emission is retained in a :class:`ReplayBuffer`
+  keyed by ``message_id`` until its tuple tree completes;
+* on failure (spout timeout or an explicit FAIL notification from the
+  acker) the message is re-scheduled with exponential backoff, up to a
+  per-message retry budget — exhausting the budget is the only way a
+  root becomes *permanently lost*;
+* buffers live in ``cluster.services`` (the :class:`ReplayService`), so
+  they survive worker crashes the way a durable source offset would: a
+  relaunched spout re-attaches and immediately re-schedules every
+  message that was in flight when its predecessor died.
+
+The buffer maintains a conservation identity the chaos harness checks
+as an invariant::
+
+    registered == completed + exhausted + pending
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+#: ``cluster.services`` key the executor looks the service up by.
+REPLAY_SERVICE = "replay_buffers"
+
+#: Outcomes of :meth:`ReplayBuffer.on_failed`.
+R_UNTRACKED = "untracked"
+R_SCHEDULED = "scheduled"
+R_EXHAUSTED = "exhausted"
+
+
+class _ReplayEntry:
+    """One tracked message: its payload plus retry bookkeeping."""
+
+    __slots__ = ("message_id", "values", "stream", "attempts", "roots",
+                 "due", "order")
+
+    def __init__(self, message_id: Any, values: Tuple[Any, ...], stream: int,
+                 order: int):
+        self.message_id = message_id
+        self.values = values
+        self.stream = stream
+        self.attempts = 0          # timeout-driven retries consumed
+        self.roots: Set[int] = set()  # every root id ever emitted for it
+        self.due: Optional[float] = None  # next replay time, None = in flight
+        self.order = order         # tie-break for deterministic replay order
+
+
+class ReplayBuffer:
+    """Bounded at-least-once replay state for one spout worker."""
+
+    def __init__(self, worker_id: int, max_retries: int = 8,
+                 backoff_base: float = 0.25, backoff_factor: float = 2.0,
+                 backoff_max: float = 2.0):
+        self.worker_id = worker_id
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self._entries: Dict[Any, _ReplayEntry] = {}
+        self._roots: Dict[int, Any] = {}  # root_id -> message_id
+        self._order = itertools.count()
+        # Conservation counters: registered == completed + exhausted + pending.
+        self.registered = 0   # distinct messages ever tracked
+        self.completed = 0    # messages whose tree completed
+        self.exhausted = 0    # messages that ran out of retry budget (= lost)
+        self.timeouts = 0     # individual root failures observed
+        self.replays = 0      # re-emissions handed back to the spout loop
+        self.recovered = 0    # in-flight messages rescheduled after a crash
+
+    # -- tracking ----------------------------------------------------------
+
+    def register_root(self, root_id: int, message_id: Any,
+                      values: Tuple[Any, ...], stream: int) -> None:
+        """Record one emission (first send or replay) of ``message_id``."""
+        entry = self._entries.get(message_id)
+        if entry is None:
+            entry = _ReplayEntry(message_id, tuple(values), stream,
+                                 next(self._order))
+            self._entries[message_id] = entry
+            self.registered += 1
+        else:
+            # A replay emission went out: the message is in flight again.
+            entry.due = None
+        entry.roots.add(root_id)
+        self._roots[root_id] = message_id
+
+    def backoff_delay(self, attempts: int) -> float:
+        """Replay delay after the ``attempts``-th failure (1-based)."""
+        delay = self.backoff_base * self.backoff_factor ** (attempts - 1)
+        return min(self.backoff_max, delay)
+
+    def on_complete(self, root_id: int) -> Tuple[Optional[Any], bool]:
+        """A tuple tree completed. Returns ``(message_id, first)`` where
+        ``first`` is True only for the completion that settles the
+        message — late completions of superseded roots return False so
+        the spout does not double-ack the component."""
+        message_id = self._roots.get(root_id)
+        if message_id is None:
+            return None, False
+        entry = self._entries.pop(message_id)
+        for root in entry.roots:
+            self._roots.pop(root, None)
+        self.completed += 1
+        return message_id, True
+
+    def on_failed(self, root_id: int,
+                  now: float) -> Tuple[str, Optional[Any], Optional[float]]:
+        """A root timed out or was FAILed. Returns ``(outcome,
+        message_id, due_time)``; outcome is one of ``R_UNTRACKED``
+        (message already settled), ``R_SCHEDULED`` (replay queued) or
+        ``R_EXHAUSTED`` (retry budget spent — permanently lost)."""
+        message_id = self._roots.get(root_id)
+        if message_id is None:
+            return R_UNTRACKED, None, None
+        entry = self._entries[message_id]
+        self.timeouts += 1
+        if entry.due is not None:
+            # Another incarnation already failed; a replay is queued.
+            return R_SCHEDULED, message_id, entry.due
+        if entry.attempts >= self.max_retries:
+            self._entries.pop(message_id)
+            for root in entry.roots:
+                self._roots.pop(root, None)
+            self.exhausted += 1
+            return R_EXHAUSTED, message_id, None
+        entry.attempts += 1
+        entry.due = now + self.backoff_delay(entry.attempts)
+        return R_SCHEDULED, message_id, entry.due
+
+    def take_due(self, now: float, limit: int) -> List[_ReplayEntry]:
+        """Pop up to ``limit`` messages whose backoff has elapsed, in
+        deterministic (due time, emission order) order. The caller must
+        re-emit each one (which re-registers it via ``register_root``)."""
+        if limit <= 0:
+            return []
+        due = [entry for entry in self._entries.values()
+               if entry.due is not None and entry.due <= now]
+        due.sort(key=lambda entry: (entry.due, entry.order))
+        taken = due[:limit]
+        for entry in taken:
+            entry.due = None
+            self.replays += 1
+        return taken
+
+    def next_due(self) -> Optional[float]:
+        """Earliest scheduled replay time, or None."""
+        times = [entry.due for entry in self._entries.values()
+                 if entry.due is not None]
+        return min(times) if times else None
+
+    def reschedule_open(self, now: float) -> int:
+        """Called when a relaunched spout re-attaches: every message that
+        was in flight through the dead incarnation is scheduled for
+        immediate replay. Crash-driven replays do not consume the retry
+        budget (the budget guards against poison messages, not against
+        the worker's own death); old root ids stay mapped so a late
+        COMPLETE from a tree the crash did not actually lose still
+        settles the message and cancels the replay."""
+        count = 0
+        for entry in self._entries.values():
+            if entry.due is None:
+                entry.due = now
+                count += 1
+        self.recovered += count
+        return count
+
+    # -- inspection --------------------------------------------------------
+
+    def has_root(self, root_id: int) -> bool:
+        return root_id in self._roots
+
+    def pending_count(self) -> int:
+        """Messages still unsettled (in flight or awaiting replay)."""
+        return len(self._entries)
+
+    def conserved(self) -> bool:
+        return (self.registered
+                == self.completed + self.exhausted + self.pending_count())
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "registered": self.registered,
+            "completed": self.completed,
+            "exhausted": self.exhausted,
+            "pending": self.pending_count(),
+            "timeouts": self.timeouts,
+            "replays": self.replays,
+            "recovered": self.recovered,
+        }
+
+
+class ReplayService:
+    """Durable home for per-spout replay buffers (``cluster.services``).
+
+    Models the durable source a production spout replays from (a Kafka
+    offset, a write-ahead log): state survives worker crashes because it
+    never lived inside the worker. Buffers are keyed by worker id, which
+    is stable across supervisor restarts."""
+
+    def __init__(self):
+        self.buffers: Dict[int, ReplayBuffer] = {}
+
+    def attach(self, worker_id: int, config) -> ReplayBuffer:
+        buffer = self.buffers.get(worker_id)
+        if buffer is None:
+            buffer = ReplayBuffer(
+                worker_id,
+                max_retries=config.replay_max_retries,
+                backoff_base=config.replay_backoff_base,
+                backoff_factor=config.replay_backoff_factor,
+                backoff_max=config.replay_backoff_max,
+            )
+            self.buffers[worker_id] = buffer
+        return buffer
+
+    def totals(self) -> Dict[str, int]:
+        totals = {"registered": 0, "completed": 0, "exhausted": 0,
+                  "pending": 0, "timeouts": 0, "replays": 0, "recovered": 0}
+        for worker_id in sorted(self.buffers):
+            for key, value in self.buffers[worker_id].stats().items():
+                totals[key] += value
+        return totals
+
+    def conserved(self) -> bool:
+        return all(buffer.conserved() for buffer in self.buffers.values())

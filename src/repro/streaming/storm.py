@@ -35,10 +35,12 @@ from ..sim.engine import Engine
 from ..sim.metrics import MetricsRegistry
 from ..sim.rng import as_factory
 from .acker import ACKER_COMPONENT, AckerBolt
+from .checkpoint import CHECKPOINT_SERVICE, CheckpointStore
 from .executor import WorkerExecutor
 from .grouping import Router
 from .manager import StreamingManager, TopologyRecord
 from .physical import PhysicalTopology, WorkerAssignment
+from .replay import REPLAY_SERVICE, ReplayService
 from .scheduler import RoundRobinScheduler
 from .serialize import deserialize_cost, encode_tuple, serialize_cost
 from .topology import (
@@ -268,7 +270,11 @@ class StormCluster:
         self.registry = WorkerRegistry()
         self.ledger = DeliveryLedger(inspector=storm_batch_tuples)
         self.transports: Dict[int, StormTransport] = {}
-        self.services: Dict[str, object] = {"now": lambda: engine.now}
+        self.services: Dict[str, object] = {
+            "now": lambda: engine.now,
+            REPLAY_SERVICE: ReplayService(),
+            CHECKPOINT_SERVICE: CheckpointStore(),
+        }
         self.manager = StormManager(engine, costs, self.cluster, self.state,
                                     RoundRobinScheduler())
         from .agent import WorkerAgent  # local import to avoid cycle noise
@@ -399,8 +405,13 @@ def _with_ackers(logical: LogicalTopology) -> LogicalTopology:
     if not logical.config.acking or ACKER_COMPONENT in logical.nodes:
         return logical
     out = logical.clone()
+    # Ledger expiry above the spout timeout: the spout's own sweeper
+    # always declares the root failed first; the acker then garbage
+    # collects the stale (or orphaned ack-before-init) entry.
+    expiry = logical.config.tuple_timeout * 1.5
     out.nodes[ACKER_COMPONENT] = LogicalNode(
-        name=ACKER_COMPONENT, kind=BOLT, factory=AckerBolt,
+        name=ACKER_COMPONENT, kind=BOLT,
+        factory=lambda: AckerBolt(expiry=expiry),
         parallelism=max(1, logical.config.num_ackers),
     )
     return out

@@ -53,6 +53,21 @@ class Component:
     def on_signal(self, signal: StreamTuple, collector: "EmitterApi") -> None:
         """Handle a signal tuple (stateful workers flush caches here)."""
 
+    def snapshot(self) -> Optional[Any]:
+        """Checkpointing: return the state to persist, or None to skip.
+
+        Called periodically by the executor when the topology enables
+        ``checkpoint_interval`` and the node is stateful. The returned
+        object is deep-copied into the checkpoint store, so sharing live
+        structures is safe."""
+        return None
+
+    def restore(self, state: Any) -> None:
+        """Checkpointing: re-initialize from a persisted snapshot.
+
+        Called once after ``open`` when a relaunched worker finds a
+        snapshot in the checkpoint store."""
+
 
 class Spout(Component):
     """A data source. ``next_tuple`` emits zero or more tuples per call."""
@@ -164,6 +179,17 @@ class TopologyConfig:
     batch_size: int = 100             # Typhoon I/O batch size
     enable_oom: bool = False          # kill workers exceeding memory limit
     max_spout_rate: Optional[float] = None  # tuples/sec per spout worker
+    # Reliability loop (replay / checkpoint / reliable control). All off
+    # by default: enabling any of them changes scheduling and RNG use,
+    # and default-path runs must stay byte-identical.
+    max_pending: Optional[int] = None       # spouts: in-flight root cap
+    replay_enabled: bool = False            # framework-level spout replay
+    replay_max_retries: int = 8             # per-message retry budget
+    replay_backoff_base: float = 0.25       # first-retry delay (seconds)
+    replay_backoff_factor: float = 2.0      # exponential backoff factor
+    replay_backoff_max: float = 2.0         # backoff ceiling (seconds)
+    checkpoint_interval: Optional[float] = None  # stateful snapshots (s)
+    reliable_control: bool = False          # acked, retried control tuples
 
 
 class LogicalTopology:

@@ -19,8 +19,16 @@ prescribes for stateful workers. The registry lives in
   shows up as a duplicate, which invariant (c) of the chaos harness
   asserts is zero.
 
-With acking disabled (the default config) nothing is ever replayed, so
-a duplicate here is always a real routing/delivery bug.
+Two delivery regimes, chosen by the registry's ``at_least_once`` flag:
+
+* **best-effort** (acking off, the default): nothing is ever replayed,
+  so a duplicate recorded by the sink is always a real
+  routing/delivery bug — invariant (c) asserts zero.
+* **at-least-once** (acking + framework replay enabled): re-delivery is
+  *expected*; the sink applies idempotently via ``record_once``, so
+  replays count as ``redelivered`` while ``duplicates`` still means
+  "state applied twice" and must still be zero. Permanent loss is then
+  checked separately by the replay-conservation invariant.
 """
 
 from __future__ import annotations
@@ -50,11 +58,13 @@ class DedupRegistry:
     survives crashes, not a remote round trip per tuple).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, at_least_once: bool = False) -> None:
         self._sequences: Dict[str, int] = {}
         self._seen: Dict[Tuple[str, int], int] = {}
+        self.at_least_once = at_least_once
         self.tracked = 0
         self.duplicates = 0
+        self.redelivered = 0
 
     def next_seq(self, source: str) -> int:
         """Durably allocate the next sequence number for one source."""
@@ -71,8 +81,36 @@ class DedupRegistry:
         if count:
             self.duplicates += 1
 
+    def record_once(self, source: str, seq: int) -> bool:
+        """Idempotent application for the at-least-once regime: apply
+        state only on first sight; replays are counted but harmless.
+        Returns True when the key was applied (first delivery)."""
+        key = (source, seq)
+        if key in self._seen:
+            self.redelivered += 1
+            return False
+        self._seen[key] = 1
+        self.tracked += 1
+        return True
+
     def duplicate_keys(self) -> List[Tuple[str, int]]:
         return sorted(key for key, count in self._seen.items() if count > 1)
+
+    def allocated(self) -> Dict[str, int]:
+        """Sequence numbers handed out so far, per source."""
+        return dict(self._sequences)
+
+    def missing_keys(self) -> List[Tuple[str, int]]:
+        """Allocated ``(source, seq)`` pairs never applied by the sink.
+
+        On a quiesced at-least-once run this minus the spout replay
+        buffers' still-pending messages is the permanent-loss set."""
+        out = []
+        for source, next_seq in sorted(self._sequences.items()):
+            for seq in range(next_seq):
+                if (source, seq) not in self._seen:
+                    out.append((source, seq))
+        return out
 
 
 class ChaosSequenceSpout(Spout):
@@ -115,10 +153,23 @@ class DedupSinkBolt(Bolt):
     def open(self, ctx: ComponentContext) -> None:
         self._registry = ctx.services.get(DEDUP_SERVICE)
 
+    def snapshot(self):
+        # The per-worker counter is the bolt's only local state (the
+        # seen-set is already durable in the registry); checkpointing it
+        # lets a relaunched worker resume instead of restarting at 0.
+        return {"processed": self.processed}
+
+    def restore(self, state) -> None:
+        self.processed = state["processed"]
+
     def execute(self, stream_tuple: StreamTuple,
                 collector: EmitterApi) -> None:
         self.processed += 1
-        if self._registry is not None:
+        if self._registry is None:
+            return
+        if self._registry.at_least_once:
+            self._registry.record_once(stream_tuple[2], stream_tuple[1])
+        else:
             self._registry.record(stream_tuple[2], stream_tuple[1])
 
 

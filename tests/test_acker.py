@@ -1,7 +1,7 @@
 """Unit tests for the XOR-ledger acker component."""
 
 from repro.streaming.acker import AckerBolt, _Ledger
-from repro.streaming.executor import ACK_ACK, ACK_COMPLETE, ACK_INIT
+from repro.streaming.executor import ACK_ACK, ACK_COMPLETE, ACK_FAIL, ACK_INIT
 from repro.streaming.tuples import ACK_STREAM, StreamTuple
 
 
@@ -74,3 +74,131 @@ def test_independent_roots_tracked_separately():
     assert acker.completed == 1
     assert 20 in acker.ledgers
     assert 10 not in acker.ledgers
+
+
+# -- explicit FAIL notification ----------------------------------------------
+
+
+def test_explicit_fail_notifies_spout_and_drops_ledger():
+    acker = AckerBolt()
+    collector = DirectCollector()
+    acker.execute(message(ACK_INIT, 5, 123, src=9), collector)
+    acker.execute(message(ACK_FAIL, 5, 0, src=2), collector)
+    assert collector.direct == [(9, (ACK_FAIL, 5, 0, -1), ACK_STREAM)]
+    assert acker.failed == 1
+    assert 5 not in acker.ledgers
+    # Stragglers of the dead tree re-open nothing permanent... the entry
+    # they recreate is an orphan the expiry sweep exists to collect.
+    acker.execute(message(ACK_ACK, 5, 123), collector)
+    assert len(collector.direct) == 1  # no COMPLETE for a failed root
+
+
+def test_fail_before_init_leaves_tombstone_until_init_arrives():
+    acker = AckerBolt()
+    collector = DirectCollector()
+    # The bolt's FAIL overtakes the spout's INIT on the ack stream.
+    acker.execute(message(ACK_FAIL, 8, 0, src=2), collector)
+    assert not collector.direct  # spout worker still unknown
+    acker.execute(message(ACK_INIT, 8, 77, src=4), collector)
+    assert collector.direct == [(4, (ACK_FAIL, 8, 0, -1), ACK_STREAM)]
+    assert 8 not in acker.ledgers and acker.failed == 1
+
+
+# -- ledger expiry (the leak fix) --------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class _Ctx:
+    def __init__(self, services):
+        self.services = services
+
+
+def _expiring_acker(expiry=3.0):
+    acker = AckerBolt(expiry=expiry)
+    clock = FakeClock()
+    acker.open(_Ctx({"now": clock}))
+    return acker, clock
+
+
+def test_orphaned_ledgers_expire_and_map_returns_to_empty():
+    """Regression for the ledger leak: a lossy run leaves entries whose
+    completions will never arrive (lost INITs, acks of timed-out roots);
+    the expiry sweep must return the map to empty."""
+    acker, clock = _expiring_acker(expiry=3.0)
+    collector = DirectCollector()
+    # A lossy run: 50 acks whose INIT (or remaining acks) never arrive.
+    for root in range(50):
+        clock.now = 0.01 * root
+        acker.execute(message(ACK_ACK, root, 1000 + root), collector)
+    assert len(acker.ledgers) == 50
+    # Healthy traffic long after the loss still completes normally...
+    clock.now = 10.0
+    acker.execute(message(ACK_INIT, 999, 5, src=3), collector)
+    acker.execute(message(ACK_ACK, 999, 5), collector)
+    assert collector.direct[-1][0] == 3
+    # ...and its arrival swept every stale entry out.
+    assert acker.ledgers == {}
+    assert acker.expired == 50
+    assert acker.stats()["ledgers"] == 0
+
+
+def test_live_ledgers_survive_the_sweep():
+    acker, clock = _expiring_acker(expiry=3.0)
+    collector = DirectCollector()
+    acker.execute(message(ACK_ACK, 1, 42), collector)   # goes stale
+    clock.now = 2.5
+    acker.execute(message(ACK_INIT, 2, 7, src=1), collector)  # stays fresh
+    clock.now = 4.0
+    acker.execute(message(ACK_ACK, 3, 9), collector)  # triggers sweep
+    assert 1 not in acker.ledgers  # idle since t=0, past the horizon
+    assert 2 in acker.ledgers and 3 in acker.ledgers
+    assert acker.expired == 1
+
+
+def test_sweep_is_rate_limited():
+    """Eviction scans run at most every expiry/4, so per-tuple cost
+    stays O(1) amortized even with a huge ledger map."""
+    acker, clock = _expiring_acker(expiry=4.0)  # sweep gate: every 1.0
+    collector = DirectCollector()
+    acker.execute(message(ACK_ACK, 1, 42), collector)   # touched t=0
+    clock.now = 0.5
+    acker.execute(message(ACK_ACK, 2, 43), collector)   # touched t=0.5
+    clock.now = 4.05
+    acker.execute(message(ACK_ACK, 3, 44), collector)   # sweeps: evicts 1
+    assert 1 not in acker.ledgers and 2 in acker.ledgers
+    clock.now = 4.6  # root 2 now past the horizon too...
+    acker.execute(message(ACK_ACK, 4, 45), collector)
+    assert 2 in acker.ledgers  # ...but the next sweep gate is t=5.05
+    clock.now = 5.1
+    acker.execute(message(ACK_ACK, 5, 46), collector)
+    assert 2 not in acker.ledgers
+    assert acker.expired == 2
+
+
+def test_no_expiry_means_no_eviction():
+    """Without an expiry horizon (acking topologies predating the fix)
+    behavior is unchanged: entries persist indefinitely."""
+    acker = AckerBolt()
+    collector = DirectCollector()
+    acker.execute(message(ACK_ACK, 1, 42), collector)
+    for _ in range(100):
+        acker.execute(message(ACK_INIT, 2, 7, src=1), collector)
+    assert 1 in acker.ledgers
+
+
+def test_completion_age_tracking():
+    acker, clock = _expiring_acker(expiry=100.0)
+    collector = DirectCollector()
+    acker.execute(message(ACK_INIT, 1, 5, src=1), collector)
+    clock.now = 2.0
+    acker.execute(message(ACK_ACK, 1, 5), collector)
+    stats = acker.stats()
+    assert stats["completed"] == 1
+    assert stats["mean_age"] == 2.0 and stats["max_age"] == 2.0

@@ -17,6 +17,7 @@ def test_all_table2_types_constructible():
         ct.activate(),
         ct.deactivate(),
         ct.batch_size(250),
+        ct.control_ack(3, 7),
     ]
     types = {sample.ctype for sample in samples}
     assert types == set(ct.CONTROL_TYPES)

@@ -1,0 +1,125 @@
+"""Reliable control channel: sequence-stamped control tuples, controller
+retry with backoff, and idempotent re-application at workers — exercised
+against injected PacketIn/PacketOut drop and delay faults."""
+
+import random
+
+from repro.core import TyphoonCluster
+from repro.sim import Engine
+from repro.sim.faults import set_control_fault
+from repro.streaming import Bolt, Spout, TopologyBuilder, TopologyConfig
+
+
+class QuietSpout(Spout):
+    def next_tuple(self, collector):
+        return
+
+
+class SignalBolt(Bolt):
+    """Counts on_signal invocations (class-level: survives restarts)."""
+
+    signals = 0
+
+    def on_signal(self, signal, collector):
+        SignalBolt.signals += 1
+
+
+def _deploy(reliable=True, seed=13):
+    engine = Engine()
+    cluster = TyphoonCluster(engine, num_hosts=1, seed=seed)
+    config = TopologyConfig(batch_size=10, reliable_control=reliable)
+    builder = TopologyBuilder("controlled", config)
+    builder.set_spout("source", QuietSpout, 1)
+    builder.set_bolt("sink", SignalBolt, 1).shuffle_grouping("source")
+    physical = cluster.submit(builder.build())
+    [sink_id] = physical.worker_ids_for("sink")
+    engine.run(until=3.0)  # deployment settles
+    return engine, cluster, sink_id
+
+
+def test_clean_channel_ack_drains_outstanding():
+    SignalBolt.signals = 0
+    engine, cluster, sink_id = _deploy()
+    before = cluster.app.control_channel_stats()  # deployment traffic
+    assert before["outstanding"] == 0
+    assert cluster.app.send_signal("controlled", sink_id)
+    engine.run(until=5.0)
+    stats = cluster.app.control_channel_stats()
+    assert SignalBolt.signals == 1
+    assert stats["acked"] == before["acked"] + 1
+    assert stats["outstanding"] == 0
+    assert stats["retries"] == before["retries"]
+    assert stats["exhausted"] == before["exhausted"]
+    executor = cluster.executor(sink_id)
+    assert executor.applied_control_seqs
+
+
+def test_redelivery_survives_control_drop():
+    """A 100% drop window swallows the first transmissions; after the
+    heal, the controller's backoff retries get the tuple through and the
+    worker applies it exactly once."""
+    SignalBolt.signals = 0
+    engine, cluster, sink_id = _deploy()
+    before = cluster.app.control_channel_stats()
+    set_control_fault(cluster, drop_rate=1.0, rng=random.Random(1))
+    assert cluster.app.send_signal("controlled", sink_id)
+    engine.schedule(1.2, set_control_fault, cluster)  # heal
+    engine.run(until=10.0)
+    stats = cluster.app.control_channel_stats()
+    assert SignalBolt.signals == 1
+    assert stats["retries"] > before["retries"]
+    assert stats["acked"] == before["acked"] + 1
+    assert stats["outstanding"] == 0
+    assert stats["exhausted"] == before["exhausted"]
+
+
+def test_delay_induced_duplicates_are_idempotent():
+    """Channel latency above the retry timeout makes the controller
+    retransmit tuples that were *not* lost: the worker must dedup by
+    sequence number and the controller must absorb the duplicate acks."""
+    SignalBolt.signals = 0
+    engine, cluster, sink_id = _deploy()
+    before = cluster.app.control_channel_stats()
+    set_control_fault(cluster, extra_delay=0.8)  # >> retry timeout 0.25
+    assert cluster.app.send_signal("controlled", sink_id)
+    engine.schedule(2.0, set_control_fault, cluster)  # heal
+    engine.run(until=10.0)
+    stats = cluster.app.control_channel_stats()
+    assert SignalBolt.signals == 1  # duplicates deduped at the worker
+    assert stats["retries"] > before["retries"]
+    assert stats["duplicate_acks"] > before["duplicate_acks"]
+    assert stats["acked"] == before["acked"] + 1
+    assert stats["outstanding"] == 0
+
+
+def test_retry_budget_exhaustion_is_counted():
+    """A permanently dead channel: the controller gives up after its
+    retry budget and records the exhaustion instead of looping forever."""
+    SignalBolt.signals = 0
+    engine, cluster, sink_id = _deploy()
+    before = cluster.app.control_channel_stats()
+    set_control_fault(cluster, drop_rate=1.0,  # never healed
+                      rng=random.Random(1))
+    assert cluster.app.send_signal("controlled", sink_id)
+    engine.run(until=25.0)
+    stats = cluster.app.control_channel_stats()
+    assert SignalBolt.signals == 0
+    assert stats["exhausted"] == before["exhausted"] + 1
+    assert stats["outstanding"] == 0
+    # budget is 8 attempts: 1 original + 7 retries.
+    assert stats["retries"] == before["retries"] + 7
+
+
+def test_default_channel_is_unstamped():
+    """reliable_control off (the default): no sequence stamping, no
+    tracking — the wire format and worker state match the seed exactly."""
+    SignalBolt.signals = 0
+    engine, cluster, sink_id = _deploy(reliable=False)
+    assert cluster.app.send_signal("controlled", sink_id)
+    engine.run(until=5.0)
+    assert SignalBolt.signals == 1
+    stats = cluster.app.control_channel_stats()
+    assert stats["reliable_topologies"] == 0
+    assert stats["acked"] == 0 and stats["outstanding"] == 0
+    executor = cluster.executor(sink_id)
+    assert executor.applied_control_seqs == set()
