@@ -1,13 +1,15 @@
 """Pre-optimization reference implementations of the hot paths.
 
 These are faithful copies of the code that shipped before the hot-path
-performance overhaul (PR 4): the linearly-scanned flow table, the
-concatenation-per-value tuple encoder and the slice-copy decoder. They
+performance overhauls (PR 4 and the sim-engine rebuild): the
+linearly-scanned flow table, the concatenation-per-value tuple encoder,
+the slice-copy decoder, and the single-global-heap event kernel. They
 exist so ``repro bench --perf`` can measure the optimization's speedup
 *on the machine it runs on* — the baseline is re-measured every run
 instead of trusting numbers recorded on different hardware — and so the
-golden-bytes tests can assert the optimized codec is byte-for-byte
-compatible with the original.
+golden-bytes / determinism-lock tests can assert the optimized code is
+exactly compatible with the original (byte-for-byte for the codec,
+event-order-identical for the scheduler).
 
 Nothing in the runtime imports this module; it is benchmark/test
 reference material only. Do not "optimize" it.
@@ -15,13 +17,220 @@ reference material only. Do not "optimize" it.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import struct
-from typing import Any, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..net.ethernet import EthernetFrame
 from ..sdn.flow import FlowEntry
+from ..sim.engine import Interrupt, SimulationError, StopEngine
 from ..streaming.serialize import SerializationError
 from ..streaming.tuples import Anchor, StreamTuple
+
+# -- legacy event kernel -----------------------------------------------------
+#
+# The pre-rebuild scheduler: one global binary heap of (when, seq, callback)
+# tuples, a fresh lambda per scheduled callback, cancelled timers dropped
+# only when they surface at the heap top. The determinism-lock tests in
+# tests/test_sim_determinism.py replay randomized workloads on this kernel
+# and on the calendar-queue kernel and assert identical execution orders.
+
+
+class LegacyEvent:
+    _PENDING = object()
+
+    def __init__(self, engine: "LegacyEngine"):
+        self.engine = engine
+        self.value: Any = LegacyEvent._PENDING
+        self.failed = False
+        self._callbacks: Optional[List[Callable[["LegacyEvent"], None]]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self.value is not LegacyEvent._PENDING
+
+    def add_callback(self, callback: Callable[["LegacyEvent"], None]) -> None:
+        if self._callbacks is None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "LegacyEvent":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.value = value
+        self._fire()
+        return self
+
+    def fail(self, exception: BaseException) -> "LegacyEvent":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.value = exception
+        self.failed = True
+        self._fire()
+        return self
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        for callback in callbacks or ():
+            callback(self)
+
+
+class LegacyTimer(LegacyEvent):
+    def __init__(self, engine: "LegacyEngine", delay: float):
+        super().__init__(engine)
+        if delay < 0:
+            raise ValueError("timer delay must be >= 0, got %r" % delay)
+        self.deadline = engine.now + delay
+        self.cancelled = False
+        engine._push(self.deadline, self._expire)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def _expire(self) -> None:
+        if not self.cancelled and not self.triggered:
+            self.succeed(None)
+
+
+class LegacyProcess(LegacyEvent):
+    _had_waiters = False
+
+    def __init__(self, engine: "LegacyEngine", generator: Generator,
+                 name: str = ""):
+        super().__init__(engine)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[LegacyEvent] = None
+        self._alive = True
+        engine._push(engine.now, lambda: self._step(None, None))
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        if not self._alive:
+            return
+        self.engine._push(self.engine.now,
+                          lambda: self._deliver_interrupt(cause))
+
+    def _deliver_interrupt(self, cause: Any) -> None:
+        if not self._alive:
+            return
+        if isinstance(self._waiting_on, LegacyTimer):
+            self._waiting_on.cancel()
+        self._waiting_on = None
+        self._step(None, Interrupt(cause))
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self._alive:
+            return
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            self._alive = False
+            self.succeed(None)
+            return
+        except StopEngine:
+            raise
+        except BaseException as error:
+            self._alive = False
+            self.fail(error)
+            if self._callbacks is None and not self._had_waiters:
+                raise
+            return
+        self._wait_on(target)
+
+    def add_callback(self, callback: Callable[["LegacyEvent"], None]) -> None:
+        self._had_waiters = True
+        super().add_callback(callback)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            target = LegacyTimer(self.engine, float(target))
+        if not isinstance(target, LegacyEvent):
+            raise SimulationError(
+                "process %s yielded %r; expected a delay, Event or Process"
+                % (self.name, target)
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _resume(self, event: LegacyEvent) -> None:
+        if not self._alive or self._waiting_on is not event:
+            return
+        self._waiting_on = None
+        if event.failed:
+            self._step(None, event.value)
+        else:
+            self._step(event.value, None)
+
+
+class LegacyEngine:
+    """The pre-rebuild event loop: one heap push/pop + lambda per event."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    def _push(self, when: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), callback))
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> None:
+        if delay < 0:
+            raise ValueError("delay must be >= 0, got %r" % delay)
+        self._push(self.now + delay, lambda: callback(*args))
+
+    def timeout(self, delay: float) -> LegacyTimer:
+        return LegacyTimer(self, delay)
+
+    def event(self) -> LegacyEvent:
+        return LegacyEvent(self)
+
+    def process(self, generator: Generator, name: str = "") -> LegacyProcess:
+        return LegacyProcess(self, generator, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        try:
+            while self._heap:
+                when, _seq, callback = self._heap[0]
+                owner = getattr(callback, "__self__", None)
+                if isinstance(owner, LegacyTimer) and (owner.cancelled
+                                                       or owner.triggered):
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._heap)
+                self.now = when
+                try:
+                    callback()
+                except StopEngine:
+                    break
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def stop(self) -> None:
+        raise StopEngine()
+
 
 # -- legacy flow-table lookup ------------------------------------------------
 

@@ -43,6 +43,26 @@ from .legacy import (
 #: (the perf-smoke CI gate).
 MIN_FIG8_HIT_RATE = 0.95
 
+#: Engine events the fig8 steady state must execute per wall second
+#: (perf-smoke CI gate). The batch executor deliberately retires few,
+#: large events (~7.5k/s here while delivering ~240k tuples/s), so the
+#: floor sits an order of magnitude below healthy numbers — it catches
+#: scheduler collapses, not machine noise on loaded CI runners.
+MIN_ENGINE_EVENTS_PER_WALL_SEC = 1_500.0
+
+#: Heap operations per executed event in the fig8 steady state
+#: (perf-smoke CI gate). Seed-determined and machine-independent: the
+#: calendar queue plus same-timestamp batching keeps this well under
+#: one; losing either pushes it back toward the old kernel's ~2.0
+#: (one push + one pop per event).
+MAX_ENGINE_HEAP_OPS_PER_EVENT = 1.5
+
+#: Entry-record allocations per executed event in the fig8 steady state
+#: (perf-smoke CI gate). The free list recycles entry records, so in
+#: steady state nearly every scheduled event reuses one; a value near
+#: 1.0 means the free list stopped working.
+MAX_ENGINE_ALLOCS_PER_EVENT = 0.5
+
 _DEPLOY = 2.1
 
 
@@ -276,21 +296,39 @@ def bench_fig8_hotpath(seed: int = 0) -> Dict[str, float]:
     # and engine events per *wall* second (the perf trajectory number).
     engine.run(until=_DEPLOY + 0.3)
     warm = _switch_cache_stats(cluster)
+    pre = engine.stats()
     wall_start = time.perf_counter()
     virtual_rate = _exact_rate(engine, cluster, "fwd", "sink",
                                _DEPLOY + 0.3, _DEPLOY + 0.7)
     wall = time.perf_counter() - wall_start
+    post = engine.stats()
     stats = _switch_cache_stats(cluster)
     steady_hits = stats["cache_hits"] - warm["cache_hits"]
     steady_misses = stats["cache_misses"] - warm["cache_misses"]
     steady_total = steady_hits + steady_misses
     delivered = virtual_rate * 0.4
+    # Calendar-queue scheduler metrics over the measured window only
+    # (warm-up events excluded): the perf trajectory tracks how many
+    # events the kernel retires per wall second and how much heap and
+    # allocator work each event costs.
+    events = post["events_executed"] - pre["events_executed"]
+    heap_ops = ((post["heap_pushes"] + post["heap_pops"])
+                - (pre["heap_pushes"] + pre["heap_pops"]))
+    allocs = post["entry_allocs"] - pre["entry_allocs"]
     return {
         "virtual_tuples_per_sec": virtual_rate,
         "wall_seconds": wall,
         "tuples_per_wall_sec": delivered / wall if wall else 0.0,
         "steady_state_hit_rate": (steady_hits / steady_total
                                   if steady_total else 0.0),
+        "engine": {
+            "events_executed": events,
+            "events_per_wall_sec": events / wall if wall else 0.0,
+            "heap_ops_per_event": heap_ops / events if events else 0.0,
+            "allocs_per_event": allocs / events if events else 0.0,
+            "cancelled_high_water": post["cancelled_high_water"],
+            "compactions": post["compactions"],
+        },
         **stats,
     }
 
@@ -348,10 +386,14 @@ def run_perf_bench(seed: int = 0, iterations: int = 50_000,
         },
     }
     if e2e:
+        fig8 = bench_fig8_hotpath(seed)
         result["e2e"] = {
-            "fig8_forwarding": bench_fig8_hotpath(seed),
+            "fig8_forwarding": fig8,
             "fig9_broadcast": bench_fig9_hotpath(seed),
         }
+        # Scheduler metrics from the fig8 steady state, surfaced at the
+        # top level so the trajectory is one JSON path away.
+        result["engine"] = fig8["engine"]
     return result
 
 
@@ -392,6 +434,14 @@ def render_report(result: Dict[str, Any]) -> str:
                      % (fig9["sinks"], fig9["virtual_tuples_per_sec"],
                         fig9["tuples_per_wall_sec"],
                         fig9["cache_hit_rate"]))
+        eng = fig8["engine"]
+        lines.append("engine: %.0f events per wall second, "
+                     "%.3f heap ops/event, %.4f allocs/event, "
+                     "cancelled high-water %d"
+                     % (eng["events_per_wall_sec"],
+                        eng["heap_ops_per_event"],
+                        eng["allocs_per_event"],
+                        eng["cancelled_high_water"]))
     return "\n".join(lines)
 
 
@@ -409,4 +459,23 @@ def check_gates(result: Dict[str, Any]) -> List[str]:
     if micro_rate < MIN_FIG8_HIT_RATE:
         failures.append("micro lookup cache hit rate %.4f < %.2f"
                         % (micro_rate, MIN_FIG8_HIT_RATE))
+    engine = result.get("engine")
+    if engine:
+        rate = engine["events_per_wall_sec"]
+        if rate < MIN_ENGINE_EVENTS_PER_WALL_SEC:
+            failures.append(
+                "engine events/wall-sec %.0f < %.0f"
+                % (rate, MIN_ENGINE_EVENTS_PER_WALL_SEC))
+        heap_ops = engine["heap_ops_per_event"]
+        if heap_ops > MAX_ENGINE_HEAP_OPS_PER_EVENT:
+            failures.append(
+                "engine heap ops/event %.3f > %.2f "
+                "(calendar-queue batching regressed)"
+                % (heap_ops, MAX_ENGINE_HEAP_OPS_PER_EVENT))
+        allocs = engine["allocs_per_event"]
+        if allocs > MAX_ENGINE_ALLOCS_PER_EVENT:
+            failures.append(
+                "engine entry allocs/event %.4f > %.2f "
+                "(free-list recycling regressed)"
+                % (allocs, MAX_ENGINE_ALLOCS_PER_EVENT))
     return failures

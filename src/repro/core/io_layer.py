@@ -50,13 +50,15 @@ from ..sim.trace import (
 from ..streaming.serialize import (
     decode_tuple,
     deserialize_cost,
+    SCALAR_TYPES,
     encode_tuple,
+    encode_tuple_scalar,
     peek_trace_id,
     serialize_cost,
 )
 from ..streaming.transport import Delivery, Transport
 from ..streaming.tuples import StreamTuple
-from .packets import Fragment, Reassembler, pack_tuples, unpack_payload
+from .packets import Fragment, Reassembler, pack_tuples_spans, unpack_payload
 
 
 class HostFabric:
@@ -150,6 +152,17 @@ class TyphoonFabric:
 #: special Ethernet address (broadcast, controller, select-group virtual).
 _DstKey = Union[int, WorkerAddress]
 
+#: Value types whose decoded form is indistinguishable from the sender's
+#: object (immutable scalars that round-trip the codec exactly). Tuples
+#: made only of these ride the same-process fast lane: the frame carries
+#: the object alongside the authoritative bytes and the receiver skips
+#: the decode walk. Containers are excluded — decode materializes fresh
+#: mutable lists/dicts (and turns tuples into lists), so aliasing the
+#: sender's objects would be observable.
+#: (Single source of truth lives in the codec module so the fused
+#: serialize+classify fast path can never drift from this set.)
+_FASTLANE_TYPES = SCALAR_TYPES
+
 
 class TyphoonTransport(Transport):
     """Per-worker northbound + southbound transport libraries."""
@@ -179,12 +192,20 @@ class TyphoonTransport(Transport):
         self.port_no: Optional[int] = None
         self.deliver: Optional[Callable[[Delivery], bool]] = None
         self.select_addresses: Dict[Tuple[str, int], WorkerAddress] = {}
-        self._buffers: Dict[WorkerAddress, List[bytes]] = {}
+        # Buffer entries are (encoded, obj) pairs; obj is the original
+        # StreamTuple when it qualifies for fast-lane delivery, else None.
+        self._buffers: Dict[WorkerAddress,
+                            List[Tuple[bytes, Optional[StreamTuple]]]] = {}
         self._frag_id = 0
         # Round-robin fallback state for offloaded edges, per edge key —
         # a shared counter would skew the distribution whenever one
         # worker feeds several offloaded edges.
         self._rr_counters: Dict[Tuple, int] = {}
+        # Worker ids are a small dense set; interning their WorkerAddress
+        # saves a namedtuple construction per (tuple, destination) on the
+        # Fig. 8 hot path. Addresses compare by value, so reuse is safe.
+        self._addr_cache: Dict[int, WorkerAddress] = {}
+        self._enqueue_cost = costs.typhoon_enqueue_per_tuple
         self._pending_recv_cost = 0.0
         self._reassembler = Reassembler(
             on_drop=self._on_reassembly_drop,
@@ -238,13 +259,13 @@ class TyphoonTransport(Transport):
             return tracer
         return None
 
-    def _drop_buffered_traces(self, buffer: Sequence[bytes],
+    def _drop_buffered_traces(self, buffer: Sequence[Tuple[bytes, object]],
                               reason: str) -> None:
         """Close spans of sampled tuples dying in an outbound buffer."""
         tracer = self._live_tracer()
         if tracer is None:
             return
-        for encoded in buffer:
+        for encoded, _obj in buffer:
             trace_id = peek_trace_id(encoded)
             if trace_id is not None:
                 tracer.finish_drop(trace_id, LAYER_TRANSPORT, reason)
@@ -281,19 +302,24 @@ class TyphoonTransport(Transport):
     # -- outbound (northbound -> southbound -> switch) -----------------------
 
     def _dst_address(self, dst: _DstKey) -> WorkerAddress:
-        if isinstance(dst, WorkerAddress):
-            return dst
-        return WorkerAddress(self.app_id, dst)
+        address = self._addr_cache.get(dst)
+        if address is None:
+            if isinstance(dst, WorkerAddress):
+                return dst
+            address = self._addr_cache[dst] = WorkerAddress(self.app_id, dst)
+        return address
 
-    def _enqueue(self, address: WorkerAddress, encoded: bytes) -> float:
+    def _enqueue(self, address: WorkerAddress, encoded: bytes,
+                 obj: Optional[StreamTuple] = None) -> float:
         buffer = self._buffers.get(address)
         if buffer is None:
             buffer = self._buffers[address] = []
-        buffer.append(encoded)
+        buffer.append((encoded, obj))
         self.tuples_sent += 1
-        if self.ledger is not None:
-            self.ledger.record_sent(self.app_id)
-        cost = self.costs.typhoon_enqueue_per_tuple
+        ledger = self.ledger
+        if ledger is not None:
+            ledger.record_sent(self.app_id)
+        cost = self._enqueue_cost
         if len(buffer) >= self.batch_size:
             cost += self._flush_address(address)
         return cost
@@ -307,17 +333,167 @@ class TyphoonTransport(Transport):
             tracer.event(stream_tuple.trace_id, H_SERIALIZE, cost=cost,
                          nbytes=nbytes)
 
+    def _fastlane_obj(self,
+                      stream_tuple: StreamTuple) -> Optional[StreamTuple]:
+        for value in stream_tuple.values:
+            if type(value) not in _FASTLANE_TYPES:
+                return None
+        return stream_tuple
+
     def send(self, stream_tuple: StreamTuple,
              dst_worker_ids: Sequence[int]) -> float:
+        # Hottest method in the data plane (once per tuple emitted):
+        # _dst_address / _fastlane_obj / _enqueue / serialize_cost are
+        # inlined here. Cost arithmetic mirrors the helper structure
+        # exactly (per-destination enqueue+flush summed first, then
+        # added) so schedules stay bit-identical.
         if self.closed or not dst_worker_ids:
             return 0.0
-        encoded = encode_tuple(stream_tuple)
+        encoded, all_scalar = encode_tuple_scalar(stream_tuple)
         # Serialized once, no matter how many destinations.
-        cost = serialize_cost(self.costs, len(encoded))
+        costs = self.costs
+        cost = costs.serialize_per_tuple + len(encoded) * costs.serialize_per_byte
         self.serializations += 1
-        self._trace_serialized(stream_tuple, len(encoded), cost)
+        if stream_tuple.trace_id is not None:
+            self._trace_serialized(stream_tuple, len(encoded), cost)
+        item = (encoded, stream_tuple if all_scalar else None)
+        addr_cache = self._addr_cache
+        buffers = self._buffers
+        ledger = self.ledger
+        app_id = self.app_id
+        enqueue_cost = self._enqueue_cost
+        batch_size = self.batch_size
         for dst in dst_worker_ids:
-            cost += self._enqueue(self._dst_address(dst), encoded)
+            address = addr_cache.get(dst)
+            if address is None:
+                if isinstance(dst, WorkerAddress):
+                    address = addr_cache[dst] = dst
+                else:
+                    address = addr_cache[dst] = WorkerAddress(app_id, dst)
+            buffer = buffers.get(address)
+            if buffer is None:
+                buffer = buffers[address] = []
+            buffer.append(item)
+            self.tuples_sent += 1
+            if ledger is not None:
+                ledger.record_sent(app_id)
+            dcost = enqueue_cost
+            if len(buffer) >= batch_size:
+                dcost += self._flush_address(address)
+            cost += dcost
+        return cost
+
+    def send_many(self, stream_tuples: Sequence[StreamTuple],
+                  dst: _DstKey) -> float:
+        """Batched :meth:`send`: every tuple goes to the same single
+        destination. Exactly equivalent to calling ``send(t, [dst])``
+        per tuple and summing the costs — same serialization, same
+        per-tuple cost terms in the same accumulation order, same flush
+        points — with the per-call setup (address/buffer resolution,
+        cost-model reads) hoisted out of the loop. The executor uses it
+        when a whole emission batch rides one single-hop edge."""
+        if self.closed or not stream_tuples:
+            return 0.0
+        costs = self.costs
+        ser_per_tuple = costs.serialize_per_tuple
+        ser_per_byte = costs.serialize_per_byte
+        address = self._addr_cache.get(dst)
+        if address is None:
+            if isinstance(dst, WorkerAddress):
+                address = self._addr_cache[dst] = dst
+            else:
+                address = self._addr_cache[dst] = WorkerAddress(self.app_id,
+                                                                dst)
+        buffers = self._buffers
+        buffer = buffers.get(address)
+        if buffer is None:
+            buffer = buffers[address] = []
+        # _flush_address clears the list in place (the object is reused
+        # across batch windows), so the local alias stays valid.
+        append = buffer.append
+        enqueue_cost = self._enqueue_cost
+        batch_size = self.batch_size
+        cost = 0.0
+        blen = len(buffer)
+        for stream_tuple in stream_tuples:
+            encoded, all_scalar = encode_tuple_scalar(stream_tuple)
+            tcost = ser_per_tuple + len(encoded) * ser_per_byte
+            if stream_tuple.trace_id is not None:
+                self._trace_serialized(stream_tuple, len(encoded), tcost)
+            append((encoded, stream_tuple if all_scalar else None))
+            blen += 1
+            dcost = enqueue_cost
+            if blen >= batch_size:
+                dcost += self._flush_address(address)
+                blen = 0
+            tcost += dcost
+            cost += tcost
+        sent = len(stream_tuples)
+        # Counter/ledger bumps are coalesced: nothing outside this call
+        # can observe them before it returns (frame forwarding is
+        # event-scheduled, never inline).
+        self.tuples_sent += sent
+        self.serializations += sent
+        if self.ledger is not None:
+            self.ledger.record_sent(self.app_id, sent)
+        return cost
+
+    def send_interleaved(self, stream_tuples: Sequence[StreamTuple],
+                         dst: _DstKey, pre_cost: float,
+                         cost: float) -> float:
+        """Batched replay of the executor's per-tuple spout dispatch:
+        ``for t: cost += pre_cost; cost += send(t, [dst])`` with the
+        identical float-addition sequence on the running ``cost`` (the
+        per-tuple send total is assembled serialize-then-enqueue exactly
+        as :meth:`send` does). One call frame per emission batch instead
+        of two per tuple."""
+        if not stream_tuples:
+            return cost
+        if self.closed:
+            # send() would return 0.0 per tuple; += 0.0 is a bit-exact
+            # no-op on a finite cost, so only pre_cost remains.
+            for _ in stream_tuples:
+                cost += pre_cost
+            return cost
+        costs = self.costs
+        ser_per_tuple = costs.serialize_per_tuple
+        ser_per_byte = costs.serialize_per_byte
+        address = self._addr_cache.get(dst)
+        if address is None:
+            if isinstance(dst, WorkerAddress):
+                address = self._addr_cache[dst] = dst
+            else:
+                address = self._addr_cache[dst] = WorkerAddress(self.app_id,
+                                                                dst)
+        buffers = self._buffers
+        buffer = buffers.get(address)
+        if buffer is None:
+            buffer = buffers[address] = []
+        # _flush_address clears the list in place, so the alias holds
+        # and the tracked length resets to zero at each flush point.
+        append = buffer.append
+        enqueue_cost = self._enqueue_cost
+        batch_size = self.batch_size
+        blen = len(buffer)
+        for stream_tuple in stream_tuples:
+            cost += pre_cost
+            encoded, all_scalar = encode_tuple_scalar(stream_tuple)
+            tcost = ser_per_tuple + len(encoded) * ser_per_byte
+            if stream_tuple.trace_id is not None:
+                self._trace_serialized(stream_tuple, len(encoded), tcost)
+            append((encoded, stream_tuple if all_scalar else None))
+            blen += 1
+            dcost = enqueue_cost
+            if blen >= batch_size:
+                dcost += self._flush_address(address)
+                blen = 0
+            tcost += dcost
+            cost += tcost
+        sent = len(stream_tuples)
+        self.tuples_sent += sent
+        self.serializations += sent
+        if self.ledger is not None:
+            self.ledger.record_sent(self.app_id, sent)
         return cost
 
     def send_broadcast(self, stream_tuple: StreamTuple,
@@ -330,7 +506,8 @@ class TyphoonTransport(Transport):
         cost = serialize_cost(self.costs, len(encoded))
         self.serializations += 1
         self._trace_serialized(stream_tuple, len(encoded), cost)
-        cost += self._enqueue(BROADCAST, encoded)
+        cost += self._enqueue(BROADCAST, encoded,
+                              self._fastlane_obj(stream_tuple))
         return cost
 
     def send_offloaded(self, stream_tuple: StreamTuple, edge_key,
@@ -351,7 +528,8 @@ class TyphoonTransport(Transport):
         cost = serialize_cost(self.costs, len(encoded))
         self.serializations += 1
         self._trace_serialized(stream_tuple, len(encoded), cost)
-        cost += self._enqueue(address, encoded)
+        cost += self._enqueue(address, encoded,
+                              self._fastlane_obj(stream_tuple))
         return cost
 
     def send_to_controller(self, stream_tuple: StreamTuple) -> float:
@@ -411,7 +589,7 @@ class TyphoonTransport(Transport):
         return cost
 
     def _emit_batch(self, address: WorkerAddress,
-                    buffer: List[bytes]) -> float:
+                    buffer: List[Tuple[bytes, Optional[StreamTuple]]]) -> float:
         """One envelope pass for one destination's batch: trace
         checkpoints, multiplex/segment into payloads, frame and inject.
         The caller clears the buffer afterwards (the list object is
@@ -421,22 +599,41 @@ class TyphoonTransport(Transport):
             # The segment since each tuple's serialize checkpoint is the
             # time it sat in this batch buffer waiting for the flush.
             branch = address_branch(address)
-            for encoded in buffer:
+            for encoded, _obj in buffer:
                 trace_id = peek_trace_id(encoded)
                 if trace_id is not None:
                     tracer.event(trace_id, H_BATCH, branch=branch,
                                  batch=len(buffer))
-        payloads, self._frag_id = pack_tuples(buffer, self.mtu, self._frag_id)
+        records = [item[0] for item in buffer]
+        payloads, self._frag_id, spans = pack_tuples_spans(
+            records, self.mtu, self._frag_id)
         # One JNI crossing per batch handed to the southbound library.
-        cost = self.costs.jni_call_overhead
-        for payload in payloads:
-            cost += (self.costs.packetize_per_packet
-                     + len(payload) * self.costs.packetize_per_byte
-                     + self.costs.ring_op_per_packet)
+        costs = self.costs
+        cost = costs.jni_call_overhead
+        per_packet = costs.packetize_per_packet
+        per_byte = costs.packetize_per_byte
+        ring_op = costs.ring_op_per_packet
+        switch_inject = self.switch.inject
+        port_no = self.port_no
+        for payload, span in zip(payloads, spans):
+            cost += per_packet + len(payload) * per_byte + ring_op
+            annotation = None
+            if span is not None:
+                start, end = span
+                annotation = []
+                for j in range(start, end):
+                    obj = buffer[j][1]
+                    if obj is None:
+                        annotation = None
+                        break
+                    annotation.append((obj, len(records[j])))
+                if annotation is not None:
+                    annotation = tuple(annotation)
             frame = EthernetFrame(dst=address, src=self.address,
-                                  ethertype=TYPHOON_ETHERTYPE, payload=payload)
+                                  ethertype=TYPHOON_ETHERTYPE, payload=payload,
+                                  tuples=annotation)
             self.frames_sent += 1
-            self.switch.inject(self.port_no, frame)
+            switch_inject(port_no, frame)
         return cost
 
     def set_batch_size(self, batch_size: int) -> None:
@@ -462,10 +659,62 @@ class TyphoonTransport(Transport):
                 tracer.frame_drop(frame, LAYER_TRANSPORT, R_CLOSED_PORT)
             return
         self.frames_received += 1
-        cost = (self.costs.ring_op_per_packet
-                + self.costs.depacketize_per_packet
-                + len(frame) * self.costs.depacketize_per_byte
-                + self.costs.jni_call_overhead)
+        costs = self.costs
+        cost = (costs.ring_op_per_packet
+                + costs.depacketize_per_packet
+                + len(frame) * costs.depacketize_per_byte
+                + costs.jni_call_overhead)
+        annotated = frame.tuples
+        if annotated is not None and self._live_tracer() is None:
+            # Same-process fast lane: the sender attached the original
+            # tuples (all-scalar values, so a decode would reproduce them
+            # exactly); reconstruct deliveries without walking the bytes.
+            # Costs are charged from the authoritative encoded lengths,
+            # term for term as the decode path would.
+            per_tuple = costs.deserialize_per_tuple
+            per_byte = costs.deserialize_per_byte
+            tuples = []
+            append = tuples.append
+            new = StreamTuple.__new__
+            # The store's OOM sizer (delivery_bytes) is prepaid here:
+            # fast-lane values are guaranteed *exact* scalar types, so
+            # the exact-type size checks below reproduce the sizer's
+            # isinstance-based estimate identically, and the walk rides
+            # the clone loop instead of a second pass per store op.
+            est = 0
+            for src_tuple, nbytes in annotated:
+                cost += per_tuple + nbytes * per_byte
+                # Field-by-field clone via __new__ (hot path): matches
+                # what decode_tuple would build — source_component is
+                # reset to "", everything else carried over.
+                out = new(StreamTuple)
+                values = src_tuple.values
+                out.values = values
+                out.stream = src_tuple.stream
+                out.source_component = ""
+                out.source_worker = src_tuple.source_worker
+                out.anchor = src_tuple.anchor
+                out.trace_id = src_tuple.trace_id
+                append(out)
+                est += 80
+                for value in values:
+                    kind = type(value)
+                    if kind is str or kind is bytes:
+                        est += len(value)
+                    else:
+                        est += 8
+            cost += self._pending_recv_cost
+            self._pending_recv_cost = 0.0
+            accepted = self.deliver(Delivery(tuples=tuples, cost=cost,
+                                             nbytes=est))
+            if self.ledger is not None:
+                scope = self._frame_scope(frame)
+                if accepted:
+                    self.ledger.record_delivered(scope, len(tuples))
+                else:
+                    self.ledger.record_drop(scope, LAYER_TRANSPORT,
+                                            R_DELIVER_REJECTED, len(tuples))
+            return
         decoded = unpack_payload(frame.payload)
         records: List[bytes]
         reassembled = False

@@ -62,44 +62,75 @@ def pack_tuples(encoded_tuples: List[bytes], mtu: int,
     Returns ``(payloads, next_frag_id)`` — the caller threads the fragment
     id counter between calls.
     """
+    payloads, next_frag_id, _spans = pack_tuples_spans(
+        encoded_tuples, mtu, next_frag_id)
+    return payloads, next_frag_id
+
+
+def pack_tuples_spans(
+    encoded_tuples: List[bytes], mtu: int, next_frag_id: int = 0,
+) -> Tuple[List[bytes], int, List[Optional[Tuple[int, int]]]]:
+    """Like :func:`pack_tuples`, additionally reporting which input
+    records each payload carries: ``spans[i]`` is the half-open
+    ``(start, end)`` index range multiplexed into ``payloads[i]``, or
+    ``None`` for FRAGMENT payloads (each carries a chunk of one record).
+    The I/O layer uses the spans to annotate frames for same-process
+    fast-path delivery."""
     if mtu <= _FRAG_HEAD.size + 1:
         raise ValueError("mtu too small: %d" % mtu)
     payloads: List[bytes] = []
-    current: List[bytes] = []
-    current_size = _MULTI_HEAD.size
-    max_record_budget = mtu - _MULTI_HEAD.size
+    spans: List[Optional[Tuple[int, int]]] = []
+    # The MULTI payload under construction is accumulated directly in a
+    # bytearray (head patched in at flush) instead of a list of
+    # per-record concatenations; len(current) tracks the mtu budget.
+    head_size = _MULTI_HEAD.size
+    current = bytearray(head_size)
+    cur_len = head_size
+    count = 0
+    first_index = 0
+    max_record_budget = mtu - head_size
+    record_head = _RECORD_LEN.size
+    pack_len = _RECORD_LEN.pack
 
     def flush_multi() -> None:
-        nonlocal current, current_size
-        if not current:
+        nonlocal current, count, cur_len
+        if not count:
             return
-        head = _MULTI_HEAD.pack(KIND_MULTI, len(current))
-        payloads.append(head + b"".join(current))
-        current = []
-        current_size = _MULTI_HEAD.size
+        _MULTI_HEAD.pack_into(current, 0, KIND_MULTI, count)
+        payloads.append(bytes(current))
+        spans.append((first_index, first_index + count))
+        current = bytearray(head_size)
+        cur_len = head_size
+        count = 0
 
-    for data in encoded_tuples:
-        record_len = _RECORD_LEN.size + len(data)
+    for index, data in enumerate(encoded_tuples):
+        dlen = len(data)
+        record_len = record_head + dlen
         if record_len > max_record_budget:
             # Large tuple: segment it.
             flush_multi()
             chunk_budget = mtu - _FRAG_HEAD.size
             offset = 0
-            while offset < len(data):
+            while offset < dlen:
                 chunk = data[offset:offset + chunk_budget]
                 payloads.append(
                     _FRAG_HEAD.pack(KIND_FRAGMENT, next_frag_id,
-                                    len(data), offset) + chunk
+                                    dlen, offset) + chunk
                 )
+                spans.append(None)
                 offset += len(chunk)
             next_frag_id = (next_frag_id + 1) & 0xFFFFFFFF
             continue
-        if current_size + record_len > mtu:
+        if cur_len + record_len > mtu:
             flush_multi()
-        current.append(_RECORD_LEN.pack(len(data)) + data)
-        current_size += record_len
+        if not count:
+            first_index = index
+        current += pack_len(dlen)
+        current += data
+        cur_len += record_len
+        count += 1
     flush_multi()
-    return payloads, next_frag_id
+    return payloads, next_frag_id, spans
 
 
 def unpack_payload(payload: bytes) -> Union[List[bytes], Fragment]:

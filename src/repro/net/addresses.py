@@ -40,6 +40,10 @@ class WorkerAddress:
             raise ValueError("app_id out of range: %r" % (self.app_id,))
         if not 0 <= self.worker_id <= 0xFFFFFFFF:
             raise ValueError("worker_id out of range: %r" % (self.worker_id,))
+        # Addresses key every hot-path dict (transport batch buffers,
+        # switch ports, flow caches); precompute the hash once instead of
+        # re-hashing the field tuple on each lookup.
+        object.__setattr__(self, "_hash", hash((self.app_id, self.worker_id)))
 
     def pack(self) -> bytes:
         return _ADDR_STRUCT.pack(self.app_id, self.worker_id)
@@ -65,6 +69,15 @@ class WorkerAddress:
         if self.is_controller:
             return "ff:ff/controller"
         return "%04x/%08x" % (self.app_id, self.worker_id)
+
+
+def _cached_hash(self: WorkerAddress) -> int:
+    return self._hash
+
+
+# Assigned after the class body so it unambiguously replaces the
+# dataclass-generated __hash__ (same value: hash of the field tuple).
+WorkerAddress.__hash__ = _cached_hash  # type: ignore[assignment]
 
 
 #: The broadcast destination address.

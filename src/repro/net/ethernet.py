@@ -9,7 +9,8 @@ than hand-waved.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from .addresses import TYPHOON_ETHERTYPE, WorkerAddress
 
@@ -35,6 +36,14 @@ class EthernetFrame:
     src: WorkerAddress
     ethertype: int
     payload: bytes
+    #: Same-process delivery annotation: the (StreamTuple, encoded_len)
+    #: pairs multiplexed into ``payload``, attached by the sending I/O
+    #: layer when every tuple is reconstructible without decoding (all
+    #: scalar values). Purely an in-memory shortcut — the payload bytes
+    #: stay authoritative, ``pack()`` ignores it, ``unpack()`` never
+    #: restores it (so frames crossing a host tunnel decode for real),
+    #: and it is excluded from equality/repr.
+    tuples: Optional[tuple] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.ethertype <= 0xFFFF:
@@ -71,4 +80,4 @@ class EthernetFrame:
         the destination worker ID in a weighted round-robin fashion (§4).
         """
         return EthernetFrame(dst=dst, src=self.src, ethertype=self.ethertype,
-                             payload=self.payload)
+                             payload=self.payload, tuples=self.tuples)

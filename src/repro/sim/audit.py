@@ -119,7 +119,10 @@ class DeliveryLedger:
     # -- tuple-count reporting sites --------------------------------------
 
     def record_sent(self, scope: int, count: int = 1) -> None:
-        _bump(self.sent, scope, count)
+        # Called once per tuple on the transport hot path; the bump is
+        # inlined rather than delegated to _bump.
+        sent = self.sent
+        sent[scope] = sent.get(scope, 0) + count
 
     def record_injected(self, scope: int, count: int = 1) -> None:
         _bump(self.injected, scope, count)
@@ -128,7 +131,8 @@ class DeliveryLedger:
         _bump(self.replicated, scope, count)
 
     def record_delivered(self, scope: int, count: int = 1) -> None:
-        _bump(self.delivered, scope, count)
+        delivered = self.delivered
+        delivered[scope] = delivered.get(scope, 0) + count
 
     def record_controller_delivered(self, scope: int, count: int = 1) -> None:
         _bump(self.controller_delivered, scope, count)

@@ -100,9 +100,9 @@ class RateMeter:
             self._start_time = now
         self._last_time = now
         self.total += count
-        self._buckets[int(now // self.interval)] = (
-            self._buckets.get(int(now // self.interval), 0) + count
-        )
+        bucket = int(now // self.interval)
+        buckets = self._buckets
+        buckets[bucket] = buckets.get(bucket, 0) + count
 
     def reset(self) -> None:
         self.total = 0

@@ -21,6 +21,28 @@ DROP = "drop"
 BLOCK = "block"
 
 
+class _GetGate(Event):
+    """A queued consumer wait that can be *defused*.
+
+    When the waiting process is interrupted (worker kill, fault injection)
+    the kernel calls :meth:`_defuse` on whatever the process was waiting
+    on. A defused gate is still sitting in ``Store._getters``; without the
+    flag, the next ``_accept`` would succeed the stale gate and the item
+    would vanish — the waiter's ``_resume`` staleness guard discards the
+    wake-up, so nobody ever sees the payload. Flagged gates are skipped and
+    the item goes to the next live getter or back onto the queue.
+    """
+
+    __slots__ = ("defused",)
+
+    def __init__(self, engine: Engine):
+        super().__init__(engine)
+        self.defused = False
+
+    def _defuse(self) -> None:
+        self.defused = True
+
+
 class Store:
     """FIFO channel between processes with optional capacity.
 
@@ -82,7 +104,7 @@ class Store:
         # enqueue. Waiters are resumed in FIFO order.
         while self._getters:
             getter = self._getters.popleft()
-            if not getter.triggered:
+            if not getter.triggered and not getter.defused:
                 if self.sizer is not None:
                     self.bytes_queued -= self.sizer(item)
                 getter.succeed(item)
@@ -112,7 +134,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        gate = self.engine.event()
+        gate = _GetGate(self.engine)
         if self._items:
             item = self._items.popleft()
             if self.sizer is not None:
@@ -157,7 +179,7 @@ class Store:
         error = error or RuntimeError("store closed")
         while self._getters:
             gate = self._getters.popleft()
-            if not gate.triggered:
+            if not gate.triggered and not gate.defused:
                 gate.fail(error)
         while self._putters:
             gate, _item = self._putters.popleft()

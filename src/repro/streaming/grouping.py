@@ -55,18 +55,22 @@ class Router:
         self.stream = stream
         self.counter = 0          # round-robin state (shuffle)
         self.decisions = 0
+        self._refresh_derived()
+
+    def _refresh_derived(self) -> None:
+        # Mode flags and the single-destination list are derived state,
+        # recomputed on every update() so the per-tuple dispatch loop
+        # reads plain attributes instead of calling properties. Callers
+        # must treat the list returned by route() as read-only.
+        kind = self.grouping.kind
+        self.is_broadcast = kind == ALL
+        self.is_sdn_offloaded = kind == SDN_SELECT
+        self._first_hop: Optional[List[int]] = (
+            [self.next_hops[0]] if self.next_hops else None)
 
     @property
     def num_next_hops(self) -> int:
         return len(self.next_hops)
-
-    @property
-    def is_broadcast(self) -> bool:
-        return self.grouping.kind == ALL
-
-    @property
-    def is_sdn_offloaded(self) -> bool:
-        return self.grouping.kind == SDN_SELECT
 
     def update(self, next_hops: Optional[Sequence[int]] = None,
                grouping: Optional[Grouping] = None) -> None:
@@ -81,25 +85,30 @@ class Router:
         if next_hops is not None:
             self.next_hops = list(next_hops)
             self.counter = 0
+        self._refresh_derived()
 
     def route(self, stream_tuple: StreamTuple) -> List[int]:
         """Pick destination worker id(s) for a tuple."""
-        if not self.next_hops:
+        hops = self.next_hops
+        if not hops:
             raise RoutingError("edge has no next hops")
         self.decisions += 1
         kind = self.grouping.kind
         if kind == SHUFFLE:
-            index = self.counter % len(self.next_hops)
+            n = len(hops)
+            index = self.counter % n
             self.counter += 1
-            return [self.next_hops[index]]
+            if n == 1:
+                return self._first_hop
+            return [hops[index]]
         if kind == FIELDS:
             index = hash_fields(stream_tuple.values,
-                                self.grouping.fields) % len(self.next_hops)
-            return [self.next_hops[index]]
+                                self.grouping.fields) % len(hops)
+            return [hops[index]]
         if kind == GLOBAL:
-            return [self.next_hops[0]]
+            return self._first_hop
         if kind == ALL:
-            return list(self.next_hops)
+            return list(hops)
         if kind == SDN_SELECT:
             # Routing is offloaded: the worker picks nothing; the switch's
             # select group rewrites the destination. The caller sends to a

@@ -96,6 +96,23 @@ class SerializationError(ValueError):
     """Raised when a value cannot be encoded or bytes cannot be decoded."""
 
 
+#: Memoized envelope headers keyed by (stream, source_worker, flags,
+#: nvalues). Real streams reuse a handful of envelope shapes, so the 9
+#: header bytes are a dict hit instead of a pack_into; byte output is
+#: unchanged. Bounded: cleared wholesale if an app somehow produces
+#: thousands of distinct shapes.
+_ENVELOPE_CACHE: dict = {}
+_ENVELOPE_CACHE_MAX = 1024
+
+#: Memoized str value records (tag + u32 length + utf-8 bytes). Workloads
+#: re-send the same strings constantly (fixed payloads, word vocabularies),
+#: and str objects cache their own hash, so the lookup is near-free.
+#: Long strings are not cached to bound memory.
+_STR_RECORD_CACHE: dict = {}
+_STR_RECORD_CACHE_MAX = 4096
+_STR_CACHE_LEN_LIMIT = 256
+
+
 def _encode_many(values, out: bytearray,
                  _pack_i64=_TAG_I64.pack_into,
                  _pack_f64=_TAG_F64.pack_into,
@@ -154,11 +171,26 @@ def _encode_many(values, out: bytearray,
                           _len(body))
                 out += body
         elif kind is str:
-            data = value.encode("utf-8")
-            pos = _len(out)
-            out += _PAD_TAG_U32
-            _pack_u32(out, pos, _T_STR, _len(data))
-            out += data
+            record = _STR_RECORD_CACHE.get(value)
+            if record is not None:
+                out += record
+            elif _len(value) <= _STR_CACHE_LEN_LIMIT:
+                data = value.encode("utf-8")
+                record = bytearray()
+                record += _PAD_TAG_U32
+                _pack_u32(record, 0, _T_STR, _len(data))
+                record += data
+                record = bytes(record)
+                if _len(_STR_RECORD_CACHE) >= _STR_RECORD_CACHE_MAX:
+                    _STR_RECORD_CACHE.clear()
+                _STR_RECORD_CACHE[value] = record
+                out += record
+            else:
+                data = value.encode("utf-8")
+                pos = _len(out)
+                out += _PAD_TAG_U32
+                _pack_u32(out, pos, _T_STR, _len(data))
+                out += data
         elif kind is float:
             pos = _len(out)
             out += _PAD_TAG_I64
@@ -279,25 +311,149 @@ def encode_values(values: Tuple[Any, ...]) -> bytes:
 
 def encode_tuple(stream_tuple: StreamTuple) -> bytes:
     """Serialize a full tuple (envelope + values) to bytes."""
-    flags = _FLAG_ANCHORED if stream_tuple.anchor is not None else 0
-    if stream_tuple.trace_id is not None:
+    anchor = stream_tuple.anchor
+    trace_id = stream_tuple.trace_id
+    values = stream_tuple.values
+    flags = _FLAG_ANCHORED if anchor is not None else 0
+    if trace_id is not None:
         flags |= _FLAG_TRACED
-    out = bytearray()
-    out += _PAD_ENVELOPE
-    _ENVELOPE.pack_into(out, 0, stream_tuple.stream,
-                        stream_tuple.source_worker, flags,
-                        len(stream_tuple.values))
-    if stream_tuple.anchor is not None:
+    key = (stream_tuple.stream, stream_tuple.source_worker, flags,
+           len(values))
+    head = _ENVELOPE_CACHE.get(key)
+    if head is None:
+        head = bytearray(_PAD_ENVELOPE)
+        _ENVELOPE.pack_into(head, 0, key[0], key[1], flags, key[3])
+        head = bytes(head)
+        if len(_ENVELOPE_CACHE) >= _ENVELOPE_CACHE_MAX:
+            _ENVELOPE_CACHE.clear()
+        _ENVELOPE_CACHE[key] = head
+    out = bytearray(head)
+    if anchor is not None:
         pos = len(out)
         out += _PAD_ANCHOR
-        _ANCHOR.pack_into(out, pos, stream_tuple.anchor.root_id,
-                          stream_tuple.anchor.edge_id)
-    if stream_tuple.trace_id is not None:
+        _ANCHOR.pack_into(out, pos, anchor.root_id, anchor.edge_id)
+    if trace_id is not None:
         pos = len(out)
         out += _PAD_TRACE
-        _TRACE.pack_into(out, pos, stream_tuple.trace_id)
-    _encode_many(stream_tuple.values, out)
+        _TRACE.pack_into(out, pos, trace_id)
+    _encode_many(values, out)
     return bytes(out)
+
+
+#: Exact value types the transport's same-process fast lane may share
+#: by reference instead of re-decoding: immutable scalars only
+#: (``bytearray`` is scalar-encodable but mutable, so it is excluded).
+SCALAR_TYPES = frozenset((str, int, float, bytes, bool, type(None)))
+
+
+def encode_tuple_scalar(
+    stream_tuple: StreamTuple,
+    _pack_i64=_TAG_I64.pack_into,
+    _pack_f64=_TAG_F64.pack_into,
+    _pack_u32=_TAG_U32.pack_into,
+    _pack_big=_BIGINT_HEAD.pack_into,
+    _len=len, _type=type,
+    _memo=[None, None, None, b""],
+) -> Tuple[bytes, bool]:
+    """Serialize and classify in one pass: ``(encoded, all_scalar)``.
+
+    ``encoded`` is byte-for-byte identical to :func:`encode_tuple`
+    (locked by the golden-bytes tests); ``all_scalar`` reports whether
+    every value's exact type is in :data:`SCALAR_TYPES` — the
+    transport's fast-lane eligibility test. The hot send paths need
+    both answers for every tuple, and fusing them saves a second pass
+    over the values plus two call frames (``encode_tuple`` →
+    ``_encode_many``) per tuple. The body is ``_encode_many``
+    specialized to scalar values in the same pad-and-``pack_into``
+    style; anchored/traced tuples and container (or subclass) values
+    fall back to the generic encoder.
+    """
+    values = stream_tuple.values
+    if stream_tuple.anchor is not None or stream_tuple.trace_id is not None:
+        encoded = encode_tuple(stream_tuple)
+        for value in values:
+            if _type(value) not in SCALAR_TYPES:
+                return encoded, False
+        return encoded, True
+    stream = stream_tuple.stream
+    src = stream_tuple.source_worker
+    nvalues = _len(values)
+    # Single-entry memo in front of the envelope dict: consecutive
+    # tuples almost always share one envelope shape, so the common case
+    # is two int compares instead of a key-tuple build + dict hash.
+    # (Content-addressed, so the dict's overflow clear cannot stale it.)
+    if stream == _memo[0] and src == _memo[1] and nvalues == _memo[2]:
+        head = _memo[3]
+    else:
+        key = (stream, src, 0, nvalues)
+        head = _ENVELOPE_CACHE.get(key)
+        if head is None:
+            head = bytearray(_PAD_ENVELOPE)
+            _ENVELOPE.pack_into(head, 0, stream, src, 0, nvalues)
+            head = bytes(head)
+            if _len(_ENVELOPE_CACHE) >= _ENVELOPE_CACHE_MAX:
+                _ENVELOPE_CACHE.clear()
+            _ENVELOPE_CACHE[key] = head
+        _memo[0] = stream
+        _memo[1] = src
+        _memo[2] = nvalues
+        _memo[3] = head
+    out = bytearray(head)
+    for value in values:
+        kind = _type(value)
+        if kind is str:
+            record = _STR_RECORD_CACHE.get(value)
+            if record is not None:
+                out += record
+            elif _len(value) <= _STR_CACHE_LEN_LIMIT:
+                data = value.encode("utf-8")
+                record = bytearray()
+                record += _PAD_TAG_U32
+                _pack_u32(record, 0, _T_STR, _len(data))
+                record += data
+                record = bytes(record)
+                if _len(_STR_RECORD_CACHE) >= _STR_RECORD_CACHE_MAX:
+                    _STR_RECORD_CACHE.clear()
+                _STR_RECORD_CACHE[value] = record
+                out += record
+            else:
+                data = value.encode("utf-8")
+                pos = _len(out)
+                out += _PAD_TAG_U32
+                _pack_u32(out, pos, _T_STR, _len(data))
+                out += data
+        elif kind is int:
+            if _I64_MIN <= value <= _I64_MAX:
+                pos = _len(out)
+                out += _PAD_TAG_I64
+                _pack_i64(out, pos, _T_INT, value)
+            else:
+                magnitude = abs(value)
+                body = magnitude.to_bytes((magnitude.bit_length() + 8) // 8,
+                                          "big", signed=False)
+                pos = _len(out)
+                out += _PAD_BIGINT_HEAD
+                _pack_big(out, pos, _T_BIGINT, 1 if value < 0 else 0,
+                          _len(body))
+                out += body
+        elif kind is float:
+            pos = _len(out)
+            out += _PAD_TAG_I64
+            _pack_f64(out, pos, _T_FLOAT, value)
+        elif value is None:
+            out.append(_T_NONE)
+        elif kind is bool:
+            out.append(_T_TRUE if value else _T_FALSE)
+        elif kind is bytes:
+            pos = _len(out)
+            out += _PAD_TAG_U32
+            _pack_u32(out, pos, _T_BYTES, _len(value))
+            out += value
+        else:
+            # Container or subclass value: not fast-lane eligible; let
+            # the generic encoder redo the tuple (rare path).
+            return encode_tuple(stream_tuple), False
+    return bytes(out), True
 
 
 def decode_tuple(data, source_component: str = "") -> StreamTuple:

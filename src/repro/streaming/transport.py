@@ -27,7 +27,7 @@ observability features.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Any, List, Optional, Sequence
 
 from .tuples import StreamTuple
 
@@ -43,6 +43,10 @@ class Delivery:
 
     tuples: List[StreamTuple]
     cost: float = 0.0
+    #: Memoized :func:`delivery_bytes` result — the sizer runs on both
+    #: store put and get, and the footprint of an immutable batch never
+    #: changes between the two.
+    nbytes: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -50,6 +54,9 @@ class Delivery:
 
 def delivery_bytes(delivery: Delivery) -> int:
     """Approximate byte footprint of a queued delivery (for OOM tracking)."""
+    cached = delivery.nbytes
+    if cached is not None:
+        return cached
     # 80 bytes of object overhead per tuple plus a rough payload estimate.
     total = 0
     for stream_tuple in delivery.tuples:
@@ -59,6 +66,7 @@ def delivery_bytes(delivery: Delivery) -> int:
                 total += len(value)
             else:
                 total += 8
+    delivery.nbytes = total
     return total
 
 
@@ -79,6 +87,31 @@ class Transport:
     def send(self, stream_tuple: StreamTuple, dst_worker_ids: Sequence[int]) -> float:
         """Route one tuple to explicit destinations; returns CPU cost."""
         raise NotImplementedError
+
+    def send_many(self, stream_tuples: Sequence[StreamTuple],
+                  dst: Any) -> float:
+        """Batched send: every tuple to the same single destination.
+        Semantically identical to per-tuple :meth:`send` calls (this
+        default is exactly that); transports override it to hoist
+        per-call setup out of the loop."""
+        cost = 0.0
+        dsts = [dst]
+        for stream_tuple in stream_tuples:
+            cost += self.send(stream_tuple, dsts)
+        return cost
+
+    def send_interleaved(self, stream_tuples: Sequence[StreamTuple],
+                         dst: Any, pre_cost: float, cost: float) -> float:
+        """Batched replay of ``for t: cost += pre_cost; cost += send(t,
+        [dst])`` — the executor's per-tuple accumulation pattern — on
+        the running ``cost`` value, preserving the exact float-addition
+        sequence. This default is literally that loop; transports
+        override it to hoist per-call setup."""
+        dsts = [dst]
+        for stream_tuple in stream_tuples:
+            cost += pre_cost
+            cost += self.send(stream_tuple, dsts)
+        return cost
 
     def send_broadcast(self, stream_tuple: StreamTuple,
                        dst_worker_ids: Sequence[int]) -> float:

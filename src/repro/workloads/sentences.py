@@ -181,7 +181,8 @@ class SequenceCheckBolt(Bolt):
                 collector: EmitterApi) -> None:
         self.count += 1
         src = stream_tuple.source_worker
-        seq = stream_tuple[1]
-        if src in self._last and seq <= self._last[src]:
+        seq = stream_tuple.values[1]
+        last = self._last.get(src)
+        if last is not None and seq <= last:
             self.out_of_order += 1
         self._last[src] = seq

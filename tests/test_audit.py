@@ -263,3 +263,26 @@ def test_stats_monitor_report_includes_drop_section(engine):
     engine.run(until=12.0)
     text = monitor.report()
     assert "tuple drops (delivery ledger)" in text
+
+
+def test_mid_get_worker_kill_conserves_tuples(engine):
+    """Regression for the interrupted-getter leak: killing a worker
+    interrupts its executor processes mid-``Store.get``; the stale get
+    gates used to stay armed and swallow the next enqueued tuples, which
+    surfaced here as unattributed loss. With gate defusal every tuple is
+    delivered or shows up as an attributed drop."""
+    from repro.sim.faults import kill_worker_at
+
+    cluster = TyphoonCluster(engine, num_hosts=2, seed=0)
+    config = TopologyConfig(batch_size=50, max_spout_rate=800.0)
+    physical = cluster.submit(
+        word_count_topology("wc", config, splits=2, counts=2,
+                            words_per_sentence=2))
+    [victim_id, _other] = physical.worker_ids_for("count")
+    kill_worker_at(cluster, victim_id, when=3.0,
+                   reason="mid-get kill regression")
+    engine.run(until=10.0)
+    report = verify_conservation(cluster)  # strict: raises on a leak
+    assert report.ok
+    assert report.unattributed == 0
+    assert report.sent > 0

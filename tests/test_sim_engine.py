@@ -181,6 +181,62 @@ def test_all_of_empty_fires_immediately(engine):
     assert done.triggered
 
 
+def test_all_of_propagates_failure_to_waiter(engine):
+    """A failed input must fail the gate — previously the exception was
+    silently handed to the waiter as a plain result value."""
+    gates = [engine.event() for _ in range(3)]
+    caught = []
+
+    def waiter():
+        try:
+            yield engine.all_of(gates)
+        except RuntimeError as error:
+            caught.append(str(error))
+
+    engine.process(waiter())
+    engine.schedule(1.0, gates[0].succeed, "ok")
+    engine.schedule(2.0, gates[1].fail, RuntimeError("boom"))
+    engine.run()
+    assert caught == ["boom"]
+
+
+def test_all_of_fails_on_already_failed_input(engine):
+    failed = engine.event()
+    failed.fail(RuntimeError("early"))
+    gate = engine.all_of([failed, engine.event()])
+    assert gate.triggered
+    assert gate.failed
+    assert str(gate.value) == "early"
+
+
+def test_all_of_ignores_inputs_after_failure(engine):
+    gates = [engine.event() for _ in range(3)]
+    done = engine.all_of(gates)
+    engine.schedule(1.0, gates[1].fail, RuntimeError("first"))
+    engine.schedule(2.0, gates[0].succeed, "late-ok")
+    engine.schedule(3.0, gates[2].fail, RuntimeError("second"))
+    engine.run()
+    assert done.failed
+    assert str(done.value) == "first"
+
+
+def test_any_of_failed_winner_fails_gate(engine):
+    early, late = engine.event(), engine.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield engine.any_of([early, late])
+        except RuntimeError as error:
+            caught.append(str(error))
+
+    engine.process(waiter())
+    engine.schedule(1.0, early.fail, RuntimeError("lost"))
+    engine.schedule(5.0, late.succeed, "second")
+    engine.run()
+    assert caught == ["lost"]
+
+
 def test_any_of_fires_on_first(engine):
     early, late = engine.event(), engine.event()
     winner = engine.any_of([early, late])

@@ -147,3 +147,59 @@ def test_invalid_configurations():
         Store(engine, capacity=0)
     with pytest.raises(ValueError):
         Store(engine, overflow="bounce")
+
+
+def test_interrupted_getter_does_not_swallow_item(engine):
+    """Regression: an interrupted consumer's queued get-gate used to stay
+    armed in ``Store._getters``; the next put would succeed the stale
+    gate, the waiter's staleness guard discarded the wake-up, and the
+    item vanished. The defused gate must now be skipped so the item
+    reaches the next live consumer."""
+    from repro.sim import Interrupt
+
+    store = Store(engine)
+    received = []
+    interrupted = []
+
+    def victim():
+        try:
+            item = yield store.get()
+            received.append(("victim", item))
+        except Interrupt:
+            interrupted.append(engine.now)
+
+    def survivor():
+        item = yield store.get()
+        received.append(("survivor", item))
+
+    victim_proc = engine.process(victim())
+    engine.process(survivor())
+    engine.schedule(1.0, victim_proc.interrupt, "killed")
+    engine.schedule(2.0, store.put, "payload")
+    engine.run()
+    assert interrupted == [1.0]
+    assert received == [("survivor", "payload")]
+
+
+def test_interrupted_sole_getter_leaves_item_in_store(engine):
+    """With no other consumer, the put after the interrupt must land in
+    the store — not be consumed by the dead wait."""
+    from repro.sim import Interrupt
+
+    store = Store(engine)
+    outcome = []
+
+    def victim():
+        try:
+            yield store.get()
+            outcome.append("got")
+        except Interrupt:
+            outcome.append("interrupted")
+
+    victim_proc = engine.process(victim())
+    engine.schedule(1.0, victim_proc.interrupt, "killed")
+    engine.schedule(2.0, store.put, "payload")
+    engine.run()
+    assert outcome == ["interrupted"]
+    assert len(store) == 1
+    assert store.get_nowait() == (True, "payload")
