@@ -16,7 +16,10 @@ conservation table (exit status 1 if any tuple is unaccounted for);
 and checks the chaos invariants (exit status 1 on any violation) —
 ``--acked`` turns on the full reliability stack (acking, spout replay,
 checkpointing, reliable control) and additionally requires zero
-permanently-lost roots;
+permanently-lost roots, while ``--exactly-once`` runs the actively
+replicated workload under targeted regimes (replica/leader kills,
+broadcast-link flap, controller outage) and requires zero lost and zero
+duplicate committed tuples;
 ``trace`` runs the Fig. 8 forwarding workload with hop-by-hop tracing
 enabled and prints the per-hop latency breakdown, verifying that every
 sampled tuple's hop segments sum exactly to the end-to-end latency the
@@ -124,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the reliability stack (acking + replay "
                             "+ checkpointing + reliable control) and require "
                             "zero permanently-lost roots")
+    chaos.add_argument("--exactly-once", action="store_true",
+                       help="run the actively-replicated workload under "
+                            "targeted fault regimes (replica/leader kills, "
+                            "broadcast flap, controller outage) and require "
+                            "zero lost and zero duplicate committed tuples "
+                            "(typhoon only)")
 
     trace = commands.add_parser(
         "trace",
@@ -218,9 +227,20 @@ def cmd_audit(system: str, rate: float, duration: float, hosts: int,
 
 def cmd_chaos(system: str, seed: int, hosts: int, duration: float,
               faults: int, rate: float, acked: bool = False,
-              out=sys.stdout) -> int:
-    from .core.chaos import run_chaos
+              exactly_once: bool = False, out=sys.stdout) -> int:
+    from .core.chaos import run_chaos, run_chaos_exactly_once
 
+    if exactly_once:
+        if system != "typhoon":
+            out.write("--exactly-once requires the typhoon runtime "
+                      "(active replication rides the SDN fabric)\n")
+            return 2
+        result = run_chaos_exactly_once(seed=seed, hosts=hosts,
+                                        duration=duration, faults=faults,
+                                        rate=rate)
+        out.write(result.render())
+        out.write("\n")
+        return 0 if result.ok else 1
     systems = ("typhoon", "storm") if system == "both" else (system,)
     status = 0
     for index, name in enumerate(systems):
@@ -309,7 +329,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                          args.settle, args.seed, out)
     if args.command == "chaos":
         return cmd_chaos(args.system, args.seed, args.hosts, args.duration,
-                         args.faults, args.rate, args.acked, out)
+                         args.faults, args.rate, args.acked,
+                         args.exactly_once, out)
     if args.command == "trace":
         return cmd_trace(args.seed, args.sample_every, args.rate,
                          args.duration, args.hosts, out)

@@ -18,12 +18,22 @@ randomized fault scenarios:
 5. **replay conservation** (acked runs only) — every message a spout
    ever tracked is accounted for: completed, still pending, or
    retry-budget-exhausted — and after the recovery window *zero* are
-   exhausted, i.e. no root was permanently lost.
+   exhausted, i.e. no root was permanently lost;
+6. **replication conservation** (replicated runs only) — every replica
+   group's ledger balances: all alive replicas applied the full
+   sequenced input, replicas never diverged, every produced output was
+   admitted downstream exactly once, and every admitted output
+   committed exactly once with zero conflicting retries.
 
-The harness runs in two regimes: best-effort (the default — loss is
-attributed but not repaired) and ``acked=True``, which turns on the full
+The harness runs in three regimes: best-effort (the default — loss is
+attributed but not repaired), ``acked=True``, which turns on the full
 reliability stack (acking + spout replay + checkpointing + the reliable
-control channel) and holds the run to the stricter §6.1 bar.
+control channel) and holds the run to the stricter §6.1 bar, and
+:func:`run_chaos_exactly_once`, which deploys the actively-replicated
+workload (:mod:`repro.workloads.replicated`) and drives targeted fault
+regimes — replica kill, leader kill mid-failover, broadcast-link flap,
+controller outage — against the replication invariant plus a strict
+zero-lost / zero-duplicate commitment check.
 
 :func:`run_chaos` wires a cluster + the chaos workload + a seeded
 :class:`~repro.sim.faults.ChaosSchedule` together and produces a fully
@@ -33,18 +43,26 @@ report byte for byte, so scenarios are replayable and diffable.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..sim.audit import ConservationReport
 from ..sim.engine import Engine
-from ..sim.faults import STORM_KINDS, TYPHOON_KINDS, ChaosSchedule, FaultPlan
+from ..sim.faults import (
+    STORM_KINDS,
+    TYPHOON_KINDS,
+    ChaosSchedule,
+    FaultPlan,
+    _crash,
+)
 from ..streaming.acker import ACKER_COMPONENT, AckerBolt
 from ..streaming.checkpoint import CHECKPOINT_SERVICE, CheckpointStore
 from ..streaming.replay import REPLAY_SERVICE, ReplayService
 from ..streaming.storm import StormCluster
 from ..streaming.topology import TopologyConfig
 from ..workloads.chaosflow import DEDUP_SERVICE, DedupRegistry, chaos_topology
+from ..workloads.replicated import replicated_topology
 from .apps.fault_detector import FaultDetector
 from .audit import conservation_report, quiesce
 from .runtime import TyphoonCluster
@@ -58,6 +76,7 @@ I_FLOW_CONSISTENCY = "flow-consistency"
 I_NO_DUPLICATES = "no-duplicate-delivery"
 I_DETECTOR = "fault-detector-convergence"
 I_REPLAY = "replay-conservation"
+I_REPLICATION = "replication-conservation"
 
 
 @dataclass
@@ -78,7 +97,7 @@ class InvariantResult:
 
 @dataclass
 class InvariantReport:
-    """All five chaos invariants plus the conservation snapshot."""
+    """All six chaos invariants plus the conservation snapshot."""
 
     results: List[InvariantResult]
     conservation: ConservationReport
@@ -111,7 +130,7 @@ class InvariantReport:
 
 
 class InvariantChecker:
-    """Quiesces a cluster and checks the five chaos invariants.
+    """Quiesces a cluster and checks the six chaos invariants.
 
     Works against both runtimes; the SDN-specific checks (flow
     consistency, detector convergence) report SKIP on the Storm
@@ -131,6 +150,7 @@ class InvariantChecker:
             self._check_duplicates(),
             self._check_detector(),
             self._check_replay(),
+            self._check_replication(),
         ]
         return InvariantReport(results=results, conservation=conservation)
 
@@ -168,6 +188,21 @@ class InvariantChecker:
                 if entry is None:
                     missing += 1
                 elif tuple(entry.actions) != tuple(actions):
+                    mismatched += 1
+            for (dpid, group_id), (group_type,
+                                   buckets) in (app.desired_groups(
+                                       topology_id).items()):
+                checked += 1
+                switch = sdn.switches.get(dpid)
+                if switch is None or not switch.up:
+                    missing += 1
+                    continue
+                if group_id not in switch.groups:
+                    missing += 1
+                    continue
+                entry = switch.groups.get(group_id)
+                if (entry.group_type != group_type
+                        or tuple(entry.buckets) != tuple(buckets)):
                     mismatched += 1
         # Subset check by design: switches legitimately hold rules the
         # diff bookkeeping does not cover (worker->controller taps).
@@ -241,6 +276,50 @@ class InvariantChecker:
         ok = service.conserved() and totals["exhausted"] == 0
         return InvariantResult(I_REPLAY, PASS if ok else FAIL, detail)
 
+    # -- (f) replication conservation / exactly-once -----------------------
+
+    def _check_replication(self) -> InvariantResult:
+        """Replicated runs only: every replica group's ledger balances
+        once the cluster quiesces — all alive replicas applied the full
+        sequenced input (convergence), no replica ever logged an output
+        different from the first writer's (determinism), every produced
+        output was admitted downstream exactly once, and — when the
+        consumer is transactional — committed exactly once with zero
+        conflicting retries. With a strict dedup registry deployed the
+        check also demands zero lost spout sequences end to end."""
+        service = getattr(self.cluster, "replication", None)
+        if service is None or not service.active():
+            return InvariantResult(I_REPLICATION, SKIP,
+                                   "no replication groups")
+        lag = leaderless = unadmitted = uncommitted = 0
+        for key in sorted(service.groups):
+            group = service.groups[key]
+            if not group.alive or group.leader is None:
+                leaderless += 1
+            for worker_id in sorted(group.alive):
+                lag += max(0, group.next_in -
+                           group.applied.get(worker_id, 0))
+            unadmitted += max(0, group.outputs_logged - group.admitted)
+            if group.commits:
+                uncommitted += max(0, group.admitted - group.commits)
+        totals = service.totals()
+        lost = -1
+        services = getattr(self.cluster, "services", {})
+        registry = services.get(DEDUP_SERVICE)
+        if isinstance(registry, DedupRegistry) and not registry.at_least_once:
+            lost = len(registry.missing_keys())
+        detail = ("groups=%d inputs=%d lag=%d divergence=%d admitted=%d "
+                  "collapsed=%d commits=%d retries=%d conflicts=%d lost=%s"
+                  % (totals["groups"], totals["inputs"], lag,
+                     totals["divergence"], totals["admitted"],
+                     totals["duplicates_collapsed"], totals["commits"],
+                     totals["commit_retries"], totals["commit_conflicts"],
+                     "n/a" if lost < 0 else str(lost)))
+        ok = (lag == 0 and leaderless == 0 and unadmitted == 0
+              and uncommitted == 0 and totals["divergence"] == 0
+              and totals["commit_conflicts"] == 0 and lost <= 0)
+        return InvariantResult(I_REPLICATION, PASS if ok else FAIL, detail)
+
 
 # -- the chaos runner ----------------------------------------------------------
 
@@ -255,15 +334,19 @@ class ChaosRunResult:
     plan: FaultPlan
     invariants: InvariantReport
     acked: bool = False
+    exactly_once: bool = False
 
     @property
     def ok(self) -> bool:
         return self.invariants.ok
 
     def render(self) -> str:
+        header = ("chaos run system=%s seed=%d acked=%s"
+                  % (self.system, self.seed, self.acked))
+        if self.exactly_once:
+            header += " exactly-once=True"
         sections = [
-            "chaos run system=%s seed=%d acked=%s"
-            % (self.system, self.seed, self.acked),
+            header,
             self.schedule.describe(),
             self.plan.render(),
             self.invariants.render(),
@@ -277,6 +360,7 @@ class ChaosRunResult:
             "system": self.system,
             "seed": self.seed,
             "acked": self.acked,
+            "exactly_once": self.exactly_once,
             "specs": [spec.describe() for spec in self.schedule.specs],
             "faults_fired": list(self.plan.fired),
             "faults_clamped": list(self.plan.clamped),
@@ -296,7 +380,7 @@ def run_chaos(system: str = "typhoon", seed: int = 0, hosts: int = 3,
     schedule inside ``[warmup, duration - 2]`` (every durable fault ends
     before the horizon), run to ``duration`` plus a recovery window that
     covers the slowest repair (supervisor restart ≈ 3 s), then quiesce
-    and check the five invariants.
+    and check the six invariants.
 
     ``acked=True`` turns on the full reliability stack — acking + spout
     replay + checkpointed sinks + the reliable control channel — puts
@@ -348,6 +432,155 @@ def run_chaos(system: str = "typhoon", seed: int = 0, hosts: int = 3,
                           plan=plan, invariants=invariants, acked=acked)
 
 
+# -- the exactly-once (replicated) chaos runner --------------------------------
+
+#: Fault regimes the exactly-once harness cycles through. Faults target
+#: only the replica group, the links between its hosts, and the control
+#: plane — never spouts or relays: loss upstream of the sequencer is
+#: outside the exactly-once boundary (that is the replay stack's job).
+EXACTLY_ONCE_REGIMES = ("replica-kill", "leader-kill", "broadcast-flap",
+                        "controller-outage")
+
+
+@dataclass
+class ExactlyOnceSpec:
+    """One planned regime instance (deterministic, renderable)."""
+
+    kind: str
+    when: float
+    detail: str
+
+    def describe(self) -> str:
+        return "%-18s t=%6.2f %s" % (self.kind, self.when, self.detail)
+
+
+@dataclass
+class ExactlyOnceSchedule:
+    """Seeded regime schedule for the replicated workload — same shape
+    as :class:`~repro.sim.faults.ChaosSchedule` where the report
+    machinery cares (``specs`` + ``describe``)."""
+
+    seed: int
+    specs: List[ExactlyOnceSpec]
+
+    def describe(self) -> str:
+        lines = ["exactly-once fault schedule seed=%d regimes=%d"
+                 % (self.seed, len(self.specs))]
+        lines.extend("  " + spec.describe() for spec in self.specs)
+        return "\n".join(lines)
+
+
+def _exactly_once_faults(cluster, group, seed: int,
+                         window: Tuple[float, float],
+                         count: int) -> Tuple[ExactlyOnceSchedule, FaultPlan]:
+    """Build the targeted fault plan for one replica ``group``.
+
+    Kill victims are resolved *at fire time* (``FaultPlan.custom``):
+    "the leader" means whoever leads when the injection fires, so a
+    leader-kill regime lands on the promoted successor mid-failover
+    rather than on a stale snapshot of the membership."""
+    rng = random.Random(seed)
+    plan = FaultPlan(cluster)
+    specs: List[ExactlyOnceSpec] = []
+    start, end = window
+    step = (end - start) / max(1, count)
+    group_hosts = sorted(set(group.hosts.values()))
+
+    def kill(role: str):
+        def action() -> None:
+            if role == "leader":
+                victim = group.leader
+            else:
+                candidates = sorted(worker_id for worker_id in group.alive
+                                    if worker_id != group.leader)
+                victim = candidates[-1] if candidates else None
+            if victim is not None:
+                _crash(cluster, victim,
+                       "exactly-once chaos: %s kill" % role)
+        return action
+
+    for index in range(count):
+        kind = EXACTLY_ONCE_REGIMES[index % len(EXACTLY_ONCE_REGIMES)]
+        when = start + step * (index + rng.uniform(0.1, 0.6))
+        if kind == "broadcast-flap" and len(group_hosts) < 2:
+            kind = "replica-kill"
+        if kind == "replica-kill":
+            plan.custom(when, "kill replica follower (dynamic)",
+                        kill("follower"))
+            specs.append(ExactlyOnceSpec(
+                kind, when, "highest-id alive follower at fire time"))
+        elif kind == "leader-kill":
+            plan.custom(when, "kill group leader (dynamic)", kill("leader"))
+            plan.custom(when + 0.4,
+                        "kill promoted leader mid-failover (dynamic)",
+                        kill("leader"))
+            specs.append(ExactlyOnceSpec(
+                kind, when, "leader, then its successor 0.40s later"))
+        elif kind == "broadcast-flap":
+            host_a, host_b = rng.sample(group_hosts, 2)
+            duration = 0.6
+            plan.link_flap(host_a, host_b, when, duration)
+            specs.append(ExactlyOnceSpec(
+                kind, when, "%s<->%s down for %.2fs"
+                % (host_a, host_b, duration)))
+        else:  # controller-outage (+ a replica kill inside the window)
+            duration = 1.2
+            plan.controller_outage(when, duration)
+            plan.custom(when + 0.3,
+                        "kill replica follower during controller outage",
+                        kill("follower"))
+            specs.append(ExactlyOnceSpec(
+                kind, when, "%.2fs outage, follower killed at +0.30s"
+                % duration))
+    return ExactlyOnceSchedule(seed, specs), plan
+
+
+def run_chaos_exactly_once(seed: int = 0, hosts: int = 3,
+                           duration: float = 16.0, faults: int = 4,
+                           rate: float = 1000.0, warmup: float = 4.0,
+                           recovery: float = 6.0, settle: float = 2.0,
+                           relays: int = 2,
+                           replicas: int = 3) -> ChaosRunResult:
+    """One seeded exactly-once chaos scenario end to end.
+
+    Deploys the actively-replicated workload
+    (:func:`~repro.workloads.replicated.replicated_topology`) on the
+    Typhoon runtime with a *strict* dedup registry (no at-least-once
+    leniency: a double-applied commit is a violation, not a replay),
+    arms the targeted regime schedule, then holds the quiesced cluster
+    to all six invariants — in particular replication conservation and
+    zero lost / zero duplicate committed tuples.
+    """
+    engine = Engine()
+    cluster = TyphoonCluster(engine, num_hosts=hosts, seed=seed)
+    cluster.register_app(FaultDetector(cluster))
+    registry = DedupRegistry(at_least_once=False)
+    cluster.services[DEDUP_SERVICE] = registry
+    config = TopologyConfig(batch_size=50, max_spout_rate=rate,
+                            reliable_control=True)
+    cluster.submit(replicated_topology("exactly-once", config,
+                                       relays=relays, replicas=replicas))
+    group = cluster.replication.group_of("exactly-once", "rstate")
+    if group is None:
+        raise RuntimeError("replicated workload deployed no replica group")
+    engine.run(until=warmup)
+
+    window = (warmup, max(warmup + 1.0, duration - 3.0))
+    schedule, plan = _exactly_once_faults(cluster, group, seed, window,
+                                          faults)
+    plan.arm()
+    cluster.chaos_plan = plan
+
+    # The recovery tail must cover the slowest chain this harness can
+    # produce: supervisor restart (~3 s) + rejoin + log repair + the
+    # re-emit age gate.
+    engine.run(until=duration + max(recovery, 6.0))
+    invariants = InvariantChecker(cluster, settle=settle).run()
+    return ChaosRunResult(system="typhoon", seed=seed, schedule=schedule,
+                          plan=plan, invariants=invariants,
+                          exactly_once=True)
+
+
 def chaos_snapshot(cluster) -> Dict[str, object]:
     """Live (non-quiescing) chaos state for the ``GET /chaos`` route.
 
@@ -370,6 +603,12 @@ def chaos_snapshot(cluster) -> Dict[str, object]:
     replay = services.get(REPLAY_SERVICE)
     if isinstance(replay, ReplayService) and replay.buffers:
         snapshot["replay"] = replay.totals()
+    replication = getattr(cluster, "replication", None)
+    if replication is not None and replication.active():
+        snapshot["replication"] = {
+            "totals": replication.totals(),
+            "groups": replication.snapshot(),
+        }
     checkpoints = services.get(CHECKPOINT_SERVICE)
     if isinstance(checkpoints, CheckpointStore) and checkpoints.saves:
         snapshot["checkpoints"] = checkpoints.stats()

@@ -33,8 +33,17 @@ from ..coordination.schema import GlobalState
 from ..net.addresses import CONTROLLER_ADDRESS, TYPHOON_ETHERTYPE, WorkerAddress
 from ..net.ethernet import DEFAULT_MTU, EthernetFrame
 from ..sdn.controller import ControllerApp
-from ..sdn.flow import Action, Match, OFPP_CONTROLLER, Output
-from ..sdn.openflow import PORT_ADD, PORT_DELETE, PacketIn, PacketOut, PortStatus
+from ..sdn.flow import Action, GroupAction, Match, OFPP_CONTROLLER, Output, SetTunnelDst
+from ..sdn.group import GROUP_ALL, Bucket
+from ..sdn.openflow import (
+    DELETE,
+    GroupMod,
+    PORT_ADD,
+    PORT_DELETE,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+)
 from ..sim.engine import Event
 from ..streaming.acker import ACKER_COMPONENT
 from ..streaming.physical import PhysicalTopology
@@ -50,6 +59,18 @@ from .packets import Fragment, pack_tuples, unpack_payload
 #: (dpid, match) uniquely identifies an installed rule for diffing.
 _RuleKey = Tuple[str, Match]
 _RuleValue = Tuple[int, Tuple[Action, ...]]
+#: (dpid, group_id) identifies an installed group-table entry.
+_GroupKey = Tuple[str, int]
+_GroupValue = Tuple[str, Tuple[Bucket, ...]]
+
+#: Group ids for replicated-broadcast fan-out: a private range keyed by
+#: the sending worker id (load-balancer select groups use select_address
+#: values, which carry the 0x8000 app-prefix bit — no collision).
+_REPLICA_GROUP_BASE = 0x60000000
+
+
+def replica_group_id(src_worker: int) -> int:
+    return _REPLICA_GROUP_BASE | src_worker
 
 
 class _PendingControl:
@@ -85,6 +106,7 @@ class TyphoonControllerApp(ControllerApp):
         self.worker_host: Dict[int, str] = {}
         self.managed: Set[str] = set()
         self._installed: Dict[str, Dict[_RuleKey, _RuleValue]] = {}
+        self._installed_groups: Dict[str, Dict[_GroupKey, _GroupValue]] = {}
         self.expected_removals: Set[int] = set()
         self.port_delete_listeners: List[Callable[[str, int], None]] = []
         self.port_add_listeners: List[Callable[[str, int], None]] = []
@@ -93,6 +115,8 @@ class TyphoonControllerApp(ControllerApp):
         self._request_ids = itertools.count(1)
         self.rules_installed = 0
         self.rules_removed = 0
+        self.groups_installed = 0
+        self.groups_removed = 0
         self.control_tuples_sent = 0
         #: Reliable control channel (topologies with ``reliable_control``).
         self.reliable_topologies: Set[str] = set()
@@ -134,6 +158,12 @@ class TyphoonControllerApp(ControllerApp):
                 self.controller.delete_flows(dpid, match, strict=True,
                                              priority=priority)
                 self.rules_removed += 1
+        groups = self._installed_groups.pop(topology_id, {})
+        for (dpid, group_id), (group_type, _buckets) in groups.items():
+            if self.controller and dpid in self.controller.switches:
+                self.controller.send(dpid, GroupMod(DELETE, group_id,
+                                                    group_type, ()))
+                self.groups_removed += 1
 
     def sync_topology(self, topology_id: str) -> None:
         """Reconcile installed rules with the coordinator's global state."""
@@ -143,7 +173,23 @@ class TyphoonControllerApp(ControllerApp):
         physical = self.state.read_physical(topology_id)
         if logical is None or physical is None:
             return
-        desired = self._compute_rules(logical, physical)
+        desired_groups: Dict[_GroupKey, _GroupValue] = {}
+        desired = self._compute_rules(logical, physical, desired_groups)
+        # Group entries go down before the flows that reference them:
+        # controller messages to one switch share the install latency and
+        # apply FIFO, so a GroupAction never dangles on a managed path.
+        installed_groups = self._installed_groups.setdefault(topology_id, {})
+        for key, value in desired_groups.items():
+            previous = installed_groups.get(key)
+            if previous == value:
+                continue
+            dpid, group_id = key
+            group_type, buckets = value
+            self.controller.install_group(dpid, group_id, group_type,
+                                          buckets,
+                                          modify=previous is not None)
+            installed_groups[key] = value
+            self.groups_installed += 1
         installed = self._installed.setdefault(topology_id, {})
         for key, value in desired.items():
             if installed.get(key) == value:
@@ -162,6 +208,16 @@ class TyphoonControllerApp(ControllerApp):
                                              priority=priority)
                 self.rules_removed += 1
             del installed[key]
+        # Stale groups go after the flow deletes (mirror of the install
+        # ordering: nothing references a group when it disappears).
+        for key in [k for k in installed_groups if k not in desired_groups]:
+            dpid, group_id = key
+            group_type, _buckets = installed_groups[key]
+            if dpid in self.controller.switches:
+                self.controller.send(dpid, GroupMod(DELETE, group_id,
+                                                    group_type, ()))
+                self.groups_removed += 1
+            del installed_groups[key]
         self._maybe_activate_spouts(topology_id, logical, physical)
 
     def _maybe_activate_spouts(self, topology_id: str,
@@ -201,7 +257,9 @@ class TyphoonControllerApp(ControllerApp):
         return dpid, port
 
     def _compute_rules(self, logical: LogicalTopology,
-                       physical: PhysicalTopology) -> Dict[_RuleKey, _RuleValue]:
+                       physical: PhysicalTopology,
+                       groups_out: Optional[Dict[_GroupKey, _GroupValue]] = None,
+                       ) -> Dict[_RuleKey, _RuleValue]:
         app_id = physical.app_id
         desired: Dict[_RuleKey, _RuleValue] = {}
 
@@ -211,12 +269,21 @@ class TyphoonControllerApp(ControllerApp):
 
         unicast_pairs: Set[Tuple[int, int]] = set()
         broadcast_targets: Dict[str, Set[int]] = {}
+        #: Broadcast sources feeding a replicated component: their fan-out
+        #: moves from an action list to a GROUP_ALL group-table entry
+        #: (GroupMod), the switch-assisted replication the design rides on.
+        replicated_broadcasts: Set[str] = set()
 
         for edge in logical.edges:
             src_ids = physical.worker_ids_for(edge.src)
             dst_ids = physical.worker_ids_for(edge.dst)
             if edge.grouping.kind == ALL:
                 broadcast_targets.setdefault(edge.src, set()).update(dst_ids)
+                if getattr(logical.nodes[edge.dst], "replicas", 1) > 1:
+                    # The one_to_many match is per source port, so a src
+                    # broadcasting to any replicated dst uses the group
+                    # path for its whole broadcast set.
+                    replicated_broadcasts.add(edge.src)
             else:
                 # SDN_SELECT edges also get unicast rules: they serve as
                 # the fallback path until the load balancer app installs
@@ -280,9 +347,22 @@ class TyphoonControllerApp(ControllerApp):
                     else:
                         remote_hosts.add(dst_dpid)
                         remote_ports.setdefault(dst_dpid, []).append(dst_port)
+                tunnel_port = self.fabric.host(src_dpid).tunnel_port
                 match, actions = rule_templates.one_to_many(
                     src_port, local_ports, sorted(remote_hosts),
-                    self.fabric.host(src_dpid).tunnel_port)
+                    tunnel_port)
+                if (src_component in replicated_broadcasts
+                        and groups_out is not None
+                        and (local_ports or remote_hosts)):
+                    group_id = replica_group_id(src_id)
+                    buckets = [Bucket((Output(port),))
+                               for port in local_ports]
+                    for host in sorted(remote_hosts):
+                        buckets.append(Bucket((
+                            SetTunnelDst(host), Output(tunnel_port))))
+                    groups_out[(src_dpid, group_id)] = (
+                        GROUP_ALL, tuple(buckets))
+                    actions = (GroupAction(group_id),)
                 add(src_dpid, match, actions, rule_templates.PRIORITY_BROADCAST)
                 for dst_dpid, ports in sorted(remote_ports.items()):
                     match, actions = rule_templates.one_to_many_receiver(
@@ -301,7 +381,19 @@ class TyphoonControllerApp(ControllerApp):
         physical = self.state.read_physical(topology_id)
         if logical is None or physical is None:
             return {}
-        return self._compute_rules(logical, physical)
+        # Pass a throwaway group table so replicated broadcasts come out
+        # as GroupActions, matching what sync_topology installs.
+        return self._compute_rules(logical, physical, {})
+
+    def desired_groups(self, topology_id: str) -> Dict[_GroupKey, _GroupValue]:
+        """The group-table entries the coordinator state implies."""
+        logical = self.state.read_logical(topology_id)
+        physical = self.state.read_physical(topology_id)
+        if logical is None or physical is None:
+            return {}
+        groups: Dict[_GroupKey, _GroupValue] = {}
+        self._compute_rules(logical, physical, groups)
+        return groups
 
     # -- data-plane discovery -----------------------------------------------------
 
@@ -313,6 +405,9 @@ class TyphoonControllerApp(ControllerApp):
         for installed in self._installed.values():
             for key in [k for k in installed if k[0] == dpid]:
                 del installed[key]
+        for groups in self._installed_groups.values():
+            for key in [k for k in groups if k[0] == dpid]:
+                del groups[key]
         for topology_id in sorted(self.managed):
             self.sync_topology(topology_id)
 

@@ -695,6 +695,7 @@ class TyphoonTransport(Transport):
                 out.source_worker = src_tuple.source_worker
                 out.anchor = src_tuple.anchor
                 out.trace_id = src_tuple.trace_id
+                out.seq = src_tuple.seq
                 append(out)
                 est += 80
                 for value in values:

@@ -23,6 +23,7 @@ GET    /topologies/{id}/components/{c}/debug            captured window
 GET    /cluster                                         data-plane summary
 GET    /audit                                           delivery-conservation ledger
 GET    /chaos                                           chaos-harness state
+GET    /replication                                     replica-group state
 GET    /trace                                           hop-by-hop trace report
 ====== =============================================== ==================
 
@@ -85,6 +86,7 @@ class RestApi:
             ("GET", re.compile(r"^/cluster$"), self._cluster_summary),
             ("GET", re.compile(r"^/audit$"), self._audit),
             ("GET", re.compile(r"^/chaos$"), self._chaos),
+            ("GET", re.compile(r"^/replication$"), self._replication),
             ("GET", re.compile(r"^/trace$"), self._trace),
         ]
 
@@ -272,6 +274,16 @@ class RestApi:
         from .chaos import chaos_snapshot
 
         return 200, chaos_snapshot(self.cluster)
+
+    def _replication(self, body) -> Response:
+        """Live replica-group state: membership, leaders, epochs, the
+        sequencer/apply/admit/commit counters. 404 when no topology in
+        the cluster runs with active replication."""
+        service = getattr(self.cluster, "replication", None)
+        if service is None or not service.active():
+            return 404, {"error": "no replication groups"}
+        return 200, {"totals": service.totals(),
+                     "groups": service.snapshot()}
 
     def _trace(self, body) -> Response:
         """Live hop-by-hop tracing state: per-hop latency breakdown,

@@ -33,6 +33,11 @@ from ..streaming.acker import ACKER_COMPONENT
 from ..streaming.agent import WorkerAgent
 from ..streaming.checkpoint import CHECKPOINT_SERVICE, CheckpointStore
 from ..streaming.replay import REPLAY_SERVICE, ReplayService
+from ..streaming.replication import (
+    REPLICATION_SERVICE,
+    ReplicationService,
+    expand_replicas,
+)
 from ..streaming.executor import WorkerExecutor
 from ..streaming.manager import StreamingManager, TopologyRecord
 from ..streaming.physical import PhysicalTopology, WorkerAssignment
@@ -90,11 +95,20 @@ class TyphoonCluster:
                                       scheduler or TyphoonScheduler())
         self.executors: Dict[int, WorkerExecutor] = {}
         self.transports: Dict[int, TyphoonTransport] = {}
+        self.replication = ReplicationService()
         self.services: Dict[str, object] = {
             "now": lambda: engine.now,
             REPLAY_SERVICE: ReplayService(),
             CHECKPOINT_SERVICE: CheckpointStore(),
+            REPLICATION_SERVICE: self.replication,
         }
+        # Replica failover rides the same port-status signal the fault
+        # detector uses: a dead replica's switch port vanishing demotes
+        # it (and promotes a new leader when it led the group).
+        self.app.port_delete_listeners.append(
+            lambda dpid, worker_id: self.replication.on_worker_down(worker_id))
+        self.app.port_add_listeners.append(
+            lambda dpid, worker_id: self.replication.on_worker_up(worker_id))
         #: ``listener(topology_id, op, phase)`` callbacks fired at the
         #: named phases of the Fig. 6 stable-update procedures (see
         #: :mod:`repro.core.update`); the chaos harness injects here.
@@ -111,14 +125,17 @@ class TyphoonCluster:
 
     def submit(self, logical: LogicalTopology) -> PhysicalTopology:
         """Deploy a topology (steps i–v of §3.2)."""
+        logical = expand_replicas(logical)
         logical = _with_ackers(logical)
         physical = self.manager.submit(logical)
         self.ledger.name_scope(physical.app_id, logical.topology_id)
+        self.replication.register_topology(logical, physical)
         self.app.manage(logical.topology_id)
         return physical
 
     def kill_topology(self, topology_id: str) -> None:
         self.app.unmanage(topology_id)
+        self.replication.unregister_topology(topology_id)
         self.manager.kill_topology(topology_id)
 
     def register_app(self, app: ControllerApp) -> ControllerApp:
@@ -255,6 +272,14 @@ class TyphoonCluster:
         # once the topology's flow rules are installed (§3.2 step v).
         if executor.is_spout:
             executor.active = False
+        if self.replication.active():
+            # Senders into a replica group stamp the sequencer on their
+            # broadcast edge (routers are keyed (dst_component, stream)).
+            for key, router in executor.routers.items():
+                group = self.replication.group_of(logical.topology_id,
+                                                  key[0])
+                if group is not None:
+                    router.replication_group = group
         transport.deliver = executor.deliver
         transport.attach()
         self.executors[assignment.worker_id] = executor

@@ -60,7 +60,13 @@ class TyphoonScheduler(IScheduler):
         capacity = max(1, math.ceil(len(tasks) / len(hosts)))
         assignments: Dict[int, WorkerAssignment] = {}
         for position, (component, task_index) in enumerate(tasks):
-            host = hosts[min(position // capacity, len(hosts) - 1)]
+            if getattr(logical.nodes[component], "replicas", 1) > 1:
+                # Replicas exist to survive host loss; block packing
+                # would co-locate them. Round-robin them across hosts
+                # instead (distinct hosts whenever replicas <= hosts).
+                host = hosts[task_index % len(hosts)]
+            else:
+                host = hosts[min(position // capacity, len(hosts) - 1)]
             worker_id = allocator.allocate()
             assignments[worker_id] = WorkerAssignment(
                 worker_id=worker_id,

@@ -21,6 +21,7 @@ from ..sim.audit import (
     LAYER_SWITCH,
     R_BACKLOG_OVERFLOW,
     R_NO_CONTROLLER,
+    R_NO_GROUP,
     R_NO_OUTPUT,
     R_PORT_DOWN,
     R_SWITCH_DOWN,
@@ -152,6 +153,7 @@ class SoftwareSwitch:
         self.packets_forwarded = 0
         self.packets_dropped = 0
         self.table_misses = 0
+        self.group_misses = 0
         #: Set by the controller when it connects; receives event Messages.
         self._to_controller: Optional[Callable[[Message], None]] = None
         self._sweep_interval = idle_sweep_interval
@@ -457,6 +459,21 @@ class SoftwareSwitch:
             elif isinstance(action, SetDlDst):
                 current = current.with_dst(action.address)
             elif isinstance(action, GroupAction):
+                if action.group_id not in self.groups:
+                    # Install race (flow landed before its group) or a
+                    # group lost to a switch restart: drop, attributed so
+                    # the conservation audit can explain the frame.
+                    self.group_misses += 1
+                    self.packets_dropped += 1
+                    if account is not None:
+                        account.dropped += 1
+                    if self.ledger is not None:
+                        self.ledger.record_frame_drop(LAYER_SWITCH,
+                                                      R_NO_GROUP, current)
+                    tracer = self._live_tracer()
+                    if tracer is not None:
+                        tracer.frame_drop(current, LAYER_SWITCH, R_NO_GROUP)
+                    continue
                 group = self.groups.get(action.group_id)
                 buckets = list(group.select_buckets())
                 tracer = self._live_tracer()

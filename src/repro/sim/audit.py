@@ -67,6 +67,7 @@ R_BACKLOG_OVERFLOW = "backlog-overflow"     #: switch forwarding backlog
 R_TABLE_MISS = "table-miss"                 #: no matching flow rule
 R_PORT_DOWN = "port-down"                   #: output port missing or down
 R_NO_OUTPUT = "no-output"                   #: matched rule with no live output
+R_NO_GROUP = "no-group"                     #: GroupAction to an uninstalled group
 R_NO_CONTROLLER = "no-controller"           #: PacketIn with no controller attached
 R_UNRESOLVED = "unresolved-worker"          #: Storm registry lookup failed
 R_LINK_LOSS = "link-loss"                   #: injected lossy-link drop

@@ -334,6 +334,22 @@ class FaultPlan:
             restore=lambda: set_control_fault(self.cluster)))
         return self
 
+    # -- dynamic faults ----------------------------------------------------
+
+    def custom(self, when: float, description: str,
+               action: Callable[[], None], duration: float = 0.0,
+               restore: Optional[Callable[[], None]] = None) -> "FaultPlan":
+        """Schedule an arbitrary action with FaultPlan accounting.
+
+        For faults whose target is only knowable at fire time — e.g.
+        "kill whoever currently leads the replica group": the victim is
+        resolved inside ``action`` when the injection fires, not when
+        the schedule is built."""
+        self.injections.append(_Injection(when, description, action,
+                                          duration=duration,
+                                          restore=restore))
+        return self
+
     # -- mid-update faults -------------------------------------------------
 
     def at_phase(self, topology_id: str, op: str, phase: str,

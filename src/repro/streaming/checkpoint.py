@@ -19,6 +19,12 @@ until the next snapshot is persisted. A crash therefore loses only
 tuples whose trees had not completed, and those are exactly the ones
 the spout replay layer (:mod:`.replay`) re-emits — the restored state
 never silently contains unacked work.
+
+For a stronger guarantee that needs neither acking nor replay, see
+active replication (:mod:`.replication`): replicated bolts restore from
+the group's own leader snapshot (superseding any checkpoint restore)
+and catch up from the sequenced input log, giving exactly-once output
+through a transactional commit protocol instead of deferred acks.
 """
 
 from __future__ import annotations

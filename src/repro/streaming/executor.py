@@ -32,6 +32,12 @@ from .checkpoint import CHECKPOINT_SERVICE, CheckpointStore
 from .grouping import Router
 from .physical import WorkerAssignment
 from .replay import R_EXHAUSTED, REPLAY_SERVICE, ReplayBuffer
+from .replication import (
+    REORDER_LIMIT,
+    REPAIR_BUDGET,
+    REPLICATION_SERVICE,
+    REPLICATION_TICK,
+)
 from .topology import (
     BOLT,
     GLOBAL,
@@ -135,6 +141,7 @@ class _Collector(EmitterApi):
         out.source_worker = executor.worker_id
         out.anchor = None
         out.trace_id = None
+        out.seq = None
         if executor.acking:
             if executor.is_spout and message_id is not None:
                 out.anchor = executor._register_root(message_id)
@@ -304,6 +311,15 @@ class WorkerExecutor:
         #: Sequence numbers of reliable control tuples already applied
         #: (idempotent re-application under controller retries).
         self.applied_control_seqs: set = set()
+        #: Active replication (attached in ``start``): the group this
+        #: worker is a replica of, and the group whose outputs it must
+        #: dedup. Both None on the default path — the two ``is not
+        #: None`` tests in _process_delivery are the entire overhead.
+        self._rep_group = None
+        self._rep_dedup = None
+        self._rep_next = 0            # next input seq to apply
+        self._rep_out_seq = 0         # outputs produced so far
+        self._rep_pending: Dict[int, StreamTuple] = {}  # reorder buffer
 
         base = "%s.%s.%d" % (topology_id, self.component_name, self.worker_id)
         self.processed_meter: RateMeter = metrics.meter(base + ".processed")
@@ -358,6 +374,20 @@ class WorkerExecutor:
                 state = store.load(self.worker_id)
                 if state is not None:
                     self.component.restore(state)
+        if not self.is_spout:
+            service = self.services.get(REPLICATION_SERVICE)
+            if service is not None:
+                group = service.group_of(self.topology_id,
+                                         self.component_name)
+                if group is not None:
+                    # join() restores from the group's state snapshot
+                    # (superseding any checkpoint restore above) and
+                    # returns where to resume in the sequenced input.
+                    self._rep_group = group
+                    self._rep_next, self._rep_out_seq = group.join(
+                        self.worker_id, self.component)
+                self._rep_dedup = service.dedup_of(self.topology_id,
+                                                   self.component_name)
         loop = self._spout_loop() if self.is_spout else self._bolt_loop()
         self._main = self.engine.process(
             loop, name="worker:%d:%s" % (self.worker_id, self.component_name)
@@ -376,6 +406,11 @@ class WorkerExecutor:
         if self._checkpoints is not None:
             self._aux.append(self.engine.process(
                 self._checkpoint_loop(), name="checkpoint:%d" % self.worker_id
+            ))
+        if self._rep_group is not None:
+            self._aux.append(self.engine.process(
+                self._replication_loop(),
+                name="replication:%d" % self.worker_id
             ))
 
     def kill(self, drain: bool = False) -> None:
@@ -483,6 +518,10 @@ class WorkerExecutor:
     def _process_delivery(self, delivery: Delivery):
         """Handle one delivery; returns the cost to charge (generator so
         component crashes can abort the worker mid-batch)."""
+        if self._rep_group is not None:
+            return self._replica_delivery(delivery)
+        if self._rep_dedup is not None:
+            return self._dedup_delivery(delivery)
         cost = delivery.cost
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
@@ -901,6 +940,9 @@ class WorkerExecutor:
                     continue
                 for key, router in edges:
                     if router.is_broadcast:
+                        group = router.replication_group
+                        if group is not None:
+                            stream_tuple.seq = group.stamp_input(stream_tuple)
                         dcost += transport.send_broadcast(
                             stream_tuple, router.next_hops
                         )
@@ -1013,6 +1055,12 @@ class WorkerExecutor:
                 continue
             for key, router in edges:
                 if router.is_broadcast:
+                    group = router.replication_group
+                    if group is not None:
+                        # The sequencer: one stamp, one serialization;
+                        # the switch replicates the frame to every
+                        # replica (GroupMod fan-out).
+                        stream_tuple.seq = group.stamp_input(stream_tuple)
                     cost += transport.send_broadcast(
                         stream_tuple, router.next_hops
                     )
@@ -1033,6 +1081,206 @@ class WorkerExecutor:
             self.stats.emitted += marked
             self.emitted_meter.mark(marked)
         return cost
+
+    # -- active replication (exactly-once) ------------------------------------------------
+
+    def _replica_delivery(self, delivery: Delivery) -> float:
+        """Replica intake: reserved-band tuples take the normal handlers;
+        sequenced data tuples are applied in strict input order — held
+        when early, dropped when already applied, repaired from the
+        group's input log when gaps persist (see _replication_tick)."""
+        cost = delivery.cost
+        group = self._rep_group
+        for stream_tuple in delivery.tuples:
+            stream = stream_tuple.stream
+            if 1 <= stream <= 3:
+                if stream == CONTROL_STREAM:
+                    cost += self._handle_control(stream_tuple)
+                elif stream == SIGNAL_STREAM:
+                    cost += self._run_component(stream_tuple, signal=True)
+                else:
+                    cost += self._handle_ack_tuple(stream_tuple)
+                continue
+            seq = stream_tuple.seq
+            if seq is None:
+                # Unsequenced data should not reach a replica (the
+                # expand_replicas rewrite makes every input edge pass
+                # the sequencer); process rather than lose it.
+                cost += self._run_component(stream_tuple, signal=False)
+            else:
+                cost += self._accept_replicated(stream_tuple, seq[1])
+            if not self.alive:
+                break
+        return cost
+
+    def _accept_replicated(self, stream_tuple: StreamTuple,
+                           seq: int) -> float:
+        group = self._rep_group
+        if seq < self._rep_next:
+            # Already applied (wire arrival racing the log-repair loop,
+            # or a switch-level duplicate). Input-side dedup.
+            group.duplicate_inputs += 1
+            return 0.0
+        if seq > self._rep_next:
+            pending = self._rep_pending
+            if len(pending) >= REORDER_LIMIT:
+                group.reorder_overflow += 1  # log repair recovers it
+            else:
+                pending[seq] = stream_tuple
+            return 0.0
+        cost = self._apply_replicated(stream_tuple)
+        pending = self._rep_pending
+        while self.alive and self._rep_next in pending:
+            cost += self._apply_replicated(pending.pop(self._rep_next))
+        return cost
+
+    def _apply_replicated(self, stream_tuple: StreamTuple) -> float:
+        """Apply one in-order input to the replicated component. Outputs
+        get deterministic output sequence numbers and are logged in the
+        group; only the leader dispatches them downstream."""
+        group = self._rep_group
+        collector = self.collector
+        collector.current_input = stream_tuple
+        try:
+            self.component.execute(stream_tuple, collector)
+        except Exception as error:
+            collector.current_input = None
+            self._crash(WorkerCrashed(
+                "worker %d (%s) crashed: %r"
+                % (self.worker_id, self.component_name, error)
+            ))
+            return 0.0
+        collector.current_input = None
+        cost = self.costs.app_compute_per_tuple + collector.extra_cost
+        collector.extra_cost = 0.0
+        for service in self._billed_services:
+            cost += service.drain_cost()
+        self.stats.processed += 1
+        self.processed_meter.mark()
+        self._rep_next += 1
+        batch = collector.take()
+        out_base = self._rep_out_seq
+        for offset, (out, _direct) in enumerate(batch):
+            out.seq = (group.epoch, out_base + offset)
+            group.log_output(out_base + offset, out.values, out.stream)
+        self._rep_out_seq = out_base + len(batch)
+        if batch:
+            if group.leader == self.worker_id:
+                collector.buffered = batch
+                cost += self._dispatch_emissions()
+                now = self.engine.now
+                for offset in range(len(batch)):
+                    group.mark_sent(out_base + offset, now)
+            else:
+                group.suppressed += len(batch)
+        group.note_applied(self.worker_id, self._rep_next,
+                           self._rep_out_seq)
+        return cost
+
+    def _dedup_delivery(self, delivery: Delivery) -> float:
+        """Consumer intake below a replica group: each output sequence
+        is admitted exactly once group-wide, collapsing replica
+        duplicates, leader re-emissions and failover overlap.
+
+        Admission is recorded *after* the component call: a delivery is
+        processed atomically within one virtual-time event, so a crash
+        cannot strand an admitted-but-unapplied tuple, and unadmitted
+        sequences stay covered by the leader's re-emit loop."""
+        cost = delivery.cost
+        group = self._rep_dedup
+        for stream_tuple in delivery.tuples:
+            stream = stream_tuple.stream
+            if 1 <= stream <= 3:
+                if stream == CONTROL_STREAM:
+                    cost += self._handle_control(stream_tuple)
+                elif stream == SIGNAL_STREAM:
+                    cost += self._run_component(stream_tuple, signal=True)
+                else:
+                    cost += self._handle_ack_tuple(stream_tuple)
+                continue
+            seq = stream_tuple.seq
+            if seq is not None:
+                if (seq[1] <= group.admitted_floor
+                        or seq[1] in group.admitted_extra):
+                    group.duplicates_collapsed += 1
+                    continue
+                cost += self._run_component(stream_tuple, signal=False)
+                if self.alive:
+                    group.admit(seq[1])
+            else:
+                cost += self._run_component(stream_tuple, signal=False)
+            if not self.alive:
+                break
+        return cost
+
+    def _replication_loop(self):
+        """Replica background work each tick: repair input-log gaps,
+        and — on the leader — snapshot state, re-emit unadmitted
+        outputs, trim the group logs."""
+        while True:
+            try:
+                yield REPLICATION_TICK
+            except Interrupt:
+                return
+            cost = self._replication_tick()
+            if cost > 0:
+                try:
+                    yield cost
+                except Interrupt:
+                    return
+
+    def _replication_tick(self) -> float:
+        group = self._rep_group
+        cost = 0.0
+        # Gap repair from the durable input log: broadcasts lost to
+        # link faults or switch outages cannot stall the replica.
+        budget = REPAIR_BUDGET
+        while budget > 0 and self.alive:
+            stream_tuple = group.fetch_input(self._rep_next)
+            if stream_tuple is None:
+                break
+            group.repairs += 1
+            cost += self._apply_replicated(stream_tuple)
+            budget -= 1
+        if not self.alive:
+            return cost
+        pending = self._rep_pending
+        for seq in [s for s in pending if s < self._rep_next]:
+            del pending[seq]
+        if group.leader == self.worker_id:
+            try:
+                state = self.component.snapshot()
+            except Exception:
+                state = None
+            group.save_state(self.worker_id, self._rep_next,
+                             self._rep_out_seq, state)
+            cost += self._replication_reemit()
+            group.trim()
+        return cost
+
+    def _replication_reemit(self) -> float:
+        """(Re-)send logged outputs downstream has not admitted yet:
+        everything after a promotion (the dead leader may have produced
+        them without a successful send), and anything unadmitted for a
+        full re-emit age otherwise. Downstream dedup collapses the
+        overlap."""
+        group = self._rep_group
+        due = group.reemit_due(self.engine.now)
+        if not due:
+            return 0.0
+        collector = self.collector
+        epoch = group.epoch
+        for seq, values, stream in due:
+            out = StreamTuple.__new__(StreamTuple)
+            out.values = values
+            out.stream = stream
+            out.source_component = self.component_name
+            out.source_worker = self.worker_id
+            out.anchor = None
+            out.trace_id = None
+            out.seq = (epoch, seq)
+            collector.buffered.append((out, None))
+        return self._dispatch_emissions()
 
     # -- acking (guaranteed processing) ---------------------------------------------------
 

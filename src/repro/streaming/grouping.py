@@ -55,6 +55,10 @@ class Router:
         self.stream = stream
         self.counter = 0          # round-robin state (shuffle)
         self.decisions = 0
+        #: Set by the runtime when this edge feeds a replica group: the
+        #: sender stamps each broadcast tuple with the group's sequencer
+        #: (see :mod:`repro.streaming.replication`). None everywhere else.
+        self.replication_group = None
         self._refresh_derived()
 
     def _refresh_derived(self) -> None:

@@ -22,6 +22,13 @@ The buffer maintains a conservation identity the chaos harness checks
 as an invariant::
 
     registered == completed + exhausted + pending
+
+Replay delivers *at-least-once* from the source; the exactly-once
+alternative for stateful stages is active replication
+(:mod:`.replication`), which keeps N copies fed by a sequenced
+broadcast and collapses duplicates downstream instead of re-emitting
+from the root (the two compose: replay guards the segment upstream of
+a replica group's sequencer, replication guards everything after).
 """
 
 from __future__ import annotations

@@ -1,0 +1,511 @@
+"""Exactly-once via network-assisted active replication.
+
+PR 5 delivered at-least-once (acking + spout replay + checkpoints); this
+module delivers the next reliability step on the ROADMAP: *exactly-once*
+for stateful bolts, built on the asset the paper gets for free from the
+SDN data plane — switch-level packet replication. The design maps
+Stream-based State-Machine Replication onto Typhoon's fabric:
+
+* a component declared with ``replicas=N`` runs N copies on distinct
+  hosts (the scheduler spreads them), all fed the *same* serialized
+  stream: upstream workers serialize once and the sender switch fans the
+  frame out through a ``GROUP_ALL`` group-table entry (GroupMod);
+* a per-group **sequencer** stamps a monotonic ``(epoch, seq)`` into the
+  envelope at the sender (``_FLAG_SEQUENCED`` in
+  :mod:`repro.streaming.serialize`) and appends the tuple to the group's
+  durable input log — the external-storage stand-in §8 prescribes;
+* every replica applies inputs in strict sequence order (out-of-order
+  arrivals are held, gaps are repaired from the input log), so replica
+  state evolves deterministically and replica *outputs* carry identical
+  deterministic output sequence numbers;
+* only the **leader** replica dispatches outputs downstream; followers
+  log them (first-writer-wins, divergence-checked) and stay silent;
+* downstream consumers **dedup** on the output sequence (group-global
+  admit watermark + sparse set), collapsing leader re-emissions and
+  failover overlap to one logical stream;
+* when the leader dies (the fault detector's port-delete signal), the
+  smallest alive replica is promoted, the epoch is bumped, and the new
+  leader re-emits every output not yet admitted downstream — duplicates
+  collapse at the dedup stage, so failover is transparent;
+* a **transactional sink** applies state iff :meth:`ReplicaGroup.commit`
+  accepts the output sequence — commits are idempotent across crash and
+  retry, which is where exactly-once actually lands.
+
+The whole subsystem is opt-in: topologies without ``replicas > 1`` take
+byte-identical code paths (two ``is not None`` tests on the hot path).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .topology import (
+    ALL,
+    BOLT,
+    DEFAULT_STREAM,
+    FIELDS,
+    GLOBAL,
+    Edge,
+    Grouping,
+    LogicalTopology,
+    TopologyError,
+)
+from .tuples import StreamTuple
+
+#: The cluster-services key the replication subsystem lives under.
+REPLICATION_SERVICE = "replication"
+
+#: Replica aux-loop cadence: gap repair, leader snapshot/trim/re-emit.
+REPLICATION_TICK = 0.25
+#: Unadmitted leader outputs older than this are re-sent each tick.
+REEMIT_AGE = 1.0
+#: Per-tick bound on log-repair applications.  Catch-up throughput is
+#: ``REPAIR_BUDGET / REPLICATION_TICK`` sequences per second; it must
+#: comfortably exceed the live input rate or a replica restarted after
+#: a deep failover never closes its gap before the run drains.
+REPAIR_BUDGET = 1024
+#: Per-tick bound on re-emitted outputs.
+REEMIT_CAP = 512
+#: Out-of-order arrivals a replica holds before relying on log repair.
+REORDER_LIMIT = 512
+
+
+class _OutputRecord:
+    """One logged replica output awaiting downstream admission."""
+
+    __slots__ = ("values", "stream", "last_sent")
+
+    def __init__(self, values: Tuple[Any, ...], stream: int):
+        self.values = values
+        self.stream = stream
+        #: virtual time of the most recent (re-)send; None until the
+        #: leader first dispatches it.
+        self.last_sent: Optional[float] = None
+
+
+class ReplicaGroup:
+    """Shared state of one replicated component.
+
+    Lives in ``cluster.services`` (like the chaos dedup registry), so it
+    survives worker crashes and relaunches — it models the durable
+    sequencer + log the paper's §8 external storage provides. Methods are
+    called from the sender (stamping), every replica (apply/log), the
+    downstream consumers (admit/commit) and the failover listener.
+    """
+
+    def __init__(self, topology_id: str, component: str,
+                 worker_ids: List[int], hosts: Dict[int, str]):
+        self.topology_id = topology_id
+        self.component = component
+        self.worker_ids = sorted(worker_ids)
+        self.hosts = dict(hosts)
+        #: Failover generation; bumped on every promotion.
+        self.epoch = 0
+        self.leader: Optional[int] = self.worker_ids[0]
+        self.alive: Set[int] = set()
+        self.needs_reemit = False
+        self.promotions = 0
+
+        # -- sequenced input log (sender side) --
+        self.next_in = 0
+        self.input_log: Dict[int, StreamTuple] = {}
+        self.input_base = 0
+
+        # -- replica progress --
+        #: worker -> next input seq that replica will apply
+        self.applied: Dict[int, int] = {}
+        #: worker -> outputs produced so far (deterministic across replicas)
+        self.out_counts: Dict[int, int] = {}
+        self.duplicate_inputs = 0
+        self.reorder_overflow = 0
+        self.repairs = 0
+
+        # -- replica outputs --
+        self.output_log: Dict[int, _OutputRecord] = {}
+        self.outputs_logged = 0       # == max logged out seq + 1
+        self.divergence = 0
+        self.suppressed = 0
+        self.reemits = 0
+
+        # -- leader state snapshot (rejoin catch-up base) --
+        #: (applied_seq, out_seq, deep-copied component state) or None
+        self.state: Optional[Tuple[int, int, Any]] = None
+
+        # -- downstream admission (dedup) --
+        self.admitted_floor = -1
+        self.admitted_extra: Set[int] = set()
+        self.admitted = 0
+        self.duplicates_collapsed = 0
+
+        # -- transactional commits --
+        self.committed: Dict[int, Tuple[Any, ...]] = {}
+        self.commits = 0
+        self.commit_retries = 0
+        self.commit_conflicts = 0
+
+    # -- sequencer (called by upstream senders) ----------------------------
+
+    def stamp_input(self, stream_tuple: StreamTuple) -> Tuple[int, int]:
+        """Assign the next input sequence and log the tuple durably.
+
+        Returns the ``(epoch, seq)`` stamp the sender writes into the
+        envelope before the one-and-only serialization. Replicas order
+        on ``seq`` alone; the epoch rides along for observability."""
+        seq = self.next_in
+        self.next_in = seq + 1
+        self.input_log[seq] = stream_tuple
+        return (self.epoch, seq)
+
+    def fetch_input(self, seq: int) -> Optional[StreamTuple]:
+        """Gap repair: read one logged input back (None if not logged)."""
+        return self.input_log.get(seq)
+
+    # -- replica lifecycle --------------------------------------------------
+
+    def join(self, worker_id: int, component) -> Tuple[int, int]:
+        """A replica executor starts (first launch or supervisor
+        relaunch). Restores the component from the leader's latest state
+        snapshot when one exists and returns ``(resume_seq, out_seq)`` —
+        the input position to apply next and the output count already
+        produced at that position."""
+        self.alive.add(worker_id)
+        if self.leader is None:
+            self._promote(worker_id)
+        if self.state is not None:
+            applied_seq, out_seq, state = self.state
+            try:
+                component.restore(copy.deepcopy(state))
+            except Exception:
+                applied_seq, out_seq = self.input_base, 0
+            self.applied[worker_id] = applied_seq
+            self.out_counts[worker_id] = out_seq
+            return applied_seq, out_seq
+        self.applied[worker_id] = self.input_base
+        self.out_counts[worker_id] = 0
+        return self.input_base, 0
+
+    def mark_down(self, worker_id: int) -> None:
+        """Fault-detector signal: a replica's port vanished."""
+        if worker_id not in self.alive:
+            return
+        self.alive.discard(worker_id)
+        if worker_id == self.leader:
+            survivor = min(self.alive) if self.alive else None
+            if survivor is None:
+                self.leader = None   # next join() promotes itself
+            else:
+                self._promote(survivor)
+
+    def mark_up(self, worker_id: int) -> None:
+        """Port reappeared (join() does the real catch-up wiring)."""
+        if worker_id in self.worker_ids:
+            self.alive.add(worker_id)
+            if self.leader is None:
+                self._promote(worker_id)
+
+    def _promote(self, worker_id: int) -> None:
+        self.leader = worker_id
+        self.epoch += 1
+        self.promotions += 1
+        #: the new leader must re-send everything not yet admitted —
+        #: the old leader may have died with dispatched-but-lost output.
+        self.needs_reemit = True
+
+    # -- replica progress ---------------------------------------------------
+
+    def note_applied(self, worker_id: int, next_seq: int,
+                     out_seq: int) -> None:
+        self.applied[worker_id] = next_seq
+        self.out_counts[worker_id] = out_seq
+
+    def log_output(self, seq: int, values: Tuple[Any, ...],
+                   stream: int) -> None:
+        """First-writer-wins output log with divergence detection: every
+        replica logs deterministically, so a mismatch means replica
+        state diverged — surfaced, never silently resolved."""
+        record = self.output_log.get(seq)
+        if record is None:
+            if seq < self.outputs_logged and seq <= self.admitted_floor:
+                return  # already admitted and trimmed; late replica
+            self.output_log[seq] = _OutputRecord(values, stream)
+            if seq >= self.outputs_logged:
+                self.outputs_logged = seq + 1
+        elif record.values != values or record.stream != stream:
+            self.divergence += 1
+
+    def mark_sent(self, seq: int, now: float) -> None:
+        record = self.output_log.get(seq)
+        if record is not None:
+            record.last_sent = now
+
+    def reemit_due(self, now: float) -> List[Tuple[int, Tuple[Any, ...], int]]:
+        """Unadmitted outputs the leader should (re-)send now.
+
+        After a promotion everything unadmitted is due immediately;
+        otherwise an output is due once it has gone ``REEMIT_AGE``
+        without being admitted. Returned entries are stamped as sent, so
+        each is re-sent at most once per age window."""
+        force = self.needs_reemit
+        self.needs_reemit = False
+        due: List[Tuple[int, Tuple[Any, ...], int]] = []
+        for seq in sorted(self.output_log):
+            if seq <= self.admitted_floor or seq in self.admitted_extra:
+                continue
+            record = self.output_log[seq]
+            if not force:
+                if record.last_sent is None:
+                    continue  # leader hasn't produced it yet; it will send
+                if now - record.last_sent < REEMIT_AGE:
+                    continue
+            record.last_sent = now
+            due.append((seq, record.values, record.stream))
+            if len(due) >= REEMIT_CAP:
+                break
+        if due:
+            self.reemits += len(due)
+        return due
+
+    # -- leader snapshot + log trimming ------------------------------------
+
+    def save_state(self, worker_id: int, applied_seq: int, out_seq: int,
+                   state: Any) -> None:
+        """Leader persists its state each tick; rejoining replicas
+        restore from here instead of replaying the whole log."""
+        if worker_id != self.leader or state is None:
+            return
+        if self.state is not None and self.state[0] >= applied_seq:
+            return
+        self.state = (applied_seq, out_seq, copy.deepcopy(state))
+
+    def trim(self) -> None:
+        """Drop log entries nobody can ever need again: inputs below the
+        snapshot *and* below every alive replica's position; outputs at
+        or below the downstream admit watermark."""
+        floor = self.state[0] if self.state is not None else 0
+        for worker_id in self.alive:
+            floor = min(floor, self.applied.get(worker_id, 0))
+        if floor > self.input_base:
+            for seq in [s for s in self.input_log if s < floor]:
+                del self.input_log[seq]
+            self.input_base = floor
+        for seq in [s for s in self.output_log
+                    if s <= self.admitted_floor]:
+            del self.output_log[seq]
+
+    # -- downstream admission + transactional commit -----------------------
+
+    def admit(self, seq: int) -> bool:
+        """Group-global dedup: True exactly once per output sequence.
+
+        The window is a compacted watermark + sparse overflow set, so
+        memory stays bounded by the reorder spread, not the stream
+        length."""
+        if seq <= self.admitted_floor or seq in self.admitted_extra:
+            self.duplicates_collapsed += 1
+            return False
+        self.admitted_extra.add(seq)
+        self.admitted += 1
+        while self.admitted_floor + 1 in self.admitted_extra:
+            self.admitted_floor += 1
+            self.admitted_extra.discard(self.admitted_floor)
+        return True
+
+    def commit(self, seq: int, values: Tuple[Any, ...]) -> bool:
+        """Idempotent transactional commit: the sink applies its state
+        change iff this returns True. A retry of an identical commit is
+        collapsed; a retry carrying *different* values is a conflict
+        (would-be duplicate with divergent payload) and is counted and
+        refused."""
+        existing = self.committed.get(seq)
+        if existing is not None:
+            if existing != tuple(values):
+                self.commit_conflicts += 1
+            else:
+                self.commit_retries += 1
+            return False
+        self.committed[seq] = tuple(values)
+        self.commits += 1
+        return True
+
+    # -- reporting ----------------------------------------------------------
+
+    def applied_floor(self) -> int:
+        """Slowest alive replica's input position (0 when none alive)."""
+        if not self.alive:
+            return 0
+        return min(self.applied.get(w, 0) for w in self.alive)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "topology": self.topology_id,
+            "component": self.component,
+            "replicas": list(self.worker_ids),
+            "hosts": {str(w): h for w, h in sorted(self.hosts.items())},
+            "alive": sorted(self.alive),
+            "leader": self.leader,
+            "epoch": self.epoch,
+            "promotions": self.promotions,
+            "inputs": self.next_in,
+            "applied": {str(w): self.applied.get(w, 0)
+                        for w in self.worker_ids},
+            "input_log": len(self.input_log),
+            "duplicate_inputs": self.duplicate_inputs,
+            "repairs": self.repairs,
+            "reorder_overflow": self.reorder_overflow,
+            "outputs": self.outputs_logged,
+            "divergence": self.divergence,
+            "suppressed": self.suppressed,
+            "reemits": self.reemits,
+            "admitted": self.admitted,
+            "duplicates_collapsed": self.duplicates_collapsed,
+            "commits": self.commits,
+            "commit_retries": self.commit_retries,
+            "commit_conflicts": self.commit_conflicts,
+        }
+
+
+class ReplicationService:
+    """Registry of replica groups plus the failover entry points.
+
+    One per cluster, under :data:`REPLICATION_SERVICE` in
+    ``cluster.services``. The runtime registers groups at submit time and
+    wires the controller app's port listeners to
+    :meth:`on_worker_down` / :meth:`on_worker_up`."""
+
+    def __init__(self) -> None:
+        self.groups: Dict[Tuple[str, str], ReplicaGroup] = {}
+        self._by_worker: Dict[int, ReplicaGroup] = {}
+        #: (topology_id, consumer component) -> the group it dedups for
+        self._consumers: Dict[Tuple[str, str], ReplicaGroup] = {}
+
+    def register_topology(self, logical: LogicalTopology,
+                          physical) -> List[ReplicaGroup]:
+        """Create groups for every replicated node of a deployed
+        topology and index the downstream dedup consumers."""
+        out: List[ReplicaGroup] = []
+        for name, node in logical.nodes.items():
+            if getattr(node, "replicas", 1) <= 1:
+                continue
+            worker_ids = sorted(physical.worker_ids_for(name))
+            hosts = {
+                wid: physical.assignments[wid].hostname
+                for wid in worker_ids
+            }
+            group = ReplicaGroup(logical.topology_id, name, worker_ids,
+                                 hosts)
+            self.groups[(logical.topology_id, name)] = group
+            for wid in worker_ids:
+                self._by_worker[wid] = group
+            for edge in logical.outgoing(name):
+                self._consumers[(logical.topology_id, edge.dst)] = group
+            out.append(group)
+        return out
+
+    def unregister_topology(self, topology_id: str) -> None:
+        for key in [k for k in self.groups if k[0] == topology_id]:
+            group = self.groups.pop(key)
+            for wid in group.worker_ids:
+                self._by_worker.pop(wid, None)
+        for key in [k for k in self._consumers if k[0] == topology_id]:
+            del self._consumers[key]
+
+    # -- lookups ------------------------------------------------------------
+
+    def group_of(self, topology_id: str,
+                 component: str) -> Optional[ReplicaGroup]:
+        """The group ``component`` is a replica of (None if not one)."""
+        return self.groups.get((topology_id, component))
+
+    def dedup_of(self, topology_id: str,
+                 component: str) -> Optional[ReplicaGroup]:
+        """The group whose outputs ``component`` consumes (and must
+        dedup), or None."""
+        return self._consumers.get((topology_id, component))
+
+    def active(self) -> bool:
+        return bool(self.groups)
+
+    # -- failover entry points (controller port listeners) ------------------
+
+    def on_worker_down(self, worker_id: int) -> None:
+        group = self._by_worker.get(worker_id)
+        if group is not None:
+            group.mark_down(worker_id)
+
+    def on_worker_up(self, worker_id: int) -> None:
+        group = self._by_worker.get(worker_id)
+        if group is not None:
+            group.mark_up(worker_id)
+
+    # -- reporting ----------------------------------------------------------
+
+    def totals(self) -> Dict[str, int]:
+        keys = ("inputs", "outputs", "admitted", "duplicates_collapsed",
+                "commits", "commit_retries", "commit_conflicts",
+                "divergence", "suppressed", "reemits", "repairs",
+                "promotions", "duplicate_inputs")
+        totals = {key: 0 for key in keys}
+        totals["groups"] = len(self.groups)
+        totals["applied_floor"] = 0
+        for group in self.groups.values():
+            snap = group.snapshot()
+            for key in keys:
+                totals[key] += snap[key]  # type: ignore[operator]
+            totals["applied_floor"] += group.applied_floor()
+        return totals
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "%s/%s" % key: group.snapshot()
+            for key, group in sorted(self.groups.items())
+        }
+
+
+# -- topology expansion --------------------------------------------------------
+
+
+def expand_replicas(logical: LogicalTopology) -> LogicalTopology:
+    """Rewrite a topology with ``replicas > 1`` nodes for deployment.
+
+    Each replicated node's parallelism becomes its replica count and
+    every incoming data edge switches to ALL grouping, so the sender
+    switch broadcasts one serialized stream to all replicas (GroupMod
+    fan-out). Topologies without replicated nodes are returned unchanged
+    — the default path stays byte-identical.
+    """
+    replicated = [name for name, node in logical.nodes.items()
+                  if getattr(node, "replicas", 1) > 1]
+    if not replicated:
+        return logical
+    if logical.config.acking:
+        # The XOR ack ledger counts every delivery; N byte-identical
+        # replica deliveries per tuple would corrupt it. Replication
+        # brings its own reliability (sequenced log + re-emit + commit).
+        raise TopologyError(
+            "replicated topologies provide exactly-once themselves; "
+            "run them with acking off")
+    out = logical.clone()
+    for name in replicated:
+        node = out.nodes[name]
+        if node.kind != BOLT or not node.stateful:
+            raise TopologyError(
+                "only stateful bolts can be replicated (%r)" % name)
+        node.parallelism = node.replicas
+        for edge in out.outgoing(name):
+            if edge.stream == DEFAULT_STREAM and \
+                    edge.grouping.kind not in (FIELDS, GLOBAL):
+                # Leader re-emits must route identically to the original
+                # sends for dedup to collapse them; only value-determined
+                # routing guarantees that.
+                raise TopologyError(
+                    "replicated node %r requires key-based or global "
+                    "routing on its outputs" % name)
+    out.edges = [
+        Edge(edge.src, edge.dst, Grouping(ALL), edge.stream)
+        if edge.dst in replicated else edge
+        for edge in out.edges
+    ]
+    out.version = logical.version
+    out._validate()
+    return out

@@ -79,6 +79,13 @@ _FLAG_ANCHORED = 0x01
 #: follows the (optional) anchor. Unsampled tuples carry neither the
 #: flag nor the bytes, so wire traffic is unchanged when tracing is off.
 _FLAG_TRACED = 0x02
+#: Set when the tuple carries a replication sequencing stamp: a 4-byte
+#: epoch plus an 8-byte sequence number follow the (optional) anchor and
+#: trace fields. Placed last so :func:`peek_trace_id` offsets are
+#: unchanged; non-replicated tuples carry neither the flag nor the
+#: bytes, so wire traffic is byte-identical when replication is off.
+_FLAG_SEQUENCED = 0x04
+_SEQ = struct.Struct("!IQ")
 
 #: Preallocated zero padding, extended into the output buffer to
 #: reserve room for a tag byte plus a fixed-width field, which is then
@@ -90,6 +97,7 @@ _PAD_BIGINT_HEAD = bytes(_BIGINT_HEAD.size)
 _PAD_ENVELOPE = bytes(_ENVELOPE.size)
 _PAD_ANCHOR = bytes(_ANCHOR.size)
 _PAD_TRACE = bytes(_TRACE.size)
+_PAD_SEQ = bytes(_SEQ.size)
 
 
 class SerializationError(ValueError):
@@ -313,10 +321,13 @@ def encode_tuple(stream_tuple: StreamTuple) -> bytes:
     """Serialize a full tuple (envelope + values) to bytes."""
     anchor = stream_tuple.anchor
     trace_id = stream_tuple.trace_id
+    seq = stream_tuple.seq
     values = stream_tuple.values
     flags = _FLAG_ANCHORED if anchor is not None else 0
     if trace_id is not None:
         flags |= _FLAG_TRACED
+    if seq is not None:
+        flags |= _FLAG_SEQUENCED
     key = (stream_tuple.stream, stream_tuple.source_worker, flags,
            len(values))
     head = _ENVELOPE_CACHE.get(key)
@@ -336,6 +347,10 @@ def encode_tuple(stream_tuple: StreamTuple) -> bytes:
         pos = len(out)
         out += _PAD_TRACE
         _TRACE.pack_into(out, pos, trace_id)
+    if seq is not None:
+        pos = len(out)
+        out += _PAD_SEQ
+        _SEQ.pack_into(out, pos, seq[0], seq[1])
     _encode_many(values, out)
     return bytes(out)
 
@@ -369,7 +384,8 @@ def encode_tuple_scalar(
     fall back to the generic encoder.
     """
     values = stream_tuple.values
-    if stream_tuple.anchor is not None or stream_tuple.trace_id is not None:
+    if stream_tuple.anchor is not None or stream_tuple.trace_id is not None \
+            or stream_tuple.seq is not None:
         encoded = encode_tuple(stream_tuple)
         for value in values:
             if _type(value) not in SCALAR_TYPES:
@@ -478,6 +494,10 @@ def decode_tuple(data, source_component: str = "") -> StreamTuple:
         if flags & _FLAG_TRACED:
             (trace_id,) = _TRACE.unpack_from(data, offset)
             offset += _TRACE.size
+        seq = None
+        if flags & _FLAG_SEQUENCED:
+            seq = _SEQ.unpack_from(data, offset)
+            offset += _SEQ.size
         offset = _decode_many(data, offset, nvalues, values)
     except (IndexError, struct.error):
         raise SerializationError("truncated value") from None
@@ -487,7 +507,7 @@ def decode_tuple(data, source_component: str = "") -> StreamTuple:
     return StreamTuple(values=tuple(values), stream=stream,
                        source_component=source_component,
                        source_worker=source_worker, anchor=anchor,
-                       trace_id=trace_id)
+                       trace_id=trace_id, seq=seq)
 
 
 def peek_trace_id(data) -> Optional[int]:

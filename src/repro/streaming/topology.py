@@ -161,12 +161,26 @@ class LogicalNode:
     parallelism: int = 1
     stateful: bool = False
     max_pending: Optional[int] = None  # spouts: in-flight cap when acking
+    replicas: int = 1  # >1: active replication (exactly-once, see replication.py)
 
     def __post_init__(self) -> None:
         if self.kind not in (SPOUT, BOLT):
             raise TopologyError("node kind must be spout or bolt")
         if self.parallelism < 1:
             raise TopologyError("parallelism must be >= 1")
+        if self.replicas < 1:
+            raise TopologyError("replicas must be >= 1")
+        if self.replicas > 1:
+            if self.kind != BOLT or not self.stateful:
+                raise TopologyError(
+                    "replicas > 1 requires a stateful bolt (%r)" % self.name)
+            if self.parallelism not in (1, self.replicas):
+                # One logical task; expand_replicas raises parallelism
+                # to the replica count at deployment.
+                raise TopologyError(
+                    "replicated node %r is a single logical task; leave "
+                    "parallelism at 1 (replicas set the copy count)"
+                    % self.name)
 
 
 @dataclass
@@ -222,6 +236,11 @@ class LogicalTopology:
         self._check_acyclic()
         for name, node in self.nodes.items():
             if node.stateful:
+                if node.replicas > 1:
+                    # Replica groups receive the full sequenced stream
+                    # (ALL-grouped by expand_replicas) — stronger than
+                    # the key-routing Table 4 asks for.
+                    continue
                 for edge in self.incoming(name):
                     if edge.stream != DEFAULT_STREAM:
                         continue
@@ -361,9 +380,10 @@ class TopologyBuilder:
         return self
 
     def set_bolt(self, name: str, factory: Callable[[], Component],
-                 parallelism: int = 1, stateful: bool = False) -> _BoltDeclarer:
+                 parallelism: int = 1, stateful: bool = False,
+                 replicas: int = 1) -> _BoltDeclarer:
         self._add_node(LogicalNode(name, BOLT, factory, parallelism,
-                                   stateful=stateful))
+                                   stateful=stateful, replicas=replicas))
         return _BoltDeclarer(self, name)
 
     def _add_node(self, node: LogicalNode) -> None:

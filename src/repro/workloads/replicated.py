@@ -1,0 +1,116 @@
+"""Exactly-once chaos workload: a replicated stateful stage + tx sink.
+
+Extends the chaos-harness pipeline (:mod:`repro.workloads.chaosflow`)
+with the two roles active replication adds:
+
+    source (seq spout) -> relay (shuffle) -> rstate (replicas=N)
+                                                -> txsink (transactional)
+
+* ``rstate`` is a deterministic stateful bolt deployed with
+  ``replicas=N``: every copy consumes the same sequenced input stream
+  (switch-level broadcast) and produces byte-identical outputs, so
+  replica divergence is detectable and failover is seamless.
+* ``txsink`` is the paper-§8 external-storage stand-in on the *output*
+  side: it applies a state change iff the replica group's idempotent
+  :meth:`~repro.streaming.replication.ReplicaGroup.commit` accepts the
+  output sequence — re-deliveries, leader re-emissions and failover
+  overlap commit exactly once. Each committed tuple is also recorded in
+  the chaos :class:`~repro.workloads.chaosflow.DedupRegistry` (strict
+  mode), so the chaos invariants see any double-apply as a duplicate
+  and any never-committed spout sequence as a loss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..streaming.replication import REPLICATION_SERVICE
+from ..streaming.topology import (
+    Bolt,
+    ComponentContext,
+    EmitterApi,
+    LogicalTopology,
+    TopologyBuilder,
+    TopologyConfig,
+)
+from ..streaming.tuples import StreamTuple
+from .chaosflow import DEDUP_SERVICE, ChaosSequenceSpout, RelayBolt
+
+
+class ReplicatedCountBolt(Bolt):
+    """Deterministic replicated stage: a running count per source key.
+
+    One output per input — ``(source_key, seq, running_count)`` — whose
+    values depend only on the sequenced input prefix, so every replica
+    logs identical outputs (the group's divergence counter stays 0).
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def snapshot(self):
+        return {"counts": dict(self.counts)}
+
+    def restore(self, state) -> None:
+        self.counts = dict(state["counts"])
+
+    def execute(self, stream_tuple: StreamTuple,
+                collector: EmitterApi) -> None:
+        source_key = stream_tuple[2]
+        count = self.counts.get(source_key, 0) + 1
+        self.counts[source_key] = count
+        collector.emit((source_key, stream_tuple[1], count))
+
+
+class TransactionalSinkBolt(Bolt):
+    """Applies replica-group outputs under idempotent commits."""
+
+    def __init__(self) -> None:
+        self.applied = 0
+        self.rejected = 0
+        self._group = None
+        self._registry = None
+
+    def open(self, ctx: ComponentContext) -> None:
+        service = ctx.services.get(REPLICATION_SERVICE)
+        if service is not None:
+            self._group = service.dedup_of(ctx.topology_id, ctx.component)
+        self._registry = ctx.services.get(DEDUP_SERVICE)
+
+    def execute(self, stream_tuple: StreamTuple,
+                collector: EmitterApi) -> None:
+        if self._group is not None and stream_tuple.seq is not None:
+            # Transactional contract: state changes iff the commit is
+            # accepted. A refused commit is a collapsed duplicate (or a
+            # conflict, which the replication invariant flags).
+            if not self._group.commit(stream_tuple.seq[1],
+                                      stream_tuple.values):
+                self.rejected += 1
+                return
+        self.applied += 1
+        if self._registry is not None:
+            # Strict record: any double-apply shows up as a duplicate
+            # in the no-duplicates invariant.
+            self._registry.record(stream_tuple[0], stream_tuple[1])
+
+
+def replicated_topology(topology_id: str = "replicated",
+                        config: Optional[TopologyConfig] = None,
+                        relays: int = 2,
+                        replicas: int = 3) -> LogicalTopology:
+    """source -> relay -> rstate (replicated) -> txsink (transactional).
+
+    The relay -> rstate grouping declared here is notional: deployment
+    rewrites every replicated node's input edges to ALL grouping (one
+    sequenced broadcast stream). rstate -> txsink is GLOBAL — key-
+    determined routing, required so leader re-emissions reach the same
+    consumer as the original sends.
+    """
+    builder = TopologyBuilder(topology_id, config)
+    builder.set_spout("source", ChaosSequenceSpout, 1)
+    builder.set_bolt("relay", RelayBolt, relays).shuffle_grouping("source")
+    builder.set_bolt("rstate", ReplicatedCountBolt, stateful=True,
+                     replicas=replicas).global_grouping("relay")
+    builder.set_bolt("txsink", TransactionalSinkBolt, 1) \
+        .global_grouping("rstate")
+    return builder.build()

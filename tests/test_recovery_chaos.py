@@ -19,6 +19,43 @@ from repro.sim.faults import kill_worker_at
 from repro.streaming import TopologyConfig
 from repro.workloads.chaosflow import DEDUP_SERVICE, DedupRegistry, chaos_topology
 
+#: Checkpoint cadence the acked scenarios run with. A fixture owns the
+#: config construction (and the cluster teardown) so no test mutates a
+#: shared TopologyConfig and leaks a different interval into the next.
+CHECKPOINT_INTERVAL = 0.5
+
+
+@pytest.fixture
+def acked_config():
+    return TopologyConfig(
+        batch_size=50, max_spout_rate=500.0,
+        acking=True, num_ackers=1, tuple_timeout=2.0, max_pending=48,
+        replay_enabled=True, checkpoint_interval=CHECKPOINT_INTERVAL,
+        reliable_control=True)
+
+
+@pytest.fixture
+def typhoon_cluster():
+    """Factory for a TyphoonCluster that tears its topologies down
+    afterwards, so checkpoint stores, replay buffers and replica groups
+    never outlive the test that created them."""
+    created = []
+
+    def build(num_hosts=2, seed=0, detector=False, registry=None):
+        engine = Engine()
+        cluster = TyphoonCluster(engine, num_hosts=num_hosts, seed=seed)
+        app = cluster.register_app(FaultDetector(cluster)) if detector \
+            else None
+        if registry is not None:
+            cluster.services[DEDUP_SERVICE] = registry
+        created.append(cluster)
+        return engine, cluster, app
+
+    yield build
+    for cluster in created:
+        for topology_id in list(cluster.manager.topologies):
+            cluster.kill_topology(topology_id)
+
 
 @pytest.mark.parametrize("system", ["typhoon", "storm"])
 def test_acked_chaos_converges_to_zero_lost_roots(system):
@@ -43,11 +80,10 @@ def test_acked_chaos_is_deterministic():
     assert first.to_dict() == second.to_dict()
 
 
-def test_replay_invariant_skips_without_buffers():
+def test_replay_invariant_skips_without_buffers(typhoon_cluster):
     """Best-effort runs (and pre-replay clusters) report SKIP, keeping
     same-seed reports comparable across regimes."""
-    engine = Engine()
-    cluster = TyphoonCluster(engine, num_hosts=1, seed=0)
+    engine, cluster, _ = typhoon_cluster(num_hosts=1, seed=0)
     cluster.submit(chaos_topology("chaos", TopologyConfig(batch_size=50,
                                                           max_spout_rate=200)))
     engine.run(until=3.0)
@@ -55,14 +91,12 @@ def test_replay_invariant_skips_without_buffers():
     assert checker._check_replay().status == SKIP
 
 
-def test_dead_end_is_counted_and_surfaced():
+def test_dead_end_is_counted_and_surfaced(typhoon_cluster):
     """Killing the only worker of a component leaves the fault detector
     nothing to redirect to; the condition must be observable in both the
     detector and the chaos snapshot instead of silently returning."""
-    engine = Engine()
-    cluster = TyphoonCluster(engine, num_hosts=1, seed=2)
-    detector = cluster.register_app(FaultDetector(cluster))
-    cluster.services[DEDUP_SERVICE] = DedupRegistry()
+    engine, cluster, detector = typhoon_cluster(
+        num_hosts=1, seed=2, detector=True, registry=DedupRegistry())
     config = TopologyConfig(batch_size=50, max_spout_rate=500.0)
     physical = cluster.submit(chaos_topology("chaos", config,
                                              relays=1, sinks=1))
@@ -80,20 +114,14 @@ def test_dead_end_is_counted_and_surfaced():
     assert snapshot["fault_detector"]["dead_end_events"] == [event]
 
 
-def test_acked_snapshot_exposes_reliability_state():
+def test_acked_snapshot_exposes_reliability_state(typhoon_cluster,
+                                                  acked_config):
     """GET /chaos payload: an acked cluster surfaces replay totals,
     checkpoint counters, acker ledger health and control-channel stats."""
-    from repro.sim.faults import set_control_fault
-
-    engine = Engine()
-    cluster = TyphoonCluster(engine, num_hosts=2, seed=4)
-    cluster.register_app(FaultDetector(cluster))
-    cluster.services[DEDUP_SERVICE] = DedupRegistry(at_least_once=True)
-    config = TopologyConfig(
-        batch_size=50, max_spout_rate=500.0,
-        acking=True, num_ackers=1, tuple_timeout=2.0, max_pending=48,
-        replay_enabled=True, checkpoint_interval=0.5, reliable_control=True)
-    cluster.submit(chaos_topology("chaos", config))
+    engine, cluster, _ = typhoon_cluster(
+        num_hosts=2, seed=4, detector=True,
+        registry=DedupRegistry(at_least_once=True))
+    cluster.submit(chaos_topology("chaos", acked_config))
     engine.run(until=6.0)
     snapshot = chaos_snapshot(cluster)
     assert snapshot["replay"]["registered"] > 0

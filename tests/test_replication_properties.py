@@ -1,0 +1,193 @@
+"""Property tests for exactly-once active replication.
+
+Two layers:
+
+* unit-level: randomized interleavings of sequencer stamps, replica
+  kills/rejoins, output logging, admissions and commits driven straight
+  against :class:`~repro.streaming.replication.ReplicaGroup` — the
+  group's ledger properties (monotonic sequencing, exactly-once
+  admission, idempotent commits, first-writer-wins output log) must
+  hold on every seed;
+* cluster-level: full replicated topologies under seeded random
+  kill/failover interleavings — after the cluster quiesces, every
+  alive replica's state has converged, and the transactional sink's
+  committed output is byte-for-byte identical to a fault-free
+  reference run of the same workload.
+"""
+
+import random
+
+import pytest
+
+from repro.core.apps.fault_detector import FaultDetector
+from repro.core.audit import quiesce
+from repro.core.runtime import TyphoonCluster
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultPlan, _crash
+from repro.streaming.replication import ReplicaGroup
+from repro.streaming.serialize import encode_tuple
+from repro.streaming.topology import TopologyConfig
+from repro.streaming.tuples import StreamTuple
+from repro.workloads.chaosflow import DEDUP_SERVICE, DedupRegistry
+from repro.workloads.replicated import replicated_topology
+
+
+# -- unit-level group-ledger properties -----------------------------------
+
+
+def _tuple_for(seq: int) -> StreamTuple:
+    return StreamTuple(("payload", seq), stream=0, source_worker=1)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_group_ledger_properties_random_interleaving(seed):
+    rng = random.Random(seed)
+    group = ReplicaGroup("t", "c", [10, 11, 12],
+                         {10: "h0", 11: "h1", 12: "h2"})
+    for worker_id in group.worker_ids:
+        group.join(worker_id, None)
+    stamped = []
+    admitted_seqs = set()
+    committed = {}
+    epochs_seen = [group.epoch]
+    expected_retries = expected_conflicts = 0
+    for _step in range(400):
+        op = rng.random()
+        if op < 0.45:
+            st = _tuple_for(len(stamped))
+            epoch, seq = group.stamp_input(st)
+            # Sequencing is gap-free and monotonic regardless of faults.
+            assert seq == len(stamped)
+            stamped.append(st)
+        elif op < 0.60 and stamped:
+            seq = rng.randrange(len(stamped))
+            group.log_output(seq, ("out", seq), 0)
+            # First-writer-wins: a divergent second write never lands.
+            group.log_output(seq, ("DIVERGENT", seq), 0)
+        elif op < 0.75 and group.alive:
+            victim = rng.choice(sorted(group.alive))
+            was_leader = victim == group.leader
+            group.mark_down(victim)
+            if was_leader and group.alive:
+                # Failover promoted a new leader in a fresh epoch.
+                assert group.leader == min(group.alive)
+                assert group.epoch > epochs_seen[-1]
+                epochs_seen.append(group.epoch)
+        elif op < 0.85:
+            downed = [w for w in group.worker_ids if w not in group.alive]
+            if downed:
+                worker_id = rng.choice(downed)
+                group.mark_up(worker_id)
+                group.join(worker_id, None)
+        elif op < 0.95 and stamped:
+            seq = rng.randrange(len(stamped))
+            first = group.admit(seq)
+            assert first == (seq not in admitted_seqs)
+            admitted_seqs.add(seq)
+        elif stamped:
+            seq = rng.randrange(len(stamped))
+            values = ("commit", seq)
+            first = group.commit(seq, values)
+            assert first == (seq not in committed)
+            if not first:
+                expected_retries += 1
+            committed[seq] = values
+            # Identical retry collapses; different values conflict —
+            # neither re-applies.
+            assert group.commit(seq, values) is False
+            expected_retries += 1
+            assert group.commit(seq, ("other", seq)) is False
+            expected_conflicts += 1
+    assert group.admitted == len(admitted_seqs)
+    assert group.commits == len(committed)
+    assert group.commit_retries == expected_retries
+    assert group.commit_conflicts == expected_conflicts
+    for seq in range(group.outputs_logged):
+        record = group.output_log.get(seq)
+        if record is not None:
+            assert record.values[0] != "DIVERGENT"
+
+
+def test_group_repair_serves_byte_identical_input():
+    group = ReplicaGroup("t", "c", [1, 2], {1: "h0", 2: "h1"})
+    group.join(1, None)
+    group.join(2, None)
+    for seq in range(32):
+        group.stamp_input(_tuple_for(seq))
+    for seq in range(32):
+        fetched = group.fetch_input(seq)
+        assert fetched is not None
+        assert encode_tuple(fetched) == encode_tuple(_tuple_for(seq))
+
+
+# -- cluster-level convergence vs. a fault-free reference -----------------
+
+
+def _run_replicated(seed, fault_seed=None, duration=8.0, rate=400.0):
+    """One full replicated run; returns (committed-bytes, per-replica
+    states, group, registry)."""
+    engine = Engine()
+    cluster = TyphoonCluster(engine, num_hosts=3, seed=seed)
+    cluster.register_app(FaultDetector(cluster))
+    registry = DedupRegistry(at_least_once=False)
+    cluster.services[DEDUP_SERVICE] = registry
+    config = TopologyConfig(batch_size=50, max_spout_rate=rate,
+                            reliable_control=True)
+    cluster.submit(replicated_topology("prop", config))
+    group = cluster.replication.group_of("prop", "rstate")
+    engine.run(until=2.0)
+    if fault_seed is not None:
+        rng = random.Random(fault_seed)
+        plan = FaultPlan(cluster)
+
+        def kill(role):
+            def action():
+                if role == "leader":
+                    victim = group.leader
+                else:
+                    alive = sorted(w for w in group.alive
+                                   if w != group.leader)
+                    victim = alive[-1] if alive else None
+                if victim is not None:
+                    _crash(cluster, victim, "property-test kill")
+            return action
+
+        for _ in range(rng.randint(2, 4)):
+            when = rng.uniform(2.5, duration - 1.0)
+            role = rng.choice(["leader", "follower"])
+            plan.custom(when, "kill %s" % role, kill(role))
+        plan.arm()
+    engine.run(until=duration + 5.0)
+    quiesce(cluster, settle=2.0)
+    committed = b"".join(
+        encode_tuple(StreamTuple(tuple(group.committed[seq]), stream=0,
+                                 source_worker=0))
+        for seq in sorted(group.committed))
+    states = {}
+    for executor in cluster.executors_for("prop", "rstate"):
+        if executor.alive and executor.worker_id in group.alive:
+            states[executor.worker_id] = dict(executor.component.counts)
+    return committed, states, group, registry
+
+
+@pytest.mark.parametrize("fault_seed", [7, 23])
+def test_faulted_run_matches_fault_free_reference(fault_seed):
+    reference, ref_states, ref_group, ref_registry = _run_replicated(0)
+    assert ref_registry.duplicates == 0
+    assert not ref_registry.missing_keys()
+    reference_state = next(iter(ref_states.values()))
+
+    committed, states, group, registry = _run_replicated(
+        0, fault_seed=fault_seed)
+    # Exactly-once held: nothing lost, nothing double-applied.
+    assert registry.duplicates == 0
+    assert not registry.missing_keys()
+    assert group.commit_conflicts == 0
+    assert group.divergence == 0
+    # Every surviving replica converged to the same state, and that
+    # state is the fault-free one.
+    assert states
+    for state in states.values():
+        assert state == reference_state
+    # The committed output stream is byte-for-byte the reference's.
+    assert committed == reference

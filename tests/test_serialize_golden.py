@@ -60,10 +60,74 @@ GOLDEN = [
 ]
 
 
+#: Sequenced envelopes (active replication, flag 0x04): epoch ``!I`` +
+#: sequence ``!Q`` appended after the anchor and trace sections. Kept
+#: out of GOLDEN on purpose — the legacy pre-optimization codec predates
+#: replication, so these frames must never enter the legacy-reference
+#: test; conversely every non-sequenced envelope above must stay byte
+#: identical with the sequencer feature present.
+SEQUENCED_GOLDEN = [
+    ("seq_zero",
+     StreamTuple(("word", 7), stream=1, source_worker=2, seq=(0, 0)),
+     "0001000000020400020000000000000000000000000500000004776f7264"
+     "030000000000000007"),
+    ("seq_epoch_bump",
+     StreamTuple(("word", 7), stream=1, source_worker=2,
+                 seq=(3, 0x0102030405060708)),
+     "0001000000020400020000000301020304050607080500000004776f7264"
+     "030000000000000007"),
+    ("seq_anchored_traced",
+     StreamTuple((2.5,), stream=9, source_worker=11,
+                 anchor=Anchor(0x1122334455667788, 0x99AABBCC),
+                 trace_id=0xDEADBEEFCAFE, seq=(0xFFFFFFFF, 2 ** 64 - 1)),
+     "00090000000b07000111223344556677880000000099aabbcc0000deadbe"
+     "efcafeffffffffffffffffffffffff044004000000000000"),
+    ("seq_empty_values",
+     StreamTuple((), stream=0, source_worker=0, seq=(1, 2)),
+     "000000000000040000000000010000000000000002"),
+]
+
+
 @pytest.mark.parametrize("name,stream_tuple,expected_hex",
                          GOLDEN, ids=[g[0] for g in GOLDEN])
 def test_golden_bytes_encode(name, stream_tuple, expected_hex):
     assert encode_tuple(stream_tuple).hex() == expected_hex
+
+
+@pytest.mark.parametrize("name,stream_tuple,expected_hex",
+                         SEQUENCED_GOLDEN,
+                         ids=[g[0] for g in SEQUENCED_GOLDEN])
+def test_sequenced_golden_bytes(name, stream_tuple, expected_hex):
+    """Lock the replication wire format: epoch+seq live after anchor and
+    trace, under their own flag bit, and round-trip exactly."""
+    assert encode_tuple(stream_tuple).hex() == expected_hex
+    decoded = decode_tuple(bytes.fromhex(expected_hex))
+    assert decoded.seq == stream_tuple.seq
+    assert decoded.stream == stream_tuple.stream
+    assert decoded.anchor == stream_tuple.anchor
+    assert decoded.trace_id == stream_tuple.trace_id
+    assert decoded.values == stream_tuple.values
+
+
+def test_sequenced_flag_is_additive():
+    """A sequenced frame is its unsequenced twin plus the flag bit and
+    exactly 12 bytes of epoch+seq — nothing else moves."""
+    for _name, st, _hex in SEQUENCED_GOLDEN:
+        plain = st.with_values(st.values)
+        plain.seq = None
+        base = bytearray(encode_tuple(plain))
+        seq = encode_tuple(st)
+        assert len(seq) == len(base) + 12
+        flags_at = 6  # after stream u16 + source_worker i32
+        assert seq[flags_at] == base[flags_at] | 0x04
+        base[flags_at] = seq[flags_at]
+        insert_at = flags_at + 3  # flags u8 + value-count u16
+        if st.anchor is not None:
+            insert_at += 16  # root id u64 + anchor id u64
+        if st.trace_id is not None:
+            insert_at += 8
+        assert seq == bytes(base[:insert_at]) + seq[insert_at:insert_at + 12] \
+            + bytes(base[insert_at:])
 
 
 @pytest.mark.parametrize("name,stream_tuple,expected_hex",
