@@ -28,7 +28,11 @@ metrics registry recorded for it (exit status 1 on any mismatch);
 encode/decode, fig8/fig9 end to end) against the pre-optimization
 reference implementations and optionally writes ``BENCH_hotpath.json``
 (exit status 1 if the fig8 steady-state cache hit rate drops below the
-perf-smoke gate).
+perf-smoke gate);
+``bench --sched`` runs the congested scheduling scenario (two skewed
+pipelines over bandwidth-limited links) under the naive and the
+resource-aware scheduler and writes ``BENCH_sched.json`` (exit status 1
+if resource-aware placement loses to naive on throughput or p99).
 """
 
 from __future__ import annotations
@@ -155,6 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run the hot-path benchmark (flow lookup, "
                                 "tuple encode/decode, fig8/fig9 end to end) "
                                 "against the pre-optimization baselines")
+    bench_cmd.add_argument("--sched", action="store_true",
+                           help="run the congested-scenario scheduling "
+                                "benchmark (resource-aware vs naive "
+                                "placement, SDN bandwidth allocation)")
     bench_cmd.add_argument("--seed", type=int, default=0)
     bench_cmd.add_argument("--iterations", type=int, default=50_000,
                            help="target op count per micro-benchmark")
@@ -294,16 +302,34 @@ def cmd_trace(seed: int, sample_every: int, rate: float, duration: float,
 
 
 def cmd_bench(perf: bool, seed: int, iterations: int, e2e: bool,
-              output: Optional[str], out=sys.stdout) -> int:
-    from .bench.perf import check_gates, render_report, run_perf_bench, \
-        write_report
+              output: Optional[str], sched: bool = False,
+              out=sys.stdout) -> int:
+    if sched:
+        from .bench.sched import (
+            check_gates,
+            render_report,
+            run_sched_bench,
+            write_report,
+        )
 
-    if not perf:
-        out.write("nothing to do: pass --perf\n")
+        result = run_sched_bench(seed=seed)
+        default_output = "BENCH_sched.json"
+    elif perf:
+        from .bench.perf import (
+            check_gates,
+            render_report,
+            run_perf_bench,
+            write_report,
+        )
+
+        result = run_perf_bench(seed=seed, iterations=iterations, e2e=e2e)
+        default_output = None
+    else:
+        out.write("nothing to do: pass --perf or --sched\n")
         return 2
-    result = run_perf_bench(seed=seed, iterations=iterations, e2e=e2e)
     out.write(render_report(result))
     out.write("\n")
+    output = output or default_output
     if output:
         write_report(result, output)
         out.write("wrote %s\n" % output)
@@ -336,5 +362,5 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                          args.duration, args.hosts, out)
     if args.command == "bench":
         return cmd_bench(args.perf, args.seed, args.iterations,
-                         not args.no_e2e, args.output, out)
+                         not args.no_e2e, args.output, args.sched, out)
     return 2

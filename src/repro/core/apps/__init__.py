@@ -1,7 +1,8 @@
 """SDN control plane applications (§4): fault detector, live debugger,
-SDN load balancer and auto-scaler."""
+SDN load balancer, auto-scaler and bandwidth allocator."""
 
 from .auto_scaler import AutoScaler, ScalingPolicy
+from .bandwidth_allocator import BandwidthAllocator
 from .fault_detector import FaultDetector
 from .live_debugger import (
     DEBUG_COMPONENT,
@@ -18,6 +19,7 @@ __all__ = [
     "STORM_DEBUGGER_CAPABILITIES",
     "TYPHOON_DEBUGGER_CAPABILITIES",
     "AutoScaler",
+    "BandwidthAllocator",
     "CollectingDebugBolt",
     "FaultDetector",
     "LiveDebugger",

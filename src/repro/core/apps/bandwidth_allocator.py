@@ -1,0 +1,286 @@
+"""Online SDN bandwidth allocation (§5).
+
+The scheduler treats bandwidth as a *soft* constraint; this control
+plane app closes the loop at run time. For every inter-host flow that a
+managed topology routes over an annotated link it installs a rate meter
+on the sending switch (``MeterMod``), sizes the meters by weighted fair
+share of the link (:mod:`repro.sdn.bandwidth`), then polls meter
+statistics each control round and reallocates: flows that under-use
+their share lend the surplus to flows the meters are clipping, and no
+flow ever drops below its guaranteed share.
+
+The app plugs into :class:`~repro.core.controller.TyphoonControllerApp`
+as its ``bandwidth_policy``: when the core app computes a remote-sender
+rule it asks :meth:`meter_for` and, if a meter id comes back, prefixes
+the rule's actions with a :class:`~repro.sdn.flow.Meter` step. Links
+without a bandwidth annotation are never metered, so a cluster with no
+link capacities behaves exactly as before this app existed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...net.hosts import Cluster
+from ...sdn.bandwidth import SETTLE_EPSILON, fair_shares, reallocate
+from ...sdn.controller import ControllerApp
+from ...sdn.openflow import MeterStatsReply
+
+#: Private meter-id range for allocator-owned meters (flow select groups
+#: use 0x8000-prefixed addresses, replica groups 0x60000000 — disjoint).
+METER_BASE = 0x70000000
+
+#: (app_id, sending dpid, receiving dpid) — one meter per directed
+#: inter-host flow aggregate per application.
+_FlowKey = Tuple[int, str, str]
+#: Directed link between two hosts.
+_LinkKey = Tuple[str, str]
+
+
+class _MeterFlow:
+    """One metered flow aggregate and its allocation bookkeeping."""
+
+    __slots__ = ("key", "meter_id", "weight", "guarantee", "allocation",
+                 "observed", "pairs", "last_bytes", "last_sample",
+                 "installed")
+
+    def __init__(self, key: _FlowKey, meter_id: int):
+        self.key = key
+        self.meter_id = meter_id
+        self.weight = 0.0           # aggregate demanded rate (bytes/sec)
+        self.guarantee = 0.0
+        self.allocation = 0.0
+        self.observed = 0.0         # measured rate, last sample window
+        self.pairs: Set[Tuple[int, int]] = set()
+        self.last_bytes = 0
+        self.last_sample: Optional[float] = None
+        self.installed = False
+
+
+class BandwidthAllocator(ControllerApp):
+    """Meters inter-host flows and rebalances link bandwidth online."""
+
+    name = "bandwidth-allocator"
+
+    def __init__(self, core, cluster: Cluster, interval: float = 0.5,
+                 burst_seconds: float = 0.02,
+                 min_burst_bytes: float = 4096.0,
+                 max_queue_seconds: float = 0.05,
+                 smoothing: float = 0.4,
+                 epsilon: float = 0.1):
+        super().__init__()
+        self.core = core
+        self.cluster = cluster
+        self.interval = interval
+        self.burst_seconds = burst_seconds
+        #: EWMA factor for observed rates. Batch framing makes per-round
+        #: byte counts jitter (a window catches 3 frames or 4); raw
+        #: samples would flap the meters every round. ``epsilon`` is the
+        #: reprogram dead band on top — wider than SETTLE_EPSILON so
+        #: residual jitter does not count as a reallocation.
+        self.smoothing = smoothing
+        #: Burst floor (an MTU-and-change): a meter must always admit at
+        #: least one whole frame, or a small allocation drops every
+        #: batch regardless of the flow's average rate.
+        self.min_burst_bytes = min_burst_bytes
+        self.max_queue_seconds = max_queue_seconds
+        self.epsilon = epsilon
+        self._meter_ids = itertools.count(1)
+        self._flows: Dict[_FlowKey, _MeterFlow] = {}
+        self._by_meter: Dict[Tuple[str, int], _MeterFlow] = {}
+        self._links: Dict[_LinkKey, List[_FlowKey]] = {}
+        # Telemetry the congestion tests and the bench read.
+        self.rounds = 0
+        self.reallocations = 0
+        self.meters_installed = 0
+        self.last_change_round = 0
+        self.last_change_time = 0.0
+        self.settled_rounds = 0     # consecutive no-change rounds
+
+    def on_start(self) -> None:
+        self.controller.every(self.interval, self._tick,
+                              name="bandwidth-allocator")
+
+    # -- bandwidth_policy hook (called by the core app) --------------------
+
+    def meter_for(self, app_id: int, src_worker: int, dst_worker: int,
+                  src_dpid: str, dst_dpid: str) -> Optional[int]:
+        """Meter id for this worker pair's inter-host flow, or None.
+
+        Called while the core app computes remote-sender rules. Links
+        without a bandwidth annotation stay unmetered. New pairs update
+        the flow's demand weight and retune the whole link's meters;
+        MeterMods ride the same FIFO control channel as the FlowMods
+        that follow, and an uninstalled meter fails open, so rules never
+        drop traffic while the meter is in flight.
+        """
+        capacity = self.cluster.link_bandwidth(src_dpid, dst_dpid)
+        if capacity is None or src_dpid == dst_dpid:
+            return None
+        key = (app_id, src_dpid, dst_dpid)
+        flow = self._flows.get(key)
+        if flow is None:
+            flow = _MeterFlow(key, METER_BASE + next(self._meter_ids))
+            self._flows[key] = flow
+            self._by_meter[(src_dpid, flow.meter_id)] = flow
+            self._links.setdefault((src_dpid, dst_dpid), []).append(key)
+        pair = (src_worker, dst_worker)
+        if pair not in flow.pairs:
+            flow.pairs.add(pair)
+            flow.weight += self._pair_rate(app_id, src_worker, dst_worker)
+            self._retune_link((src_dpid, dst_dpid), capacity)
+        return flow.meter_id
+
+    def _pair_rate(self, app_id: int, src_worker: int,
+                   dst_worker: int) -> float:
+        """Demanded rate of one worker pair (max of endpoint demands)."""
+        for topology_id in sorted(self.core.managed):
+            physical = self.core.state.read_physical(topology_id)
+            if physical is None or physical.app_id != app_id:
+                continue
+            logical = self.core.state.read_logical(topology_id)
+            if logical is None:
+                return 0.0
+            rate = 0.0
+            for worker_id in (src_worker, dst_worker):
+                assignment = physical.assignments.get(worker_id)
+                if assignment is None:
+                    continue
+                node = logical.nodes.get(assignment.component)
+                demand = getattr(node, "demand", None)
+                if demand is not None and demand.bandwidth > rate:
+                    rate = demand.bandwidth
+            return rate
+        return 0.0
+
+    # -- allocation ---------------------------------------------------------
+
+    def _retune_link(self, link: _LinkKey, capacity: float) -> None:
+        """Recompute guarantees for a link and program all its meters."""
+        keys = sorted(self._links.get(link, []))
+        if not keys:
+            return
+        weights = {key: self._flows[key].weight for key in keys}
+        shares = fair_shares(capacity, weights)
+        for key in keys:
+            flow = self._flows[key]
+            flow.guarantee = shares[key]
+            # A retune resets the allocation to the guarantee; the
+            # periodic loop grows it back from observed rates.
+            flow.allocation = shares[key]
+            self._program(flow)
+
+    def _program(self, flow: _MeterFlow) -> None:
+        dpid = flow.key[1]
+        if dpid not in self.controller.switches:
+            return
+        self.controller.install_meter(
+            dpid, flow.meter_id, flow.allocation,
+            burst_bytes=max(flow.allocation * self.burst_seconds,
+                            self.min_burst_bytes),
+            max_queue_seconds=self.max_queue_seconds,
+            modify=flow.installed)
+        if not flow.installed:
+            flow.installed = True
+            self.meters_installed += 1
+
+    def _tick(self) -> None:
+        """One control round: poll meter stats, then rebalance links."""
+        self.rounds += 1
+        for dpid in sorted({key[1] for key in self._flows}):
+            if dpid in self.controller.switches:
+                self.controller.request_meter_stats(dpid)
+
+    def on_meter_stats(self, message: MeterStatsReply) -> None:
+        now = self.controller.engine.now
+        touched_links: Set[_LinkKey] = set()
+        for entry in message.entries:
+            flow = self._by_meter.get((message.dpid, entry.meter_id))
+            if flow is None:
+                continue
+            # Offered load = admitted + dropped. Counting only admitted
+            # bytes starves a clipped flow: its meter drops everything,
+            # it looks idle, and the loop lends away even more of its
+            # share. Drops are demand too.
+            offered = entry.bytes + entry.dropped_bytes
+            if flow.last_sample is not None and now > flow.last_sample:
+                sample = ((offered - flow.last_bytes)
+                          / (now - flow.last_sample))
+                if flow.observed == 0.0:
+                    flow.observed = sample  # seed the EWMA
+                else:
+                    flow.observed = (self.smoothing * sample
+                                     + (1.0 - self.smoothing)
+                                     * flow.observed)
+            flow.last_bytes = offered
+            flow.last_sample = now
+            touched_links.add((flow.key[1], flow.key[2]))
+        for link in sorted(touched_links):
+            self._rebalance(link)
+
+    def _rebalance(self, link: _LinkKey) -> None:
+        capacity = self.cluster.link_bandwidth(link[0], link[1])
+        keys = sorted(self._links.get(link, []))
+        if capacity is None or not keys:
+            return
+        flows = [self._flows[key] for key in keys]
+        new = reallocate(
+            allocations={f.key: f.allocation for f in flows},
+            observed={f.key: f.observed for f in flows},
+            guarantees={f.key: f.guarantee for f in flows},
+            capacity=capacity,
+        )
+        changed = False
+        for flow in flows:
+            target = new[flow.key]
+            base = max(abs(flow.allocation), 1e-9)
+            if abs(target - flow.allocation) / base <= self.epsilon:
+                continue
+            flow.allocation = target
+            self._program(flow)
+            self.reallocations += 1
+            changed = True
+        if changed:
+            self.last_change_round = self.rounds
+            self.last_change_time = self.controller.engine.now
+            self.settled_rounds = 0
+        else:
+            self.settled_rounds += 1
+
+    # -- resilience ---------------------------------------------------------
+
+    def on_switch_reconnect(self, dpid: str) -> None:
+        """The switch lost its meters with its tables; re-program ours."""
+        for key in sorted(self._flows):
+            if key[1] != dpid:
+                continue
+            flow = self._flows[key]
+            flow.installed = False
+            self._program(flow)
+
+    # -- introspection (REST / bench) ---------------------------------------
+
+    def snapshot(self) -> dict:
+        flows = []
+        for key in sorted(self._flows):
+            flow = self._flows[key]
+            flows.append({
+                "app_id": key[0],
+                "src": key[1],
+                "dst": key[2],
+                "meter_id": flow.meter_id,
+                "weight": flow.weight,
+                "guarantee": flow.guarantee,
+                "allocation": flow.allocation,
+                "observed": flow.observed,
+            })
+        return {
+            "rounds": self.rounds,
+            "reallocations": self.reallocations,
+            "meters_installed": self.meters_installed,
+            "last_change_round": self.last_change_round,
+            "last_change_time": self.last_change_time,
+            "settled_rounds": self.settled_rounds,
+            "flows": flows,
+        }

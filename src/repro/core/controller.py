@@ -33,7 +33,15 @@ from ..coordination.schema import GlobalState
 from ..net.addresses import CONTROLLER_ADDRESS, TYPHOON_ETHERTYPE, WorkerAddress
 from ..net.ethernet import DEFAULT_MTU, EthernetFrame
 from ..sdn.controller import ControllerApp
-from ..sdn.flow import Action, GroupAction, Match, OFPP_CONTROLLER, Output, SetTunnelDst
+from ..sdn.flow import (
+    Action,
+    GroupAction,
+    Match,
+    Meter,
+    OFPP_CONTROLLER,
+    Output,
+    SetTunnelDst,
+)
 from ..sdn.group import GROUP_ALL, Bucket
 from ..sdn.openflow import (
     DELETE,
@@ -133,6 +141,13 @@ class TyphoonControllerApp(ControllerApp):
         #: Spout workers that have been sent ACTIVATE (§3.2 step v gate:
         #: sources stay throttled until the data plane is programmed).
         self._spouts_activated: Set[int] = set()
+        #: Optional bandwidth-allocation policy (duck-typed: exposes
+        #: ``meter_for(app_id, src_worker, dst_worker, src_dpid,
+        #: dst_dpid) -> Optional[int]``). When set, remote sender rules
+        #: pass frames through the returned switch meter so inter-host
+        #: flows are rate-policed. ``None`` (the default) leaves every
+        #: rule byte-identical to the unmetered layout.
+        self.bandwidth_policy = None
 
     # -- topology management -------------------------------------------------
 
@@ -322,6 +337,11 @@ class TyphoonControllerApp(ControllerApp):
                 tunnel_out = self.fabric.host(src_dpid).tunnel_port
                 match, actions = rule_templates.remote_transfer_sender(
                     app_id, src_id, src_port, dst_id, dst_dpid, tunnel_out)
+                if self.bandwidth_policy is not None:
+                    meter_id = self.bandwidth_policy.meter_for(
+                        app_id, src_id, dst_id, src_dpid, dst_dpid)
+                    if meter_id is not None:
+                        actions = (Meter(meter_id),) + tuple(actions)
                 add(src_dpid, match, actions, rule_templates.PRIORITY_UNICAST)
                 tunnel_in = self.fabric.host(dst_dpid).tunnel_port
                 match, actions = rule_templates.remote_transfer_receiver(

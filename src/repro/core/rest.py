@@ -25,7 +25,16 @@ GET    /audit                                           delivery-conservation le
 GET    /chaos                                           chaos-harness state
 GET    /replication                                     replica-group state
 GET    /trace                                           hop-by-hop trace report
+GET    /bandwidth                                       allocator snapshot
+GET    /slices                                          hypervisor slices
+POST   /slices/{name}/flows                             install a FlowMod
+POST   /slices/{name}/meters                            install a MeterMod
 ====== =============================================== ==================
+
+Slice routes go through the attached
+:class:`~repro.sdn.hypervisor.NetworkHypervisor`; a request the slice's
+address space or bandwidth quota forbids surfaces as **403** with the
+:class:`~repro.sdn.hypervisor.SliceViolation` message.
 
 Computation-logic replacement needs code, which does not travel over
 REST: factories are pre-registered with :meth:`RestApi.register_factory`
@@ -38,6 +47,9 @@ from __future__ import annotations
 import re
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..net.addresses import WorkerAddress
+from ..sdn.flow import Match, Output, SetDlDst
+from ..sdn.hypervisor import SliceViolation
 from ..streaming.topology import Grouping, TopologyError
 from .audit import conservation_report
 from .topology_manager import ReconfigurationError
@@ -88,7 +100,14 @@ class RestApi:
             ("GET", re.compile(r"^/chaos$"), self._chaos),
             ("GET", re.compile(r"^/replication$"), self._replication),
             ("GET", re.compile(r"^/trace$"), self._trace),
+            ("GET", re.compile(r"^/bandwidth$"), self._bandwidth),
+            ("GET", re.compile(r"^/slices$"), self._list_slices),
+            ("POST", re.compile(r"^/slices/(?P<name>[\w-]+)/flows$"),
+             self._slice_flow),
+            ("POST", re.compile(r"^/slices/(?P<name>[\w-]+)/meters$"),
+             self._slice_meter),
         ]
+        self._hypervisor = None
 
     # -- plumbing ----------------------------------------------------------
 
@@ -99,6 +118,10 @@ class RestApi:
     def attach_debugger(self, debugger) -> None:
         """Wire the live-debugger control plane app into /debug routes."""
         self._debugger = debugger
+
+    def attach_hypervisor(self, hypervisor) -> None:
+        """Wire a network hypervisor into the /slices routes."""
+        self._hypervisor = hypervisor
 
     def handle(self, method: str, path: str,
                body: Optional[Dict[str, Any]] = None) -> Response:
@@ -115,6 +138,8 @@ class RestApi:
                 return handler(body=body, **match.groupdict())
             except KeyError as error:
                 return 404, {"error": "not found: %s" % error}
+            except SliceViolation as error:
+                return 403, {"error": str(error)}
             except (ReconfigurationError, TopologyError) as error:
                 return 409, {"error": str(error)}
             except (TypeError, ValueError) as error:
@@ -292,3 +317,94 @@ class RestApi:
         from .tracing import trace_snapshot
 
         return 200, trace_snapshot(self.cluster)
+
+    # -- bandwidth allocation + network slices -----------------------------
+
+    def _bandwidth(self, body) -> Response:
+        """Live bandwidth-allocator state: meters, guarantees, observed
+        rates and the reallocation telemetry (rounds, settle state)."""
+        allocator = getattr(self.cluster, "bandwidth_allocator", None)
+        if allocator is None:
+            return 404, {"error": "no bandwidth allocator running"}
+        return 200, allocator.snapshot()
+
+    def _require_hypervisor(self):
+        if self._hypervisor is None:
+            raise ValueError("no network hypervisor attached to the REST API")
+        return self._hypervisor
+
+    def _slice(self, name: str):
+        hypervisor = self._require_hypervisor()
+        slice_controller = hypervisor.slices.get(name)
+        if slice_controller is None:
+            raise KeyError("slice %r" % name)
+        return slice_controller
+
+    def _list_slices(self, body) -> Response:
+        hypervisor = self._require_hypervisor()
+        slices = {}
+        for name in sorted(hypervisor.slices):
+            slice_controller = hypervisor.slices[name]
+            slices[name] = {
+                "app_ids": sorted(slice_controller.app_ids),
+                "bandwidth_quota": slice_controller.bandwidth_quota,
+                "committed_bandwidth":
+                    slice_controller.committed_bandwidth(),
+                "violations": slice_controller.violations,
+            }
+        return 200, {"slices": slices}
+
+    @staticmethod
+    def _address(value) -> WorkerAddress:
+        app_id, worker_id = value
+        return WorkerAddress(int(app_id), int(worker_id))
+
+    def _slice_flow(self, body, name: str) -> Response:
+        """Install a flow rule through a slice's policed controller.
+
+        Body: ``{"dpid", "match": {"in_port"?, "dl_src"?, "dl_dst"?},
+        "actions": [{"type": "output", "port"} |
+        {"type": "set_dl_dst", "address"}], "priority"?}`` where
+        addresses are ``[app_id, worker_id]`` pairs.
+        """
+        slice_controller = self._slice(name)
+        dpid = body["dpid"]
+        spec = body.get("match", {})
+        match = Match(
+            in_port=spec.get("in_port"),
+            dl_src=(self._address(spec["dl_src"])
+                    if "dl_src" in spec else None),
+            dl_dst=(self._address(spec["dl_dst"])
+                    if "dl_dst" in spec else None),
+        )
+        actions = []
+        for entry in body.get("actions", ()):
+            kind = entry.get("type")
+            if kind == "output":
+                actions.append(Output(int(entry["port"])))
+            elif kind == "set_dl_dst":
+                actions.append(SetDlDst(self._address(entry["address"])))
+            else:
+                raise ValueError("unknown action type %r" % kind)
+        slice_controller.install_flow(dpid, match, actions,
+                                      priority=int(body.get("priority", 100)))
+        return 202, {"status": "flow installed", "slice": name}
+
+    def _slice_meter(self, body, name: str) -> Response:
+        """Install/modify a rate meter through a slice (quota-policed).
+
+        Body: ``{"dpid", "meter_id", "rate_bytes_per_sec",
+        "burst_bytes"?, "max_queue_seconds"?, "modify"?}``.
+        """
+        slice_controller = self._slice(name)
+        slice_controller.install_meter(
+            body["dpid"], int(body["meter_id"]),
+            float(body["rate_bytes_per_sec"]),
+            burst_bytes=float(body.get("burst_bytes", 0.0)),
+            max_queue_seconds=float(body.get("max_queue_seconds", 0.05)),
+            modify=bool(body.get("modify", False)))
+        return 202, {
+            "status": "meter installed",
+            "slice": name,
+            "committed_bandwidth": slice_controller.committed_bandwidth(),
+        }

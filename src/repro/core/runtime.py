@@ -48,6 +48,7 @@ from ..streaming.topology import LogicalTopology
 from . import control as ct
 from .audit import typhoon_frame_tuples
 from .tracing import frame_trace_ids
+from .apps.bandwidth_allocator import BandwidthAllocator
 from .controller import TyphoonControllerApp
 from .framework_layer import handle_control_tuple
 from .io_layer import TyphoonFabric, TyphoonTransport
@@ -72,11 +73,13 @@ class TyphoonCluster:
 
     def __init__(self, engine: Engine, num_hosts: int = 3,
                  costs: CostModel = DEFAULT_COSTS, seed: int = 0,
-                 scheduler=None):
+                 scheduler=None, resource_aware: bool = False,
+                 cluster: Optional[Cluster] = None):
         self.engine = engine
         self.costs = costs
         self.seeds = as_factory(seed)
-        self.cluster = Cluster.of_size(num_hosts)
+        self.cluster = cluster if cluster is not None \
+            else Cluster.of_size(num_hosts)
         self.coordinator = Coordinator(engine, costs)
         self.state = GlobalState(self.coordinator)
         self.metrics = MetricsRegistry(engine)
@@ -91,8 +94,18 @@ class TyphoonCluster:
         self.sdn.register_app(self.app)
         for switch in self.fabric.switches():
             self.sdn.connect_switch(switch)
-        self.manager = TyphoonManager(engine, costs, self.cluster, self.state,
-                                      scheduler or TyphoonScheduler())
+        self.manager = TyphoonManager(
+            engine, costs, self.cluster, self.state,
+            scheduler or TyphoonScheduler(resource_aware=resource_aware))
+        #: Online SDN bandwidth allocation rides with resource-aware
+        #: scheduling; the default path installs neither the app nor any
+        #: meters, keeping behavior byte-identical to older builds.
+        self.bandwidth_allocator = None
+        if resource_aware:
+            self.bandwidth_allocator = BandwidthAllocator(self.app,
+                                                          self.cluster)
+            self.sdn.register_app(self.bandwidth_allocator)
+            self.app.bandwidth_policy = self.bandwidth_allocator
         self.executors: Dict[int, WorkerExecutor] = {}
         self.transports: Dict[int, TyphoonTransport] = {}
         self.replication = ReplicationService()

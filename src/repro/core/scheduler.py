@@ -6,12 +6,27 @@ inter-worker communication (remote transfers pay tunnel latency and
 bandwidth). Components are laid out in topological order and sliced into
 contiguous host-sized blocks, so a pipeline stage and its successor
 usually share a host.
+
+With ``resource_aware=True`` the scheduler instead runs an R-Storm-style
+soft-constraint assignment: components declare per-worker
+CPU/memory/bandwidth demand vectors
+(:class:`~repro.streaming.topology.ResourceDemand`), hosts carry
+capacity vectors (:class:`~repro.net.hosts.HostCapacity`), and workers
+are placed greedily in topological order minimizing, in priority order,
+(1) remote adjacent-worker pairs (network distance), (2) projected
+bandwidth cost over annotated inter-host links and host NICs, and
+(3) resource-space distance (just-fit bin packing). CPU and memory are
+hard constraints — an infeasible worker raises the structured
+:class:`InsufficientResourcesError` — while bandwidth is soft: the SDN
+bandwidth-allocation loop polices it online with switch meters. The
+default ``resource_aware=False`` path is byte-identical to the historic
+block placement.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..net.hosts import Cluster
 from ..streaming.physical import PhysicalTopology, WorkerAssignment
@@ -20,7 +35,32 @@ from ..streaming.scheduler import (
     SchedulingError,
     WorkerIdAllocator,
 )
-from ..streaming.topology import LogicalTopology
+from ..streaming.topology import LogicalTopology, ResourceDemand
+
+_NO_DEMAND = ResourceDemand()
+
+
+class InsufficientResourcesError(SchedulingError):
+    """No host can satisfy a worker's hard (cpu/memory) demand.
+
+    A *structured* rejection: carries the component, task index, the
+    offending demand vector and the per-host remaining capacities at the
+    time of failure, so callers (and tests) can reason about why
+    placement failed instead of parsing a message.
+    """
+
+    def __init__(self, component: str, task_index: int,
+                 demand: ResourceDemand,
+                 remaining: Dict[str, Tuple[float, float]]):
+        self.component = component
+        self.task_index = task_index
+        self.demand = demand
+        self.remaining = dict(remaining)
+        super().__init__(
+            "cannot place %s[%d] (cpu=%.1f mem=%.1f): remaining %s"
+            % (component, task_index, demand.cpu, demand.memory,
+               {h: ("%.1f" % c, "%.1f" % m)
+                for h, (c, m) in sorted(self.remaining.items())}))
 
 
 def topological_order(logical: LogicalTopology) -> List[str]:
@@ -45,10 +85,32 @@ def topological_order(logical: LogicalTopology) -> List[str]:
 
 
 class TyphoonScheduler(IScheduler):
-    """Locality-aware block placement."""
+    """Locality-aware block placement (default) or R-Storm-style
+    resource-aware assignment (``resource_aware=True``)."""
+
+    def __init__(self, resource_aware: bool = False):
+        self.resource_aware = resource_aware
+        #: host -> [cpu, memory, bandwidth] committed by topologies this
+        #: scheduler already placed (cross-topology accounting; the
+        #: manager releases a topology's share on kill).
+        self._committed: Dict[str, List[float]] = {}
+        #: topology_id -> [(host, demand)] for release().
+        self._by_topology: Dict[str, List[Tuple[str, ResourceDemand]]] = {}
+
+    def release(self, topology_id: str) -> None:
+        """Return a killed topology's committed resources to the pool."""
+        for host, demand in self._by_topology.pop(topology_id, []):
+            committed = self._committed.get(host)
+            if committed is not None:
+                committed[0] -= demand.cpu
+                committed[1] -= demand.memory
+                committed[2] -= demand.bandwidth
 
     def schedule(self, logical: LogicalTopology, cluster: Cluster,
                  app_id: int, allocator: WorkerIdAllocator) -> PhysicalTopology:
+        if self.resource_aware:
+            return self._schedule_resource_aware(logical, cluster, app_id,
+                                                 allocator)
         hosts = [host.name for host in cluster]
         if not hosts:
             raise SchedulingError("no hosts available")
@@ -74,6 +136,153 @@ class TyphoonScheduler(IScheduler):
                 task_index=task_index,
                 hostname=host,
             )
+        return PhysicalTopology(
+            topology_id=logical.topology_id,
+            app_id=app_id,
+            assignments=assignments,
+            edges=list(logical.edges),
+            binary_location="coordinator://%s/binary" % logical.topology_id,
+        )
+
+    # -- resource-aware placement (R-Storm style) -------------------------
+
+    def _schedule_resource_aware(
+            self, logical: LogicalTopology, cluster: Cluster, app_id: int,
+            allocator: WorkerIdAllocator) -> PhysicalTopology:
+        hosts = [host.name for host in cluster]
+        if not hosts:
+            raise SchedulingError("no hosts available")
+        host_order = {name: index for index, name in enumerate(hosts)}
+        capacities = {host.name: host.capacity for host in cluster}
+        # Remaining hard resources net of what earlier topologies hold;
+        # None capacity means unconstrained.
+        remaining: Dict[str, Optional[List[float]]] = {}
+        nic_load: Dict[str, float] = {}
+        for name in hosts:
+            held = self._committed.get(name, [0.0, 0.0, 0.0])
+            nic_load[name] = held[2]
+            if capacities[name] is None:
+                remaining[name] = None
+            else:
+                remaining[name] = [capacities[name].cpu - held[0],
+                                   capacities[name].memory - held[1]]
+        claimed = self._by_topology.setdefault(logical.topology_id, [])
+
+        adjacency: Dict[str, List[str]] = {name: [] for name in logical.nodes}
+        for edge in logical.edges:
+            adjacency[edge.src].append(edge.dst)
+            adjacency[edge.dst].append(edge.src)
+
+        #: component -> {host: workers placed there} (for affinity and
+        #: replica anti-affinity); host -> total placed workers.
+        placed: Dict[str, Dict[str, int]] = {}
+        assignments: Dict[int, WorkerAssignment] = {}
+
+        def demand_of(component: str) -> ResourceDemand:
+            return logical.nodes[component].demand or _NO_DEMAND
+
+        def fits(host: str, demand: ResourceDemand) -> bool:
+            budget = remaining[host]
+            if budget is None:
+                return True
+            return budget[0] >= demand.cpu and budget[1] >= demand.memory
+
+        def bandwidth_cost(host: str, component: str,
+                           demand: ResourceDemand) -> float:
+            """Projected soft cost of remote traffic for this placement:
+            each already-placed adjacent worker on another host adds the
+            pair's demanded rate over that link's capacity, plus any NIC
+            oversubscription the new worker would cause."""
+            cost = 0.0
+            for neighbour in adjacency[component]:
+                neighbour_demand = demand_of(neighbour)
+                pair_rate = max(demand.bandwidth, neighbour_demand.bandwidth)
+                for other, count in placed.get(neighbour, {}).items():
+                    if other == host:
+                        continue
+                    link = cluster.link_bandwidth(host, other)
+                    if link:
+                        cost += count * pair_rate / link
+                    elif pair_rate > 0.0:
+                        cost += count  # unannotated link: count the hop
+            capacity = capacities[host]
+            if capacity is not None and capacity.bandwidth > 0:
+                overshoot = (nic_load[host] + demand.bandwidth
+                             - capacity.bandwidth)
+                if overshoot > 0:
+                    cost += overshoot / capacity.bandwidth
+            return cost
+
+        def resource_distance(host: str, demand: ResourceDemand) -> float:
+            """R-Storm's just-fit term: prefer the host whose remaining
+            resources are closest to the demand (normalized), packing
+            work tightly so whole hosts stay free for later stages."""
+            budget = remaining[host]
+            capacity = capacities[host]
+            if budget is None or capacity is None:
+                return 0.0
+            distance = 0.0
+            if capacity.cpu > 0:
+                distance += (budget[0] - demand.cpu) / capacity.cpu
+            if capacity.memory > 0:
+                distance += (budget[1] - demand.memory) / capacity.memory
+            return distance
+
+        for component in topological_order(logical):
+            node = logical.nodes[component]
+            demand = node.demand or _NO_DEMAND
+            anti_affinity = getattr(node, "replicas", 1) > 1
+            for task_index in range(node.parallelism):
+                candidates = [h for h in hosts if fits(h, demand)]
+                if not candidates:
+                    snapshot = {
+                        name: ((math.inf, math.inf) if remaining[name] is None
+                               else (remaining[name][0], remaining[name][1]))
+                        for name in hosts
+                    }
+                    # Roll back this topology's partial commitments so a
+                    # rejected submission leaves the pool untouched.
+                    self.release(logical.topology_id)
+                    raise InsufficientResourcesError(
+                        component, task_index, demand, snapshot)
+
+                def score(host: str) -> Tuple:
+                    affinity = sum(
+                        placed.get(neighbour, {}).get(host, 0)
+                        for neighbour in adjacency[component])
+                    colocated = placed.get(component, {}).get(host, 0)
+                    if anti_affinity:
+                        # Replicas survive host loss: spreading dominates
+                        # every locality/packing consideration.
+                        return (colocated, -affinity,
+                                bandwidth_cost(host, component, demand),
+                                resource_distance(host, demand),
+                                host_order[host])
+                    return (-affinity,
+                            bandwidth_cost(host, component, demand),
+                            resource_distance(host, demand),
+                            host_order[host])
+
+                host = min(candidates, key=score)
+                budget = remaining[host]
+                if budget is not None:
+                    budget[0] -= demand.cpu
+                    budget[1] -= demand.memory
+                nic_load[host] += demand.bandwidth
+                held = self._committed.setdefault(host, [0.0, 0.0, 0.0])
+                held[0] += demand.cpu
+                held[1] += demand.memory
+                held[2] += demand.bandwidth
+                claimed.append((host, demand))
+                placed.setdefault(component, {})
+                placed[component][host] = placed[component].get(host, 0) + 1
+                worker_id = allocator.allocate()
+                assignments[worker_id] = WorkerAssignment(
+                    worker_id=worker_id,
+                    component=component,
+                    task_index=task_index,
+                    hostname=host,
+                )
         return PhysicalTopology(
             topology_id=logical.topology_id,
             app_id=app_id,

@@ -8,7 +8,7 @@ from .addresses import (
     WorkerAddress,
 )
 from .ethernet import DEFAULT_MTU, HEADER_LEN, EthernetFrame, FrameError
-from .hosts import Cluster, Host
+from .hosts import Cluster, Host, HostCapacity
 from .tcp import ChannelClosed, TcpChannel, TcpTunnel
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "EthernetFrame",
     "FrameError",
     "Host",
+    "HostCapacity",
     "TcpChannel",
     "TcpTunnel",
     "WorkerAddress",

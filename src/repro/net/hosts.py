@@ -5,20 +5,50 @@ does not model per-core scheduling — worker compute costs are charged on
 the virtual clock directly — but hosts determine *locality*: whether a
 tuple transfer is loopback or must cross the LAN (and, for Typhoon,
 traverse a host-level TCP tunnel).
+
+For resource-aware scheduling (R-Storm style), hosts optionally carry a
+:class:`HostCapacity` vector and the cluster an inter-host link-bandwidth
+map. Both are annotations consumed only by the resource-aware scheduler
+and the bandwidth-allocation controller app; the default (no capacity,
+no link entries) leaves every existing code path untouched.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class HostCapacity:
+    """Schedulable resources of one host.
+
+    ``cpu`` is in abstract compute units (R-Storm uses percentage
+    points of a core), ``memory`` in megabytes, ``bandwidth`` in
+    bytes/second of NIC egress. Demands (see
+    :class:`~repro.streaming.topology.ResourceDemand`) subtract from
+    these; cpu/memory are hard constraints, bandwidth a soft one.
+    """
+
+    cpu: float = 100.0
+    memory: float = 4096.0
+    bandwidth: float = 10e9 / 8
+
+    def __post_init__(self) -> None:
+        if self.cpu < 0 or self.memory < 0 or self.bandwidth < 0:
+            raise ValueError("capacities must be non-negative")
 
 
 class Host:
     """A named compute host."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, capacity: Optional[HostCapacity] = None):
         if not name:
             raise ValueError("host name must be non-empty")
         self.name = name
+        #: None means "unconstrained" — the resource-aware scheduler
+        #: substitutes an effectively infinite capacity.
+        self.capacity = capacity
 
     def __repr__(self) -> str:
         return "Host(%r)" % self.name
@@ -35,14 +65,45 @@ class Cluster:
 
     def __init__(self, hosts: Optional[List[Host]] = None):
         self._hosts: Dict[str, Host] = {}
+        #: Directed link capacities in bytes/sec, keyed (src, dst).
+        #: Missing entries fall back to ``default_link_bandwidth``.
+        self._link_bandwidth: Dict[Tuple[str, str], float] = {}
+        self.default_link_bandwidth: Optional[float] = None
         for host in hosts or []:
             self.add(host)
 
     @classmethod
-    def of_size(cls, count: int, prefix: str = "host") -> "Cluster":
+    def of_size(cls, count: int, prefix: str = "host",
+                capacity: Optional[HostCapacity] = None) -> "Cluster":
         if count <= 0:
             raise ValueError("cluster needs at least one host")
-        return cls([Host("%s-%d" % (prefix, i)) for i in range(count)])
+        return cls([Host("%s-%d" % (prefix, i), capacity=capacity)
+                    for i in range(count)])
+
+    # -- link annotations (resource-aware scheduling) ---------------------
+
+    def set_link_bandwidth(self, src: str, dst: str, bytes_per_sec: float,
+                           symmetric: bool = True) -> None:
+        """Annotate the src->dst link capacity (and dst->src unless
+        ``symmetric=False``)."""
+        if src not in self._hosts or dst not in self._hosts:
+            raise KeyError("both link endpoints must be cluster hosts")
+        if bytes_per_sec <= 0:
+            raise ValueError("link bandwidth must be positive")
+        self._link_bandwidth[(src, dst)] = bytes_per_sec
+        if symmetric:
+            self._link_bandwidth[(dst, src)] = bytes_per_sec
+
+    def link_bandwidth(self, src: str, dst: str,
+                       default: Optional[float] = None) -> Optional[float]:
+        """The annotated src->dst capacity, or the cluster default, or
+        ``default`` when neither is set."""
+        value = self._link_bandwidth.get((src, dst))
+        if value is not None:
+            return value
+        if self.default_link_bandwidth is not None:
+            return self.default_link_bandwidth
+        return default
 
     def add(self, host: Host) -> Host:
         if host.name in self._hosts:

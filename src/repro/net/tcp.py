@@ -67,6 +67,14 @@ class TcpChannel:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self._last_delivery = 0.0
+        #: Opt-in link-serialization model: each message occupies the
+        #: link for its transmission time, so a channel offered more
+        #: than ``lan_bandwidth_bytes_per_sec`` builds a real queue
+        #: (congestion benchmarks flip this on). Off by default — the
+        #: historic model charges only per-message delay, and existing
+        #: scenario timings depend on it byte-for-byte.
+        self.serialize = False
+        self._busy_until = 0.0
         # Chaos-injection knobs (see repro.sim.faults). ``down`` models a
         # partition: TCP keeps retransmitting, so writes queue losslessly
         # until the link heals. ``loss_rate`` models an *application-level*
@@ -98,9 +106,19 @@ class TcpChannel:
         self._schedule_delivery(data)
 
     def _schedule_delivery(self, data: bytes) -> None:
-        delay = (transmission_delay(self.costs, len(data), self.remote)
-                 + self.extra_delay + self.chaos_delay)
-        deliver_at = max(self.engine.now + delay, self._last_delivery)
+        if self.serialize and self.remote:
+            # The link is a shared serial resource: this message starts
+            # transmitting when the previous one finishes.
+            start = max(self.engine.now, self._busy_until)
+            self._busy_until = (
+                start + len(data) / self.costs.lan_bandwidth_bytes_per_sec)
+            deliver_at = (self._busy_until + self.costs.lan_latency
+                          + self.extra_delay + self.chaos_delay)
+        else:
+            delay = (transmission_delay(self.costs, len(data), self.remote)
+                     + self.extra_delay + self.chaos_delay)
+            deliver_at = self.engine.now + delay
+        deliver_at = max(deliver_at, self._last_delivery)
         self._last_delivery = deliver_at
         self.engine.schedule(deliver_at - self.engine.now, self._deliver, data)
 

@@ -1,0 +1,153 @@
+"""Link bandwidth allocation policy (pure functions).
+
+The SDN side of resource-aware scheduling (§5): once the scheduler has
+placed workers, the inter-host flows that share a physical link compete
+for its capacity. These helpers compute how much each flow should get.
+The :class:`~repro.core.apps.bandwidth_allocator.BandwidthAllocator`
+controller app turns the answer into switch meters (``MeterMod``) and
+re-runs the computation as observed rates shift.
+
+The policy is weighted max-min fairness with guarantees:
+
+* each flow has a *guarantee* — its weighted share of the link,
+  ``fair_shares`` — that any flow which wants it is always granted
+  within one control round (no starvation);
+* capacity a flow does not currently use is lent to hungry flows in
+  proportion to their guarantees (progressive filling); the lender's
+  allocation may drop below its guarantee but never below
+  ``RECLAIM_FLOOR`` of it, so it always has enough headroom left to
+  signal hunger and reclaim its full guarantee the next round;
+* when guarantees alone would overshoot (a quiet flow ramps back up),
+  the trim comes out of above-guarantee surplus first, so a hungry
+  flow is never pushed below its guarantee by another flow's borrow.
+
+All functions are deterministic and side-effect free so the allocation
+loop — and its tests — can reason about convergence exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+#: Observed-rate headroom: a flow is "hungry" when its observed rate is
+#: within this fraction of its current allocation (it is likely being
+#: clipped by its meter, not naturally slower).
+HUNGRY_FRACTION = 0.9
+
+#: Satisfied flows shrink to ``observed / SHRINK_FRACTION``. Strictly
+#: below HUNGRY_FRACTION so the shrink target is a fixed point: a flow
+#: sending a constant rate sits at observed == SHRINK * alloc, safely
+#: outside the hunger band, instead of oscillating on its edge.
+SHRINK_FRACTION = 0.8
+
+#: An allocation never drops below this fraction of the guarantee, even
+#: for an idle flow — the floor keeps enough metered headroom that a
+#: ramping flow trips HUNGRY_FRACTION and reclaims its guarantee in one
+#: round.
+RECLAIM_FLOOR = 0.25
+
+#: Relative change below which a reallocation round is considered a
+#: no-op (meters are not reprogrammed, the loop can settle).
+SETTLE_EPSILON = 0.05
+
+
+def fair_shares(capacity: float,
+                weights: Mapping[str, float]) -> Dict[str, float]:
+    """Weighted guaranteed share of ``capacity`` for each flow.
+
+    Weights are the flows' demanded rates (or 1.0 when undeclared); a
+    flow's guarantee is ``capacity * w / sum(w)``. Every flow gets a
+    strictly positive guarantee so none can be starved by the meters.
+    """
+    if capacity <= 0:
+        raise ValueError("link capacity must be positive")
+    if not weights:
+        return {}
+    total = 0.0
+    normalized: Dict[str, float] = {}
+    for name, weight in weights.items():
+        w = weight if weight > 0 else 1.0
+        normalized[name] = w
+        total += w
+    return {name: capacity * w / total for name, w in normalized.items()}
+
+
+def reallocate(
+    allocations: Mapping[str, float],
+    observed: Mapping[str, float],
+    guarantees: Mapping[str, float],
+    capacity: float,
+) -> Dict[str, float]:
+    """One round of progressive filling; returns the new allocations.
+
+    ``observed`` are per-flow measured rates since the last round.
+    Hungry flows (observed near their allocation — the meter is likely
+    clipping them) are raised to at least their guarantee; satisfied
+    flows shrink toward ``observed / SHRINK_FRACTION`` — but never
+    below ``RECLAIM_FLOOR`` of their guarantee — and the freed capacity
+    is split among hungry flows in proportion to their guarantees.
+    Overshoot is trimmed from above-guarantee surplus first; total
+    never exceeds ``capacity``.
+    """
+    if capacity <= 0:
+        raise ValueError("link capacity must be positive")
+    flows = list(guarantees)
+    if not flows:
+        return {}
+    new: Dict[str, float] = {}
+    hungry = []
+    for name in flows:
+        guarantee = guarantees[name]
+        alloc = allocations.get(name, guarantee)
+        rate = observed.get(name, 0.0)
+        if rate >= HUNGRY_FRACTION * alloc:
+            hungry.append(name)
+            new[name] = max(alloc, guarantee)
+        else:
+            # Lend what the flow demonstrably does not use, keeping
+            # headroom (SHRINK_FRACTION) so a steady sender is a fixed
+            # point and a floor (RECLAIM_FLOOR) so a ramping one can
+            # still signal hunger through its meter.
+            new[name] = max(guarantee * RECLAIM_FLOOR,
+                            rate / SHRINK_FRACTION)
+    spare = capacity - sum(new.values())
+    if spare > 0 and hungry:
+        weight_total = sum(guarantees[name] for name in hungry)
+        if weight_total > 0:
+            for name in hungry:
+                new[name] += spare * guarantees[name] / weight_total
+    # Overshoot (quiet flows ramping back to their guarantees while
+    # others still hold borrowed surplus): claw back the surplus held
+    # above guarantees first, so nobody is trimmed below a guarantee
+    # they are actively asking for.
+    excess = sum(new.values()) - capacity
+    if excess > 0:
+        surplus = {name: max(0.0, new[name] - guarantees[name])
+                   for name in flows}
+        surplus_total = sum(surplus.values())
+        if surplus_total > 0:
+            take = min(excess, surplus_total)
+            for name in flows:
+                if surplus[name] > 0:
+                    new[name] -= take * surplus[name] / surplus_total
+            excess -= take
+        if excess > 1e-9:
+            # Guarantees alone exceed capacity (caller passed shares
+            # not produced by fair_shares): last-resort uniform scale.
+            scale = capacity / sum(new.values())
+            for name in flows:
+                new[name] *= scale
+    return new
+
+
+def settled(old: Mapping[str, float], new: Mapping[str, float],
+            epsilon: float = SETTLE_EPSILON) -> bool:
+    """True when no allocation moved by more than ``epsilon`` relative."""
+    for name, value in new.items():
+        prev = old.get(name)
+        if prev is None:
+            return False
+        base = max(abs(prev), 1e-9)
+        if abs(value - prev) / base > epsilon:
+            return False
+    return True

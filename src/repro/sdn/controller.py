@@ -29,6 +29,9 @@ from .openflow import (
     FlowStatsRequest,
     GroupMod,
     Message,
+    MeterMod,
+    MeterStatsReply,
+    MeterStatsRequest,
     PacketIn,
     PacketOut,
     PortStatsReply,
@@ -83,6 +86,9 @@ class ControllerApp:
         pass
 
     def on_port_stats(self, message: PortStatsReply) -> None:
+        pass
+
+    def on_meter_stats(self, message: MeterStatsReply) -> None:
         pass
 
 
@@ -178,6 +184,10 @@ class SdnController:
             self._resolve_stats(message.dpid, PortStatsReply, message)
             for app in self.apps:
                 app.on_port_stats(message)
+        elif isinstance(message, MeterStatsReply):
+            self._resolve_stats(message.dpid, MeterStatsReply, message)
+            for app in self.apps:
+                app.on_meter_stats(message)
         else:
             raise TypeError("controller cannot handle %r" % (message,))
 
@@ -269,6 +279,17 @@ class SdnController:
     def packet_out(self, dpid: str, message: PacketOut) -> None:
         self.send(dpid, message)
 
+    def install_meter(self, dpid: str, meter_id: int,
+                      rate_bytes_per_sec: float, burst_bytes: float = 0.0,
+                      max_queue_seconds: float = 0.05,
+                      modify: bool = False) -> None:
+        command = "modify" if modify else ADD
+        self.send(dpid, MeterMod(command, meter_id, rate_bytes_per_sec,
+                                 burst_bytes, max_queue_seconds))
+
+    def delete_meter(self, dpid: str, meter_id: int) -> None:
+        self.send(dpid, MeterMod(DELETE, meter_id))
+
     def request_flow_stats(self, dpid: str,
                            match: Optional[Match] = None) -> Event:
         """Send a FlowStatsRequest; the returned event fires with the reply."""
@@ -282,6 +303,13 @@ class SdnController:
         gate = self.engine.event()
         self._pending_stats.setdefault((dpid, PortStatsReply), deque()).append(gate)
         self.send(dpid, PortStatsRequest(port_no))
+        return gate
+
+    def request_meter_stats(self, dpid: str,
+                            meter_id: Optional[int] = None) -> Event:
+        gate = self.engine.event()
+        self._pending_stats.setdefault((dpid, MeterStatsReply), deque()).append(gate)
+        self.send(dpid, MeterStatsRequest(meter_id))
         return gate
 
     # -- background tasks -------------------------------------------------------

@@ -132,6 +132,16 @@ class GroupAction(Action):
     group_id: int
 
 
+@dataclass(frozen=True)
+class Meter(Action):
+    """Pass the frame through a rate meter before further processing.
+
+    Installed via MeterMod; an uninstalled meter id passes traffic
+    through unmetered (rate policing fails open, never drops)."""
+
+    meter_id: int
+
+
 # -- flow entries ------------------------------------------------------------
 
 _entry_ids = itertools.count(1)

@@ -20,7 +20,7 @@ applications. This module provides that layer:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from ..net.addresses import WorkerAddress
 from ..sim.costs import CostModel
@@ -28,10 +28,12 @@ from ..sim.engine import Engine
 from .controller import SdnController
 from .flow import Match, SetDlDst
 from .openflow import (
+    DELETE,
     FlowMod,
     FlowRemoved,
     GroupMod,
     Message,
+    MeterMod,
     PacketIn,
     PacketOut,
     PortStatus,
@@ -48,11 +50,20 @@ class SliceController(SdnController):
     messages are policed by the hypervisor."""
 
     def __init__(self, engine: Engine, costs: CostModel, name: str,
-                 app_ids: Set[int], hypervisor: "NetworkHypervisor"):
+                 app_ids: Set[int], hypervisor: "NetworkHypervisor",
+                 bandwidth_quota: Optional[float] = None):
         super().__init__(engine, costs, name=name)
         self.app_ids = set(app_ids)
         self.hypervisor = hypervisor
         self.violations = 0
+        #: Max total committed meter rate (bytes/sec); None = unlimited.
+        self.bandwidth_quota = bandwidth_quota
+        #: (dpid, meter_id) -> committed rate for this slice's meters.
+        self.committed_rates: Dict[Tuple[Optional[str], int], float] = {}
+
+    def committed_bandwidth(self) -> float:
+        """Total meter rate this slice has committed (bytes/sec)."""
+        return sum(self.committed_rates.values())
 
     # The hypervisor connects the switches; slices must not bypass it.
     def send(self, dpid: str, message: Message) -> None:
@@ -60,7 +71,7 @@ class SliceController(SdnController):
             raise KeyError("no switch %r visible to slice %s"
                            % (dpid, self.name))
         try:
-            self.hypervisor.validate(self, message)
+            self.hypervisor.validate(self, message, dpid=dpid)
         except SliceViolation:
             self.violations += 1
             raise
@@ -80,6 +91,8 @@ class NetworkHypervisor:
         self.switches: Dict[str, SoftwareSwitch] = {}
         self.slices: Dict[str, SliceController] = {}
         self._owned_apps: Set[int] = set()
+        #: (dpid, meter_id) -> owning slice name (meter isolation).
+        self._meter_owner: Dict[Tuple[Optional[str], int], str] = {}
         self.events_demuxed = 0
         self.messages_forwarded = 0
 
@@ -94,15 +107,25 @@ class NetworkHypervisor:
         for slice_controller in self.slices.values():
             self._expose_switch(slice_controller, switch)
 
-    def create_slice(self, name: str, app_ids: Set[int]) -> SliceController:
-        """Carve out a slice owning the given application prefixes."""
+    def create_slice(self, name: str, app_ids: Set[int],
+                     bandwidth_quota: Optional[float] = None,
+                     ) -> SliceController:
+        """Carve out a slice owning the given application prefixes.
+
+        ``bandwidth_quota`` caps the total switch-meter rate the slice
+        may commit (bytes/sec): a MeterMod that would push the slice's
+        committed sum past the quota raises :class:`SliceViolation`.
+        """
         if name in self.slices:
             raise ValueError("slice %r exists" % name)
+        if bandwidth_quota is not None and bandwidth_quota <= 0:
+            raise ValueError("bandwidth quota must be positive")
         overlap = self._owned_apps & set(app_ids)
         if overlap:
             raise ValueError("app ids %s already sliced" % sorted(overlap))
         slice_controller = SliceController(self.engine, self.costs, name,
-                                           set(app_ids), self)
+                                           set(app_ids), self,
+                                           bandwidth_quota=bandwidth_quota)
         self._owned_apps |= set(app_ids)
         self.slices[name] = slice_controller
         for switch in self.switches.values():
@@ -124,7 +147,7 @@ class NetworkHypervisor:
         self.switches[dpid].handle_message(message)
 
     def validate(self, slice_controller: SliceController,
-                 message: Message) -> None:
+                 message: Message, dpid: Optional[str] = None) -> None:
         app_ids = slice_controller.app_ids
         if isinstance(message, FlowMod):
             self._validate_match(app_ids, message.match)
@@ -138,8 +161,43 @@ class NetworkHypervisor:
                 raise SliceViolation(
                     "PacketOut to foreign address %s" % frame.dst)
             self._validate_actions(app_ids, message.actions)
+        elif isinstance(message, MeterMod):
+            self._validate_meter(slice_controller, message, dpid)
         # Stats requests are read-only: switch-wide stats are permitted
         # (FlowVisor-style slicing of counters is out of scope).
+
+    def _validate_meter(self, slice_controller: SliceController,
+                        message: MeterMod, dpid: Optional[str]) -> None:
+        """Meter isolation + bandwidth-quota admission control.
+
+        A slice may only create/modify/delete its own meters, and the
+        sum of its committed meter rates must stay within its
+        ``bandwidth_quota``. Admission is stateful: an accepted MeterMod
+        records the commitment, a DELETE releases it.
+        """
+        key = (dpid, message.meter_id)
+        owner = self._meter_owner.get(key)
+        if owner is not None and owner != slice_controller.name:
+            raise SliceViolation(
+                "meter %#x on %s belongs to slice %r"
+                % (message.meter_id, dpid, owner))
+        if message.command == DELETE:
+            self._meter_owner.pop(key, None)
+            slice_controller.committed_rates.pop(key, None)
+            return
+        quota = slice_controller.bandwidth_quota
+        if quota is not None:
+            committed = sum(rate for k, rate
+                            in slice_controller.committed_rates.items()
+                            if k != key)
+            if committed + message.rate_bytes_per_sec > quota * (1 + 1e-9):
+                raise SliceViolation(
+                    "meter rate %.0f B/s would exceed slice %r quota "
+                    "(%.0f of %.0f B/s committed)"
+                    % (message.rate_bytes_per_sec, slice_controller.name,
+                       committed, quota))
+        self._meter_owner[key] = slice_controller.name
+        slice_controller.committed_rates[key] = message.rate_bytes_per_sec
 
     def _address_ok(self, app_ids: Set[int],
                     address: Optional[WorkerAddress]) -> bool:

@@ -154,6 +154,51 @@ class FlowStatsReply(Message):
 
 
 @dataclass
+class MeterMod(Message):
+    """Install / modify / delete a rate meter (per-port rate queue).
+
+    Frames directed through the meter by a :class:`~repro.sdn.flow.Meter`
+    flow action are shaped to ``rate_bytes_per_sec``: a ``burst_bytes``
+    token bucket absorbs bursts, excess traffic queues up to
+    ``max_queue_seconds`` of delay and overflow is dropped (attributed as
+    ``meter-limit`` in the delivery ledger).
+    """
+
+    command: str
+    meter_id: int
+    rate_bytes_per_sec: float = 0.0
+    burst_bytes: float = 0.0
+    max_queue_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.command not in (ADD, MODIFY, DELETE):
+            raise ValueError("bad MeterMod command: %r" % self.command)
+        if self.command != DELETE and self.rate_bytes_per_sec <= 0:
+            raise ValueError("meter rate must be positive")
+
+
+@dataclass
+class MeterStatsRequest(Message):
+    meter_id: Optional[int] = None
+
+
+@dataclass
+class MeterStatsEntry:
+    meter_id: int
+    rate_bytes_per_sec: float
+    packets: int
+    bytes: int
+    dropped_packets: int
+    dropped_bytes: int
+
+
+@dataclass
+class MeterStatsReply(Message):
+    dpid: str
+    entries: List[MeterStatsEntry]
+
+
+@dataclass
 class PortStatsRequest(Message):
     port_no: Optional[int] = None
 

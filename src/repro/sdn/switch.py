@@ -20,6 +20,7 @@ from ..net.ethernet import EthernetFrame
 from ..sim.audit import (
     LAYER_SWITCH,
     R_BACKLOG_OVERFLOW,
+    R_METER_LIMIT,
     R_NO_CONTROLLER,
     R_NO_GROUP,
     R_NO_OUTPUT,
@@ -38,6 +39,7 @@ from .flow import (
     FlowTable,
     GroupAction,
     Match,
+    Meter,
     Output,
     SetDlDst,
     SetTunnelDst,
@@ -56,6 +58,10 @@ from .openflow import (
     FlowStatsRequest,
     GroupMod,
     Message,
+    MeterMod,
+    MeterStatsEntry,
+    MeterStatsReply,
+    MeterStatsRequest,
     PacketIn,
     PacketOut,
     PortStatsEntry,
@@ -105,6 +111,64 @@ class SwitchPort:
         )
 
 
+class MeterState:
+    """One installed rate meter: a token-bucket shaper with a bounded
+    virtual queue.
+
+    Modelled as a virtual serialization horizon ``next_free``: each
+    admitted frame advances it by ``bytes/rate``; a ``burst`` allowance
+    caps how much idle credit accumulates. Frames whose queueing delay
+    would exceed ``max_queue`` seconds are dropped (the rate queue's
+    finite depth), attributed as ``meter-limit``.
+    """
+
+    __slots__ = ("meter_id", "rate", "burst", "max_queue", "next_free",
+                 "packets", "bytes", "dropped_packets", "dropped_bytes")
+
+    def __init__(self, meter_id: int, rate: float, burst: float,
+                 max_queue: float):
+        self.meter_id = meter_id
+        self.rate = rate
+        self.burst = burst
+        self.max_queue = max_queue
+        self.next_free = 0.0
+        self.packets = 0
+        self.bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+
+    def configure(self, rate: float, burst: float, max_queue: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.max_queue = max_queue
+
+    def shape(self, nbytes: int, ready_at: float) -> "tuple[float, bool]":
+        """Admit one frame at ``ready_at``; returns (departure, dropped)."""
+        floor = ready_at - (self.burst / self.rate if self.burst else 0.0)
+        horizon = self.next_free
+        if horizon < floor:
+            horizon = floor
+        horizon += nbytes / self.rate
+        if horizon - ready_at > self.max_queue:
+            self.dropped_packets += 1
+            self.dropped_bytes += nbytes
+            return ready_at, True
+        self.next_free = horizon
+        self.packets += 1
+        self.bytes += nbytes
+        return (horizon if horizon > ready_at else ready_at), False
+
+    def stats_entry(self) -> MeterStatsEntry:
+        return MeterStatsEntry(
+            meter_id=self.meter_id,
+            rate_bytes_per_sec=self.rate,
+            packets=self.packets,
+            bytes=self.bytes,
+            dropped_packets=self.dropped_packets,
+            dropped_bytes=self.dropped_bytes,
+        )
+
+
 class _FrameAccount:
     """Dispositions of one frame traversal, for replication accounting.
 
@@ -144,6 +208,7 @@ class SoftwareSwitch:
         self.tracer = tracer
         self.flows = FlowTable()
         self.groups = GroupTable()
+        self.meters: Dict[int, MeterState] = {}
         self.ports: Dict[int, SwitchPort] = {}
         self._next_port = 1
         self._busy_until = 0.0
@@ -154,6 +219,7 @@ class SoftwareSwitch:
         self.packets_dropped = 0
         self.table_misses = 0
         self.group_misses = 0
+        self.meter_drops = 0
         #: Set by the controller when it connects; receives event Messages.
         self._to_controller: Optional[Callable[[Message], None]] = None
         self._sweep_interval = idle_sweep_interval
@@ -237,6 +303,7 @@ class SoftwareSwitch:
         self.crashes += 1
         self.flows = FlowTable()
         self.groups = GroupTable()
+        self.meters = {}
         self._busy_until = self.engine.now
         for number in sorted(self.ports):
             port = self.ports[number]
@@ -283,12 +350,18 @@ class SoftwareSwitch:
             self.engine.schedule(
                 self.costs.flow_install_latency, self._apply_group_mod, message
             )
+        elif isinstance(message, MeterMod):
+            self.engine.schedule(
+                self.costs.flow_install_latency, self._apply_meter_mod, message
+            )
         elif isinstance(message, PacketOut):
             self._apply_packet_out(message)
         elif isinstance(message, FlowStatsRequest):
             self._reply_flow_stats(message)
         elif isinstance(message, PortStatsRequest):
             self._reply_port_stats(message)
+        elif isinstance(message, MeterStatsRequest):
+            self._reply_meter_stats(message)
         else:
             raise TypeError("switch cannot handle %r" % (message,))
 
@@ -332,6 +405,35 @@ class SoftwareSwitch:
         # Group contents changed under existing rules: conservatively
         # drop memoized lookups so no stale resolution can survive.
         self.flows.invalidate_cache()
+
+    def _apply_meter_mod(self, mod: MeterMod) -> None:
+        if not self.up:
+            self.control_lost_while_down += 1
+            return
+        if mod.command == DELETE:
+            self.meters.pop(mod.meter_id, None)
+            return
+        existing = self.meters.get(mod.meter_id)
+        if mod.command == MODIFY and existing is not None:
+            # Reconfiguration keeps counters and the shaping horizon:
+            # the allocator's rate changes must not reset accounting.
+            existing.configure(mod.rate_bytes_per_sec, mod.burst_bytes,
+                               mod.max_queue_seconds)
+            return
+        self.meters[mod.meter_id] = MeterState(
+            mod.meter_id, mod.rate_bytes_per_sec, mod.burst_bytes,
+            mod.max_queue_seconds)
+
+    def _reply_meter_stats(self, request: MeterStatsRequest) -> None:
+        if request.meter_id is None:
+            meters = [self.meters[mid] for mid in sorted(self.meters)]
+        else:
+            meters = [m for m in self.meters.values()
+                      if m.meter_id == request.meter_id]
+        self._notify_controller(
+            MeterStatsReply(self.dpid, [m.stats_entry() for m in meters]),
+            self.costs.openflow_rtt / 2,
+        )
 
     def _apply_packet_out(self, message: PacketOut) -> None:
         # Controller-injected frames enter the data plane here without
@@ -448,8 +550,14 @@ class SoftwareSwitch:
         tun_dst: Optional[str],
         ready_at: Optional[float] = None,
         account: Optional[_FrameAccount] = None,
+        meter_extra: float = 0.0,
     ) -> None:
-        """Execute an action list; copies pay per-output switch time."""
+        """Execute an action list; copies pay per-output switch time.
+
+        ``meter_extra`` is accumulated rate-queue shaping delay: it
+        postpones deliveries without occupying the forwarding server
+        (metered frames wait in a port queue, not on the switch CPU).
+        """
         if ready_at is None:
             ready_at = self.engine.now
         current = frame
@@ -458,6 +566,28 @@ class SoftwareSwitch:
                 tun_dst = action.host
             elif isinstance(action, SetDlDst):
                 current = current.with_dst(action.address)
+            elif isinstance(action, Meter):
+                meter = self.meters.get(action.meter_id)
+                if meter is None:
+                    continue  # fail open: police only installed meters
+                depart, dropped = meter.shape(len(current),
+                                              ready_at + meter_extra)
+                if dropped:
+                    # Rate-queue overflow: the frame dies here; none of
+                    # the remaining actions see it.
+                    self.meter_drops += 1
+                    self.packets_dropped += 1
+                    if account is not None:
+                        account.dropped += 1
+                    if self.ledger is not None:
+                        self.ledger.record_frame_drop(LAYER_SWITCH,
+                                                      R_METER_LIMIT, current)
+                    tracer = self._live_tracer()
+                    if tracer is not None:
+                        tracer.frame_drop(current, LAYER_SWITCH,
+                                          R_METER_LIMIT)
+                    return
+                meter_extra = depart - ready_at
             elif isinstance(action, GroupAction):
                 if action.group_id not in self.groups:
                     # Install race (flow landed before its group) or a
@@ -482,10 +612,11 @@ class SoftwareSwitch:
                                        copies=len(buckets))
                 for bucket in buckets:
                     self._run_actions(current, bucket.actions, in_port,
-                                      tun_dst, ready_at, account)
+                                      tun_dst, ready_at, account, meter_extra)
             elif isinstance(action, Output):
                 ready_at = self._output(current, action.port, in_port,
-                                        tun_dst, ready_at, account)
+                                        tun_dst, ready_at, account,
+                                        meter_extra)
             else:
                 raise TypeError("unknown action %r" % (action,))
 
@@ -497,6 +628,7 @@ class SoftwareSwitch:
         tun_dst: Optional[str],
         ready_at: float,
         account: Optional[_FrameAccount] = None,
+        meter_extra: float = 0.0,
     ) -> float:
         copy_cost = (
             self.costs.switch_copy_per_output
@@ -541,7 +673,7 @@ class SoftwareSwitch:
                 return finish
             entry.touch(self.engine.now, len(frame))
             self._run_actions(frame, entry.actions, in_port, tun_dst, finish,
-                              account)
+                              account, meter_extra)
             return self._busy_until
 
         port = self.ports.get(out_port)
@@ -559,7 +691,10 @@ class SoftwareSwitch:
             account.emitted += 1
         port.tx_packets += 1
         port.tx_bytes += len(frame)
-        delay = (finish - self.engine.now) + self.costs.loopback_latency
+        # Meter shaping delays the delivery (the frame sits in the port's
+        # rate queue) without occupying the switch forwarding server.
+        delay = (finish - self.engine.now) + self.costs.loopback_latency \
+            + meter_extra
         self.engine.schedule(delay, port.sink, frame, tun_dst)
         return finish
 

@@ -72,6 +72,7 @@ R_NO_CONTROLLER = "no-controller"           #: PacketIn with no controller attac
 R_UNRESOLVED = "unresolved-worker"          #: Storm registry lookup failed
 R_LINK_LOSS = "link-loss"                   #: injected lossy-link drop
 R_SWITCH_DOWN = "switch-down"               #: frame hit a crashed switch
+R_METER_LIMIT = "meter-limit"               #: rate meter queue overflow
 
 #: Scope used when the reporting site cannot attribute an application.
 UNKNOWN_SCOPE = -1

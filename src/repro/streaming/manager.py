@@ -97,6 +97,11 @@ class StreamingManager:
         if record is None:
             return
         record.active = False
+        # Resource-aware schedulers hold per-host commitments for the
+        # topology; give them back so later submissions can use them.
+        release = getattr(self.scheduler, "release", None)
+        if release is not None:
+            release(topology_id)
         for assignment in record.physical.assignments.values():
             agent = self.agents.get(assignment.hostname)
             if agent is not None:

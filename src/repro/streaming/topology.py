@@ -151,6 +151,26 @@ class Edge:
     stream: int = DEFAULT_STREAM
 
 
+@dataclass(frozen=True)
+class ResourceDemand:
+    """Per-worker resource demand vector (R-Storm style).
+
+    Units match :class:`~repro.net.hosts.HostCapacity`: ``cpu`` in
+    abstract compute units, ``memory`` in megabytes, ``bandwidth`` in
+    bytes/second of emitted traffic. The all-zero default means "no
+    declared demand": the resource-aware scheduler then places purely by
+    locality and never rejects on capacity.
+    """
+
+    cpu: float = 0.0
+    memory: float = 0.0
+    bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu < 0 or self.memory < 0 or self.bandwidth < 0:
+            raise TopologyError("resource demands must be non-negative")
+
+
 @dataclass
 class LogicalNode:
     """One node of the logical DAG."""
@@ -162,6 +182,7 @@ class LogicalNode:
     stateful: bool = False
     max_pending: Optional[int] = None  # spouts: in-flight cap when acking
     replicas: int = 1  # >1: active replication (exactly-once, see replication.py)
+    demand: Optional[ResourceDemand] = None  # per-worker resource vector
 
     def __post_init__(self) -> None:
         if self.kind not in (SPOUT, BOLT):
@@ -374,16 +395,19 @@ class TopologyBuilder:
 
     def set_spout(self, name: str, factory: Callable[[], Component],
                   parallelism: int = 1,
-                  max_pending: Optional[int] = None) -> "TopologyBuilder":
+                  max_pending: Optional[int] = None,
+                  demand: Optional[ResourceDemand] = None) -> "TopologyBuilder":
         self._add_node(LogicalNode(name, SPOUT, factory, parallelism,
-                                   max_pending=max_pending))
+                                   max_pending=max_pending, demand=demand))
         return self
 
     def set_bolt(self, name: str, factory: Callable[[], Component],
                  parallelism: int = 1, stateful: bool = False,
-                 replicas: int = 1) -> _BoltDeclarer:
+                 replicas: int = 1,
+                 demand: Optional[ResourceDemand] = None) -> _BoltDeclarer:
         self._add_node(LogicalNode(name, BOLT, factory, parallelism,
-                                   stateful=stateful, replicas=replicas))
+                                   stateful=stateful, replicas=replicas,
+                                   demand=demand))
         return _BoltDeclarer(self, name)
 
     def _add_node(self, node: LogicalNode) -> None:

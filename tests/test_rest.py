@@ -149,3 +149,106 @@ def test_cluster_summary():
     assert len(payload["switches"]) == 2
     assert "typhoon-core" in payload["controller"]["apps"]
     assert api.requests_served >= 1
+
+
+# -- network slices + bandwidth allocation routes -------------------------
+
+
+def start_sliced():
+    from repro.sdn import SoftwareSwitch
+    from repro.sdn.hypervisor import NetworkHypervisor
+    from repro.sim import DEFAULT_COSTS
+
+    engine = Engine()
+    cluster = TyphoonCluster(engine, num_hosts=1, seed=0)
+    api = RestApi(cluster)
+    hypervisor = NetworkHypervisor(engine, DEFAULT_COSTS)
+    switch = SoftwareSwitch(engine, DEFAULT_COSTS, dpid="sw0")
+    hypervisor.connect_switch(switch)
+    hypervisor.create_slice("tenant-a", {1}, bandwidth_quota=100_000.0)
+    hypervisor.create_slice("tenant-b", {2})
+    api.attach_hypervisor(hypervisor)
+    return engine, api, switch
+
+
+def test_list_slices():
+    _engine, api, _switch = start_sliced()
+    status, payload = api.handle("GET", "/slices")
+    assert status == 200
+    assert sorted(payload["slices"]) == ["tenant-a", "tenant-b"]
+    tenant_a = payload["slices"]["tenant-a"]
+    assert tenant_a["app_ids"] == [1]
+    assert tenant_a["bandwidth_quota"] == 100_000.0
+    assert tenant_a["committed_bandwidth"] == 0.0
+    assert payload["slices"]["tenant-b"]["bandwidth_quota"] is None
+
+
+def test_slice_flow_installation_and_violation():
+    engine, api, switch = start_sliced()
+    ok = {"dpid": "sw0",
+          "match": {"in_port": 1, "dl_src": [1, 10], "dl_dst": [1, 11]},
+          "actions": [{"type": "output", "port": 2}]}
+    status, payload = api.handle("POST", "/slices/tenant-a/flows", ok)
+    assert status == 202
+    engine.run(until=0.01)
+    assert len(switch.flows) == 1
+
+    foreign = {"dpid": "sw0",
+               "match": {"dl_src": [2, 10], "dl_dst": [1, 11]},
+               "actions": [{"type": "output", "port": 2}]}
+    status, payload = api.handle("POST", "/slices/tenant-a/flows", foreign)
+    assert status == 403
+    assert "foreign" in payload["error"]
+    engine.run(until=0.02)
+    assert len(switch.flows) == 1  # nothing new reached the switch
+
+    rewrite = {"dpid": "sw0",
+               "match": {"dl_src": [1, 10], "dl_dst": [1, 11]},
+               "actions": [{"type": "set_dl_dst", "address": [2, 9]}]}
+    assert api.handle("POST", "/slices/tenant-a/flows", rewrite)[0] == 403
+
+
+def test_slice_flow_validation_errors():
+    _engine, api, _switch = start_sliced()
+    assert api.handle("POST", "/slices/nope/flows",
+                      {"dpid": "sw0"})[0] == 404
+    bad_action = {"dpid": "sw0",
+                  "match": {"dl_src": [1, 10], "dl_dst": [1, 11]},
+                  "actions": [{"type": "teleport"}]}
+    status, payload = api.handle("POST", "/slices/tenant-a/flows",
+                                 bad_action)
+    assert status == 400
+    assert "teleport" in payload["error"]
+
+
+def test_slice_meter_quota_through_rest():
+    _engine, api, _switch = start_sliced()
+    status, payload = api.handle("POST", "/slices/tenant-a/meters", {
+        "dpid": "sw0", "meter_id": 1, "rate_bytes_per_sec": 80_000.0})
+    assert status == 202
+    assert payload["committed_bandwidth"] == 80_000.0
+    status, payload = api.handle("POST", "/slices/tenant-a/meters", {
+        "dpid": "sw0", "meter_id": 2, "rate_bytes_per_sec": 30_000.0})
+    assert status == 403
+    assert "quota" in payload["error"]
+    # The rejected commitment is not recorded.
+    _status, payload = api.handle("GET", "/slices")
+    assert payload["slices"]["tenant-a"]["committed_bandwidth"] == 80_000.0
+
+
+def test_slice_routes_without_hypervisor():
+    engine = Engine()
+    api = RestApi(TyphoonCluster(engine, num_hosts=1, seed=0))
+    assert api.handle("GET", "/slices")[0] == 400
+
+
+def test_bandwidth_route():
+    engine = Engine()
+    api = RestApi(TyphoonCluster(engine, num_hosts=1, seed=0))
+    assert api.handle("GET", "/bandwidth")[0] == 404
+    engine = Engine()
+    api = RestApi(TyphoonCluster(engine, num_hosts=1, seed=0,
+                                 resource_aware=True))
+    status, payload = api.handle("GET", "/bandwidth")
+    assert status == 200
+    assert payload["flows"] == [] and payload["meters_installed"] == 0

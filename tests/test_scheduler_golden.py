@@ -1,0 +1,93 @@
+"""Golden lock on the default scheduler's placements.
+
+``resource_aware=False`` (the default) must keep scheduling the paper's
+benchmark workloads byte-identically to the historic block placement —
+the resource-aware path and its cross-topology accounting must not
+perturb it. The goldens under ``tests/golden/`` record, for each fig
+workload, the full worker->(component, task_index, hostname) map that
+the submit path (replica expansion + acker injection included)
+produces.
+
+Regenerate after an *intentional* scheduler change with::
+
+    PYTHONPATH=src python tests/test_scheduler_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.runtime import TyphoonCluster
+from repro.sim.engine import Engine
+from repro.streaming.topology import TopologyConfig
+from repro.workloads.wordcount import (
+    broadcast_topology,
+    forwarding_topology,
+    word_count_topology,
+)
+from repro.workloads.yahoo import yahoo_topology
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "scheduler_placements.json")
+
+#: name -> (num_hosts, topology factory); configs mirror the fig
+#: harness in repro.bench.figures.
+WORKLOADS = {
+    "fig8_forwarding_local": (1, lambda: forwarding_topology(
+        "fwd", TopologyConfig(batch_size=100, acking=False,
+                              num_ackers=0))),
+    "fig8_forwarding_remote_acked": (2, lambda: forwarding_topology(
+        "fwd", TopologyConfig(batch_size=100, acking=True,
+                              num_ackers=1))),
+    "fig9_broadcast": (2, lambda: broadcast_topology(
+        "bc", 4, TopologyConfig(batch_size=100))),
+    "fig10_wordcount_fault": (3, lambda: word_count_topology(
+        "wc", TopologyConfig(batch_size=100, max_spout_rate=8000.0),
+        splits=2, counts=4, words_per_sentence=3, fault_time=20.0)),
+    "fig14_yahoo": (3, lambda: yahoo_topology(
+        "yahoo", TopologyConfig(batch_size=50),
+        allowed_events=("view",))),
+}
+
+
+def _placements(name: str) -> dict:
+    num_hosts, factory = WORKLOADS[name]
+    typhoon = TyphoonCluster(Engine(), num_hosts=num_hosts)
+    physical = typhoon.submit(factory())
+    return {
+        str(worker_id): [assignment.component, assignment.task_index,
+                         assignment.hostname]
+        for worker_id, assignment in sorted(physical.assignments.items())
+    }
+
+
+def _golden() -> dict:
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_default_scheduler_matches_golden(name):
+    assert _placements(name) == _golden()[name], (
+        "default-path placement for %s drifted from tests/golden/"
+        "scheduler_placements.json; if the change is intentional, "
+        "regenerate with `PYTHONPATH=src python "
+        "tests/test_scheduler_golden.py --regen`" % name)
+
+
+def test_golden_covers_every_workload():
+    assert sorted(_golden()) == sorted(WORKLOADS)
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" not in sys.argv:
+        sys.exit("usage: python tests/test_scheduler_golden.py --regen")
+    data = {name: _placements(name) for name in sorted(WORKLOADS)}
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % GOLDEN_PATH)

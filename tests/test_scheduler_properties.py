@@ -1,0 +1,268 @@
+"""Placement properties of the resource-aware scheduler (§5).
+
+Seeded random topologies scheduled onto seeded random clusters. On
+every instance the scheduler must either produce a placement or raise
+the structured :class:`InsufficientResourcesError` — and a placement
+must respect every hard constraint:
+
+* per-host committed cpu/memory never exceeds the host's capacity,
+  including across multiple topologies sharing one scheduler;
+* every (component, task_index) of the logical topology is placed
+  exactly once, with cluster-unique worker ids;
+* scheduling is deterministic: a fresh scheduler over the same inputs
+  yields the identical assignment map;
+* ``release()`` returns a topology's commitments exactly (placements
+  round-trip);
+* on unconstrained clusters the placement never produces more remote
+  adjacent-worker pairs than the round-robin Storm baseline.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.scheduler import (
+    InsufficientResourcesError,
+    TyphoonScheduler,
+)
+from repro.net.hosts import Cluster, Host, HostCapacity
+from repro.streaming.scheduler import RoundRobinScheduler, WorkerIdAllocator
+from repro.streaming.topology import (
+    Bolt,
+    LogicalTopology,
+    ResourceDemand,
+    Spout,
+    TopologyBuilder,
+)
+
+
+class _NullSpout(Spout):
+    def next_tuple(self, collector):
+        pass
+
+
+class _NullBolt(Bolt):
+    def execute(self, stream_tuple, collector):
+        pass
+
+
+def random_topology(rng: random.Random, topology_id: str,
+                    max_demand_cpu: float = 40.0) -> LogicalTopology:
+    """A random layered DAG with random parallelism and demands."""
+    builder = TopologyBuilder(topology_id)
+
+    def demand():
+        if rng.random() < 0.2:
+            return None  # undeclared: schedulable anywhere
+        return ResourceDemand(
+            cpu=rng.uniform(5.0, max_demand_cpu),
+            memory=rng.uniform(64.0, 1024.0),
+            bandwidth=rng.choice([0.0, rng.uniform(1e3, 8e4)]),
+        )
+
+    names = ["spout"]
+    builder.set_spout("spout", _NullSpout, rng.randint(1, 3),
+                      demand=demand())
+    for index in range(rng.randint(1, 4)):
+        name = "bolt%d" % index
+        declarer = builder.set_bolt(name, _NullBolt, rng.randint(1, 3),
+                                    demand=demand())
+        # Subscribe to 1-2 upstream components (always a DAG).
+        for src in rng.sample(names, rng.randint(1, min(2, len(names)))):
+            if rng.random() < 0.5:
+                declarer.shuffle_grouping(src)
+            else:
+                declarer.fields_grouping(src, [0])
+        names.append(name)
+    return builder.build()
+
+
+def random_cluster(rng: random.Random) -> Cluster:
+    cluster = Cluster()
+    for index in range(rng.randint(2, 5)):
+        if rng.random() < 0.15:
+            capacity = None  # unconstrained host
+        else:
+            capacity = HostCapacity(
+                cpu=rng.uniform(40.0, 200.0),
+                memory=rng.uniform(1024.0, 8192.0),
+                bandwidth=rng.uniform(5e4, 2e5),
+            )
+        cluster.add(Host("host-%d" % index, capacity=capacity))
+    names = [host.name for host in cluster]
+    for i, src in enumerate(names):
+        for dst in names[i + 1:]:
+            if rng.random() < 0.5:
+                cluster.set_link_bandwidth(src, dst,
+                                           rng.uniform(5e4, 2e5))
+    return cluster
+
+
+def _schedule(scheduler, logical, cluster, app_id=1, allocator=None):
+    return scheduler.schedule(logical, cluster, app_id,
+                              allocator or WorkerIdAllocator())
+
+
+def _demand_of(logical, component):
+    return logical.nodes[component].demand or ResourceDemand()
+
+
+def _usage_by_host(logical, physical):
+    usage = {}
+    for assignment in physical.assignments.values():
+        demand = _demand_of(logical, assignment.component)
+        cpu, mem = usage.get(assignment.hostname, (0.0, 0.0))
+        usage[assignment.hostname] = (cpu + demand.cpu, mem + demand.memory)
+    return usage
+
+
+def _assignment_tuples(physical):
+    return sorted((wid, a.component, a.task_index, a.hostname)
+                  for wid, a in physical.assignments.items())
+
+
+def _remote_pairs(physical):
+    by_component = {}
+    for assignment in physical.assignments.values():
+        by_component.setdefault(assignment.component,
+                                []).append(assignment.hostname)
+    count = 0
+    for edge in physical.edges:
+        for src_host in by_component.get(edge.src, ()):
+            for dst_host in by_component.get(edge.dst, ()):
+                if src_host != dst_host:
+                    count += 1
+    return count
+
+
+EPS = 1e-9
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_placement_respects_capacity_or_rejects_structurally(seed):
+    rng = random.Random(seed)
+    logical = random_topology(rng, "prop-%d" % seed)
+    cluster = random_cluster(rng)
+    scheduler = TyphoonScheduler(resource_aware=True)
+    try:
+        physical = _schedule(scheduler, logical, cluster)
+    except InsufficientResourcesError as error:
+        # The rejection is structured and truthful: the named task
+        # exists, carries its declared demand, and genuinely fits on
+        # no host given the reported remaining capacities.
+        node = logical.nodes[error.component]
+        assert 0 <= error.task_index < node.parallelism
+        assert error.demand == (node.demand or ResourceDemand())
+        assert set(error.remaining) == {host.name for host in cluster}
+        for cpu, mem in error.remaining.values():
+            assert cpu < error.demand.cpu or mem < error.demand.memory
+        # A rejected submission leaves the pool untouched.
+        assert all(all(abs(v) < EPS for v in held)
+                   for held in scheduler._committed.values())
+        return
+    # Placed: complete, unique, and within every hard capacity.
+    tasks = sorted((a.component, a.task_index)
+                   for a in physical.assignments.values())
+    expected = sorted((name, i) for name, node in logical.nodes.items()
+                      for i in range(node.parallelism))
+    assert tasks == expected
+    for hostname, (cpu, mem) in _usage_by_host(logical, physical).items():
+        capacity = cluster.get(hostname).capacity
+        if capacity is None:
+            continue
+        assert cpu <= capacity.cpu + EPS
+        assert mem <= capacity.memory + EPS
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_placement_is_deterministic(seed):
+    rng = random.Random(seed)
+    logical = random_topology(rng, "det-%d" % seed)
+    cluster = random_cluster(rng)
+    outcomes = []
+    for _run in range(2):
+        scheduler = TyphoonScheduler(resource_aware=True)
+        try:
+            outcomes.append(_assignment_tuples(
+                _schedule(scheduler, logical, cluster)))
+        except InsufficientResourcesError as error:
+            outcomes.append(("rejected", error.component,
+                             error.task_index))
+    assert outcomes[0] == outcomes[1]
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_cross_topology_accounting_and_release(seed):
+    """Two topologies share one scheduler: joint usage never exceeds
+    capacity, and releasing one returns exactly its commitments."""
+    rng = random.Random(1000 + seed)
+    cluster = random_cluster(rng)
+    scheduler = TyphoonScheduler(resource_aware=True)
+    placed = {}
+    for topology_id in ("first", "second"):
+        logical = random_topology(rng, topology_id, max_demand_cpu=25.0)
+        try:
+            placed[topology_id] = (logical,
+                                   _schedule(scheduler, logical, cluster))
+        except InsufficientResourcesError:
+            pass
+    # Joint hard-resource usage of everything placed fits every host.
+    joint = {}
+    for logical, physical in placed.values():
+        for host, (cpu, mem) in _usage_by_host(logical, physical).items():
+            prev = joint.get(host, (0.0, 0.0))
+            joint[host] = (prev[0] + cpu, prev[1] + mem)
+    for hostname, (cpu, mem) in joint.items():
+        capacity = cluster.get(hostname).capacity
+        if capacity is None:
+            continue
+        assert cpu <= capacity.cpu + EPS
+        assert mem <= capacity.memory + EPS
+    # Releasing everything drains the committed pool to zero.
+    for topology_id in placed:
+        scheduler.release(topology_id)
+    for held in scheduler._committed.values():
+        assert all(abs(value) < EPS for value in held)
+    # And replaying the submissions in order lands on identical hosts
+    # (release really did restore the pre-submission pool).
+    for topology_id, (logical, physical) in placed.items():
+        again = _schedule(scheduler, logical, cluster,
+                          allocator=WorkerIdAllocator())
+        assert (sorted((a.component, a.task_index, a.hostname)
+                       for a in again.assignments.values())
+                == sorted((a.component, a.task_index, a.hostname)
+                          for a in physical.assignments.values()))
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_locality_never_worse_than_round_robin(seed):
+    """On an unconstrained cluster the resource-aware placement has at
+    most as many remote adjacent-worker pairs as the Storm baseline."""
+    rng = random.Random(2000 + seed)
+    logical = random_topology(rng, "loc-%d" % seed)
+    cluster = Cluster([Host("host-%d" % i)
+                       for i in range(rng.randint(2, 5))])
+    aware = _schedule(TyphoonScheduler(resource_aware=True), logical,
+                      cluster)
+    naive = _schedule(RoundRobinScheduler(), logical, cluster)
+    assert _remote_pairs(aware) <= _remote_pairs(naive)
+
+
+def test_default_path_ignores_capacities():
+    """resource_aware=False never consults capacities: a topology that
+    would be rejected under accounting still block-places."""
+    cluster = Cluster([Host("a", HostCapacity(cpu=1.0, memory=1.0)),
+                       Host("b", HostCapacity(cpu=1.0, memory=1.0))])
+    builder = TopologyBuilder("heavy")
+    builder.set_spout("spout", _NullSpout, 2,
+                      demand=ResourceDemand(cpu=50.0, memory=512.0))
+    builder.set_bolt("sink", _NullBolt, 2,
+                     demand=ResourceDemand(cpu=50.0, memory=512.0)
+                     ).shuffle_grouping("spout")
+    logical = builder.build()
+    physical = _schedule(TyphoonScheduler(), logical, cluster)
+    assert len(physical.assignments) == 4
+    with pytest.raises(InsufficientResourcesError):
+        _schedule(TyphoonScheduler(resource_aware=True), logical, cluster)

@@ -172,3 +172,79 @@ def test_two_tenants_coexist_on_data_plane(engine, setup):
     engine.run(until=0.05)
     assert [f.payload for f in got_a] == [b"a"]
     assert [f.payload for f in got_b] == [b"b"]
+
+
+# -- meter isolation + bandwidth quotas (resource-aware scheduling) -------
+
+
+def test_meter_ownership_enforced_across_slices(engine, setup):
+    _hv, switch, tenant_a, tenant_b = setup
+    tenant_a.install_meter("sw0", 7, 50_000.0)
+    with pytest.raises(SliceViolation):
+        tenant_b.install_meter("sw0", 7, 10_000.0, modify=True)
+    with pytest.raises(SliceViolation):
+        tenant_b.delete_meter("sw0", 7)
+    assert tenant_b.violations == 2
+    engine.run(until=0.01)
+    # The owner's meter survives the foreign attempts untouched.
+    assert switch.meters[7].rate == 50_000.0
+
+
+def test_meter_delete_releases_ownership(engine, setup):
+    _hv, switch, tenant_a, tenant_b = setup
+    tenant_a.install_meter("sw0", 7, 50_000.0)
+    tenant_a.delete_meter("sw0", 7)
+    # Freed id: another slice may claim it now.
+    tenant_b.install_meter("sw0", 7, 10_000.0)
+    engine.run(until=0.01)
+    assert switch.meters[7].rate == 10_000.0
+
+
+def test_bandwidth_quota_admission_and_release(engine):
+    hypervisor = NetworkHypervisor(engine, DEFAULT_COSTS)
+    switch = SoftwareSwitch(engine, DEFAULT_COSTS, dpid="sw0")
+    hypervisor.connect_switch(switch)
+    tenant = hypervisor.create_slice("tenant", {1},
+                                     bandwidth_quota=100_000.0)
+    tenant.install_meter("sw0", 1, 60_000.0)
+    tenant.install_meter("sw0", 2, 40_000.0)
+    assert tenant.committed_bandwidth() == 100_000.0
+    # The quota is saturated: one more byte/sec is rejected ...
+    with pytest.raises(SliceViolation):
+        tenant.install_meter("sw0", 3, 1.0)
+    # ... and the rejected MeterMod committed nothing.
+    assert tenant.committed_bandwidth() == 100_000.0
+    # Modifying an existing meter replaces (not adds to) its share.
+    tenant.install_meter("sw0", 2, 10_000.0, modify=True)
+    assert tenant.committed_bandwidth() == 70_000.0
+    tenant.install_meter("sw0", 3, 30_000.0)
+    # Deleting releases the commitment for reuse.
+    tenant.delete_meter("sw0", 1)
+    assert tenant.committed_bandwidth() == 40_000.0
+    tenant.install_meter("sw0", 4, 60_000.0)
+    engine.run(until=0.01)
+    assert sorted(switch.meters) == [2, 3, 4]
+
+
+def test_bandwidth_quota_is_per_slice(engine, setup):
+    hypervisor, _switch, _a, _b = setup
+    limited = hypervisor.create_slice("limited", {3},
+                                      bandwidth_quota=5_000.0)
+    with pytest.raises(SliceViolation):
+        limited.install_meter("sw0", 9, 6_000.0)
+    # Unquota'd slices meter freely.
+    _a.install_meter("sw0", 10, 10_000_000.0)
+
+
+def test_bandwidth_quota_must_be_positive(engine, setup):
+    hypervisor, _switch, _a, _b = setup
+    with pytest.raises(ValueError):
+        hypervisor.create_slice("broken", {4}, bandwidth_quota=0.0)
+
+
+def test_group_buckets_validated_like_actions(engine, setup):
+    _hv, _switch, tenant_a, _b = setup
+    with pytest.raises(SliceViolation):
+        tenant_a.send("sw0", GroupMod("add", group_id=1, buckets=[
+            Bucket(actions=[SetDlDst(addr(2, 11)), Output(1)])]))
+    assert tenant_a.violations == 1
