@@ -9,10 +9,20 @@ ASCII series so the benchmark runs are self-describing (see
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..sim.metrics import TimeSeries
+
+
+def write_json_report(result: Dict[str, Any], path: str) -> None:
+    """Write a benchmark result dict as stable, diff-friendly JSON (the
+    BENCH_*.json convention: indented, sorted keys, trailing newline).
+    Shared by every bench harness so the artifact format cannot drift."""
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @dataclass

@@ -19,7 +19,9 @@ corpus bytes) are seed-determined and double as a regression check.
 
 from __future__ import annotations
 
-import json
+import cProfile
+import io
+import pstats
 import time
 from typing import Any, Dict, List, Tuple
 
@@ -33,6 +35,7 @@ from ..streaming import TopologyConfig
 from ..streaming.serialize import decode_tuple, encode_tuple
 from ..streaming.tuples import Anchor, StreamTuple
 from ..workloads import broadcast_topology, forwarding_topology
+from .harness import write_json_report
 from .legacy import (
     LegacyFlowTable,
     legacy_decode_tuple,
@@ -42,6 +45,22 @@ from .legacy import (
 #: Steady-state exact-match hit rate the fig8 forwarding path must reach
 #: (the perf-smoke CI gate).
 MIN_FIG8_HIT_RATE = 0.95
+
+#: Share of fig8 steady-state tuples that must ride the fused
+#: tuple-train fast path (perf-smoke CI gate). Seed-determined and
+#: machine-independent: the forwarding workload is single-hop,
+#: single-stream and unstamped, so in steady state essentially every
+#: tuple belongs on a train — a drop below this means the fast-path
+#: eligibility checks regressed, not that the machine was slow.
+MIN_FIG8_FAST_PATH_FRACTION = 0.95
+
+#: Tuples the fig8 steady state must deliver per wall-clock second
+#: (perf-smoke CI gate). Wall-clock, so the floor follows the
+#: events-per-second gate's philosophy: an order of magnitude below
+#: healthy numbers (~600k/s on a quiet development machine), catching
+#: an accidental return to per-tuple processing — roughly a 10-20x
+#: slowdown — rather than flaking on loaded CI runners.
+MIN_FIG8_TUPLES_PER_WALL_SEC = 60_000.0
 
 #: Engine events the fig8 steady state must execute per wall second
 #: (perf-smoke CI gate). The batch executor deliberately retires few,
@@ -284,6 +303,55 @@ def _switch_cache_stats(cluster) -> Dict[str, float]:
     }
 
 
+def _train_counters(cluster, topology_id: str,
+                    components=("source", "sink")) -> Dict[str, int]:
+    """Tuple-train counters summed over a topology's transports and the
+    fabric switches: tuples accepted for send, fused (whole-window)
+    flushes and the tuples they carried, and the switch-side train
+    injections / frames they fanned out to."""
+    sent = flushes = fused = 0
+    for component in components:
+        for executor in cluster.executors_for(topology_id, component):
+            transport = executor.transport
+            sent += getattr(transport, "tuples_sent", 0)
+            flushes += getattr(transport, "fused_flushes", 0)
+            fused += getattr(transport, "fused_tuples", 0)
+    return {
+        "tuples_sent": sent,
+        "fused_flushes": flushes,
+        "fused_tuples": fused,
+        "switch_trains": sum(s.trains for s in cluster.fabric.switches()),
+        "switch_train_frames": sum(s.train_frames
+                                   for s in cluster.fabric.switches()),
+    }
+
+
+def _train_metrics(pre: Dict[str, int], post: Dict[str, int],
+                   wall: float) -> Dict[str, float]:
+    """Steady-window train metrics from counter deltas. The deltas are
+    seed-determined (regression anchors); only the rate is wall-clock."""
+    sent = post["tuples_sent"] - pre["tuples_sent"]
+    flushes = post["fused_flushes"] - pre["fused_flushes"]
+    fused = post["fused_tuples"] - pre["fused_tuples"]
+    return {
+        "fast_path_fraction": fused / sent if sent else 0.0,
+        "trains_per_wall_sec": flushes / wall if wall else 0.0,
+        "avg_train_tuples": fused / flushes if flushes else 0.0,
+        "switch_trains": post["switch_trains"] - pre["switch_trains"],
+        "switch_train_frames": (post["switch_train_frames"]
+                                - pre["switch_train_frames"]),
+    }
+
+
+#: Consecutive steady-state windows each e2e bench times; the reported
+#: wall number is the best window (same best-of-N philosophy as
+#: :func:`_time_loop` — one descheduling blip should not define the
+#: repo's perf trajectory). Virtual outputs come from the first window
+#: only and stay seed-determined.
+_E2E_WINDOWS = 3
+_WINDOW = 0.4
+
+
 def bench_fig8_hotpath(seed: int = 0) -> Dict[str, float]:
     """Wall-clock the fig8 forwarding path (2 workers, max rate)."""
     from .figures import _cluster, _exact_rate
@@ -296,21 +364,28 @@ def bench_fig8_hotpath(seed: int = 0) -> Dict[str, float]:
     # and engine events per *wall* second (the perf trajectory number).
     engine.run(until=_DEPLOY + 0.3)
     warm = _switch_cache_stats(cluster)
+    trains_pre = _train_counters(cluster, "fwd")
     pre = engine.stats()
     wall_start = time.perf_counter()
     virtual_rate = _exact_rate(engine, cluster, "fwd", "sink",
-                               _DEPLOY + 0.3, _DEPLOY + 0.7)
+                               _DEPLOY + 0.3, _DEPLOY + _WINDOW + 0.3)
     wall = time.perf_counter() - wall_start
     post = engine.stats()
     stats = _switch_cache_stats(cluster)
+    trains_post = _train_counters(cluster, "fwd")
+    for extra in range(1, _E2E_WINDOWS):
+        t0 = _DEPLOY + 0.3 + _WINDOW * extra
+        wall_start = time.perf_counter()
+        _exact_rate(engine, cluster, "fwd", "sink", t0, t0 + _WINDOW)
+        wall = min(wall, time.perf_counter() - wall_start)
     steady_hits = stats["cache_hits"] - warm["cache_hits"]
     steady_misses = stats["cache_misses"] - warm["cache_misses"]
     steady_total = steady_hits + steady_misses
-    delivered = virtual_rate * 0.4
-    # Calendar-queue scheduler metrics over the measured window only
-    # (warm-up events excluded): the perf trajectory tracks how many
-    # events the kernel retires per wall second and how much heap and
-    # allocator work each event costs.
+    delivered = virtual_rate * _WINDOW
+    # Calendar-queue scheduler metrics over the first measured window
+    # only (warm-up events excluded): the perf trajectory tracks how
+    # many events the kernel retires per wall second and how much heap
+    # and allocator work each event costs.
     events = post["events_executed"] - pre["events_executed"]
     heap_ops = ((post["heap_pushes"] + post["heap_pops"])
                 - (pre["heap_pushes"] + pre["heap_pops"]))
@@ -321,6 +396,7 @@ def bench_fig8_hotpath(seed: int = 0) -> Dict[str, float]:
         "tuples_per_wall_sec": delivered / wall if wall else 0.0,
         "steady_state_hit_rate": (steady_hits / steady_total
                                   if steady_total else 0.0),
+        "trains": _train_metrics(trains_pre, trains_post, wall),
         "engine": {
             "events_executed": events,
             "events_per_wall_sec": events / wall if wall else 0.0,
@@ -342,16 +418,24 @@ def bench_fig9_hotpath(seed: int = 0, sinks: int = 4) -> Dict[str, float]:
     cluster.submit(broadcast_topology("bc", sinks,
                                      TopologyConfig(batch_size=100)))
     engine.run(until=_DEPLOY + 0.3)
+    trains_pre = _train_counters(cluster, "bc")
     wall_start = time.perf_counter()
     virtual_rate = _exact_rate(engine, cluster, "bc", "sink",
-                               _DEPLOY + 0.3, _DEPLOY + 0.7)
+                               _DEPLOY + 0.3, _DEPLOY + _WINDOW + 0.3)
     wall = time.perf_counter() - wall_start
-    delivered = virtual_rate * 0.4
+    trains_post = _train_counters(cluster, "bc")
+    for extra in range(1, _E2E_WINDOWS):
+        t0 = _DEPLOY + 0.3 + _WINDOW * extra
+        wall_start = time.perf_counter()
+        _exact_rate(engine, cluster, "bc", "sink", t0, t0 + _WINDOW)
+        wall = min(wall, time.perf_counter() - wall_start)
+    delivered = virtual_rate * _WINDOW
     return {
         "sinks": sinks,
         "virtual_tuples_per_sec": virtual_rate,
         "wall_seconds": wall,
         "tuples_per_wall_sec": delivered / wall if wall else 0.0,
+        "trains": _train_metrics(trains_pre, trains_post, wall),
         **_switch_cache_stats(cluster),
     }
 
@@ -359,11 +443,40 @@ def bench_fig9_hotpath(seed: int = 0, sinks: int = 4) -> Dict[str, float]:
 # -- harness entry point -----------------------------------------------------
 
 
+def _profiled(enabled: bool, label: str, sink: Dict[str, str], func):
+    """Run ``func()``; when ``enabled``, capture a cProfile of the call
+    and store its top-25-by-cumulative-time table under ``label``. The
+    profiled numbers are for attribution only — cProfile's tracing
+    overhead inflates the wall clocks, so gate decisions always come
+    from unprofiled runs."""
+    if not enabled:
+        return func()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = func()
+    profiler.disable()
+    text = io.StringIO()
+    pstats.Stats(profiler, stream=text).sort_stats(
+        "cumulative").print_stats(25)
+    sink[label] = text.getvalue()
+    return result
+
+
 def run_perf_bench(seed: int = 0, iterations: int = 50_000,
-                   e2e: bool = True) -> Dict[str, Any]:
-    """Run the full hot-path benchmark; returns the BENCH_hotpath dict."""
-    lookup = bench_table_lookup(iterations)
-    encode, decode = _bench_codec(codec_corpus(seed), iterations)
+                   e2e: bool = True, profile: bool = False) -> Dict[str, Any]:
+    """Run the full hot-path benchmark; returns the BENCH_hotpath dict.
+
+    With ``profile`` on, each phase (micro ops, fig8 forwarding, fig9
+    broadcast) also runs under cProfile and the report gains a
+    ``profile`` section with the top-25 cumulative entries per phase —
+    the artifact CI uploads when a perf gate fails.
+    """
+    profiles: Dict[str, str] = {}
+    lookup = _profiled(profile, "table_lookup", profiles,
+                       lambda: bench_table_lookup(iterations))
+    encode, decode = _profiled(
+        profile, "codec", profiles,
+        lambda: _bench_codec(codec_corpus(seed), iterations))
     combined_new = (lookup["current_sec_per_op"]
                     + encode["current_sec_per_op"]
                     + decode["current_sec_per_op"])
@@ -386,21 +499,24 @@ def run_perf_bench(seed: int = 0, iterations: int = 50_000,
         },
     }
     if e2e:
-        fig8 = bench_fig8_hotpath(seed)
+        fig8 = _profiled(profile, "fig8_forwarding", profiles,
+                         lambda: bench_fig8_hotpath(seed))
         result["e2e"] = {
             "fig8_forwarding": fig8,
-            "fig9_broadcast": bench_fig9_hotpath(seed),
+            "fig9_broadcast": _profiled(profile, "fig9_broadcast", profiles,
+                                        lambda: bench_fig9_hotpath(seed)),
         }
         # Scheduler metrics from the fig8 steady state, surfaced at the
         # top level so the trajectory is one JSON path away.
         result["engine"] = fig8["engine"]
+    if profile:
+        result["profile"] = profiles
     return result
 
 
-def write_report(result: Dict[str, Any], path: str) -> None:
-    with open(path, "w") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+#: Back-compat alias: the JSON writer moved to :mod:`repro.bench.harness`
+#: so every bench shares one artifact format.
+write_report = write_json_report
 
 
 def render_report(result: Dict[str, Any]) -> str:
@@ -434,6 +550,16 @@ def render_report(result: Dict[str, Any]) -> str:
                      % (fig9["sinks"], fig9["virtual_tuples_per_sec"],
                         fig9["tuples_per_wall_sec"],
                         fig9["cache_hit_rate"]))
+        trains = fig8.get("trains")
+        if trains:
+            lines.append("trains: %.0f/s, %.1f tuples avg, "
+                         "fast-path fraction %.4f, "
+                         "%d switch trains -> %d frames"
+                         % (trains["trains_per_wall_sec"],
+                            trains["avg_train_tuples"],
+                            trains["fast_path_fraction"],
+                            trains["switch_trains"],
+                            trains["switch_train_frames"]))
         eng = fig8["engine"]
         lines.append("engine: %.0f events per wall second, "
                      "%.3f heap ops/event, %.4f allocs/event, "
@@ -446,15 +572,37 @@ def render_report(result: Dict[str, Any]) -> str:
 
 
 def check_gates(result: Dict[str, Any]) -> List[str]:
-    """The perf-smoke CI gates; returns a list of violation messages."""
+    """The perf-smoke CI gates; returns a list of violation messages.
+
+    Results produced under ``--profile`` skip the wall-clock floors:
+    cProfile's tracing overhead slows every loop, and the profiled run
+    exists to attribute a failure already detected, not to re-judge it.
+    Seed-determined gates (hit rates, fast-path fraction, heap/alloc
+    ratios) still apply — profiling cannot change those.
+    """
+    profiled = "profile" in result
     failures = []
     e2e = result.get("e2e")
     if e2e:
-        hit_rate = e2e["fig8_forwarding"]["steady_state_hit_rate"]
+        fig8 = e2e["fig8_forwarding"]
+        hit_rate = fig8["steady_state_hit_rate"]
         if hit_rate < MIN_FIG8_HIT_RATE:
             failures.append(
                 "fig8 steady-state cache hit rate %.4f < %.2f"
                 % (hit_rate, MIN_FIG8_HIT_RATE))
+        trains = fig8.get("trains")
+        if trains:
+            fraction = trains["fast_path_fraction"]
+            if fraction < MIN_FIG8_FAST_PATH_FRACTION:
+                failures.append(
+                    "fig8 train fast-path fraction %.4f < %.2f "
+                    "(tuples fell off the fused train path)"
+                    % (fraction, MIN_FIG8_FAST_PATH_FRACTION))
+        rate = fig8["tuples_per_wall_sec"]
+        if not profiled and rate < MIN_FIG8_TUPLES_PER_WALL_SEC:
+            failures.append(
+                "fig8 tuples/wall-sec %.0f < %.0f"
+                % (rate, MIN_FIG8_TUPLES_PER_WALL_SEC))
     micro_rate = result["ops"]["table_lookup"]["cache_hit_rate"]
     if micro_rate < MIN_FIG8_HIT_RATE:
         failures.append("micro lookup cache hit rate %.4f < %.2f"
@@ -462,7 +610,7 @@ def check_gates(result: Dict[str, Any]) -> List[str]:
     engine = result.get("engine")
     if engine:
         rate = engine["events_per_wall_sec"]
-        if rate < MIN_ENGINE_EVENTS_PER_WALL_SEC:
+        if not profiled and rate < MIN_ENGINE_EVENTS_PER_WALL_SEC:
             failures.append(
                 "engine events/wall-sec %.0f < %.0f"
                 % (rate, MIN_ENGINE_EVENTS_PER_WALL_SEC))

@@ -20,9 +20,9 @@ at <= 1.0: the new scheduler must never lose to the old one here.
 
 from __future__ import annotations
 
-import json
 from typing import Any, Dict, List, Optional
 
+from .harness import write_json_report
 from ..net.hosts import Cluster, HostCapacity
 from ..sim.costs import DEFAULT_COSTS
 from ..sim.engine import Engine
@@ -253,10 +253,9 @@ def run_sched_bench(seed: int = 0,
     }
 
 
-def write_report(result: Dict[str, Any], path: str) -> None:
-    with open(path, "w") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+#: Back-compat alias: the JSON writer moved to :mod:`repro.bench.harness`
+#: so every bench shares one artifact format.
+write_report = write_json_report
 
 
 def render_report(result: Dict[str, Any]) -> str:

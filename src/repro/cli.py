@@ -169,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--no-e2e", action="store_true",
                            help="skip the fig8/fig9 end-to-end runs "
                                 "(micro-benchmarks only)")
+    bench_cmd.add_argument("--profile", action="store_true",
+                           help="run each --perf phase under cProfile and "
+                                "embed the top-25 cumulative entries per "
+                                "phase in the JSON report (wall-clock "
+                                "gates are skipped: profiled clocks are "
+                                "inflated)")
     bench_cmd.add_argument("--output", default=None, metavar="PATH",
                            help="also write the full report as JSON "
                                 "(e.g. BENCH_hotpath.json)")
@@ -303,7 +309,7 @@ def cmd_trace(seed: int, sample_every: int, rate: float, duration: float,
 
 def cmd_bench(perf: bool, seed: int, iterations: int, e2e: bool,
               output: Optional[str], sched: bool = False,
-              out=sys.stdout) -> int:
+              profile: bool = False, out=sys.stdout) -> int:
     if sched:
         from .bench.sched import (
             check_gates,
@@ -322,7 +328,8 @@ def cmd_bench(perf: bool, seed: int, iterations: int, e2e: bool,
             write_report,
         )
 
-        result = run_perf_bench(seed=seed, iterations=iterations, e2e=e2e)
+        result = run_perf_bench(seed=seed, iterations=iterations, e2e=e2e,
+                                profile=profile)
         default_output = None
     else:
         out.write("nothing to do: pass --perf or --sched\n")
@@ -362,5 +369,6 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                          args.duration, args.hosts, out)
     if args.command == "bench":
         return cmd_bench(args.perf, args.seed, args.iterations,
-                         not args.no_e2e, args.output, args.sched, out)
+                         not args.no_e2e, args.output, args.sched,
+                         args.profile, out)
     return 2

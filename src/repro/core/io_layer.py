@@ -51,6 +51,8 @@ from ..streaming.serialize import (
     decode_tuple,
     deserialize_cost,
     SCALAR_TYPES,
+    encode_train,
+    encode_train_uniform,
     encode_tuple,
     encode_tuple_scalar,
     peek_trace_id,
@@ -58,7 +60,14 @@ from ..streaming.serialize import (
 )
 from ..streaming.transport import Delivery, Transport
 from ..streaming.tuples import StreamTuple
-from .packets import Fragment, Reassembler, pack_tuples_spans, unpack_payload
+from .packets import (
+    KIND_MULTI,
+    _MULTI_HEAD,
+    Fragment,
+    Reassembler,
+    pack_tuples_spans,
+    unpack_payload,
+)
 
 
 class HostFabric:
@@ -164,6 +173,109 @@ _DstKey = Union[int, WorkerAddress]
 _FASTLANE_TYPES = SCALAR_TYPES
 
 
+class _TrainAnnotation(list):
+    """Frame annotation for a tuple train whose objects the sender's
+    batched send path has released: every item is an ``(obj, nbytes)``
+    pair whose ``obj`` the transport owns outright (its
+    ``source_component`` was blanked at buffering time), so the *first*
+    local delivery may adopt the objects by reference instead of
+    cloning. ``claimed`` arms after that first delivery — replicated
+    frames (broadcast rules, debug mirrors) share one annotation object
+    through ``EthernetFrame.with_dst``, and each extra delivery must
+    get its own clones exactly as the legacy annotation path does."""
+
+    __slots__ = ("claimed",)
+
+    def __init__(self):
+        super().__init__()
+        self.claimed = False
+
+
+class _TrainChunk:
+    """A contiguous run of records from one encoded train.
+
+    :func:`repro.streaming.serialize.encode_train` returns one
+    length-prefixed buffer for the whole batch; the transport queues
+    records ``start..end`` of it as a *single* buffer item instead of
+    ``end - start`` per-record slices. A flush whose window is exactly
+    one chunk lifts the MULTI payload body straight out of ``data``
+    with one slice (see :meth:`TyphoonTransport._emit_batch`); any
+    other window expands the chunk back into ``(encoded, obj)`` pairs
+    and takes the generic path, byte-identically.
+
+    The parallel arrays (``bounds``/``rlens``/``ests``/``objs``) are
+    the whole train's, shared by reference across the train's chunks;
+    ``start``/``end`` select this chunk's records. Record ``i`` spans
+    ``data[bounds[i] + 4 : bounds[i + 1]]`` (the 4 bytes are its
+    ``u32`` length prefix, already in the packets layer's MULTI record
+    framing). Chunks never carry trace ids — a stamped batch refuses
+    train encoding before any chunk exists."""
+
+    __slots__ = ("data", "bounds", "rlens", "ests", "objs", "all_fast",
+                 "stream", "start", "end")
+
+    def __init__(self, data: bytes, bounds: List[int], rlens: List[int],
+                 ests: List[int], objs: List[Optional[StreamTuple]],
+                 all_fast: bool, stream: Optional[int], start: int,
+                 end: int):
+        self.data = data
+        self.bounds = bounds
+        self.rlens = rlens
+        self.ests = ests
+        self.objs = objs
+        self.all_fast = all_fast
+        self.stream = stream
+        self.start = start
+        self.end = end
+
+
+class _ChunkAnnotation:
+    """Frame annotation for a fused single-chunk flush whose records
+    are all fast-lane eligible: shares the train's parallel arrays
+    instead of materializing per-tuple pairs, so the first local
+    delivery adopts the whole window with one list slice. ``est`` is
+    the window's precomputed store-sizer charge (an exact integer —
+    see ``ests`` in :func:`repro.streaming.serialize.encode_train`).
+    ``claimed`` has :class:`_TrainAnnotation` semantics: replicated
+    frames share this object, and every delivery after the first
+    clones."""
+
+    __slots__ = ("objs", "rlens", "stream", "start", "end", "est",
+                 "claimed")
+
+    def __init__(self, objs: List[StreamTuple], rlens: List[int],
+                 stream: Optional[int], start: int, end: int, est: int):
+        self.objs = objs
+        self.rlens = rlens
+        self.stream = stream
+        self.start = start
+        self.end = end
+        self.est = est
+        self.claimed = False
+
+
+class _SendBuffer(list):
+    """Per-destination outbound batch buffer.
+
+    Items are either one ``(encoded, obj)`` record or a
+    :class:`_TrainChunk` covering many, so ``len()`` no longer equals
+    the queued tuple count once a chunk is queued. ``tuples`` tracks
+    the true count — it drives the batch-size flush trigger, the
+    conservation term (:meth:`TyphoonTransport.pending_tuples`) and
+    the after-close drop accounting, keeping all three identical to
+    the per-record representation."""
+
+    __slots__ = ("tuples",)
+
+    def __init__(self):
+        super().__init__()
+        self.tuples = 0
+
+    def clear(self) -> None:
+        super().clear()
+        self.tuples = 0
+
+
 class TyphoonTransport(Transport):
     """Per-worker northbound + southbound transport libraries."""
 
@@ -192,10 +304,10 @@ class TyphoonTransport(Transport):
         self.port_no: Optional[int] = None
         self.deliver: Optional[Callable[[Delivery], bool]] = None
         self.select_addresses: Dict[Tuple[str, int], WorkerAddress] = {}
-        # Buffer entries are (encoded, obj) pairs; obj is the original
-        # StreamTuple when it qualifies for fast-lane delivery, else None.
-        self._buffers: Dict[WorkerAddress,
-                            List[Tuple[bytes, Optional[StreamTuple]]]] = {}
+        # Buffer entries are (encoded, obj) pairs — obj is the original
+        # StreamTuple when it qualifies for fast-lane delivery, else
+        # None — or whole _TrainChunk runs from the batched senders.
+        self._buffers: Dict[WorkerAddress, _SendBuffer] = {}
         self._frag_id = 0
         # Round-robin fallback state for offloaded edges, per edge key —
         # a shared counter would skew the distribution whenever one
@@ -217,6 +329,21 @@ class TyphoonTransport(Transport):
         self.frames_sent = 0
         self.frames_received = 0
         self.dropped_after_close = 0
+        # Train telemetry: flushes that took the fused single-slice
+        # MULTI path in _emit_batch, and the tuples they carried. The
+        # perf bench derives its fast-path fraction and average train
+        # length from these.
+        self.fused_flushes = 0
+        self.fused_tuples = 0
+        # Memoized per-record-length cost terms. Record lengths repeat
+        # heavily (fixed-shape workload tuples), and each term is the
+        # exact float the per-tuple expression would produce — same
+        # operations in the same order, so replay is bit-identical.
+        # _train_terms: (serialize_per_tuple + rlen * serialize_per_byte)
+        #               + typhoon_enqueue_per_tuple   (send, no flush)
+        # _recv_terms:  deserialize_per_tuple + rlen * deserialize_per_byte
+        self._train_terms: Dict[int, float] = {}
+        self._recv_terms: Dict[int, float] = {}
 
     # -- attachment --------------------------------------------------------
 
@@ -245,10 +372,10 @@ class TyphoonTransport(Transport):
         # transport leaves no unaccounted residue behind.
         for buffer in self._buffers.values():
             if buffer:
-                self.dropped_after_close += len(buffer)
+                self.dropped_after_close += buffer.tuples
                 if self.ledger is not None:
                     self.ledger.record_drop(self.app_id, LAYER_TRANSPORT,
-                                            R_AFTER_CLOSE, len(buffer))
+                                            R_AFTER_CLOSE, buffer.tuples)
                 self._drop_buffered_traces(buffer, R_AFTER_CLOSE)
         self._buffers.clear()
         self._reassembler.drain()
@@ -259,14 +386,18 @@ class TyphoonTransport(Transport):
             return tracer
         return None
 
-    def _drop_buffered_traces(self, buffer: Sequence[Tuple[bytes, object]],
+    def _drop_buffered_traces(self, buffer: Sequence,
                               reason: str) -> None:
         """Close spans of sampled tuples dying in an outbound buffer."""
         tracer = self._live_tracer()
         if tracer is None:
             return
-        for encoded, _obj in buffer:
-            trace_id = peek_trace_id(encoded)
+        for item in buffer:
+            if type(item) is _TrainChunk:
+                # Trains never carry trace ids: a stamped batch refuses
+                # train encoding before any chunk exists.
+                continue
+            trace_id = peek_trace_id(item[0])
             if trace_id is not None:
                 tracer.finish_drop(trace_id, LAYER_TRANSPORT, reason)
 
@@ -292,7 +423,7 @@ class TyphoonTransport(Transport):
 
     def pending_tuples(self) -> int:
         """Tuples sitting in outbound batch buffers (conservation term)."""
-        return sum(len(buffer) for buffer in self._buffers.values())
+        return sum(buffer.tuples for buffer in self._buffers.values())
 
     @property
     def pending_reassembly(self) -> int:
@@ -313,14 +444,15 @@ class TyphoonTransport(Transport):
                  obj: Optional[StreamTuple] = None) -> float:
         buffer = self._buffers.get(address)
         if buffer is None:
-            buffer = self._buffers[address] = []
+            buffer = self._buffers[address] = _SendBuffer()
         buffer.append((encoded, obj))
+        buffer.tuples += 1
         self.tuples_sent += 1
         ledger = self.ledger
         if ledger is not None:
             ledger.record_sent(self.app_id)
         cost = self._enqueue_cost
-        if len(buffer) >= self.batch_size:
+        if buffer.tuples >= self.batch_size:
             cost += self._flush_address(address)
         return cost
 
@@ -372,13 +504,14 @@ class TyphoonTransport(Transport):
                     address = addr_cache[dst] = WorkerAddress(app_id, dst)
             buffer = buffers.get(address)
             if buffer is None:
-                buffer = buffers[address] = []
+                buffer = buffers[address] = _SendBuffer()
             buffer.append(item)
+            buffer.tuples += 1
             self.tuples_sent += 1
             if ledger is not None:
                 ledger.record_sent(app_id)
             dcost = enqueue_cost
-            if len(buffer) >= batch_size:
+            if buffer.tuples >= batch_size:
                 dcost += self._flush_address(address)
             cost += dcost
         return cost
@@ -407,27 +540,100 @@ class TyphoonTransport(Transport):
         buffers = self._buffers
         buffer = buffers.get(address)
         if buffer is None:
-            buffer = buffers[address] = []
+            buffer = buffers[address] = _SendBuffer()
         # _flush_address clears the list in place (the object is reused
         # across batch windows), so the local alias stays valid.
         append = buffer.append
         enqueue_cost = self._enqueue_cost
         batch_size = self.batch_size
         cost = 0.0
-        blen = len(buffer)
-        for stream_tuple in stream_tuples:
-            encoded, all_scalar = encode_tuple_scalar(stream_tuple)
-            tcost = ser_per_tuple + len(encoded) * ser_per_byte
-            if stream_tuple.trace_id is not None:
-                self._trace_serialized(stream_tuple, len(encoded), tcost)
-            append((encoded, stream_tuple if all_scalar else None))
-            blen += 1
-            dcost = enqueue_cost
-            if blen >= batch_size:
+        blen = buffer.tuples
+        # Train fast path: encode the whole batch into one contiguous
+        # length-prefixed buffer, queued chunk-per-flush-window instead
+        # of record-per-tuple. A train encodes only when no tuple is
+        # anchored/traced/sequenced (the unadorned hot path), and the
+        # per-tuple cost terms below are accumulated in exactly the
+        # per-tuple loop's order. Fast-lane objects are released to the
+        # transport here — blanking source_component marks them
+        # adoptable by the first local receiver (see
+        # :class:`_TrainAnnotation`).
+        train = encode_train(stream_tuples)
+        if train is not None:
+            data, bounds, rlens, ests, objs, tstream = train
+            all_fast = objs is None
+            # Blanking is hoisted out of the cost loop: nothing observes
+            # the tuples between per-tuple iterations (frame forwarding
+            # is event-scheduled, never inline), so the store order is
+            # unobservable. objs None means "all fast — the input run
+            # itself"; chunks need their own list because the executor
+            # reuses (clears in place) the pending list it passed in.
+            if all_fast:
+                for obj in stream_tuples:
+                    obj.source_component = ""
+                objs = list(stream_tuples)
+            else:
+                for obj in objs:
+                    if obj is not None:
+                        obj.source_component = ""
+            terms = self._train_terms
+            term_get = terms.get
+            n = len(objs)
+            seg = 0
+            prev_rlen = -1
+            term = 0.0
+            # Flush-delimited runs (see send_interleaved): no per-tuple
+            # batch-counter bookkeeping, memoized (serialize + enqueue)
+            # term refreshed only when the record length changes —
+            # identical float expression, same operation order.
+            i = 0
+            while i < n:
+                fi = i + (batch_size - 1 - blen)
+                if fi < i:
+                    fi = i
+                stop = fi if fi < n else n
+                for rlen in rlens[i:stop]:
+                    if rlen != prev_rlen:
+                        term = term_get(rlen)
+                        if term is None:
+                            term = terms[rlen] = (
+                                ser_per_tuple + rlen * ser_per_byte
+                                + enqueue_cost)
+                        prev_rlen = rlen
+                    cost += term
+                if fi >= n:
+                    blen += n - i
+                    break
+                tcost = ser_per_tuple + rlens[fi] * ser_per_byte
+                end = fi + 1
+                append(_TrainChunk(data, bounds, rlens, ests, objs,
+                                   all_fast, tstream, seg, end))
+                buffer.tuples += end - seg
+                seg = end
+                dcost = enqueue_cost
                 dcost += self._flush_address(address)
                 blen = 0
-            tcost += dcost
-            cost += tcost
+                tcost += dcost
+                cost += tcost
+                i = end
+            if seg < n:
+                append(_TrainChunk(data, bounds, rlens, ests, objs,
+                                   all_fast, tstream, seg, n))
+                buffer.tuples += n - seg
+        else:
+            for stream_tuple in stream_tuples:
+                encoded, all_scalar = encode_tuple_scalar(stream_tuple)
+                tcost = ser_per_tuple + len(encoded) * ser_per_byte
+                if stream_tuple.trace_id is not None:
+                    self._trace_serialized(stream_tuple, len(encoded), tcost)
+                append((encoded, stream_tuple if all_scalar else None))
+                buffer.tuples += 1
+                blen += 1
+                dcost = enqueue_cost
+                if blen >= batch_size:
+                    dcost += self._flush_address(address)
+                    blen = 0
+                tcost += dcost
+                cost += tcost
         sent = len(stream_tuples)
         # Counter/ledger bumps are coalesced: nothing outside this call
         # can observe them before it returns (frame forwarding is
@@ -440,13 +646,19 @@ class TyphoonTransport(Transport):
 
     def send_interleaved(self, stream_tuples: Sequence[StreamTuple],
                          dst: _DstKey, pre_cost: float,
-                         cost: float) -> float:
+                         cost: float, uniform: bool = False) -> float:
         """Batched replay of the executor's per-tuple spout dispatch:
         ``for t: cost += pre_cost; cost += send(t, [dst])`` with the
         identical float-addition sequence on the running ``cost`` (the
         per-tuple send total is assembled serialize-then-enqueue exactly
         as :meth:`send` does). One call frame per emission batch instead
-        of two per tuple."""
+        of two per tuple.
+
+        ``uniform=True`` is the caller's pledge that the whole batch
+        came off one collector's fast-sink lane — one shared
+        ``(stream, source_worker)`` envelope, no anchor/trace/seq
+        stamps — unlocking :func:`encode_train_uniform`'s tightened
+        single-pass encode. Bytes and costs are unchanged either way."""
         if not stream_tuples:
             return cost
         if self.closed:
@@ -468,27 +680,107 @@ class TyphoonTransport(Transport):
         buffers = self._buffers
         buffer = buffers.get(address)
         if buffer is None:
-            buffer = buffers[address] = []
+            buffer = buffers[address] = _SendBuffer()
         # _flush_address clears the list in place, so the alias holds
         # and the tracked length resets to zero at each flush point.
         append = buffer.append
         enqueue_cost = self._enqueue_cost
         batch_size = self.batch_size
-        blen = len(buffer)
-        for stream_tuple in stream_tuples:
-            cost += pre_cost
-            encoded, all_scalar = encode_tuple_scalar(stream_tuple)
-            tcost = ser_per_tuple + len(encoded) * ser_per_byte
-            if stream_tuple.trace_id is not None:
-                self._trace_serialized(stream_tuple, len(encoded), tcost)
-            append((encoded, stream_tuple if all_scalar else None))
-            blen += 1
-            dcost = enqueue_cost
-            if blen >= batch_size:
+        blen = buffer.tuples
+        # Train fast path (see :meth:`send_many`): one contiguous
+        # whole-batch encode queued chunk-per-flush-window, identical
+        # per-tuple cost accumulation, fast-lane objects released to
+        # the transport.
+        if uniform:
+            first = stream_tuples[0]
+            train = encode_train_uniform(stream_tuples, first.stream,
+                                         first.source_worker)
+        else:
+            train = encode_train(stream_tuples)
+        if train is not None:
+            data, bounds, rlens, ests, objs, tstream = train
+            all_fast = objs is None
+            # Blanking hoisted out of the cost loop (see send_many);
+            # chunks get their own objs list because the executor
+            # clears the pending list it passed in.
+            if all_fast:
+                for obj in stream_tuples:
+                    obj.source_component = ""
+                objs = list(stream_tuples)
+            else:
+                for obj in objs:
+                    if obj is not None:
+                        obj.source_component = ""
+            terms = self._train_terms
+            term_get = terms.get
+            n = len(objs)
+            seg = 0
+            prev_rlen = -1
+            term = 0.0
+            # Flush positions are arithmetic (every batch_size-th
+            # tuple), so the per-tuple loop splits into flush-delimited
+            # runs: inside a run there is no batch-counter bookkeeping
+            # and no branch — just the replayed cost additions, with
+            # the memoized (serialize + enqueue) term refreshed only
+            # when the record length changes (identical float
+            # expression, same operation order as the per-tuple walk).
+            i = 0
+            while i < n:
+                # A shrunken batch_size (control tuple) can leave the
+                # buffer over-full; the first tuple then flushes at
+                # once, as in the per-tuple walk.
+                fi = i + (batch_size - 1 - blen)
+                if fi < i:
+                    fi = i
+                stop = fi if fi < n else n
+                for rlen in rlens[i:stop]:
+                    cost += pre_cost
+                    if rlen != prev_rlen:
+                        term = term_get(rlen)
+                        if term is None:
+                            term = terms[rlen] = (
+                                ser_per_tuple + rlen * ser_per_byte
+                                + enqueue_cost)
+                        prev_rlen = rlen
+                    cost += term
+                if fi >= n:
+                    blen += n - i
+                    break
+                # Tuple fi fills the batch window: queue the chunk so
+                # far and flush, exactly as the per-tuple walk does.
+                cost += pre_cost
+                tcost = ser_per_tuple + rlens[fi] * ser_per_byte
+                end = fi + 1
+                append(_TrainChunk(data, bounds, rlens, ests, objs,
+                                   all_fast, tstream, seg, end))
+                buffer.tuples += end - seg
+                seg = end
+                dcost = enqueue_cost
                 dcost += self._flush_address(address)
                 blen = 0
-            tcost += dcost
-            cost += tcost
+                tcost += dcost
+                cost += tcost
+                i = end
+            if seg < n:
+                append(_TrainChunk(data, bounds, rlens, ests, objs,
+                                   all_fast, tstream, seg, n))
+                buffer.tuples += n - seg
+        else:
+            for stream_tuple in stream_tuples:
+                cost += pre_cost
+                encoded, all_scalar = encode_tuple_scalar(stream_tuple)
+                tcost = ser_per_tuple + len(encoded) * ser_per_byte
+                if stream_tuple.trace_id is not None:
+                    self._trace_serialized(stream_tuple, len(encoded), tcost)
+                append((encoded, stream_tuple if all_scalar else None))
+                buffer.tuples += 1
+                blen += 1
+                dcost = enqueue_cost
+                if blen >= batch_size:
+                    dcost += self._flush_address(address)
+                    blen = 0
+                tcost += dcost
+                cost += tcost
         sent = len(stream_tuples)
         self.tuples_sent += sent
         self.serializations += sent
@@ -502,12 +794,121 @@ class TyphoonTransport(Transport):
         to as many destinations as the one-to-many rule lists (§3.3.1)."""
         if self.closed:
             return 0.0
-        encoded = encode_tuple(stream_tuple)
+        encoded, all_scalar = encode_tuple_scalar(stream_tuple)
         cost = serialize_cost(self.costs, len(encoded))
         self.serializations += 1
         self._trace_serialized(stream_tuple, len(encoded), cost)
         cost += self._enqueue(BROADCAST, encoded,
-                              self._fastlane_obj(stream_tuple))
+                              stream_tuple if all_scalar else None)
+        return cost
+
+    def send_broadcast_interleaved(self, stream_tuples: Sequence[StreamTuple],
+                                   dst_worker_ids: Sequence[int],
+                                   pre_cost: float, cost: float,
+                                   uniform: bool = False) -> float:
+        """Batched :meth:`send_broadcast` with the executor's per-tuple
+        ``cost += pre_cost`` interleaving replayed bit-exactly (the
+        per-tuple broadcast total is assembled serialize-then-enqueue
+        exactly as :meth:`send_broadcast` does). Each tuple is still one
+        broadcast record — the switch's one-to-many rule replicates the
+        frames — but the whole train is encoded in a single pass.
+        ``uniform=True`` carries the same fast-sink pledge as in
+        :meth:`send_interleaved`."""
+        if not stream_tuples:
+            return cost
+        if self.closed:
+            # send_broadcast() would return 0.0 per tuple; += 0.0 is a
+            # bit-exact no-op on a finite cost, so only pre_cost remains.
+            for _ in stream_tuples:
+                cost += pre_cost
+            return cost
+        if uniform:
+            first = stream_tuples[0]
+            train = encode_train_uniform(stream_tuples, first.stream,
+                                         first.source_worker)
+        else:
+            train = encode_train(stream_tuples)
+        if train is None:
+            # Anchored/traced/sequenced batch: replay per tuple.
+            for stream_tuple in stream_tuples:
+                cost += pre_cost
+                cost += self.send_broadcast(stream_tuple, dst_worker_ids)
+            return cost
+        costs = self.costs
+        ser_per_tuple = costs.serialize_per_tuple
+        ser_per_byte = costs.serialize_per_byte
+        buffers = self._buffers
+        buffer = buffers.get(BROADCAST)
+        if buffer is None:
+            buffer = buffers[BROADCAST] = _SendBuffer()
+        append = buffer.append
+        enqueue_cost = self._enqueue_cost
+        batch_size = self.batch_size
+        blen = buffer.tuples
+        data, bounds, rlens, ests, objs, tstream = train
+        all_fast = objs is None
+        # Blanking hoisted out of the cost loop (see send_many); chunks
+        # get their own objs list because the executor clears the
+        # pending list it passed in.
+        if all_fast:
+            for obj in stream_tuples:
+                obj.source_component = ""
+            objs = list(stream_tuples)
+        else:
+            for obj in objs:
+                if obj is not None:
+                    obj.source_component = ""
+        terms = self._train_terms
+        term_get = terms.get
+        n = len(objs)
+        seg = 0
+        prev_rlen = -1
+        term = 0.0
+        # Flush-delimited runs (see send_interleaved): no per-tuple
+        # batch-counter bookkeeping, memoized (serialize + enqueue)
+        # term refreshed only when the record length changes —
+        # identical float expression, same operation order.
+        i = 0
+        while i < n:
+            fi = i + (batch_size - 1 - blen)
+            if fi < i:
+                fi = i
+            stop = fi if fi < n else n
+            for rlen in rlens[i:stop]:
+                cost += pre_cost
+                if rlen != prev_rlen:
+                    term = term_get(rlen)
+                    if term is None:
+                        term = terms[rlen] = (
+                            ser_per_tuple + rlen * ser_per_byte
+                            + enqueue_cost)
+                    prev_rlen = rlen
+                cost += term
+            if fi >= n:
+                blen += n - i
+                break
+            cost += pre_cost
+            tcost = ser_per_tuple + rlens[fi] * ser_per_byte
+            end = fi + 1
+            append(_TrainChunk(data, bounds, rlens, ests, objs,
+                               all_fast, tstream, seg, end))
+            buffer.tuples += end - seg
+            seg = end
+            dcost = enqueue_cost
+            dcost += self._flush_address(BROADCAST)
+            blen = 0
+            tcost += dcost
+            cost += tcost
+            i = end
+        if seg < n:
+            append(_TrainChunk(data, bounds, rlens, ests, objs,
+                               all_fast, tstream, seg, n))
+            buffer.tuples += n - seg
+        sent = n
+        self.tuples_sent += sent
+        self.serializations += sent
+        if self.ledger is not None:
+            self.ledger.record_sent(self.app_id, sent)
         return cost
 
     def send_offloaded(self, stream_tuple: StreamTuple, edge_key,
@@ -574,11 +975,11 @@ class TyphoonTransport(Transport):
         if not buffer:
             return 0.0
         if self.closed:
-            self._buffers[address] = []
-            self.dropped_after_close += len(buffer)
+            self._buffers[address] = _SendBuffer()
+            self.dropped_after_close += buffer.tuples
             if self.ledger is not None:
                 self.ledger.record_drop(self.app_id, LAYER_TRANSPORT,
-                                        R_AFTER_CLOSE, len(buffer))
+                                        R_AFTER_CLOSE, buffer.tuples)
             self._drop_buffered_traces(buffer, R_AFTER_CLOSE)
             return 0.0
         if self.port_no is None:
@@ -589,51 +990,102 @@ class TyphoonTransport(Transport):
         return cost
 
     def _emit_batch(self, address: WorkerAddress,
-                    buffer: List[Tuple[bytes, Optional[StreamTuple]]]) -> float:
+                    buffer: "_SendBuffer") -> float:
         """One envelope pass for one destination's batch: trace
         checkpoints, multiplex/segment into payloads, frame and inject.
         The caller clears the buffer afterwards (the list object is
-        reused across batch windows — no per-flush reallocation)."""
+        reused across batch windows — no per-flush reallocation).
+
+        Fused fast path: when the window is exactly one train chunk
+        whose records fit a single MULTI payload — the steady state of
+        a batched emitter — the payload body is one slice of the
+        train's already-prefixed bytes (no per-record re-join),
+        byte-identical to :func:`pack_tuples_spans` over the expanded
+        records, and the frame is built and injected directly."""
         tracer = self._live_tracer()
+        costs = self.costs
+        per_packet = costs.packetize_per_packet
+        per_byte = costs.packetize_per_byte
+        ring_op = costs.ring_op_per_packet
+        if tracer is None and len(buffer) == 1 \
+                and type(buffer[0]) is _TrainChunk and buffer[0].all_fast:
+            chunk = buffer[0]
+            bounds = chunk.bounds
+            start = chunk.start
+            end = chunk.end
+            lo = bounds[start]
+            hi = bounds[end]
+            if 3 + (hi - lo) <= self.mtu:   # MULTI head is 3 bytes
+                self.fused_flushes += 1
+                self.fused_tuples += end - start
+                payload = _MULTI_HEAD.pack(KIND_MULTI, end - start) \
+                    + chunk.data[lo:hi]
+                cost = costs.jni_call_overhead
+                cost += per_packet + len(payload) * per_byte + ring_op
+                ests = chunk.ests
+                annotation = _ChunkAnnotation(
+                    chunk.objs, chunk.rlens, chunk.stream, start, end,
+                    ests[end] - ests[start])
+                self.frames_sent += 1
+                self.switch.inject(self.port_no, EthernetFrame(
+                    dst=address, src=self.address,
+                    ethertype=TYPHOON_ETHERTYPE,
+                    payload=payload, tuples=annotation))
+                return cost
+        # Generic path: expand any train chunks back into per-record
+        # (encoded, obj) pairs — byte-identical slices of the train —
+        # and run the full multiplex/segment machinery.
+        items: List[Tuple[bytes, Optional[StreamTuple]]] = []
+        for item in buffer:
+            if type(item) is _TrainChunk:
+                data = item.data
+                bounds = item.bounds
+                objs = item.objs
+                for j in range(item.start, item.end):
+                    items.append((data[bounds[j] + 4:bounds[j + 1]],
+                                  objs[j]))
+            else:
+                items.append(item)
         if tracer is not None:
             # The segment since each tuple's serialize checkpoint is the
             # time it sat in this batch buffer waiting for the flush.
             branch = address_branch(address)
-            for encoded, _obj in buffer:
+            for encoded, _obj in items:
                 trace_id = peek_trace_id(encoded)
                 if trace_id is not None:
                     tracer.event(trace_id, H_BATCH, branch=branch,
-                                 batch=len(buffer))
-        records = [item[0] for item in buffer]
+                                 batch=len(items))
+        records = [item[0] for item in items]
         payloads, self._frag_id, spans = pack_tuples_spans(
             records, self.mtu, self._frag_id)
         # One JNI crossing per batch handed to the southbound library.
-        costs = self.costs
         cost = costs.jni_call_overhead
-        per_packet = costs.packetize_per_packet
-        per_byte = costs.packetize_per_byte
-        ring_op = costs.ring_op_per_packet
-        switch_inject = self.switch.inject
-        port_no = self.port_no
+        src_address = self.address
+        frames: List[EthernetFrame] = []
         for payload, span in zip(payloads, spans):
             cost += per_packet + len(payload) * per_byte + ring_op
             annotation = None
             if span is not None:
                 start, end = span
-                annotation = []
+                annotation = _TrainAnnotation()
                 for j in range(start, end):
-                    obj = buffer[j][1]
+                    obj = items[j][1]
                     if obj is None:
                         annotation = None
                         break
                     annotation.append((obj, len(records[j])))
-                if annotation is not None:
-                    annotation = tuple(annotation)
-            frame = EthernetFrame(dst=address, src=self.address,
-                                  ethertype=TYPHOON_ETHERTYPE, payload=payload,
-                                  tuples=annotation)
-            self.frames_sent += 1
-            switch_inject(port_no, frame)
+            frames.append(EthernetFrame(dst=address, src=src_address,
+                                        ethertype=TYPHOON_ETHERTYPE,
+                                        payload=payload, tuples=annotation))
+        self.frames_sent += len(frames)
+        # The whole flush rides one switch call: the train fast path
+        # classifies the shared header once and replays the per-frame
+        # busy-server arithmetic (identical schedule), falling back to
+        # per-frame inject whenever anything non-trivial is armed.
+        if len(frames) == 1:
+            self.switch.inject(self.port_no, frames[0])
+        elif frames:
+            self.switch.inject_train(self.port_no, frames)
         return cost
 
     def set_batch_size(self, batch_size: int) -> None:
@@ -673,37 +1125,133 @@ class TyphoonTransport(Transport):
             # term for term as the decode path would.
             per_tuple = costs.deserialize_per_tuple
             per_byte = costs.deserialize_per_byte
+            if type(annotated) is _ChunkAnnotation:
+                start = annotated.start
+                end = annotated.end
+                objs = annotated.objs
+                if not annotated.claimed:
+                    # First local delivery of a fused train window:
+                    # adopt the sender's objects with one list slice —
+                    # the batched send path blanked every
+                    # source_component, so each object *is* what the
+                    # clone below would have built.
+                    annotated.claimed = True
+                    tuples = objs[start:end]
+                else:
+                    # Replicated frame (broadcast rule, debug mirror):
+                    # clone field-by-field exactly as the legacy
+                    # annotation path does.
+                    new = StreamTuple.__new__
+                    tuples = []
+                    append = tuples.append
+                    for j in range(start, end):
+                        src_tuple = objs[j]
+                        out = new(StreamTuple)
+                        out.values = src_tuple.values
+                        out.stream = src_tuple.stream
+                        out.source_component = ""
+                        out.source_worker = src_tuple.source_worker
+                        out.anchor = src_tuple.anchor
+                        out.trace_id = src_tuple.trace_id
+                        out.seq = src_tuple.seq
+                        append(out)
+                # Memoized deserialize terms: identical float
+                # expression per record length, added in record order,
+                # so the accumulated cost is bit-identical to the
+                # per-tuple walk. The store-sizer estimate was
+                # precomputed (exact integer arithmetic) at encode
+                # time.
+                terms = self._recv_terms
+                term_get = terms.get
+                prev_rlen = -1
+                term = 0.0
+                for rlen in annotated.rlens[start:end]:
+                    if rlen != prev_rlen:
+                        term = term_get(rlen)
+                        if term is None:
+                            term = terms[rlen] = per_tuple + rlen * per_byte
+                        prev_rlen = rlen
+                    cost += term
+                est = annotated.est
+                cost += self._pending_recv_cost
+                self._pending_recv_cost = 0.0
+                accepted = self.deliver(Delivery(tuples=tuples, cost=cost,
+                                                 nbytes=est,
+                                                 stream=annotated.stream))
+                if self.ledger is not None:
+                    scope = self._frame_scope(frame)
+                    if accepted:
+                        self.ledger.record_delivered(scope, len(tuples))
+                    else:
+                        self.ledger.record_drop(scope, LAYER_TRANSPORT,
+                                                R_DELIVER_REJECTED,
+                                                len(tuples))
+                return
             tuples = []
             append = tuples.append
-            new = StreamTuple.__new__
             # The store's OOM sizer (delivery_bytes) is prepaid here:
             # fast-lane values are guaranteed *exact* scalar types, so
             # the exact-type size checks below reproduce the sizer's
             # isinstance-based estimate identically, and the walk rides
-            # the clone loop instead of a second pass per store op.
+            # the clone/adopt loop instead of a second pass per store op.
             est = 0
-            for src_tuple, nbytes in annotated:
-                cost += per_tuple + nbytes * per_byte
-                # Field-by-field clone via __new__ (hot path): matches
-                # what decode_tuple would build — source_component is
-                # reset to "", everything else carried over.
-                out = new(StreamTuple)
-                values = src_tuple.values
-                out.values = values
-                out.stream = src_tuple.stream
-                out.source_component = ""
-                out.source_worker = src_tuple.source_worker
-                out.anchor = src_tuple.anchor
-                out.trace_id = src_tuple.trace_id
-                out.seq = src_tuple.seq
-                append(out)
-                est += 80
-                for value in values:
-                    kind = type(value)
-                    if kind is str or kind is bytes:
-                        est += len(value)
+            if type(annotated) is _TrainAnnotation and not annotated.claimed:
+                # First local delivery of a released train: adopt the
+                # sender's objects by reference — the batched send path
+                # already blanked source_component, so each object *is*
+                # what the clone below would have built. Items buffered
+                # by a non-batched send (mixed buffer) still carry their
+                # component name and get a real clone.
+                annotated.claimed = True
+                new = StreamTuple.__new__
+                for src_tuple, nbytes in annotated:
+                    cost += per_tuple + nbytes * per_byte
+                    if src_tuple.source_component:
+                        out = new(StreamTuple)
+                        values = src_tuple.values
+                        out.values = values
+                        out.stream = src_tuple.stream
+                        out.source_component = ""
+                        out.source_worker = src_tuple.source_worker
+                        out.anchor = src_tuple.anchor
+                        out.trace_id = src_tuple.trace_id
+                        out.seq = src_tuple.seq
+                        append(out)
                     else:
-                        est += 8
+                        values = src_tuple.values
+                        append(src_tuple)
+                    est += 80
+                    for value in values:
+                        kind = type(value)
+                        if kind is str or kind is bytes:
+                            est += len(value)
+                        else:
+                            est += 8
+            else:
+                new = StreamTuple.__new__
+                for src_tuple, nbytes in annotated:
+                    cost += per_tuple + nbytes * per_byte
+                    # Field-by-field clone via __new__ (hot path):
+                    # matches what decode_tuple would build —
+                    # source_component is reset to "", everything else
+                    # carried over.
+                    out = new(StreamTuple)
+                    values = src_tuple.values
+                    out.values = values
+                    out.stream = src_tuple.stream
+                    out.source_component = ""
+                    out.source_worker = src_tuple.source_worker
+                    out.anchor = src_tuple.anchor
+                    out.trace_id = src_tuple.trace_id
+                    out.seq = src_tuple.seq
+                    append(out)
+                    est += 80
+                    for value in values:
+                        kind = type(value)
+                        if kind is str or kind is bytes:
+                            est += len(value)
+                        else:
+                            est += 8
             cost += self._pending_recv_cost
             self._pending_recv_cost = 0.0
             accepted = self.deliver(Delivery(tuples=tuples, cost=cost,

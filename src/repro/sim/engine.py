@@ -220,13 +220,14 @@ class Process(Event):
     """
 
     __slots__ = ("_generator", "name", "_waiting_on", "_alive",
-                 "_had_waiters")
+                 "_had_waiters", "_sleep_entry")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
         super().__init__(engine)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        self._sleep_entry: Optional[_Entry] = None
         self._alive = True
         # Tracks whether anyone observed a failure; see _step.
         self._had_waiters = False
@@ -260,6 +261,14 @@ class Process(Event):
         if waiting is not None:
             waiting._defuse()
         self._waiting_on = None
+        entry = self._sleep_entry
+        if entry is not None:
+            # Defuse a fast-path sleep exactly as Timer.cancel would:
+            # flag the queued entry dead so it cannot wake us later.
+            self._sleep_entry = None
+            if not entry.dead:
+                entry.dead = True
+                self.engine._note_dead()
         self._step(None, Interrupt(cause))
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
@@ -296,7 +305,19 @@ class Process(Event):
 
     def _wait_on(self, target: Any) -> None:
         if isinstance(target, (int, float)):
-            target = Timer(self.engine, float(target))
+            # Sleep fast path: a bare numeric yield is by far the hottest
+            # wait, so schedule the wake-up entry directly instead of
+            # building a Timer + callback chain per sleep. The queued
+            # (when, seq) pair, the executed-entry count and the
+            # cancellation accounting are identical to the Timer path,
+            # so execution order is bit-for-bit unchanged.
+            delay = float(target)
+            if delay < 0:
+                raise ValueError("timer delay must be >= 0, got %r" % delay)
+            engine = self.engine
+            self._sleep_entry = engine._push_entry(
+                engine.now + delay, self._wake_from_sleep, ())
+            return
         if not isinstance(target, Event):
             raise SimulationError(
                 "process %s yielded %r; expected a delay, Event or Process"
@@ -304,6 +325,12 @@ class Process(Event):
             )
         self._waiting_on = target
         target.add_callback(self._resume)
+
+    def _wake_from_sleep(self) -> None:
+        if self._sleep_entry is None or not self._alive:
+            return  # defused by an interrupt delivered this same instant
+        self._sleep_entry = None
+        self._step(None, None)
 
     def _resume(self, event: Event) -> None:
         if not self._alive or self._waiting_on is not event:

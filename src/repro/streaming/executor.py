@@ -103,10 +103,26 @@ class _PendingRoot:
 
 class _Collector(EmitterApi):
     """Buffers emissions from one component call; the executor then
-    routes, anchors and dispatches them with proper cost accounting."""
+    routes, anchors and dispatches them with proper cost accounting.
+
+    A ``__slots__`` class: every attribute below is touched inside
+    :meth:`emit`, which runs once per tuple produced anywhere in the
+    system, and slot loads are measurably cheaper than dict lookups
+    at that rate."""
+
+    __slots__ = ("_executor", "_component_name", "_worker_id", "_acking",
+                 "buffered", "current_input", "child_xor", "extra_cost",
+                 "fast_pending", "fast_stream")
 
     def __init__(self, executor: "WorkerExecutor"):
         self._executor = executor
+        # Stable executor identity, cached flat: emit() runs once per
+        # tuple produced anywhere in the system, and these never change
+        # after the executor's __init__ (which creates this collector
+        # last).
+        self._component_name = executor.component_name
+        self._worker_id = executor.worker_id
+        self._acking = executor.acking
         self.buffered: List[Tuple[StreamTuple, Any]] = []
         self.current_input: Optional[StreamTuple] = None
         self.child_xor: int = 0
@@ -128,7 +144,6 @@ class _Collector(EmitterApi):
     def emit(self, values: Sequence[Any], stream: int = DEFAULT_STREAM,
              anchor: Optional[StreamTuple] = None,
              message_id: Any = None) -> None:
-        executor = self._executor
         # Built field-by-field via __new__: emit() runs once per tuple
         # produced anywhere in the system, and skipping the __init__
         # call frame is measurable at the 1M tuples/sec scale.
@@ -137,12 +152,13 @@ class _Collector(EmitterApi):
         # is cheaper than the (identity) tuple() call.
         out.values = values if type(values) is tuple else tuple(values)
         out.stream = stream
-        out.source_component = executor.component_name
-        out.source_worker = executor.worker_id
+        out.source_component = self._component_name
+        out.source_worker = self._worker_id
         out.anchor = None
         out.trace_id = None
         out.seq = None
-        if executor.acking:
+        if self._acking:
+            executor = self._executor
             if executor.is_spout and message_id is not None:
                 out.anchor = executor._register_root(message_id)
                 if executor.replay is not None:
@@ -164,6 +180,38 @@ class _Collector(EmitterApi):
                 fast.append(out)
                 return
         self.buffered.append((out, None))
+
+    def emit_many(self, values_seq: Sequence[Sequence[Any]],
+                  stream: int = DEFAULT_STREAM) -> None:
+        # Batched lane for the fast-sink case: one pass with every
+        # per-call check hoisted, building the same tuples in the same
+        # order emit() would. Anything else falls back to the exact
+        # per-item loop of the base contract.
+        fast = self.fast_pending
+        if (fast is not None and stream == self.fast_stream
+                and not self.buffered and not self._acking):
+            new = StreamTuple.__new__
+            cls = StreamTuple
+            name = self._component_name
+            worker = self._worker_id
+            append = fast.append
+            _type = type
+            _tuple = tuple
+            for values in values_seq:
+                out = new(cls)
+                out.values = values if _type(values) is _tuple \
+                    else _tuple(values)
+                out.stream = stream
+                out.source_component = name
+                out.source_worker = worker
+                out.anchor = None
+                out.trace_id = None
+                out.seq = None
+                append(out)
+            return
+        emit = self.emit
+        for values in values_seq:
+            emit(values, stream)
 
     def emit_direct(self, worker_id: int, values: Sequence[Any],
                     stream: int = DEFAULT_STREAM) -> None:
@@ -300,6 +348,12 @@ class WorkerExecutor:
         self.stats = WorkerStats()
         self.collector = _Collector(self)
         self.component = node.factory()
+        #: Optional batch component hooks (see :class:`~..topology.Spout`
+        #: / :class:`~..topology.Bolt`), resolved once — the component
+        #: object never changes over the executor's lifetime.
+        self._execute_batch = getattr(self.component, "execute_batch", None)
+        self._next_tuple_batch = getattr(self.component, "next_tuple_batch",
+                                         None)
         self.pending_roots: Dict[int, _PendingRoot] = {}
         #: Framework-level replay buffer (attached in ``start`` when the
         #: topology enables it); None keeps the legacy fail-and-forget path.
@@ -476,15 +530,24 @@ class WorkerExecutor:
     # -- main loops --------------------------------------------------------------
 
     def _bolt_loop(self):
+        take_nowait = self.input_store.take_nowait
         while self.alive:
-            try:
-                delivery = yield self.input_store.get()
-            except Interrupt:
-                if self._draining:
-                    yield from self._drain_remaining()
-                return
-            except Exception:
-                return
+            # Backlogged intake drains synchronously: a get() on a
+            # non-empty store fires its gate on the spot and the kernel
+            # resumes this generator inside the same callback, so taking
+            # the item directly is observably identical — it just skips
+            # one gate Event per queued delivery. The yielding get()
+            # remains the only wait point (and interrupt window).
+            delivery = take_nowait()
+            if delivery is None:
+                try:
+                    delivery = yield self.input_store.get()
+                except Interrupt:
+                    if self._draining:
+                        yield from self._drain_remaining()
+                    return
+                except Exception:
+                    return
             cost = yield from self._process_delivery(delivery)
             if cost > 0:
                 try:
@@ -540,6 +603,48 @@ class WorkerExecutor:
                 cost += self._run_component(stream_tuple, signal=False)
                 if not self.alive:
                     break
+            return cost
+        execute_batch = self._execute_batch
+        if (execute_batch is not None and delivery.stream is not None
+                and not 1 <= delivery.stream <= 3 and not self.acking
+                and not self._billed_services and delivery.tuples):
+            # Whole-train handoff (batch component API): the transport
+            # vouched that every tuple rides one data stream, so the
+            # component consumes the delivery in a single call. The
+            # cost replay is exact: the per-tuple loop charges
+            # ``tcost = app_compute + extra`` with ``extra == 0.0`` for
+            # a compliant (non-charging) component, and ``x + 0.0`` is
+            # bitwise ``x`` for the finite cost constants — so adding
+            # ``app_compute`` once per tuple reproduces the identical
+            # float-accumulation sequence.
+            tuples = delivery.tuples
+            collector = self.collector
+            try:
+                execute_batch(tuples, collector)
+            except Exception as error:
+                # Batch-granularity crash semantics (documented on the
+                # hook): the whole delivery is forfeited with the
+                # crashing call.
+                self._crash(WorkerCrashed(
+                    "worker %d (%s) crashed: %r"
+                    % (self.worker_id, self.component_name, error)
+                ))
+                return cost
+            app_compute = self.costs.app_compute_per_tuple
+            n = 0
+            for _ in tuples:
+                cost += app_compute
+                n += 1
+            extra = collector.extra_cost
+            if extra:
+                # Deviation from the hook contract (charge() inside a
+                # batch): billed once at batch end, deterministically.
+                cost += extra
+                collector.extra_cost = 0.0
+            if collector.buffered:
+                cost += self._dispatch_emissions()
+            self.stats.processed += n
+            self.processed_meter.mark(n)
             return cost
         # Fused data-tuple loop: identical work and float-accumulation
         # order as _run_component per tuple, with per-call setup hoisted
@@ -819,9 +924,19 @@ class WorkerExecutor:
         defer_ok = not tracing and not self.acking and not billed
         fast_router = None
         fast_sink = False
+        fast_bcast = False
         plen = 0
         pending: List[StreamTuple] = []
-        for _ in range(limit):
+        batch_next = self._next_tuple_batch if defer_ok else None
+        handoff = False
+        calls = 0
+        while calls < limit:
+            if fast_sink and batch_next is not None:
+                # Armed lane plus a batch-capable spout: hand the rest
+                # of the window to next_tuple_batch, after the loop.
+                handoff = True
+                break
+            calls += 1
             try:
                 next_tuple(collector)
             except Exception as error:
@@ -834,12 +949,15 @@ class WorkerExecutor:
                     buffered[:0] = [(st, None) for st in tail]
                 if pending:
                     k = len(pending)
-                    fast_router.decisions += k
-                    if fast_router.grouping.kind == SHUFFLE:
-                        fast_router.counter += k
-                    cost = transport.send_interleaved(
-                        pending, fast_router.next_hops[0], app_compute,
-                        cost)
+                    if fast_bcast:
+                        cost = transport.send_broadcast_interleaved(
+                            pending, fast_router.next_hops, app_compute,
+                            cost, uniform=True)
+                    else:
+                        fast_router.advance(k)
+                        cost = transport.send_interleaved(
+                            pending, fast_router.next_hops[0], app_compute,
+                            cost, uniform=True)
                     marked += k
                     pending = []
                 if marked:
@@ -876,8 +994,17 @@ class WorkerExecutor:
                     stream_tuple, direct_dst = buffered[0]
                     if direct_dst is None:
                         stream = stream_tuple.stream
-                        fast_router = self._single_hop_router(
-                            index.get(stream))
+                        edges = index.get(stream)
+                        fast_router = self._single_hop_router(edges)
+                        if fast_router is None:
+                            # Second chance: a pure broadcast edge takes
+                            # the same deferred path, dispatched through
+                            # one batched broadcast send (the whole
+                            # train is encoded once and the switch
+                            # replicates each frame).
+                            fast_router = self._single_broadcast_router(
+                                edges)
+                            fast_bcast = fast_router is not None
                         if fast_router is not None:
                             pending.append(stream_tuple)
                             del buffered[:]
@@ -894,11 +1021,15 @@ class WorkerExecutor:
             # this iteration exactly as the per-tuple path would.
             if pending:
                 k = len(pending)
-                fast_router.decisions += k
-                if fast_router.grouping.kind == SHUFFLE:
-                    fast_router.counter += k
-                cost = transport.send_interleaved(
-                    pending, fast_router.next_hops[0], app_compute, cost)
+                if fast_bcast:
+                    cost = transport.send_broadcast_interleaved(
+                        pending, fast_router.next_hops, app_compute, cost,
+                        uniform=True)
+                else:
+                    fast_router.advance(k)
+                    cost = transport.send_interleaved(
+                        pending, fast_router.next_hops[0], app_compute,
+                        cost, uniform=True)
                 marked += k
                 if fast_sink:
                     # emit() aliases this list; clear in place.
@@ -918,8 +1049,14 @@ class WorkerExecutor:
             dcost = 0.0
             if tail:
                 for stream_tuple in tail:
-                    dsts = fast_router.route(stream_tuple)
-                    dcost += transport.send(stream_tuple, dsts)
+                    if fast_bcast:
+                        # Broadcast never consults route(): the switch
+                        # replicates, the router holds no policy state.
+                        dcost += transport.send_broadcast(
+                            stream_tuple, fast_router.next_hops)
+                    else:
+                        dsts = fast_router.route(stream_tuple)
+                        dcost += transport.send(stream_tuple, dsts)
                     marked += 1
             for stream_tuple, direct_dst in buffered:
                 if tracing:
@@ -957,14 +1094,86 @@ class WorkerExecutor:
             del buffered[:]
             cost += dcost
             emitted += n
+        if handoff:
+            # Whole-window handoff (batch component API): one call asks
+            # the spout for every remaining emission of this window.
+            # Each emission replays as one next_tuple call that emitted
+            # exactly one deferred tuple — the trailing dispatch below
+            # charges app_compute + send per tuple via pre_cost — and
+            # stopping short replays as a call that emitted nothing,
+            # which charges nothing. For a hook honouring its contract
+            # (single-stream emissions, no charge()), results are
+            # bit-identical to the scalar loop.
+            try:
+                batch_next(collector, limit - calls)
+            except Exception as error:
+                # Batch-granularity crash semantics (documented on the
+                # hook): every emission already made is dispatched
+                # ahead of the crash, like completed per-tuple calls.
+                emitted += len(pending) - plen
+                if pending:
+                    k = len(pending)
+                    if fast_bcast:
+                        cost = transport.send_broadcast_interleaved(
+                            pending, fast_router.next_hops, app_compute,
+                            cost, uniform=True)
+                    else:
+                        fast_router.advance(k)
+                        cost = transport.send_interleaved(
+                            pending, fast_router.next_hops[0],
+                            app_compute, cost, uniform=True)
+                    marked += k
+                    pending = []
+                if marked:
+                    stats.emitted += marked
+                    self.emitted_meter.mark(marked)
+                    marked = 0
+                self._crash(WorkerCrashed(
+                    "spout %d crashed: %r" % (self.worker_id, error)
+                ))
+            else:
+                emitted += len(pending) - plen
+                if buffered or collector.extra_cost:
+                    # Contract deviation (slow-stream emissions or a
+                    # charge): dispatch the train first, preserving
+                    # emission order, then route the stragglers through
+                    # the generic machinery — deterministic, though not
+                    # a per-call replay (no call boundaries survive a
+                    # batch).
+                    if pending:
+                        k = len(pending)
+                        if fast_bcast:
+                            cost = transport.send_broadcast_interleaved(
+                                pending, fast_router.next_hops,
+                                app_compute, cost, uniform=True)
+                        else:
+                            fast_router.advance(k)
+                            cost = transport.send_interleaved(
+                                pending, fast_router.next_hops[0],
+                                app_compute, cost, uniform=True)
+                        marked += k
+                        pending.clear()
+                        plen = 0
+                    extra = collector.extra_cost
+                    if extra:
+                        cost += extra
+                        collector.extra_cost = 0.0
+                    n = len(buffered)
+                    cost += app_compute * n
+                    emitted += n
+                    cost += self._dispatch_emissions()
         collector.fast_pending = None
         if pending:
             k = len(pending)
-            fast_router.decisions += k
-            if fast_router.grouping.kind == SHUFFLE:
-                fast_router.counter += k
-            cost = transport.send_interleaved(
-                pending, fast_router.next_hops[0], app_compute, cost)
+            if fast_bcast:
+                cost = transport.send_broadcast_interleaved(
+                    pending, fast_router.next_hops, app_compute, cost,
+                    uniform=True)
+            else:
+                fast_router.advance(k)
+                cost = transport.send_interleaved(
+                    pending, fast_router.next_hops[0], app_compute, cost,
+                    uniform=True)
             marked += k
         if marked:
             stats.emitted += marked
@@ -991,6 +1200,21 @@ class WorkerExecutor:
             return None
         return router
 
+    @staticmethod
+    def _single_broadcast_router(edges) -> Optional[Router]:
+        """The stream's one router, if an emission batch can take the
+        batched broadcast send path: exactly one edge, GROUP_ALL
+        semantics, and no replica sequencer (sequenced edges stamp each
+        tuple before serializing, so they stay on the per-tuple path)."""
+        if edges is None or len(edges) != 1:
+            return None
+        router = edges[0][1]
+        if not router.is_broadcast or router.replication_group is not None:
+            return None
+        if not router.next_hops:
+            return None
+        return router
+
     def _dispatch_emissions(self) -> float:
         if not self.collector.buffered:
             return 0.0
@@ -1014,9 +1238,16 @@ class WorkerExecutor:
         batch = self.collector.take()
         if not tracing:
             # Whole-batch fast path (see _emit_spout_batch): one
-            # send_many call when every tuple rides one single-hop edge.
+            # send_many call when every tuple rides one single-hop edge
+            # (or one batched broadcast when it rides a pure GROUP_ALL
+            # edge — the train is encoded once, the switch replicates).
             stream = batch[0][0].stream
-            fast_router = self._single_hop_router(index.get(stream))
+            edges = index.get(stream)
+            fast_router = self._single_hop_router(edges)
+            fast_bcast = False
+            if fast_router is None:
+                fast_router = self._single_broadcast_router(edges)
+                fast_bcast = fast_router is not None
             if fast_router is not None:
                 for stream_tuple, direct_dst in batch:
                     if (direct_dst is not None
@@ -1025,12 +1256,18 @@ class WorkerExecutor:
                         break
             if fast_router is not None:
                 n = len(batch)
-                fast_router.decisions += n
-                if fast_router.grouping.kind == SHUFFLE:
-                    fast_router.counter += n
-                cost = transport.send_many(
-                    [item[0] for item in batch],
-                    fast_router.next_hops[0])
+                if fast_bcast:
+                    # Per-tuple broadcast never consults route(), so
+                    # there is no router state to advance. pre_cost 0.0
+                    # replays the slow path's bare `cost +=` additions.
+                    cost = transport.send_broadcast_interleaved(
+                        [item[0] for item in batch],
+                        fast_router.next_hops, 0.0, 0.0)
+                else:
+                    fast_router.advance(n)
+                    cost = transport.send_many(
+                        [item[0] for item in batch],
+                        fast_router.next_hops[0])
                 self.stats.emitted += n
                 self.emitted_meter.mark(n)
                 return cost

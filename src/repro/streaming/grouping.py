@@ -91,6 +91,15 @@ class Router:
             self.counter = 0
         self._refresh_derived()
 
+    def advance(self, count: int) -> None:
+        """Batched replay of ``count`` single-hop :meth:`route` calls'
+        state updates (used by the executor's deferred-dispatch fast
+        path, where every tuple lands on the same sole next hop, so the
+        decision itself is a foregone conclusion)."""
+        self.decisions += count
+        if self.grouping.kind == SHUFFLE:
+            self.counter += count
+
     def route(self, stream_tuple: StreamTuple) -> List[int]:
         """Pick destination worker id(s) for a tuple."""
         hops = self.next_hops

@@ -99,6 +99,14 @@ _PAD_ANCHOR = bytes(_ANCHOR.size)
 _PAD_TRACE = bytes(_TRACE.size)
 _PAD_SEQ = bytes(_SEQ.size)
 
+#: Per-record length prefix used by :func:`encode_train`. Mirrors the
+#: packets layer's MULTI record framing (``u32 len | record``, see
+#: :mod:`repro.core.packets`); defined locally because importing from
+#: :mod:`repro.core` here would be circular (core's io_layer imports
+#: this module).
+_RECORD_LEN = struct.Struct("!I")
+_PAD_RECORD_LEN = bytes(_RECORD_LEN.size)
+
 
 class SerializationError(ValueError):
     """Raised when a value cannot be encoded or bytes cannot be decoded."""
@@ -470,6 +478,316 @@ def encode_tuple_scalar(
             # the generic encoder redo the tuple (rare path).
             return encode_tuple(stream_tuple), False
     return bytes(out), True
+
+
+#: Memoized ``length-prefix pad + envelope head`` byte strings for
+#: :func:`encode_train`, so the per-record preamble is one bytearray
+#: extend instead of two. Separate from :data:`_ENVELOPE_CACHE` (which
+#: stores bare heads for the per-tuple encoders).
+_TRAIN_HEAD_CACHE: dict = {}
+
+
+def encode_train(
+    stream_tuples,
+    _pack_i64=_TAG_I64.pack,
+    _pack_f64=_TAG_F64.pack_into,
+    _pack_u32=_TAG_U32.pack_into,
+    _pack_big=_BIGINT_HEAD.pack_into,
+    _pack_rec=_RECORD_LEN.pack_into,
+    _len=len, _type=type,
+):
+    """Serialize a whole train of plain tuples into one contiguous,
+    length-prefixed buffer in a single pass.
+
+    Returns ``(data, bounds, rlens, ests, objs, stream)``:
+
+    * ``data`` — one ``bytes`` buffer holding every record behind a
+      big-endian ``u32`` length prefix, exactly the packets layer's
+      MULTI record framing (Fig. 5), so a flush whose batch is one
+      train can lift the payload body straight out of ``data`` with a
+      single slice. Record ``i``'s prefix starts at ``bounds[i]`` and
+      its serialized bytes are ``data[bounds[i] + 4 : bounds[i + 1]]``
+      — byte-for-byte what :func:`encode_tuple_scalar` would produce.
+    * ``rlens[i]`` — record ``i``'s serialized length (sans prefix),
+      precomputed so cost accounting downstream never re-derives it.
+    * ``ests`` — cumulative receive-side byte estimates: the store
+      sizer's charge for records ``i..j`` is ``ests[j] - ests[i]``
+      (80 per tuple + ``len(value)`` for str/bytes values, 8 for other
+      scalars — the same integer walk :func:`delivery_bytes` does,
+      folded into the type dispatch already happening here; integer
+      addition is associative, so slice sums are exact).
+    * ``objs`` — ``None`` when every record is fast-lane eligible
+      (each value's exact type is in :data:`SCALAR_TYPES`); callers
+      then use the input sequence itself, skipping one list build per
+      train. Otherwise a list holding the tuple at eligible records
+      and ``None`` where a container value forced a generic re-encode.
+      ``all_fast`` is simply ``objs is None``.
+    * ``stream`` — the one stream id every tuple rides, or ``None``
+      when the train mixes streams. Tracked inside the envelope-change
+      branch (a stream switch always changes the envelope), so the
+      common single-stream train pays nothing per tuple. Receivers use
+      it to hand a whole uniform train to a component's batch hook.
+
+    Returns ``None`` outright when any tuple in the train carries an
+    anchor, trace or sequencing stamp (checked inline, so the clean
+    common case pays no separate scan pass). Those stamps only appear
+    when acking, tracing or replication is armed; stamped batches fall
+    back to the caller's per-tuple loop.
+    """
+    buf = bytearray()
+    bounds: list = [0]   # record prefix offsets; n+1 entries
+    rlens: list = []
+    ests: list = [0]     # cumulative delivery-byte estimates; n+1 entries
+    objs = None          # materialized lazily on the first slow record
+    keep = None
+    mark = bounds.append
+    keep_len = rlens.append
+    keep_est = ests.append
+    est = 0
+    prev_stream = prev_src = prev_n = None
+    train_stream = None
+    mixed = False
+    head = b""
+    for stream_tuple in stream_tuples:
+        if stream_tuple.anchor is not None \
+                or stream_tuple.trace_id is not None \
+                or stream_tuple.seq is not None:
+            return None
+        values = stream_tuple.values
+        stream = stream_tuple.stream
+        src = stream_tuple.source_worker
+        nvalues = _len(values)
+        if stream != prev_stream or src != prev_src or nvalues != prev_n:
+            key = (stream, src, nvalues)
+            head = _TRAIN_HEAD_CACHE.get(key)
+            if head is None:
+                head = bytearray(_PAD_ENVELOPE)
+                _ENVELOPE.pack_into(head, 0, stream, src, 0, nvalues)
+                head = _PAD_RECORD_LEN + bytes(head)
+                if _len(_TRAIN_HEAD_CACHE) >= _ENVELOPE_CACHE_MAX:
+                    _TRAIN_HEAD_CACHE.clear()
+                _TRAIN_HEAD_CACHE[key] = head
+            if train_stream is None:
+                train_stream = stream
+            elif stream != train_stream:
+                mixed = True
+            prev_stream = stream
+            prev_src = src
+            prev_n = nvalues
+        start = _len(buf)
+        buf += head
+        est += 80
+        obj = stream_tuple
+        for value in values:
+            kind = _type(value)
+            if kind is str:
+                est += _len(value)
+                record = _STR_RECORD_CACHE.get(value)
+                if record is not None:
+                    buf += record
+                elif _len(value) <= _STR_CACHE_LEN_LIMIT:
+                    data = value.encode("utf-8")
+                    record = bytearray()
+                    record += _PAD_TAG_U32
+                    _pack_u32(record, 0, _T_STR, _len(data))
+                    record += data
+                    record = bytes(record)
+                    if _len(_STR_RECORD_CACHE) >= _STR_RECORD_CACHE_MAX:
+                        _STR_RECORD_CACHE.clear()
+                    _STR_RECORD_CACHE[value] = record
+                    buf += record
+                else:
+                    data = value.encode("utf-8")
+                    pos = _len(buf)
+                    buf += _PAD_TAG_U32
+                    _pack_u32(buf, pos, _T_STR, _len(data))
+                    buf += data
+            elif kind is int:
+                est += 8
+                if _I64_MIN <= value <= _I64_MAX:
+                    buf += _pack_i64(_T_INT, value)
+                else:
+                    magnitude = abs(value)
+                    body = magnitude.to_bytes(
+                        (magnitude.bit_length() + 8) // 8, "big",
+                        signed=False)
+                    pos = _len(buf)
+                    buf += _PAD_BIGINT_HEAD
+                    _pack_big(buf, pos, _T_BIGINT, 1 if value < 0 else 0,
+                              _len(body))
+                    buf += body
+            elif kind is float:
+                est += 8
+                pos = _len(buf)
+                buf += _PAD_TAG_I64
+                _pack_f64(buf, pos, _T_FLOAT, value)
+            elif value is None:
+                est += 8
+                buf.append(_T_NONE)
+            elif kind is bool:
+                est += 8
+                buf.append(_T_TRUE if value else _T_FALSE)
+            elif kind is bytes:
+                est += _len(value)
+                pos = _len(buf)
+                buf += _PAD_TAG_U32
+                _pack_u32(buf, pos, _T_BYTES, _len(value))
+                buf += value
+            else:
+                # Container or subclass value mid-record: rewind to just
+                # past the length prefix and let the generic encoder redo
+                # the one tuple (rare path; not fast-lane eligible). The
+                # estimate for this record is moot — a train with any
+                # non-fast record never rides the annotation fast lane.
+                del buf[start + 4:]
+                buf += encode_tuple(stream_tuple)
+                if objs is None:
+                    # len(rlens) == index of the current record, so the
+                    # slice holds exactly the fast records before it.
+                    objs = list(stream_tuples[:_len(rlens)])
+                    keep = objs.append
+                obj = None
+                break
+        end = _len(buf)
+        rlen = end - start - 4
+        _pack_rec(buf, start, rlen)
+        mark(end)
+        keep_len(rlen)
+        keep_est(est)
+        if objs is not None:
+            keep(obj)
+    return bytes(buf), bounds, rlens, ests, objs, \
+        None if mixed else train_stream
+
+
+def encode_train_uniform(
+    stream_tuples,
+    stream,
+    src,
+    _pack_i64=_TAG_I64.pack,
+    _pack_f64=_TAG_F64.pack_into,
+    _pack_u32=_TAG_U32.pack_into,
+    _pack_big=_BIGINT_HEAD.pack_into,
+    _pack_rec=_RECORD_LEN.pack_into,
+    _len=len, _type=type,
+):
+    """:func:`encode_train` specialised for a *uniform* batch: every
+    tuple shares the one ``(stream, src)`` envelope passed in, and none
+    carries an anchor, trace or sequencing stamp. The caller owns that
+    contract — the spout fast-sink lane guarantees it by construction
+    (one collector emits the whole run on one stream; acking, tracing
+    and sequenced edges each disarm the lane before a stamp can ever be
+    applied) — which lets this loop drop the per-tuple stamp scan and
+    the per-tuple envelope comparisons that :func:`encode_train` must
+    keep for arbitrary batches. The emitted bytes and the returned
+    ``(data, bounds, rlens, ests, objs, stream)`` are exactly what
+    :func:`encode_train` produces for the same tuples. Batches holding
+    a container value delegate to the general walk (which tracks the
+    per-record object list this loop omits), so a ``None`` return is
+    possible only if the caller's no-stamp pledge was broken — and the
+    transports degrade to the per-tuple path in that case anyway.
+    """
+    buf = bytearray()
+    bounds: list = [0]
+    rlens: list = []
+    ests: list = [0]
+    mark = bounds.append
+    keep_len = rlens.append
+    keep_est = ests.append
+    est = 0
+    head_cache = _TRAIN_HEAD_CACHE
+    prev_n = -1
+    head = b""
+    # Record starts carry over from the previous record's end — one
+    # len() per record instead of two.
+    end = 0
+    for stream_tuple in stream_tuples:
+        values = stream_tuple.values
+        nvalues = _len(values)
+        if nvalues != prev_n:
+            key = (stream, src, nvalues)
+            head = head_cache.get(key)
+            if head is None:
+                head = bytearray(_PAD_ENVELOPE)
+                _ENVELOPE.pack_into(head, 0, stream, src, 0, nvalues)
+                head = _PAD_RECORD_LEN + bytes(head)
+                if _len(head_cache) >= _ENVELOPE_CACHE_MAX:
+                    head_cache.clear()
+                head_cache[key] = head
+            prev_n = nvalues
+        start = end
+        buf += head
+        est += 80
+        for value in values:
+            kind = _type(value)
+            if kind is str:
+                est += _len(value)
+                record = _STR_RECORD_CACHE.get(value)
+                if record is not None:
+                    buf += record
+                elif _len(value) <= _STR_CACHE_LEN_LIMIT:
+                    data = value.encode("utf-8")
+                    record = bytearray()
+                    record += _PAD_TAG_U32
+                    _pack_u32(record, 0, _T_STR, _len(data))
+                    record += data
+                    record = bytes(record)
+                    if _len(_STR_RECORD_CACHE) >= _STR_RECORD_CACHE_MAX:
+                        _STR_RECORD_CACHE.clear()
+                    _STR_RECORD_CACHE[value] = record
+                    buf += record
+                else:
+                    data = value.encode("utf-8")
+                    pos = _len(buf)
+                    buf += _PAD_TAG_U32
+                    _pack_u32(buf, pos, _T_STR, _len(data))
+                    buf += data
+            elif kind is int:
+                est += 8
+                if _I64_MIN <= value <= _I64_MAX:
+                    buf += _pack_i64(_T_INT, value)
+                else:
+                    magnitude = abs(value)
+                    body = magnitude.to_bytes(
+                        (magnitude.bit_length() + 8) // 8, "big",
+                        signed=False)
+                    pos = _len(buf)
+                    buf += _PAD_BIGINT_HEAD
+                    _pack_big(buf, pos, _T_BIGINT, 1 if value < 0 else 0,
+                              _len(body))
+                    buf += body
+            elif kind is float:
+                est += 8
+                pos = _len(buf)
+                buf += _PAD_TAG_I64
+                _pack_f64(buf, pos, _T_FLOAT, value)
+            elif value is None:
+                est += 8
+                buf.append(_T_NONE)
+            elif kind is bool:
+                est += 8
+                buf.append(_T_TRUE if value else _T_FALSE)
+            elif kind is bytes:
+                est += _len(value)
+                pos = _len(buf)
+                buf += _PAD_TAG_U32
+                _pack_u32(buf, pos, _T_BYTES, _len(value))
+                buf += value
+            else:
+                # A container value: the whole batch re-encodes through
+                # the general walk, which produces the identical bytes
+                # for a uniform batch and tracks the per-record object
+                # list this loop deliberately omits. One batch pays
+                # double encode work; the hot all-scalar shape pays no
+                # objs bookkeeping at all.
+                return encode_train(stream_tuples)
+        end = _len(buf)
+        rlen = end - start - 4
+        _pack_rec(buf, start, rlen)
+        mark(end)
+        keep_len(rlen)
+        keep_est(est)
+    return bytes(buf), bounds, rlens, ests, None, stream
 
 
 def decode_tuple(data, source_component: str = "") -> StreamTuple:

@@ -72,6 +72,18 @@ class Component:
 class Spout(Component):
     """A data source. ``next_tuple`` emits zero or more tuples per call."""
 
+    #: Optional batch hook: ``next_tuple_batch(collector, want)`` emits up
+    #: to ``want`` tuples in one call, each equivalent to one
+    #: ``next_tuple`` call that emitted exactly one tuple. The executor
+    #: invokes it only on the non-acked, non-traced fast path, and
+    #: replays per-tuple costs as if ``next_tuple`` had been called once
+    #: per emission, so implementing it never changes results — only
+    #: call overhead. Implementations must emit on a single stream, must
+    #: not use ``charge()`` or direct emissions, and accept
+    #: batch-granularity crash semantics (an exception forfeits the
+    #: whole call). Leave as ``None`` for the classic per-call protocol.
+    next_tuple_batch = None
+
     def next_tuple(self, collector: "EmitterApi") -> None:
         raise NotImplementedError
 
@@ -85,6 +97,18 @@ class Spout(Component):
 class Bolt(Component):
     """A processing node. ``execute`` consumes one tuple."""
 
+    #: Optional batch hook: ``execute_batch(stream_tuples, collector)``
+    #: consumes a whole single-stream delivery in one call, equivalent to
+    #: calling ``execute`` once per tuple. The executor invokes it only
+    #: for uniform data-stream train deliveries on the non-acked,
+    #: non-traced path, and replays per-tuple compute costs exactly, so
+    #: implementing it never changes results — only call overhead.
+    #: Implementations must not emit per input tuple or use ``charge()``
+    #: (terminal sinks are the intended users), and accept
+    #: batch-granularity crash semantics (an exception forfeits the
+    #: whole delivery). Leave as ``None`` for the per-tuple protocol.
+    execute_batch = None
+
     def execute(self, stream_tuple: StreamTuple, collector: "EmitterApi") -> None:
         raise NotImplementedError
 
@@ -92,10 +116,26 @@ class Bolt(Component):
 class EmitterApi:
     """What components see of the output collector."""
 
+    # Empty slots so the concrete collector can be a __slots__ class:
+    # emit() runs once per tuple produced anywhere in the system, and
+    # slot loads beat instance-dict lookups there. Subclasses that
+    # declare no __slots__ of their own still get a dict as usual.
+    __slots__ = ()
+
     def emit(self, values: Sequence[Any], stream: int = DEFAULT_STREAM,
              anchor: Optional[StreamTuple] = None,
              message_id: Any = None) -> None:
         raise NotImplementedError
+
+    def emit_many(self, values_seq: Sequence[Sequence[Any]],
+                  stream: int = DEFAULT_STREAM) -> None:
+        """Bulk emit: exactly ``emit(values, stream)`` for each item, in
+        order (no anchors, no message ids — callers that need either
+        must emit those tuples one at a time). This default is
+        literally that loop; the runtime collector overrides it with a
+        batched lane that hoists the per-call checks out of the loop."""
+        for values in values_seq:
+            self.emit(values, stream)
 
     def ack(self, stream_tuple: StreamTuple) -> None:
         raise NotImplementedError

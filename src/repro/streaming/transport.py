@@ -47,6 +47,12 @@ class Delivery:
     #: store put and get, and the footprint of an immutable batch never
     #: changes between the two.
     nbytes: Optional[int] = None
+    #: When set, every tuple in the batch rides this one stream id (the
+    #: transport knows this for free on uniform train deliveries). The
+    #: executor uses it to hand a whole data-stream delivery to a
+    #: component's ``execute_batch`` hook; ``None`` means unknown/mixed
+    #: and forces the per-tuple path.
+    stream: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -101,12 +107,16 @@ class Transport:
         return cost
 
     def send_interleaved(self, stream_tuples: Sequence[StreamTuple],
-                         dst: Any, pre_cost: float, cost: float) -> float:
+                         dst: Any, pre_cost: float, cost: float,
+                         uniform: bool = False) -> float:
         """Batched replay of ``for t: cost += pre_cost; cost += send(t,
         [dst])`` — the executor's per-tuple accumulation pattern — on
         the running ``cost`` value, preserving the exact float-addition
         sequence. This default is literally that loop; transports
-        override it to hoist per-call setup."""
+        override it to hoist per-call setup. ``uniform`` is the
+        caller's pledge that the batch shares one (stream, source)
+        envelope and carries no stamps — a hint only; this default
+        ignores it."""
         dsts = [dst]
         for stream_tuple in stream_tuples:
             cost += pre_cost
@@ -118,6 +128,20 @@ class Transport:
         """One-to-many send. Typhoon serializes once and lets the switch
         replicate; the baseline degenerates to per-destination sends."""
         raise NotImplementedError
+
+    def send_broadcast_interleaved(self, stream_tuples: Sequence[StreamTuple],
+                                   dst_worker_ids: Sequence[int],
+                                   pre_cost: float, cost: float,
+                                   uniform: bool = False) -> float:
+        """Batched replay of ``for t: cost += pre_cost; cost +=
+        send_broadcast(t, dsts)`` on the running ``cost`` value,
+        preserving the exact float-addition sequence. This default is
+        literally that loop; transports override it to encode the whole
+        train in one pass. ``uniform`` as in :meth:`send_interleaved`."""
+        for stream_tuple in stream_tuples:
+            cost += pre_cost
+            cost += self.send_broadcast(stream_tuple, dst_worker_ids)
+        return cost
 
     def send_offloaded(self, stream_tuple: StreamTuple, edge_key,
                        dst_worker_ids: Sequence[int]) -> float:

@@ -151,6 +151,13 @@ class NullSinkBolt(Bolt):
         self.count += 1
         self.last_values = stream_tuple.values
 
+    def execute_batch(self, stream_tuples, collector: EmitterApi) -> None:
+        """Batch hook (see :attr:`Bolt.execute_batch`): equivalent to
+        ``execute`` once per tuple."""
+        self.count += len(stream_tuples)
+        if stream_tuples:
+            self.last_values = stream_tuples[-1].values
+
 
 class SequenceSpout(Spout):
     """Max-speed source of (payload, sequence) tuples — the §6.1
@@ -167,6 +174,22 @@ class SequenceSpout(Spout):
             return
         collector.emit((self.payload, self.seq), message_id=self.seq)
         self.seq += 1
+
+    def next_tuple_batch(self, collector: EmitterApi, want: int) -> None:
+        """Batch hook (see :attr:`Spout.next_tuple_batch`): up to
+        ``want`` emissions in one call — same tuples, same order, same
+        limit handling as ``next_tuple``. Message ids are dropped:
+        they only matter under guaranteed processing, and the executor
+        never engages this hook while acking is on."""
+        seq = self.seq
+        stop = seq + want
+        limit = self.limit
+        if limit is not None and limit < stop:
+            stop = limit
+        if seq < stop:
+            payload = self.payload
+            collector.emit_many([(payload, s) for s in range(seq, stop)])
+            self.seq = stop
 
 
 class SequenceCheckBolt(Bolt):
@@ -186,3 +209,20 @@ class SequenceCheckBolt(Bolt):
         if last is not None and seq <= last:
             self.out_of_order += 1
         self._last[src] = seq
+
+    def execute_batch(self, stream_tuples, collector: EmitterApi) -> None:
+        """Batch hook (see :attr:`Bolt.execute_batch`): the per-tuple
+        monotonicity checks of ``execute``, with counters and lookups
+        hoisted to locals."""
+        out_of_order = self.out_of_order
+        last_map = self._last
+        get = last_map.get
+        for stream_tuple in stream_tuples:
+            src = stream_tuple.source_worker
+            seq = stream_tuple.values[1]
+            last = get(src)
+            if last is not None and seq <= last:
+                out_of_order += 1
+            last_map[src] = seq
+        self.count += len(stream_tuples)
+        self.out_of_order = out_of_order
