@@ -137,6 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "broadcast flap, controller outage) and require "
                             "zero lost and zero duplicate committed tuples "
                             "(typhoon only)")
+    chaos.add_argument("--ha", action="store_true",
+                       help="run with a replicated control plane (3 "
+                            "controller instances, leader election) under "
+                            "targeted HA regimes — leader kill mid-update, "
+                            "successor kill, leader/store partition — and "
+                            "require single-master convergence, zero rule "
+                            "divergence, complete stale-master fencing and "
+                            "bounded failover blackout (typhoon only)")
 
     trace = commands.add_parser(
         "trace",
@@ -241,9 +249,20 @@ def cmd_audit(system: str, rate: float, duration: float, hosts: int,
 
 def cmd_chaos(system: str, seed: int, hosts: int, duration: float,
               faults: int, rate: float, acked: bool = False,
-              exactly_once: bool = False, out=sys.stdout) -> int:
-    from .core.chaos import run_chaos, run_chaos_exactly_once
+              exactly_once: bool = False, ha: bool = False,
+              out=sys.stdout) -> int:
+    from .core.chaos import run_chaos, run_chaos_exactly_once, run_chaos_ha
 
+    if ha:
+        if system != "typhoon":
+            out.write("--ha requires the typhoon runtime (the replicated "
+                      "control plane drives the SDN fabric)\n")
+            return 2
+        result = run_chaos_ha(seed=seed, hosts=hosts, duration=duration,
+                              rate=rate)
+        out.write(result.render())
+        out.write("\n")
+        return 0 if result.ok else 1
     if exactly_once:
         if system != "typhoon":
             out.write("--exactly-once requires the typhoon runtime "
@@ -363,7 +382,7 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     if args.command == "chaos":
         return cmd_chaos(args.system, args.seed, args.hosts, args.duration,
                          args.faults, args.rate, args.acked,
-                         args.exactly_once, out)
+                         args.exactly_once, args.ha, out)
     if args.command == "trace":
         return cmd_trace(args.seed, args.sample_every, args.rate,
                          args.duration, args.hosts, out)

@@ -10,6 +10,9 @@ relies on:
 * compare-and-set writes (``expected_version``),
 * *ephemeral* nodes bound to a session, removed when the session expires
   (how worker liveness/heartbeats surface),
+* *sequence* nodes (``create(..., sequence=True)``) whose final name gets
+  a monotonically increasing zero-padded counter appended — the ordering
+  half of the classic leader-election recipe,
 * persistent data and child watches, delivered after the coordinator
   round-trip latency.
 """
@@ -83,6 +86,7 @@ class Coordinator:
         self._sessions: Dict[str, List[str]] = {}
         self._data_watches: Dict[str, List[DataWatch]] = {}
         self._child_watches: Dict[str, List[ChildWatch]] = {}
+        self._sequence_counter = 0
         self.write_count = 0
         self.read_count = 0
 
@@ -93,8 +97,18 @@ class Coordinator:
 
     def create(self, path: str, data: Any = None,
                ephemeral_owner: Optional[str] = None,
-               make_parents: bool = False) -> None:
+               make_parents: bool = False, sequence: bool = False) -> str:
+        """Create a znode and return its final path.
+
+        With ``sequence=True`` the given ``path`` is a name *prefix*: a
+        zero-padded monotonic counter is appended (ZooKeeper's sequential
+        flag), so concurrent creators get distinct, totally ordered names
+        — the building block of the leader-election recipe.
+        """
         _validate_path(path)
+        if sequence:
+            path = "%s%010d" % (path, self._sequence_counter)
+            self._sequence_counter += 1
         if path in self._nodes:
             raise NodeExistsError(path)
         parent = _parent(path)
@@ -112,6 +126,7 @@ class Coordinator:
         self._nodes[parent].children[name] = None
         self._fire_data(path)
         self._fire_children(parent)
+        return path
 
     def set(self, path: str, data: Any, expected_version: int = -1) -> int:
         node = self._nodes.get(_validate_path(path))
@@ -190,11 +205,64 @@ class Coordinator:
         return owner in self._sessions
 
     def expire_session(self, owner: str) -> None:
-        """Drop a session and delete its ephemeral nodes (worker death)."""
+        """Drop a session and delete its ephemeral nodes (worker death).
+
+        All owned nodes are removed first; watches then fire in one
+        deterministic sorted pass. Each parent that lost children gets a
+        *single* child-watch delivery reflecting the final membership
+        (level-triggered, like ZooKeeper) rather than one delivery per
+        deleted node, and every removed path gets its data-watch delete
+        notification.
+        """
         paths = self._sessions.pop(owner, [])
-        for path in list(paths):
-            if path in self._nodes:
-                self.delete(path, recursive=True)
+        removed: List[str] = []
+        parents = set()
+        for path in sorted(paths):
+            if path not in self._nodes:
+                continue  # already deleted, or swept as a descendant
+            parents.add(_parent(path))
+            self._remove_subtree(path, removed)
+        for parent in sorted(parents):
+            if parent in self._nodes:
+                self._fire_children(parent)
+        for path in sorted(removed):
+            self._fire_data(path, deleted=True)
+
+    def _remove_subtree(self, path: str, removed: List[str]) -> None:
+        """Unlink ``path`` and its descendants without firing watches."""
+        node = self._nodes.get(path)
+        if node is None:
+            return
+        for child in sorted(node.children):
+            child_path = ("/" + child if path == "/"
+                          else "%s/%s" % (path, child))
+            self._remove_subtree(child_path, removed)
+        self.write_count += 1
+        del self._nodes[path]
+        if node.ephemeral_owner is not None:
+            owned = self._sessions.get(node.ephemeral_owner)
+            if owned and path in owned:
+                owned.remove(path)
+        parent_node = self._nodes.get(_parent(path))
+        if parent_node is not None:
+            parent_node.children.pop(path.rsplit("/", 1)[1], None)
+        removed.append(path)
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Store-health snapshot for the REST/chaos surfaces."""
+        ephemerals = sum(1 for node in self._nodes.values()
+                         if node.ephemeral_owner is not None)
+        return {
+            "znodes": len(self._nodes),
+            "ephemerals": ephemerals,
+            "sessions": len(self._sessions),
+            "data_watches": sum(len(w) for w in self._data_watches.values()),
+            "child_watches": sum(len(w) for w in self._child_watches.values()),
+            "writes": self.write_count,
+            "reads": self.read_count,
+        }
 
     # -- watches ------------------------------------------------------------------
 

@@ -42,14 +42,34 @@ class FaultDetector(ControllerApp):
         self.dead_end_events: List[Dict[str, Any]] = []
 
     def on_start(self) -> None:
-        app = self.cluster.app
+        app = self._core()
         app.port_delete_listeners.append(self._on_port_delete)
         app.port_add_listeners.append(self._on_port_add)
+
+    def _core(self):
+        """The core Typhoon app on the *same* controller instance. Under
+        a replicated control plane each replica hosts its own fault
+        detector, which must act on its co-located core app rather than
+        whichever replica currently leads."""
+        if self.controller is not None:
+            try:
+                return self.controller.app("typhoon-core")
+            except KeyError:
+                pass
+        return self.cluster.app
+
+    # -- warm-standby state sync -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"redirected": dict(self.redirected)}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self.redirected = dict(state["redirected"])
 
     # -- failure path ---------------------------------------------------------
 
     def _on_port_delete(self, dpid: str, worker_id: int) -> None:
-        app = self.cluster.app
+        app = self._core()
         if worker_id in app.expected_removals:
             return  # planned removal (stable topology update)
         located = self._locate(worker_id)
@@ -98,7 +118,7 @@ class FaultDetector(ControllerApp):
             self._maybe_restore(worker_id)
 
     def _maybe_restore(self, worker_id: int) -> None:
-        app = self.cluster.app
+        app = self._core()
         if worker_id not in app.worker_host:
             return  # died again during probation
         located = self.redirected.pop(worker_id, None)

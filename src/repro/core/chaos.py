@@ -44,17 +44,20 @@ report byte for byte, so scenarios are replayable and diffable.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.audit import ConservationReport
 from ..sim.engine import Engine
+from ..sdn.flow import Match
 from ..sim.faults import (
     STORM_KINDS,
     TYPHOON_KINDS,
     ChaosSchedule,
     FaultPlan,
     _crash,
+    set_controller_replica_down,
+    set_store_partition,
 )
 from ..streaming.acker import ACKER_COMPONENT, AckerBolt
 from ..streaming.checkpoint import CHECKPOINT_SERVICE, CheckpointStore
@@ -77,6 +80,10 @@ I_NO_DUPLICATES = "no-duplicate-delivery"
 I_DETECTOR = "fault-detector-convergence"
 I_REPLAY = "replay-conservation"
 I_REPLICATION = "replication-conservation"
+I_HA_CONVERGENCE = "ha-convergence"
+I_HA_DIVERGENCE = "ha-rule-divergence"
+I_HA_FENCING = "ha-fencing"
+I_HA_BLACKOUT = "ha-blackout"
 
 
 @dataclass
@@ -152,6 +159,11 @@ class InvariantChecker:
             self._check_replay(),
             self._check_replication(),
         ]
+        # Replicated-control-plane invariants ride along only when the
+        # cluster actually deployed HA: the default single-controller
+        # report stays byte-identical.
+        if getattr(self.cluster, "ha", None) is not None:
+            results.extend(self._check_ha(self.cluster.ha))
         return InvariantReport(results=results, conservation=conservation)
 
     # -- (a) delivery conservation -----------------------------------------
@@ -321,6 +333,111 @@ class InvariantChecker:
         return InvariantResult(I_REPLICATION, PASS if ok else FAIL, detail)
 
 
+    # -- (g..j) replicated-control-plane invariants ------------------------
+
+    def _check_ha(self, ha) -> List[InvariantResult]:
+        expectations = getattr(self.cluster, "ha_expectations", {})
+        return [
+            self._check_ha_convergence(ha),
+            self._check_ha_divergence(ha),
+            self._check_ha_fencing(ha, expectations),
+            self._check_ha_blackout(ha, expectations),
+        ]
+
+    def _check_ha_convergence(self, ha) -> InvariantResult:
+        """Exactly one live master, agreed by store and switches, with
+        every blackout buffer drained."""
+        problems: List[str] = []
+        leader = ha.leader
+        if leader is None:
+            problems.append("no-leader")
+        else:
+            if not leader.up:
+                problems.append("leader-down")
+            if leader.role != "master":
+                problems.append("leader-role=%s" % leader.role)
+            stored = ha.coordinator.get_data("/ha/generation", 0)
+            if stored != ha.generation:
+                problems.append("generation-skew store=%s plane=%d"
+                                % (stored, ha.generation))
+            masters = sum(1 for replica in ha.replicas
+                          if replica.role == "master")
+            if masters != 1:
+                problems.append("masters=%d" % masters)
+            pending = 0
+            for dpid in sorted(leader.sdn.switches):
+                switch = leader.sdn.switches[dpid]
+                if not switch.up:
+                    continue
+                stats = switch.stats()
+                if stats["master"] != leader.name:
+                    problems.append("%s-master=%s" % (dpid, stats["master"]))
+                if stats["master_generation"] != ha.generation:
+                    problems.append("%s-gen=%d" % (dpid,
+                                                   stats["master_generation"]))
+                pending += stats["pending_controller"]
+            if pending:
+                problems.append("pending-buffers=%d" % pending)
+        detail = ("leader=%s generation=%d replicas=%d"
+                  % (ha.leader_name, ha.generation, len(ha.replicas)))
+        if problems:
+            detail += " problems=" + ",".join(problems)
+        return InvariantResult(I_HA_CONVERGENCE,
+                               PASS if not problems else FAIL, detail)
+
+    def _check_ha_divergence(self, ha) -> InvariantResult:
+        """Zero generation-stamped rule divergence between the promoted
+        leader's desired state and the live flow tables — the anti-
+        entropy sweep fully repaired every failover."""
+        divergence = ha.rule_divergence()
+        detail = ("rule_divergence=%d (stale=%d missing=%d mismatched=%d)"
+                  % (divergence["total"], divergence["stale"],
+                     divergence["missing"], divergence["mismatched"]))
+        return InvariantResult(I_HA_DIVERGENCE,
+                               PASS if divergence["total"] == 0 else FAIL,
+                               detail)
+
+    def _check_ha_fencing(self, ha, expectations) -> InvariantResult:
+        """Every stale-master mutation was rejected: the switches fenced
+        at least as many messages as the harness provably sent from
+        deposed masters, and no probe FlowMod landed in a table."""
+        fencing = ha.fencing_summary()
+        probes = expectations.get("probes", 0)
+        problems: List[str] = []
+        if probes and fencing["switch_rejections"] < probes:
+            problems.append("rejections<probes")
+        probe_match = expectations.get("probe_match")
+        if probe_match is not None:
+            reference = ha.leader if ha.leader is not None \
+                else ha.replicas[0]
+            for dpid in sorted(reference.sdn.switches):
+                switch = reference.sdn.switches[dpid]
+                if any(entry.match == probe_match
+                       for entry in switch.flows):
+                    problems.append("probe-rule-applied@%s" % dpid)
+        detail = ("switch_rejections=%d replica_fenced=%d probes=%d"
+                  % (fencing["switch_rejections"],
+                     fencing["replica_fenced"], probes))
+        if problems:
+            detail += " problems=" + ",".join(problems)
+        return InvariantResult(I_HA_FENCING,
+                               PASS if not problems else FAIL, detail)
+
+    def _check_ha_blackout(self, ha, expectations) -> InvariantResult:
+        """Every failover reconciled, and the control-plane blackout
+        (failure detection to reconciliation) stayed under budget."""
+        summary = ha.blackout_summary()
+        minimum = expectations.get("min_failovers", 1)
+        ok = (summary["unreconciled"] == 0
+              and summary["failovers"] >= minimum
+              and summary["max_blackout_ms"] <= summary["budget_ms"])
+        detail = ("failovers=%d unreconciled=%d max_blackout_ms=%.3f "
+                  "budget_ms=%.3f"
+                  % (summary["failovers"], summary["unreconciled"],
+                     summary["max_blackout_ms"], summary["budget_ms"]))
+        return InvariantResult(I_HA_BLACKOUT, PASS if ok else FAIL, detail)
+
+
 # -- the chaos runner ----------------------------------------------------------
 
 
@@ -335,6 +452,8 @@ class ChaosRunResult:
     invariants: InvariantReport
     acked: bool = False
     exactly_once: bool = False
+    #: Replicated-control-plane summary (``repro chaos --ha`` runs only).
+    ha: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -345,6 +464,8 @@ class ChaosRunResult:
                   % (self.system, self.seed, self.acked))
         if self.exactly_once:
             header += " exactly-once=True"
+        if self.ha is not None:
+            header += " ha=True"
         sections = [
             header,
             self.schedule.describe(),
@@ -352,7 +473,44 @@ class ChaosRunResult:
             self.invariants.render(),
             self.invariants.conservation.render(),
         ]
+        if self.ha is not None:
+            sections.append(self._render_ha())
         return "\n".join(sections)
+
+    def _render_ha(self) -> str:
+        ha = self.ha
+        blackout = ha["blackout"]
+        divergence = ha["rule_divergence"]
+        fencing = ha["fencing"]
+        lines = [
+            "ha summary",
+            "----------",
+            "leader=%s generation=%d replicas=%d"
+            % (ha["leader"], ha["generation"], len(ha["replicas"])),
+            "failovers=%d unreconciled=%d max_blackout_ms=%.3f "
+            "budget_ms=%.3f"
+            % (blackout["failovers"], blackout["unreconciled"],
+               blackout["max_blackout_ms"], blackout["budget_ms"]),
+            "rule_divergence=%d (stale=%d missing=%d mismatched=%d)"
+            % (divergence["total"], divergence["stale"],
+               divergence["missing"], divergence["mismatched"]),
+            "fencing switch_rejections=%d replica_fenced=%d probes=%d"
+            % (fencing["switch_rejections"], fencing["replica_fenced"],
+               ha.get("probes", 0)),
+        ]
+        for record in ha["failovers_detail"]:
+            lines.append(
+                "  g=%d %s<-%s detected=%.3f promoted=%.3f "
+                "blackout_ms=%s stale_deleted=%d repaired=%d"
+                % (record["generation"], record["leader"],
+                   record["previous"], record["detected_at"],
+                   record["promoted_at"],
+                   "%.3f" % record["blackout_ms"]
+                   if record["blackout_ms"] is not None
+                   else ("superseded" if record.get("superseded")
+                         else "-"),
+                   record["stale_deleted"], record["repaired"]))
+        return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
         payload = self.invariants.to_dict()
@@ -366,6 +524,8 @@ class ChaosRunResult:
             "faults_clamped": list(self.plan.clamped),
             "faults_unresolved": list(self.plan.unresolved),
         })
+        if self.ha is not None:
+            payload["ha"] = self.ha
         return payload
 
 
@@ -581,6 +741,185 @@ def run_chaos_exactly_once(seed: int = 0, hosts: int = 3,
                           exactly_once=True)
 
 
+# -- the controller-HA chaos runner --------------------------------------------
+
+#: Fault regimes the controller-HA harness drives, in order:
+#:
+#: * ``leader-kill-mid-update`` — crash the elected leader exactly when a
+#:   Fig. 6 scale-up announces its ``rules`` phase (flow rules half
+#:   installed, routing not yet swapped);
+#: * ``successor-kill`` — crash the leader, then crash the freshly
+#:   promoted successor again before its anti-entropy sweep can finish;
+#: * ``store-partition`` — cut the leader off from the coordination
+#:   store so it keeps running as a *stale master*, and prove the
+#:   switches fence its mutations (a probe FlowMod must be rejected).
+HA_REGIMES = ("leader-kill-mid-update", "successor-kill", "store-partition")
+
+
+@dataclass
+class HASpec:
+    """One planned controller-HA regime instance (deterministic)."""
+
+    kind: str
+    when: float
+    detail: str
+
+    def describe(self) -> str:
+        return "%-22s t=%6.2f %s" % (self.kind, self.when, self.detail)
+
+
+@dataclass
+class HASchedule:
+    """Seeded regime schedule for the replicated control plane — same
+    shape as :class:`~repro.sim.faults.ChaosSchedule` where the report
+    machinery cares (``specs`` + ``describe``)."""
+
+    seed: int
+    specs: List[HASpec] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = ["controller-ha fault schedule seed=%d regimes=%d"
+                 % (self.seed, len(self.specs))]
+        lines.extend("  " + spec.describe() for spec in self.specs)
+        return "\n".join(lines)
+
+
+def _ha_faults(cluster, seed: int, window: Tuple[float, float],
+               relays: int) -> Tuple[HASchedule, FaultPlan, Dict[str, object]]:
+    """Build the three targeted HA regimes against a running cluster.
+
+    Every kill resolves its victim at fire time ("the leader" means
+    whoever leads *then*), and every downed replica restarts well before
+    the next regime so each failover is observed in isolation."""
+    engine = cluster.engine
+    rng = random.Random(seed)
+    plan = FaultPlan(cluster)
+    specs: List[HASpec] = []
+    start, end = window
+    step = (end - start) / len(HA_REGIMES)
+    probe_dpid = sorted(cluster.sdn.switches)[0]
+    probe_match = Match(in_port=199)
+    expectations: Dict[str, object] = {
+        "probes": 0,
+        "probe_match": probe_match,
+        "probe_dpid": probe_dpid,
+        "min_failovers": 4,
+    }
+
+    def kill_current_leader(repair_after: float):
+        def action() -> None:
+            ha = cluster.ha
+            victim = ha.leader_name or ha.replicas[0].name
+            set_controller_replica_down(cluster, victim, True)
+            engine.schedule(repair_after, set_controller_replica_down,
+                            cluster, victim, False)
+        return action
+
+    # Regime 1: leader killed the instant a scale-up announces that its
+    # flow rules are in — the worst mid-update moment, half the new
+    # data plane programmed by a controller that just died.
+    t_update = round(start + step * rng.uniform(0.1, 0.3), 3)
+    engine.schedule(max(0.0, t_update - engine.now),
+                    cluster.set_parallelism, "chaos", "relay", relays + 1)
+    plan.at_phase("chaos", "scale_up", "rules",
+                  kill_current_leader(repair_after=2.5),
+                  description="kill leader at scale-up rules phase")
+    specs.append(HASpec(HA_REGIMES[0], t_update,
+                        "scale relay->%d, kill fire-time leader at the "
+                        "rules phase, restart +2.50s" % (relays + 1)))
+
+    # Regime 2: double failure — the promoted successor dies too, after
+    # it claimed the switches but (typically) before its reconciliation
+    # sweep finished; the third replica must converge the plane.
+    t_double = round(start + step * (1 + rng.uniform(0.1, 0.3)), 3)
+    plan.custom(t_double, "kill leader (dynamic)",
+                kill_current_leader(repair_after=3.0))
+    plan.custom(t_double + 0.9, "kill promoted successor (dynamic)",
+                kill_current_leader(repair_after=3.0))
+    specs.append(HASpec(HA_REGIMES[1], t_double,
+                        "leader, then its successor 0.90s later, "
+                        "restarts +3.00s"))
+
+    # Regime 3: the leader loses the store but keeps running — a stale
+    # master. After the survivors elect a new leader, the stale one
+    # provably tries a FlowMod; the switches must fence it.
+    t_split = round(start + step * (2 + rng.uniform(0.1, 0.3)), 3)
+    split_holder: Dict[str, str] = {}
+
+    def partition() -> None:
+        ha = cluster.ha
+        victim = ha.leader_name or ha.replicas[0].name
+        split_holder["victim"] = victim
+        set_store_partition(cluster, victim, True)
+
+    def heal() -> None:
+        victim = split_holder.get("victim")
+        if victim is not None:
+            set_store_partition(cluster, victim, False)
+
+    def probe() -> None:
+        victim = split_holder.get("victim")
+        if victim is None:
+            return
+        expectations["probes"] = expectations.get("probes", 0) + 1
+        # The deposed master mutates the data plane; the switch must
+        # reject this (and tell it so via a stale RoleReply).
+        cluster.ha.replica(victim).sdn.install_flow(
+            probe_dpid, probe_match, (), priority=1)
+
+    plan.custom(t_split, "partition leader from store", partition,
+                duration=2.0, restore=heal)
+    plan.custom(t_split + 1.2, "stale-master probe FlowMod", probe)
+    specs.append(HASpec(HA_REGIMES[2], t_split,
+                        "leader loses the store for 2.00s; stale-master "
+                        "FlowMod probe at +1.20s"))
+    return HASchedule(seed, specs), plan, expectations
+
+
+def run_chaos_ha(seed: int = 0, hosts: int = 3, duration: float = 20.0,
+                 rate: float = 1500.0, warmup: float = 4.0,
+                 recovery: float = 6.0, settle: float = 2.0,
+                 relays: int = 2, sinks: int = 2,
+                 replicas: int = 3) -> ChaosRunResult:
+    """One seeded controller-HA chaos scenario end to end.
+
+    Deploys the chaos workload on a cluster with a *replicated* control
+    plane (``ha_replicas`` controller instances, leader election over
+    the coordinator), drives the three HA regimes — leader kill mid
+    Fig. 6 update, kill of the freshly promoted successor, leader/store
+    partition with a stale-master probe — then holds the quiesced
+    cluster to the standard six invariants plus the four HA invariants:
+    single-master convergence, zero rule divergence, complete fencing,
+    and bounded blackout.
+    """
+    engine = Engine()
+    cluster = TyphoonCluster(engine, num_hosts=hosts, seed=seed,
+                             ha_replicas=replicas)
+    cluster.register_app_factory(lambda: FaultDetector(cluster))
+    registry = DedupRegistry(at_least_once=False)
+    cluster.services[DEDUP_SERVICE] = registry
+    config = TopologyConfig(batch_size=50, max_spout_rate=rate)
+    cluster.submit(chaos_topology("chaos", config, relays=relays,
+                                  sinks=sinks))
+    engine.run(until=warmup)
+
+    window = (warmup, max(warmup + 3.0, duration - 3.0))
+    schedule, plan, expectations = _ha_faults(cluster, seed, window, relays)
+    plan.arm()
+    cluster.chaos_plan = plan
+    cluster.ha_expectations = expectations
+
+    # The tail must cover the last regime's heal plus a full failback
+    # (session timeout + promotion + reconciliation sweep).
+    engine.run(until=duration + max(recovery, 5.0))
+    invariants = InvariantChecker(cluster, settle=settle).run()
+    ha_payload = dict(cluster.ha.snapshot())
+    ha_payload["failovers_detail"] = ha_payload.pop("failovers")
+    ha_payload["probes"] = expectations.get("probes", 0)
+    return ChaosRunResult(system="typhoon", seed=seed, schedule=schedule,
+                          plan=plan, invariants=invariants, ha=ha_payload)
+
+
 def chaos_snapshot(cluster) -> Dict[str, object]:
     """Live (non-quiescing) chaos state for the ``GET /chaos`` route.
 
@@ -650,6 +989,9 @@ def chaos_snapshot(cluster) -> Dict[str, object]:
             channel = app.control_channel_stats()
             if channel.get("reliable_topologies"):
                 snapshot["control_channel"] = channel
+    ha = getattr(cluster, "ha", None)
+    if ha is not None:
+        snapshot["ha"] = ha.snapshot()
     plan = getattr(cluster, "chaos_plan", None)
     if isinstance(plan, FaultPlan):
         snapshot["faults"] = {

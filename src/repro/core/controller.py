@@ -415,6 +415,55 @@ class TyphoonControllerApp(ControllerApp):
         self._compute_rules(logical, physical, groups)
         return groups
 
+    # -- high availability (warm standby + anti-entropy) -------------------------
+
+    def snapshot(self) -> Dict:
+        """Everything a warm standby needs to take over: the learned
+        data-plane view and the shadow rule/group bookkeeping. Copied a
+        level deep so the leader mutating afterwards does not alias the
+        published state."""
+        return {
+            "port_map": dict(self.port_map),
+            "worker_host": dict(self.worker_host),
+            "managed": sorted(self.managed),
+            "reliable_topologies": sorted(self.reliable_topologies),
+            "installed": {tid: dict(rules)
+                          for tid, rules in self._installed.items()},
+            "installed_groups": {tid: dict(groups)
+                                 for tid, groups in
+                                 self._installed_groups.items()},
+            "spouts_activated": sorted(self._spouts_activated),
+            "expected_removals": sorted(self.expected_removals),
+        }
+
+    def restore(self, state: Dict) -> None:
+        self.port_map = dict(state["port_map"])
+        self.worker_host = dict(state["worker_host"])
+        self.managed = set(state["managed"])
+        self.reliable_topologies = set(state["reliable_topologies"])
+        self._installed = {tid: dict(rules)
+                           for tid, rules in state["installed"].items()}
+        self._installed_groups = {tid: dict(groups)
+                                  for tid, groups in
+                                  state["installed_groups"].items()}
+        self._spouts_activated = set(state["spouts_activated"])
+        self.expected_removals = set(state["expected_removals"])
+
+    def desired_flows(self) -> Dict[_RuleKey, _RuleValue]:
+        """Full intended rule set for the post-failover anti-entropy
+        sweep: the Table 3 rules the coordinator state implies for every
+        managed topology, plus the worker-to-controller taps for every
+        known worker port."""
+        desired: Dict[_RuleKey, _RuleValue] = {}
+        for topology_id in sorted(self.managed):
+            desired.update(self.desired_rules(topology_id))
+        for dpid, worker_id in sorted(self.port_map):
+            port_no = self.port_map[(dpid, worker_id)]
+            match, actions = rule_templates.worker_to_controller(port_no)
+            desired[(dpid, match)] = (rule_templates.PRIORITY_CONTROL,
+                                      tuple(actions))
+        return desired
+
     # -- data-plane discovery -----------------------------------------------------
 
     def on_switch_reconnect(self, dpid: str) -> None:

@@ -24,6 +24,7 @@ GET    /cluster                                         data-plane summary
 GET    /audit                                           delivery-conservation ledger
 GET    /chaos                                           chaos-harness state
 GET    /replication                                     replica-group state
+GET    /ha                                              replicated control plane
 GET    /trace                                           hop-by-hop trace report
 GET    /bandwidth                                       allocator snapshot
 GET    /slices                                          hypervisor slices
@@ -99,6 +100,7 @@ class RestApi:
             ("GET", re.compile(r"^/audit$"), self._audit),
             ("GET", re.compile(r"^/chaos$"), self._chaos),
             ("GET", re.compile(r"^/replication$"), self._replication),
+            ("GET", re.compile(r"^/ha$"), self._ha),
             ("GET", re.compile(r"^/trace$"), self._trace),
             ("GET", re.compile(r"^/bandwidth$"), self._bandwidth),
             ("GET", re.compile(r"^/slices$"), self._list_slices),
@@ -309,6 +311,16 @@ class RestApi:
             return 404, {"error": "no replication groups"}
         return 200, {"totals": service.totals(),
                      "groups": service.snapshot()}
+
+    def _ha(self, body) -> Response:
+        """Live replicated-control-plane state: leader, generation,
+        per-replica roles, failover records (blackout windows), rule
+        divergence, fencing counters and coordination-store stats. 404
+        when the cluster runs a single controller."""
+        plane = getattr(self.cluster, "ha", None)
+        if plane is None:
+            return 404, {"error": "no replicated control plane"}
+        return 200, plane.snapshot()
 
     def _trace(self, body) -> Response:
         """Live hop-by-hop tracing state: per-hop latency breakdown,

@@ -25,6 +25,7 @@ from ..coordination.schema import GlobalState
 from ..coordination.store import Coordinator
 from ..net.hosts import Cluster
 from ..sdn.controller import ControllerApp, SdnController
+from ..sdn.ha import HAControlPlane
 from ..sim.costs import DEFAULT_COSTS, CostModel
 from ..sim.engine import Engine, Process
 from ..sim.metrics import MetricsRegistry
@@ -74,7 +75,10 @@ class TyphoonCluster:
     def __init__(self, engine: Engine, num_hosts: int = 3,
                  costs: CostModel = DEFAULT_COSTS, seed: int = 0,
                  scheduler=None, resource_aware: bool = False,
-                 cluster: Optional[Cluster] = None):
+                 cluster: Optional[Cluster] = None, ha_replicas: int = 0):
+        if ha_replicas and resource_aware:
+            raise ValueError("resource-aware scheduling is not supported "
+                             "with a replicated control plane yet")
         self.engine = engine
         self.costs = costs
         self.seeds = as_factory(seed)
@@ -89,23 +93,6 @@ class TyphoonCluster:
                              frame_inspector=frame_trace_ids)
         self.fabric = TyphoonFabric(engine, costs, self.cluster,
                                     ledger=self.ledger, tracer=self.tracer)
-        self.sdn = SdnController(engine, costs, name="typhoon-floodlight")
-        self.app = TyphoonControllerApp(self.state, self.fabric)
-        self.sdn.register_app(self.app)
-        for switch in self.fabric.switches():
-            self.sdn.connect_switch(switch)
-        self.manager = TyphoonManager(
-            engine, costs, self.cluster, self.state,
-            scheduler or TyphoonScheduler(resource_aware=resource_aware))
-        #: Online SDN bandwidth allocation rides with resource-aware
-        #: scheduling; the default path installs neither the app nor any
-        #: meters, keeping behavior byte-identical to older builds.
-        self.bandwidth_allocator = None
-        if resource_aware:
-            self.bandwidth_allocator = BandwidthAllocator(self.app,
-                                                          self.cluster)
-            self.sdn.register_app(self.bandwidth_allocator)
-            self.app.bandwidth_policy = self.bandwidth_allocator
         self.executors: Dict[int, WorkerExecutor] = {}
         self.transports: Dict[int, TyphoonTransport] = {}
         self.replication = ReplicationService()
@@ -115,13 +102,42 @@ class TyphoonCluster:
             CHECKPOINT_SERVICE: CheckpointStore(),
             REPLICATION_SERVICE: self.replication,
         }
-        # Replica failover rides the same port-status signal the fault
-        # detector uses: a dead replica's switch port vanishing demotes
-        # it (and promotes a new leader when it led the group).
-        self.app.port_delete_listeners.append(
-            lambda dpid, worker_id: self.replication.on_worker_down(worker_id))
-        self.app.port_add_listeners.append(
-            lambda dpid, worker_id: self.replication.on_worker_up(worker_id))
+        #: Replicated control plane (``ha_replicas >= 2``): N controller
+        #: instances, leader election over the coordinator, role-fenced
+        #: switch channels and post-failover reconciliation. ``None`` in
+        #: the default single-controller deployment — that path is
+        #: byte-identical to older builds.
+        self.ha: Optional[HAControlPlane] = None
+        self.bandwidth_allocator = None
+        if ha_replicas:
+            self._sdn = None
+            self._app = None
+            self.ha = HAControlPlane(engine, costs, self.coordinator,
+                                     ledger=self.ledger,
+                                     replicas=ha_replicas)
+            self.ha.register_app_factory(self._build_core_app)
+            self.ha.attach_switches(self.fabric.switches())
+            self.ha.start()
+        else:
+            self._sdn = SdnController(engine, costs,
+                                      name="typhoon-floodlight")
+            self._sdn.ledger = self.ledger
+            self._app = self._build_core_app()
+            self._sdn.register_app(self._app)
+            for switch in self.fabric.switches():
+                self._sdn.connect_switch(switch)
+            #: Online SDN bandwidth allocation rides with resource-aware
+            #: scheduling; the default path installs neither the app nor
+            #: any meters, keeping behavior byte-identical to older
+            #: builds.
+            if resource_aware:
+                self.bandwidth_allocator = BandwidthAllocator(self._app,
+                                                              self.cluster)
+                self._sdn.register_app(self.bandwidth_allocator)
+                self._app.bandwidth_policy = self.bandwidth_allocator
+        self.manager = TyphoonManager(
+            engine, costs, self.cluster, self.state,
+            scheduler or TyphoonScheduler(resource_aware=resource_aware))
         #: ``listener(topology_id, op, phase)`` callbacks fired at the
         #: named phases of the Fig. 6 stable-update procedures (see
         #: :mod:`repro.core.update`); the chaos harness injects here.
@@ -133,6 +149,35 @@ class TyphoonCluster:
             )
             self.manager.register_agent(agent)
         self.topology_manager = DynamicTopologyManager(self)
+
+    def _build_core_app(self) -> TyphoonControllerApp:
+        app = TyphoonControllerApp(self.state, self.fabric)
+        # Replica failover rides the same port-status signal the fault
+        # detector uses: a dead replica's switch port vanishing demotes
+        # it (and promotes a new leader when it led the group).
+        app.port_delete_listeners.append(
+            lambda dpid, worker_id: self.replication.on_worker_down(worker_id))
+        app.port_add_listeners.append(
+            lambda dpid, worker_id: self.replication.on_worker_up(worker_id))
+        return app
+
+    # -- control plane accessors --------------------------------------------
+
+    @property
+    def sdn(self) -> SdnController:
+        """The (active) SDN controller. Under HA this follows the elected
+        leader, so callers always talk to the controller that owns the
+        switches."""
+        if self.ha is not None:
+            return self.ha.active_sdn
+        return self._sdn
+
+    @property
+    def app(self) -> TyphoonControllerApp:
+        """The (active) core Typhoon control-plane app."""
+        if self.ha is not None:
+            return self.ha.active_sdn.app(TyphoonControllerApp.name)
+        return self._app
 
     # -- public API ---------------------------------------------------------
 
@@ -153,7 +198,19 @@ class TyphoonCluster:
 
     def register_app(self, app: ControllerApp) -> ControllerApp:
         """Deploy an SDN control plane application (§4)."""
-        return self.sdn.register_app(app)
+        if self.ha is not None:
+            raise ValueError(
+                "replicated control plane: every replica needs its own app "
+                "instance — use register_app_factory instead")
+        return self._sdn.register_app(app)
+
+    def register_app_factory(self, factory) -> None:
+        """Deploy a control plane app from a factory — one instance per
+        controller replica under HA, a single instance otherwise."""
+        if self.ha is not None:
+            self.ha.register_app_factory(factory)
+        else:
+            self._sdn.register_app(factory())
 
     def executor(self, worker_id: int) -> Optional[WorkerExecutor]:
         executor = self.executors.get(worker_id)

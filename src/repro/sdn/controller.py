@@ -14,8 +14,9 @@ generic substrate any app runs on.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..sim.audit import LAYER_CONTROLLER, R_CONTROL_BACKLOG, DeliveryLedger
 from ..sim.costs import CostModel
 from ..sim.engine import Engine, Event, Process
 from .flow import Action, Match
@@ -37,6 +38,7 @@ from .openflow import (
     PortStatsReply,
     PortStatsRequest,
     PortStatus,
+    RoleReply,
     SwitchReconnect,
 )
 from .switch import SoftwareSwitch
@@ -91,9 +93,33 @@ class ControllerApp:
     def on_meter_stats(self, message: MeterStatsReply) -> None:
         pass
 
+    # -- high-availability hooks (warm-standby state sync) -----------------
+
+    def snapshot(self) -> Optional[Dict[str, Any]]:
+        """Serializable state a warm standby needs to take over without a
+        cold re-learn. ``None`` (the default) means the app is stateless
+        or can rebuild from switch events alone."""
+        return None
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Load a :meth:`snapshot` published by a former leader."""
+
+    def desired_flows(self) -> Optional[Dict[Tuple[str, Match],
+                                             Tuple[int, Tuple[Action, ...]]]]:
+        """The app's intended rule set, ``(dpid, match) -> (priority,
+        actions)``, for the post-failover anti-entropy sweep. ``None``
+        (the default) means the app installs no flow rules."""
+        return None
+
 
 class SdnController:
     """Dispatches switch events to apps and sends control messages."""
+
+    #: Bound on events queued while the controller is down. The switch
+    #: connections buffer on the controller's behalf during an outage;
+    #: a real process would run out of socket/queue memory, so overflow
+    #: is dropped tail-first and attributed in the delivery ledger.
+    MAX_EVENT_BACKLOG = 4096
 
     def __init__(self, engine: Engine, costs: CostModel, name: str = "controller"):
         self.engine = engine
@@ -118,6 +144,20 @@ class SdnController:
         self.control_rng = None
         self._event_backlog: List[Message] = []
         self._send_backlog: List[Tuple[str, Message]] = []
+        self.max_event_backlog = self.MAX_EVENT_BACKLOG
+        self.event_backlog_high_water = 0
+        self.event_backlog_dropped = 0
+        #: Optional delivery ledger for attributing backlog-overflow
+        #: drops (wired by the cluster runtime).
+        self.ledger: Optional[DeliveryLedger] = None
+        # Replicated-control-plane state. ``channel_name`` set means this
+        # controller reaches switches through a named role-managed
+        # channel (HA replica); ``rule_cookie`` stamps installed rules
+        # with the replica's election generation for the anti-entropy
+        # reconciliation sweep; RoleReplies are handed to the HA layer.
+        self.channel_name: Optional[str] = None
+        self.rule_cookie = 0
+        self.role_reply_handler: Optional[Callable[[RoleReply], None]] = None
 
     # -- topology ---------------------------------------------------------
 
@@ -147,7 +187,22 @@ class SdnController:
     def _receive(self, message: Message) -> None:
         self.events_received += 1
         if not self.up:
-            self._event_backlog.append(message)
+            backlog = self._event_backlog
+            if len(backlog) >= self.max_event_backlog:
+                self.event_backlog_dropped += 1
+                dpid = getattr(message, "dpid", None)
+                switch = self.switches.get(dpid) if dpid is not None else None
+                if switch is not None:
+                    switch.controller_backlog_dropped += 1
+                if isinstance(message, PacketIn) and self.ledger is not None:
+                    # The switch counted this frame controller-delivered
+                    # when it punted it; move it to an attributed drop.
+                    self.ledger.record_frame_controller_dropped(
+                        LAYER_CONTROLLER, R_CONTROL_BACKLOG, message.frame)
+                return
+            backlog.append(message)
+            if len(backlog) > self.event_backlog_high_water:
+                self.event_backlog_high_water = len(backlog)
             return
         if isinstance(message, PacketIn):
             # Control-channel faults hit the packet path, not the
@@ -188,6 +243,10 @@ class SdnController:
             self._resolve_stats(message.dpid, MeterStatsReply, message)
             for app in self.apps:
                 app.on_meter_stats(message)
+        elif isinstance(message, RoleReply):
+            handler = self.role_reply_handler
+            if handler is not None:
+                handler(message)
         else:
             raise TypeError("controller cannot handle %r" % (message,))
 
@@ -219,6 +278,12 @@ class SdnController:
                 self.control_dropped += 1
                 return
             delay += self.control_extra_delay
+        if self.channel_name is not None:
+            # Role-managed channel: the switch polices mastership and
+            # generation-id before applying the message.
+            self.engine.schedule(delay, switch.handle_message_from,
+                                 self.channel_name, message)
+            return
         self.engine.schedule(delay, switch.handle_message, message)
 
     # -- chaos injection (see repro.sim.faults) ----------------------------
@@ -247,6 +312,18 @@ class SdnController:
             if dpid in self.switches:
                 self._transmit(dpid, message)
 
+    def drop_backlogs(self) -> None:
+        """Crash semantics (HA replica): events and sends queued during
+        the outage die with the process instead of flushing on recovery.
+        Queued PacketIns were counted controller-delivered by their
+        switch, so they move to attributed drops."""
+        events, self._event_backlog = self._event_backlog, []
+        self._send_backlog = []
+        for message in events:
+            if isinstance(message, PacketIn) and self.ledger is not None:
+                self.ledger.record_frame_controller_dropped(
+                    LAYER_CONTROLLER, R_CONTROL_BACKLOG, message.frame)
+
     def set_control_fault(self, extra_delay: float = 0.0,
                           drop_rate: float = 0.0, rng=None) -> None:
         """Degrade (or with defaults, heal) the PacketIn/PacketOut path."""
@@ -264,7 +341,7 @@ class SdnController:
         cookie: int = 0,
     ) -> None:
         self.send(dpid, FlowMod(ADD, match, tuple(actions), priority,
-                                idle_timeout, cookie))
+                                idle_timeout, cookie or self.rule_cookie))
 
     def delete_flows(self, dpid: str, match: Match, strict: bool = False,
                      priority: int = 100) -> None:

@@ -1,0 +1,524 @@
+"""Replicated SDN control plane: leader election, role fencing, and
+post-failover anti-entropy reconciliation.
+
+Typhoon's prototype runs one Floodlight controller — a single point of
+failure the paper leaves to "standard SDN controller HA" practice. This
+module supplies that layer for the reproduction:
+
+* N :class:`ControllerReplica` instances each own a full
+  :class:`~repro.sdn.controller.SdnController` (apps included) and a
+  named, role-managed channel to every switch,
+* leadership comes from the classic ZooKeeper recipe over the
+  coordination store: each live replica holds an *ephemeral + sequence*
+  member znode under ``/ha/election``; the lowest sequence wins,
+* the winner increments the ``/ha/generation`` counter with a CAS write
+  and claims every switch with ``RoleRequest(MASTER, generation)`` —
+  switches remember the largest granted generation and reject stale
+  claims and stale masters' mutations (split-brain fencing),
+* the leader periodically publishes its apps' :meth:`snapshot` states to
+  ``/ha/state`` so a standby promotes *warm*: it restores the shadow
+  flow/group bookkeeping before claiming switches instead of cold
+  re-learning the network,
+* promotion ends with an anti-entropy sweep: per switch, the rules the
+  previous regime installed (cookie = election generation >= 1) are
+  diffed against the new leader's desired state — stale rules deleted,
+  missing rules installed — and the failover record measures the
+  control-plane blackout from failure detection to reconciliation.
+
+During a blackout (no live master) switches stay fail-safe: the data
+plane keeps forwarding on installed rules while control events buffer in
+a bounded queue (overflow ledger-attributed) until the next master
+flushes them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..coordination.store import Coordinator, NoNodeError
+from ..sim.audit import DeliveryLedger
+from ..sim.costs import CostModel
+from ..sim.engine import Engine
+from .controller import ControllerApp, SdnController
+from .flow import Match
+from .openflow import ROLE_MASTER, ROLE_SLAVE, RoleReply, RoleRequest
+
+ELECTION_PATH = "/ha/election"
+GENERATION_PATH = "/ha/generation"
+STATE_PATH = "/ha/state"
+
+
+class ControllerReplica:
+    """One controller instance in the replicated control plane."""
+
+    def __init__(self, plane: "HAControlPlane", name: str):
+        self.plane = plane
+        self.name = name
+        self.sdn = SdnController(plane.engine, plane.costs, name=name)
+        self.sdn.channel_name = name
+        self.sdn.ledger = plane.ledger
+        self.sdn.role_reply_handler = self._on_role_reply
+        self.role = ROLE_SLAVE
+        #: Election generation under which this replica holds (or last
+        #: held) mastership; 0 = never promoted.
+        self.generation = 0
+        self.up = True
+        #: False models a partition between this replica and the store:
+        #: heartbeats stop (the session will expire) while the replica
+        #: itself keeps running — the stale-master scenario.
+        self.store_reachable = True
+        self.outages = 0
+        self.promotions = 0
+        #: Stale RoleReplies received: the switch fenced one of our
+        #: messages because a newer master exists.
+        self.fenced = 0
+        self.member_path: Optional[str] = None
+        self.last_heartbeat = 0.0
+
+    @property
+    def is_leader(self) -> bool:
+        return self.plane.leader_name == self.name
+
+    # -- chaos injection ---------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash this replica (controller process death)."""
+        if not self.up:
+            return
+        self.up = False
+        self.outages += 1
+        self.sdn.fail()
+        for dpid in sorted(self.sdn.switches):
+            self.sdn.switches[dpid].set_channel_up(self.name, False)
+
+    def recover(self) -> None:
+        """Restart the replica. Anything it queued died with the old
+        process; unless it somehow still holds leadership (a blip shorter
+        than the session timeout) it rejoins the election as a standby."""
+        if self.up:
+            return
+        self.up = True
+        self.sdn.drop_backlogs()
+        self.sdn.recover()
+        if self.plane.leader_name != self.name:
+            self.role = ROLE_SLAVE
+            self.sdn.rule_cookie = 0
+        for dpid in sorted(self.sdn.switches):
+            self.sdn.switches[dpid].set_channel_up(self.name, True)
+
+    # -- role handling -----------------------------------------------------
+
+    def _on_role_reply(self, reply: RoleReply) -> None:
+        if reply.stale:
+            self.fenced += 1
+            if self.role == ROLE_MASTER \
+                    and reply.generation_id > self.generation:
+                # A newer master exists: this replica was deposed while
+                # it could not observe the election (partition).
+                self.role = ROLE_SLAVE
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "role": self.role,
+            "up": self.up,
+            "store_reachable": self.store_reachable,
+            "generation": self.generation,
+            "promotions": self.promotions,
+            "outages": self.outages,
+            "fenced": self.fenced,
+            "apps": [app.name for app in self.sdn.apps],
+        }
+
+
+class HAControlPlane:
+    """Election, warm-standby sync and failover for controller replicas."""
+
+    def __init__(self, engine: Engine, costs: CostModel,
+                 coordinator: Coordinator,
+                 ledger: Optional[DeliveryLedger] = None,
+                 replicas: int = 3,
+                 name_prefix: str = "controller",
+                 heartbeat_interval: float = 0.2,
+                 session_timeout: float = 0.6,
+                 sync_interval: float = 0.5,
+                 reconcile_settle: float = 0.25,
+                 blackout_budget: float = 3.0):
+        if replicas < 2:
+            raise ValueError("a replicated control plane needs >= 2 "
+                             "replicas, got %d" % replicas)
+        self.engine = engine
+        self.costs = costs
+        self.coordinator = coordinator
+        self.ledger = ledger
+        self.heartbeat_interval = heartbeat_interval
+        self.session_timeout = session_timeout
+        self.sync_interval = sync_interval
+        self.reconcile_settle = reconcile_settle
+        #: Virtual-seconds budget a failover blackout (detection to
+        #: reconciliation) must stay under; checked by the chaos harness.
+        self.blackout_budget = blackout_budget
+        self.replicas: List[ControllerReplica] = [
+            ControllerReplica(self, "%s-%d" % (name_prefix, index))
+            for index in range(replicas)
+        ]
+        self._by_name = {replica.name: replica for replica in self.replicas}
+        self.leader_name: Optional[str] = None
+        self.generation = 0
+        #: Completed and in-flight failover records (dicts; see
+        #: :meth:`_promote`). The initial election is not a failover and
+        #: is not recorded here.
+        self.failovers: List[Dict[str, Any]] = []
+        self._leader_lost_at: Optional[float] = None
+        self._started = False
+        if not coordinator.exists(ELECTION_PATH):
+            coordinator.create(ELECTION_PATH, make_parents=True)
+        if not coordinator.exists(GENERATION_PATH):
+            coordinator.create(GENERATION_PATH, 0)
+        coordinator.watch_children(ELECTION_PATH, self._on_members_changed)
+
+    # -- wiring ------------------------------------------------------------
+
+    def replica(self, name: str) -> ControllerReplica:
+        return self._by_name[name]
+
+    @property
+    def leader(self) -> Optional[ControllerReplica]:
+        if self.leader_name is None:
+            return None
+        return self._by_name.get(self.leader_name)
+
+    @property
+    def active_sdn(self) -> SdnController:
+        """The leader's controller; during a blackout, the last leader's
+        (its queues absorb sends until promotion rewires everything)."""
+        leader = self.leader
+        if leader is not None:
+            return leader.sdn
+        return self.replicas[0].sdn
+
+    def register_app_factory(
+            self, factory: Callable[[], ControllerApp]) -> None:
+        """Instantiate and register one app per replica (apps hold
+        per-controller state, so each replica needs its own instance)."""
+        for replica in self.replicas:
+            replica.sdn.register_app(factory())
+
+    def attach_switches(self, switches) -> None:
+        """Register every replica as a named controller channel on every
+        switch. No replica owns a switch until it wins the election."""
+        for switch in switches:
+            for replica in self.replicas:
+                if switch.dpid in replica.sdn.switches:
+                    raise ValueError("switch %s already attached"
+                                     % switch.dpid)
+                replica.sdn.switches[switch.dpid] = switch
+                switch.register_controller(replica.name,
+                                           replica.sdn._receive)
+                for app in replica.sdn.apps:
+                    app.on_switch_connected(switch)
+
+    def start(self) -> None:
+        """Join all replicas to the election and elect the first leader
+        synchronously (claims still pay the control-channel latency, but
+        they are enqueued before any client work can be)."""
+        if self._started:
+            raise ValueError("HA control plane already started")
+        self._started = True
+        for replica in self.replicas:
+            self._join(replica)
+        self._evaluate(self.coordinator.children(ELECTION_PATH))
+        self.engine.process(self._monitor_loop(), name="ha:monitor")
+        self.engine.process(self._sync_loop(), name="ha:sync")
+
+    def _join(self, replica: ControllerReplica) -> None:
+        self.coordinator.start_session(replica.name)
+        replica.member_path = self.coordinator.create(
+            ELECTION_PATH + "/member-", data=replica.name,
+            ephemeral_owner=replica.name, sequence=True)
+        replica.last_heartbeat = self.engine.now
+
+    # -- liveness ----------------------------------------------------------
+
+    def _monitor_loop(self):
+        """The store's session machinery: replicas that heartbeat keep
+        their ephemeral member node; silent ones expire after the session
+        timeout, which deletes the node and triggers the election watch."""
+        while True:
+            yield self.heartbeat_interval
+            now = self.engine.now
+            for replica in self.replicas:
+                if replica.up and replica.store_reachable:
+                    if self.coordinator.session_active(replica.name):
+                        replica.last_heartbeat = now
+                    else:
+                        # Healed partition or restarted process: rejoin
+                        # the election with a fresh (higher) sequence.
+                        self._join(replica)
+                elif self.coordinator.session_active(replica.name) and \
+                        now - replica.last_heartbeat > self.session_timeout:
+                    if replica.name == self.leader_name \
+                            and self._leader_lost_at is None:
+                        self._leader_lost_at = now
+                    self.coordinator.expire_session(replica.name)
+
+    def _sync_loop(self):
+        """Leader duties between failovers: publish app snapshots for the
+        standbys (warm takeover) and re-assert mastership over switches
+        that lost it (e.g. a restarted switch remembering a dead master)."""
+        while True:
+            yield self.sync_interval
+            leader = self.leader
+            if leader is None or not leader.up \
+                    or not leader.store_reachable \
+                    or leader.role != ROLE_MASTER:
+                continue
+            snapshots = {}
+            for app in leader.sdn.apps:
+                state = app.snapshot()
+                if state is not None:
+                    snapshots[app.name] = state
+            self.coordinator.ensure(STATE_PATH, snapshots)
+            for dpid in sorted(leader.sdn.switches):
+                switch = leader.sdn.switches[dpid]
+                if switch.up and (
+                        switch.master_controller != leader.name
+                        or switch.master_generation < leader.generation):
+                    leader.sdn.send(dpid, RoleRequest(
+                        leader.name, ROLE_MASTER, leader.generation))
+
+    # -- election ----------------------------------------------------------
+
+    def _on_members_changed(self, _path: str, names: List[str]) -> None:
+        self._evaluate(names)
+
+    def _evaluate(self, names: List[str]) -> None:
+        """ZooKeeper recipe: the live member with the lowest sequence is
+        the rightful leader. A dead member's claim only clears when its
+        session expires, so failover waits for the session timeout."""
+        if not names:
+            return
+        owner = self.coordinator.get_data(
+            ELECTION_PATH + "/" + names[0])
+        elected = self._by_name.get(owner)
+        if elected is None:
+            return
+        # Replicas that can observe the election and see they are not
+        # elected step down locally (a partitioned stale master cannot,
+        # and must be fenced by the switches instead).
+        for replica in self.replicas:
+            if replica is not elected and replica.role == ROLE_MASTER \
+                    and replica.up and replica.store_reachable:
+                replica.role = ROLE_SLAVE
+        if not elected.up or not elected.store_reachable:
+            return  # cannot serve; its own session will expire next
+        if self.leader_name == elected.name \
+                and elected.role == ROLE_MASTER:
+            return  # stable leadership
+        self._promote(elected)
+
+    def _promote(self, replica: ControllerReplica) -> None:
+        initial = self.leader_name is None
+        detected_at = self._leader_lost_at
+        if detected_at is None:
+            detected_at = self.engine.now
+        data, version = self.coordinator.get(GENERATION_PATH)
+        generation = int(data or 0) + 1
+        # CAS: the generation counter is the fencing token — it must
+        # only ever move forward, one step per promotion.
+        self.coordinator.set(GENERATION_PATH, generation,
+                             expected_version=version)
+        previous = self.leader_name
+        # A promotion supersedes any unfinished reconciliation sweep of
+        # an earlier regime (e.g. the successor died mid-sweep): the new
+        # leader's own sweep covers that blackout end to end.
+        for record in self.failovers:
+            if record["reconciled_at"] is None:
+                record["superseded"] = True
+        self.generation = generation
+        self.leader_name = replica.name
+        self._leader_lost_at = None
+        replica.role = ROLE_MASTER
+        replica.generation = generation
+        replica.promotions += 1
+        replica.sdn.rule_cookie = generation
+        if not initial:
+            # Warm takeover: load the last state the old regime
+            # published before touching any switch.
+            snapshots = self.coordinator.get_data(STATE_PATH)
+            if snapshots:
+                for app in replica.sdn.apps:
+                    state = snapshots.get(app.name)
+                    if state is not None:
+                        app.restore(state)
+        for dpid in sorted(replica.sdn.switches):
+            replica.sdn.send(dpid, RoleRequest(
+                replica.name, ROLE_MASTER, generation))
+        if initial:
+            return
+        record: Dict[str, Any] = {
+            "generation": generation,
+            "leader": replica.name,
+            "previous": previous,
+            "detected_at": round(detected_at, 6),
+            "promoted_at": round(self.engine.now, 6),
+            "reconciled_at": None,
+            "blackout_ms": None,
+            "superseded": False,
+            "stale_deleted": 0,
+            "repaired": 0,
+        }
+        self.failovers.append(record)
+        self.engine.process(self._reconcile(replica, record),
+                            name="ha:reconcile:g%d" % generation)
+
+    # -- anti-entropy reconciliation ---------------------------------------
+
+    def _desired_flows(self, replica: ControllerReplica
+                       ) -> Dict[Tuple[str, Match], Tuple[int, tuple]]:
+        desired: Dict[Tuple[str, Match], Tuple[int, tuple]] = {}
+        for app in replica.sdn.apps:
+            flows = app.desired_flows()
+            if flows:
+                for key, (priority, actions) in flows.items():
+                    desired[key] = (priority, tuple(actions))
+        return desired
+
+    def _reconcile(self, replica: ControllerReplica,
+                   record: Dict[str, Any]):
+        """Sweep every switch: rules stamped by any election generation
+        (cookie >= 1) that the new leader does not want are deleted;
+        wanted rules that are missing or differ are (re)installed."""
+        yield self.reconcile_settle
+        sdn = replica.sdn
+        for dpid in sorted(sdn.switches):
+            if not replica.up or self.leader_name != replica.name:
+                return  # superseded mid-sweep; the next leader redoes it
+            switch = sdn.switches[dpid]
+            if not switch.up:
+                continue  # a restarting switch re-syncs via reconnect
+            reply = yield sdn.request_flow_stats(dpid)
+            if not replica.up or self.leader_name != replica.name:
+                return
+            desired = self._desired_flows(replica)
+            want = {match: value for (d, match), value in desired.items()
+                    if d == dpid}
+            have: Dict[Match, Tuple[int, tuple]] = {}
+            for entry in reply.entries:
+                if entry.cookie >= 1:
+                    have[entry.match] = (entry.priority,
+                                         tuple(entry.actions))
+            for entry in reply.entries:
+                if entry.cookie >= 1 and entry.match not in want:
+                    sdn.delete_flows(dpid, entry.match, strict=True,
+                                     priority=entry.priority)
+                    record["stale_deleted"] += 1
+            for match, (priority, actions) in want.items():
+                if have.get(match) != (priority, actions):
+                    sdn.install_flow(dpid, match, actions,
+                                     priority=priority)
+                    record["repaired"] += 1
+        now = self.engine.now
+        record["reconciled_at"] = round(now, 6)
+        record["blackout_ms"] = round(
+            (now - record["detected_at"]) * 1000.0, 3)
+
+    # -- audit / surfaces --------------------------------------------------
+
+    def rule_divergence(self) -> Dict[str, int]:
+        """Direct inspection: per live switch, generation-stamped rules
+        vs the current leader's desired state (both directions, actions
+        included). All-zero after every failover reconciles."""
+        stale = missing = mismatched = 0
+        leader = self.leader
+        if leader is not None:
+            desired = self._desired_flows(leader)
+            for dpid in sorted(leader.sdn.switches):
+                switch = leader.sdn.switches[dpid]
+                if not switch.up:
+                    continue
+                want = {match: value
+                        for (d, match), value in desired.items()
+                        if d == dpid}
+                have: Dict[Match, Tuple[int, tuple]] = {}
+                for entry in switch.flows:
+                    if entry.cookie >= 1:
+                        have[entry.match] = (entry.priority,
+                                             tuple(entry.actions))
+                for match, value in have.items():
+                    if match not in want:
+                        stale += 1
+                    elif want[match] != value:
+                        mismatched += 1
+                for match in want:
+                    if match not in have:
+                        missing += 1
+        return {"stale": stale, "missing": missing,
+                "mismatched": mismatched,
+                "total": stale + missing + mismatched}
+
+    def blackout_summary(self) -> Dict[str, Any]:
+        blackouts = [record["blackout_ms"] for record in self.failovers
+                     if record["blackout_ms"] is not None]
+        unreconciled = sum(1 for record in self.failovers
+                           if record["reconciled_at"] is None
+                           and not record.get("superseded"))
+        return {
+            "failovers": len(self.failovers),
+            "unreconciled": unreconciled,
+            "max_blackout_ms": max(blackouts) if blackouts else 0.0,
+            "budget_ms": round(self.blackout_budget * 1000.0, 3),
+        }
+
+    def fencing_summary(self) -> Dict[str, int]:
+        leader = self.leader if self.leader is not None \
+            else self.replicas[0]
+        rejections = sum(
+            leader.sdn.switches[dpid].stale_master_rejections
+            for dpid in leader.sdn.switches)
+        return {
+            "switch_rejections": rejections,
+            "replica_fenced": sum(r.fenced for r in self.replicas),
+        }
+
+    def election_members(self) -> List[Dict[str, str]]:
+        try:
+            names = self.coordinator.children(ELECTION_PATH)
+        except NoNodeError:
+            return []
+        return [{"member": name,
+                 "owner": self.coordinator.get_data(
+                     ELECTION_PATH + "/" + name)}
+                for name in names]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full HA state for the GET /ha REST surface."""
+        reference = self.leader if self.leader is not None \
+            else self.replicas[0]
+        switches = {}
+        for dpid in sorted(reference.sdn.switches):
+            switch = reference.sdn.switches[dpid]
+            stats = switch.stats()
+            switches[dpid] = {
+                "master": stats["master"],
+                "master_generation": stats["master_generation"],
+                "stale_master_rejections":
+                    stats["stale_master_rejections"],
+                "pending_controller": stats["pending_controller"],
+                "pending_high_water": stats["pending_high_water"],
+                "pending_overflow_dropped":
+                    stats["pending_overflow_dropped"],
+            }
+        return {
+            "leader": self.leader_name,
+            "generation": self.generation,
+            "replicas": [replica.snapshot()
+                         for replica in self.replicas],
+            "election": self.election_members(),
+            "failovers": list(self.failovers),
+            "blackout": self.blackout_summary(),
+            "fencing": self.fencing_summary(),
+            "rule_divergence": self.rule_divergence(),
+            "switches": switches,
+            "store": self.coordinator.stats(),
+        }

@@ -101,6 +101,15 @@ class NetworkHypervisor:
     def connect_switch(self, switch: SoftwareSwitch) -> None:
         if switch.dpid in self.switches:
             raise ValueError("switch %s already connected" % switch.dpid)
+        if switch.channels():
+            # A switch speaking the named-channel (master/slave role)
+            # protocol belongs to a replicated control plane; inserting
+            # the hypervisor's single anonymous channel underneath it
+            # would bypass generation-id fencing.
+            raise ValueError(
+                "switch %s is managed by a replicated control plane; "
+                "hypervisor slicing and controller HA are mutually "
+                "exclusive" % switch.dpid)
         self.switches[switch.dpid] = switch
         switch.connect_controller(
             lambda message, dpid=switch.dpid: self._on_event(dpid, message))

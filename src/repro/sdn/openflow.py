@@ -33,6 +33,11 @@ REASON_ACTION = "action"
 REASON_IDLE_TIMEOUT = "idle_timeout"
 REASON_DELETE = "delete"
 
+#: OFPT_ROLE_REQUEST roles (OpenFlow 1.2+ controller role machinery).
+ROLE_MASTER = "master"
+ROLE_SLAVE = "slave"
+ROLE_EQUAL = "equal"
+
 
 @dataclass
 class Message:
@@ -130,6 +135,42 @@ class SwitchReconnect(Message):
     """
 
     dpid: str
+
+
+@dataclass
+class RoleRequest(Message):
+    """A controller claims a role on a switch (OFPT_ROLE_REQUEST).
+
+    ``generation_id`` is the monotonic master-election epoch: a switch
+    remembers the largest generation it has granted and rejects MASTER
+    claims carrying a smaller one, which fences controllers that were
+    deposed while partitioned (the OpenFlow 1.2+ split-brain guard).
+    """
+
+    controller: str
+    role: str
+    generation_id: int
+
+    def __post_init__(self) -> None:
+        if self.role not in (ROLE_MASTER, ROLE_SLAVE, ROLE_EQUAL):
+            raise ValueError("bad controller role: %r" % self.role)
+
+
+@dataclass
+class RoleReply(Message):
+    """The switch's answer to a :class:`RoleRequest`.
+
+    ``stale=True`` means the claim (or a state-mutating message from a
+    non-master channel) was rejected; ``generation_id`` then carries the
+    switch's current generation so the deposed controller can learn it
+    lost mastership.
+    """
+
+    dpid: str
+    controller: str
+    role: str
+    generation_id: int
+    stale: bool = False
 
 
 @dataclass

@@ -14,12 +14,13 @@ application-level broadcast (Fig. 9).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..net.ethernet import EthernetFrame
 from ..sim.audit import (
     LAYER_SWITCH,
     R_BACKLOG_OVERFLOW,
+    R_CONTROL_BACKLOG,
     R_METER_LIMIT,
     R_NO_CONTROLLER,
     R_NO_GROUP,
@@ -69,12 +70,16 @@ from .openflow import (
     PortStatsReply,
     PortStatsRequest,
     PortStatus,
+    RoleReply,
+    RoleRequest,
     SwitchReconnect,
     REASON_ACTION,
     REASON_DELETE,
     REASON_IDLE_TIMEOUT,
     PORT_ADD,
     PORT_DELETE,
+    ROLE_MASTER,
+    ROLE_SLAVE,
 )
 
 #: A port sink receives ``(frame, tun_dst)``; tun_dst is only meaningful
@@ -191,12 +196,34 @@ class _FrameAccount:
         return self.emitted + self.controller + self.dropped
 
 
+class _ControlChannel:
+    """One named controller connection (OpenFlow 1.2+ multi-controller).
+
+    A switch accepting several controllers keeps one channel per
+    controller name; exactly one may hold the MASTER role at a time and
+    only that one may mutate switch state.
+    """
+
+    __slots__ = ("name", "deliver", "role", "up")
+
+    def __init__(self, name: str, deliver: Callable[[Message], None]):
+        self.name = name
+        self.deliver = deliver
+        self.role = ROLE_SLAVE
+        self.up = True
+
+
 class SoftwareSwitch:
     """Flow-rule driven frame forwarding on one host."""
 
     #: Maximum forwarding backlog before packets are dropped (models
     #: bounded TX/RX rings).
     MAX_BACKLOG_SECONDS = 0.005
+
+    #: Bound on events buffered for the control plane while no master
+    #: controller is reachable (fail-safe blackout mode). Overflow is
+    #: dropped tail-first and attributed in the delivery ledger.
+    MAX_PENDING_CONTROLLER = 512
 
     def __init__(self, engine: Engine, costs: CostModel, dpid: str,
                  idle_sweep_interval: float = 1.0,
@@ -227,7 +254,28 @@ class SoftwareSwitch:
         self.trains = 0
         self.train_frames = 0
         #: Set by the controller when it connects; receives event Messages.
+        #: With named channels registered this is a derived pointer to the
+        #: live master channel's deliver callback (or None in blackout).
         self._to_controller: Optional[Callable[[Message], None]] = None
+        #: Named controller channels (replicated control plane). Empty in
+        #: the classic single-controller wiring.
+        self._channels: Dict[str, _ControlChannel] = {}
+        self._master_channel: Optional[str] = None
+        #: Largest master generation-id granted; MASTER claims below this
+        #: are rejected (split-brain fencing, OpenFlow 1.2+).
+        self.master_generation = -1
+        self.stale_master_rejections = 0
+        #: Fail-safe blackout buffer: events held for the next master.
+        self._pending_ctrl: List[Message] = []
+        self.max_pending_controller = self.MAX_PENDING_CONTROLLER
+        self.pending_high_water = 0
+        self.pending_overflow_dropped = 0
+        #: Events from this switch dropped by the controller's bounded
+        #: outage backlog (bumped by the controller for attribution).
+        self.controller_backlog_dropped = 0
+        #: Stats replies from a slave-role channel return to the asking
+        #: channel, not the master; set around the reply dispatch.
+        self._reply_override: Optional[Callable[[Message], None]] = None
         self._sweep_interval = idle_sweep_interval
         self._sweeper = engine.process(self._sweep_idle(), name="sweep:%s" % dpid)
 
@@ -250,8 +298,161 @@ class SoftwareSwitch:
     def connect_controller(self, deliver: Callable[[Message], None]) -> None:
         self._to_controller = deliver
 
+    def register_controller(self, name: str,
+                            deliver: Callable[[Message], None]) -> None:
+        """Attach a named controller channel (replicated control plane).
+
+        The channel starts in the SLAVE role: it receives no events and
+        may not mutate switch state until it wins a
+        :class:`~repro.sdn.openflow.RoleRequest` master claim.
+        """
+        if name in self._channels:
+            raise ValueError("controller channel %r already registered"
+                             % name)
+        self._channels[name] = _ControlChannel(name, deliver)
+
+    @property
+    def master_controller(self) -> Optional[str]:
+        return self._master_channel
+
+    def channels(self) -> Tuple[str, ...]:
+        """Registered controller channel names, sorted."""
+        return tuple(sorted(self._channels))
+
+    def set_channel_up(self, name: str, up: bool) -> None:
+        """Mark a controller channel alive/dead (chaos: replica outage).
+
+        Losing the master channel starts fail-safe blackout mode: the
+        data plane keeps forwarding on installed rules while events are
+        buffered (bounded) for the next master.
+        """
+        channel = self._channels.get(name)
+        if channel is None or channel.up == up:
+            return
+        channel.up = up
+        if name == self._master_channel:
+            if not up:
+                self._to_controller = None
+            else:
+                self._to_controller = channel.deliver
+                self._flush_pending(channel.deliver)
+
+    def handle_message_from(self, name: str, message: Message) -> None:
+        """Apply a message arriving on the named controller channel.
+
+        Role claims are always examined; state-mutating messages
+        (FlowMod/GroupMod/MeterMod/PacketOut) from any channel that does
+        not hold the MASTER role are rejected and answered with a stale
+        RoleReply so a deposed controller learns it lost mastership.
+        Read-only stats requests are honoured for slaves, with the reply
+        routed back to the asking channel.
+        """
+        if isinstance(message, RoleRequest):
+            self._handle_role_request(message)
+            return
+        channel = self._channels.get(name)
+        if channel is None:
+            self.stale_master_rejections += 1
+            return
+        if name != self._master_channel and isinstance(
+                message, (FlowMod, GroupMod, MeterMod, PacketOut)):
+            self.stale_master_rejections += 1
+            if self.up:
+                self.engine.schedule(
+                    self.costs.openflow_rtt / 2, channel.deliver,
+                    RoleReply(self.dpid, name, ROLE_SLAVE,
+                              self.master_generation, stale=True))
+            return
+        if name != self._master_channel:
+            # Slave read: replies return on the asking channel.
+            self._reply_override = channel.deliver
+            try:
+                self.handle_message(message)
+            finally:
+                self._reply_override = None
+            return
+        self.handle_message(message)
+
+    def _handle_role_request(self, request: RoleRequest) -> None:
+        if not self.up:
+            self.control_lost_while_down += 1
+            return
+        channel = self._channels.get(request.controller)
+        if channel is None:
+            return
+        half_rtt = self.costs.openflow_rtt / 2
+        if request.role == ROLE_MASTER:
+            if request.generation_id < self.master_generation:
+                # Fencing: a deposed master re-claiming with an old
+                # generation-id must not regain control.
+                self.stale_master_rejections += 1
+                self.engine.schedule(
+                    half_rtt, channel.deliver,
+                    RoleReply(self.dpid, request.controller, ROLE_SLAVE,
+                              self.master_generation, stale=True))
+                return
+            self.master_generation = request.generation_id
+            previous = self._master_channel
+            if previous is not None and previous != request.controller:
+                old = self._channels.get(previous)
+                if old is not None:
+                    old.role = ROLE_SLAVE
+            self._master_channel = request.controller
+            channel.role = ROLE_MASTER
+            self._to_controller = channel.deliver if channel.up else None
+            self.engine.schedule(
+                half_rtt, channel.deliver,
+                RoleReply(self.dpid, request.controller, ROLE_MASTER,
+                          request.generation_id, stale=False))
+            if channel.up:
+                # Blackout ends: hand the buffered events to the new
+                # master, then re-announce every port so it re-learns
+                # worker locations without a cold re-learn elsewhere.
+                self._flush_pending(channel.deliver)
+                for number in sorted(self.ports):
+                    port = self.ports[number]
+                    self._notify_controller(
+                        PortStatus(self.dpid, number, port.name, PORT_ADD),
+                        self.costs.port_event_latency,
+                    )
+        else:
+            if request.controller == self._master_channel:
+                self._master_channel = None
+                self._to_controller = None
+            channel.role = ROLE_SLAVE
+            self.engine.schedule(
+                half_rtt, channel.deliver,
+                RoleReply(self.dpid, request.controller, ROLE_SLAVE,
+                          self.master_generation, stale=False))
+
+    def _flush_pending(self, deliver: Callable[[Message], None]) -> None:
+        """Drain the blackout buffer FIFO onto a live master channel."""
+        if not self._pending_ctrl:
+            return
+        pending, self._pending_ctrl = self._pending_ctrl, []
+        half_rtt = self.costs.openflow_rtt / 2
+        for message in pending:
+            self.engine.schedule(half_rtt, deliver, message)
+
+    def _buffer_pending(self, message: Message) -> bool:
+        """Queue an event for the next master; False when the bound hit."""
+        pending = self._pending_ctrl
+        if len(pending) >= self.max_pending_controller:
+            self.pending_overflow_dropped += 1
+            return False
+        pending.append(message)
+        if len(pending) > self.pending_high_water:
+            self.pending_high_water = len(pending)
+        return True
+
     def _notify_controller(self, message: Message, delay: float) -> None:
+        override = self._reply_override
+        if override is not None:
+            self.engine.schedule(delay, override, message)
+            return
         if self._to_controller is None:
+            if self._channels:
+                self._buffer_pending(message)
             return
         self.engine.schedule(delay, self._to_controller, message)
 
@@ -311,6 +512,15 @@ class SoftwareSwitch:
         self.groups = GroupTable()
         self.meters = {}
         self._busy_until = self.engine.now
+        # Blackout-buffered events die with the switch process; buffered
+        # PacketIns were already counted controller-delivered, so move
+        # them to an attributed drop to keep conservation exact.
+        if self._pending_ctrl:
+            for message in self._pending_ctrl:
+                if isinstance(message, PacketIn) and self.ledger is not None:
+                    self.ledger.record_frame_controller_dropped(
+                        LAYER_SWITCH, R_SWITCH_DOWN, message.frame)
+            self._pending_ctrl = []
         for number in sorted(self.ports):
             port = self.ports[number]
             self._notify_controller(
@@ -749,6 +959,29 @@ class SoftwareSwitch:
 
         tracer = self._live_tracer()
         if out_port == OFPP_CONTROLLER:
+            if self._to_controller is None and self._channels:
+                # Fail-safe blackout: no live master, but the replicated
+                # control plane will promote one — buffer (bounded) and
+                # attribute overflow instead of stalling the data plane.
+                message = PacketIn(self.dpid, frame, in_port, REASON_ACTION)
+                if self._buffer_pending(message):
+                    if account is not None:
+                        account.controller += 1
+                    if self.ledger is not None:
+                        self.ledger.record_frame_controller_delivered(frame)
+                    if tracer is not None:
+                        tracer.frame_event(frame, H_PACKET_IN, dpid=self.dpid)
+                else:
+                    self.packets_dropped += 1
+                    if account is not None:
+                        account.dropped += 1
+                    if self.ledger is not None:
+                        self.ledger.record_frame_drop(LAYER_SWITCH,
+                                                      R_CONTROL_BACKLOG, frame)
+                    if tracer is not None:
+                        tracer.frame_drop(frame, LAYER_SWITCH,
+                                          R_CONTROL_BACKLOG)
+                return finish
             if self._to_controller is None:
                 if account is not None:
                     account.dropped += 1
@@ -807,6 +1040,31 @@ class SoftwareSwitch:
             + meter_extra
         self.engine.schedule(delay, port.sink, frame, tun_dst)
         return finish
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational counters for the REST/chaos surfaces."""
+        return {
+            "dpid": self.dpid,
+            "up": self.up,
+            "rules": len(self.flows),
+            "ports": len(self.ports),
+            "crashes": self.crashes,
+            "packets_forwarded": self.packets_forwarded,
+            "packets_dropped": self.packets_dropped,
+            "table_misses": self.table_misses,
+            "group_misses": self.group_misses,
+            "meter_drops": self.meter_drops,
+            "control_lost_while_down": self.control_lost_while_down,
+            "master": self._master_channel,
+            "master_generation": self.master_generation,
+            "stale_master_rejections": self.stale_master_rejections,
+            "pending_controller": len(self._pending_ctrl),
+            "pending_high_water": self.pending_high_water,
+            "pending_overflow_dropped": self.pending_overflow_dropped,
+            "controller_backlog_dropped": self.controller_backlog_dropped,
+        }
 
     # -- idle-timeout sweeper ------------------------------------------------------
 

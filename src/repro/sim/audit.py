@@ -52,6 +52,7 @@ LAYER_FABRIC = "fabric"            #: host fabric / tunnel selection
 LAYER_CHANNEL = "channel"          #: TCP channels (tunnels, Storm links)
 LAYER_REASSEMBLY = "reassembly"    #: fragment reassembly at receivers
 LAYER_REGISTRY = "registry"        #: Storm worker registry lookups
+LAYER_CONTROLLER = "controller"    #: SDN controller event queue
 
 # -- drop reasons ---------------------------------------------------------
 
@@ -73,6 +74,7 @@ R_UNRESOLVED = "unresolved-worker"          #: Storm registry lookup failed
 R_LINK_LOSS = "link-loss"                   #: injected lossy-link drop
 R_SWITCH_DOWN = "switch-down"               #: frame hit a crashed switch
 R_METER_LIMIT = "meter-limit"               #: rate meter queue overflow
+R_CONTROL_BACKLOG = "control-backlog"       #: bounded control-plane queue full
 
 #: Scope used when the reporting site cannot attribute an application.
 UNKNOWN_SCOPE = -1
@@ -193,6 +195,22 @@ class DeliveryLedger:
         scope, tuples = info
         if tuples:
             self.record_controller_delivered(scope, tuples)
+
+    def record_frame_controller_dropped(self, layer: str, reason: str,
+                                        frame: object) -> None:
+        """A frame already counted ``controller_delivered`` was dropped
+        before the control plane processed it (bounded-queue overflow
+        during a controller outage). Move its tuples from
+        ``controller_delivered`` to an attributed drop so the
+        conservation identity stays exact."""
+        info = self.inspect(frame)
+        if info is None:
+            self.unattributable_frames += 1
+            return
+        scope, tuples = info
+        if tuples:
+            self.record_controller_delivered(scope, -tuples)
+            self.record_drop(scope, layer, reason, tuples)
 
     # -- aggregate views ---------------------------------------------------
 

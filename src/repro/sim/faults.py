@@ -186,6 +186,32 @@ def set_control_fault(cluster, extra_delay: float = 0.0,
                           rng=rng)
 
 
+def _ha_plane(cluster):
+    ha = getattr(cluster, "ha", None)
+    if ha is None:
+        raise ValueError("cluster has no replicated control plane; HA "
+                         "faults need ha_replicas >= 2")
+    return ha
+
+
+def set_controller_replica_down(cluster, name: str, down: bool) -> None:
+    """Crash (or restart) one named controller replica. The election
+    detects the death after the session timeout and promotes a standby."""
+    replica = _ha_plane(cluster).replica(name)
+    if down:
+        replica.fail()
+    else:
+        replica.recover()
+
+
+def set_store_partition(cluster, name: str, partitioned: bool) -> None:
+    """Partition one controller replica from the coordination store (or
+    heal it). The replica keeps running — if it was the leader it becomes
+    a *stale master* the switches must fence — but its heartbeats stop,
+    so its session expires and the survivors elect a new leader."""
+    _ha_plane(cluster).replica(name).store_reachable = not partitioned
+
+
 # -- composition ---------------------------------------------------------------
 
 
@@ -333,6 +359,51 @@ class FaultPlan:
             duration=duration,
             restore=lambda: set_control_fault(self.cluster)))
         return self
+
+    # -- replicated-control-plane faults -----------------------------------
+
+    def kill_leader(self, when: float, duration: float,
+                    description: str = "kill leader replica") -> "FaultPlan":
+        """Crash whichever replica *leads at fire time* (resolved when
+        the injection fires, not when the plan is built — a prior fault
+        may already have moved leadership), restart it ``duration``
+        later."""
+        holder: dict = {}
+
+        def action() -> None:
+            ha = _ha_plane(self.cluster)
+            victim = ha.leader_name or ha.replicas[0].name
+            holder["victim"] = victim
+            set_controller_replica_down(self.cluster, victim, True)
+
+        def restore() -> None:
+            victim = holder.get("victim")
+            if victim is not None:
+                set_controller_replica_down(self.cluster, victim, False)
+
+        return self.custom(when, description, action, duration=duration,
+                           restore=restore)
+
+    def partition_leader_from_store(
+            self, when: float, duration: float,
+            description: str = "partition leader from store") -> "FaultPlan":
+        """Cut the fire-time leader off from the coordination store: it
+        keeps running as a stale master until the switches fence it."""
+        holder: dict = {}
+
+        def action() -> None:
+            ha = _ha_plane(self.cluster)
+            victim = ha.leader_name or ha.replicas[0].name
+            holder["victim"] = victim
+            set_store_partition(self.cluster, victim, True)
+
+        def restore() -> None:
+            victim = holder.get("victim")
+            if victim is not None:
+                set_store_partition(self.cluster, victim, False)
+
+        return self.custom(when, description, action, duration=duration,
+                           restore=restore)
 
     # -- dynamic faults ----------------------------------------------------
 

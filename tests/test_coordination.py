@@ -172,3 +172,105 @@ def test_global_state_beats(engine, coordinator):
     state.clear_beat("wc", 3)
     assert state.read_beat("wc", 3) is None
     state.clear_beat("wc", 3)  # idempotent
+
+
+# -- sequence nodes (election building block) --------------------------------
+
+
+def test_sequence_nodes_get_zero_padded_monotonic_names(coordinator):
+    coordinator.create("/elect")
+    first = coordinator.create("/elect/m-", data="a", sequence=True)
+    second = coordinator.create("/elect/m-", data="b", sequence=True)
+    assert first == "/elect/m-0000000000"
+    assert second == "/elect/m-0000000001"
+    assert coordinator.children("/elect") == ["m-0000000000", "m-0000000001"]
+    assert coordinator.get_data(first) == "a"
+    # One global counter: names stay totally ordered across parents.
+    coordinator.create("/other")
+    third = coordinator.create("/other/n-", sequence=True)
+    assert third == "/other/n-0000000002"
+
+
+def test_sequence_ephemerals_die_with_session(coordinator):
+    coordinator.create("/elect")
+    coordinator.start_session("s")
+    path = coordinator.create("/elect/m-", data="s", sequence=True,
+                              ephemeral_owner="s")
+    assert coordinator.exists(path)
+    coordinator.expire_session("s")
+    assert not coordinator.exists(path)
+    # The counter does not rewind: the next member sorts after the dead one.
+    replacement = coordinator.create("/elect/m-", sequence=True)
+    assert replacement > path
+
+
+# -- expire_session watch batching -------------------------------------------
+
+
+def test_expire_session_delivers_one_child_watch_per_parent(engine,
+                                                            coordinator):
+    coordinator.create("/a")
+    coordinator.create("/b")
+    coordinator.start_session("s")
+    coordinator.create("/a/x1", ephemeral_owner="s")
+    coordinator.create("/a/x2", ephemeral_owner="s")
+    coordinator.create("/b/y", ephemeral_owner="s")
+    coordinator.create("/a/keep")
+    engine.run()
+    events = []
+    coordinator.watch_children("/a", lambda p, names: events.append((p, names)))
+    coordinator.watch_children("/b", lambda p, names: events.append((p, names)))
+    coordinator.expire_session("s")
+    engine.run()
+    # One level-triggered delivery per affected parent, sorted by path,
+    # each reflecting the *final* membership — not one per deleted node.
+    assert events == [("/a", ["keep"]), ("/b", [])]
+
+
+def test_expire_session_fires_data_watch_deletes_for_subtrees(engine,
+                                                              coordinator):
+    coordinator.start_session("s")
+    coordinator.create("/job", ephemeral_owner="s")
+    coordinator.create("/job/child", data=1)
+    engine.run()
+    seen = []
+    coordinator.watch_data("/job", lambda p, d, v: seen.append(("/job", d)))
+    coordinator.watch_data("/job/child",
+                           lambda p, d, v: seen.append(("/job/child", d)))
+    coordinator.expire_session("s")
+    assert not coordinator.exists("/job/child")  # swept with its parent
+    engine.run()
+    assert seen == [("/job", None), ("/job/child", None)]
+
+
+def test_expire_session_is_idempotent_and_unknown_safe(coordinator):
+    coordinator.expire_session("never-started")
+    coordinator.start_session("s")
+    coordinator.expire_session("s")
+    coordinator.expire_session("s")
+    assert not coordinator.session_active("s")
+
+
+# -- stats snapshot -----------------------------------------------------------
+
+
+def test_store_stats_snapshot(coordinator):
+    base = coordinator.stats()
+    assert base["znodes"] == 1  # the root
+    assert base["sessions"] == 0
+    coordinator.start_session("s")
+    coordinator.create("/a", data=1)
+    coordinator.create("/a/e", ephemeral_owner="s")
+    coordinator.watch_data("/a", lambda p, d, v: None)
+    coordinator.watch_children("/a", lambda p, names: None)
+    coordinator.get("/a")
+    stats = coordinator.stats()
+    assert stats["znodes"] == 3
+    assert stats["ephemerals"] == 1
+    assert stats["sessions"] == 1
+    assert stats["data_watches"] == 1
+    assert stats["child_watches"] == 1
+    assert stats["writes"] == base["writes"] + 2
+    assert stats["reads"] == base["reads"] + 1
+    coordinator.expire_session("s")
+    assert coordinator.stats()["ephemerals"] == 0
